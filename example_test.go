@@ -1,0 +1,83 @@
+package fairnn_test
+
+import (
+	"fmt"
+
+	"fairnn"
+)
+
+// Sampling a near neighbor fairly: every user within the similarity
+// threshold is equally likely to be returned, and repeated queries are
+// independent.
+func ExampleNewSetIndependent() {
+	users := []fairnn.Set{
+		fairnn.SetFromSlice([]uint32{1, 2, 3, 4, 5}),
+		fairnn.SetFromSlice([]uint32{1, 2, 3, 4, 6}),
+		fairnn.SetFromSlice([]uint32{90, 91, 92, 93, 94}),
+	}
+	sampler, err := fairnn.NewSetIndependent(users, 0.5, fairnn.IndependentOptions{}, fairnn.Config{Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	id, ok := sampler.Sample(users[0], nil)
+	fmt.Println(ok, fairnn.Jaccard(users[0], sampler.Point(id)) >= 0.5)
+	// Output: true true
+}
+
+// Drawing k distinct near neighbors without replacement (Section 3.1).
+func ExampleNewSetSampler() {
+	users := []fairnn.Set{
+		fairnn.SetFromSlice([]uint32{1, 2, 3, 4, 5}),
+		fairnn.SetFromSlice([]uint32{1, 2, 3, 4, 6}),
+		fairnn.SetFromSlice([]uint32{1, 2, 3, 5, 6}),
+		fairnn.SetFromSlice([]uint32{70, 71, 72, 73, 74}),
+	}
+	sampler, err := fairnn.NewSetSampler(users, 0.5, fairnn.Config{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	ids := sampler.SampleK(users[0], 3, nil)
+	distinct := map[int32]bool{}
+	allNear := true
+	for _, id := range ids {
+		distinct[id] = true
+		allNear = allNear && fairnn.Jaccard(users[0], sampler.Point(id)) >= 0.5
+	}
+	fmt.Println(len(ids), len(distinct), allNear)
+	// Output: 3 3 true
+}
+
+// Weighted sampling (the paper's future-work direction): prefer closer
+// points with a caller-chosen weight while keeping everything in the ball
+// reachable.
+func ExampleNewSetWeighted() {
+	users := []fairnn.Set{
+		fairnn.SetFromSlice([]uint32{1, 2, 3, 4, 5}),
+		fairnn.SetFromSlice([]uint32{1, 2, 3, 4, 6}),
+	}
+	weight := func(sim float64) float64 { return sim * sim }
+	w, err := fairnn.NewSetWeighted(users, 0.5, weight, 1, fairnn.IndependentOptions{}, fairnn.Config{Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	id, ok := w.Sample(users[0], nil)
+	fmt.Println(ok, fairnn.Jaccard(users[0], w.Point(id)) >= 0.5)
+	// Output: true true
+}
+
+// Tracking per-query cost through QueryStats (the Q3 accounting).
+func ExampleQueryStats() {
+	users := []fairnn.Set{
+		fairnn.SetFromSlice([]uint32{1, 2, 3, 4, 5}),
+		fairnn.SetFromSlice([]uint32{1, 2, 3, 4, 6}),
+		fairnn.SetFromSlice([]uint32{50, 51, 52, 53, 54}),
+	}
+	std, err := fairnn.NewSetStandard(users, 0.5, fairnn.Config{Seed: 9})
+	if err != nil {
+		panic(err)
+	}
+	var st fairnn.QueryStats
+	_, _ = std.NaiveFairSample(users[0], &st)
+	fmt.Println(st.Found, st.PointsInspected > 0, st.ScoreEvals > 0)
+	// Output: true true true
+}

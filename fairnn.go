@@ -1,0 +1,169 @@
+// Package fairnn is a Go implementation of the fair near-neighbor data
+// structures from Aumüller, Pagh and Silvestri, "Fair Near Neighbor Search:
+// Independent Range Sampling in High Dimensions" (PODS 2020).
+//
+// The r-near neighbor sampling problem asks for a data structure that, for
+// a query q, returns a point sampled uniformly at random from the ball
+// B_S(q, r) = {p ∈ S : D(p, q) ≤ r}. Standard LSH indexes are biased: the
+// probability of reporting a point grows with its similarity to the query.
+// This package provides the paper's unbiased alternatives:
+//
+//   - SetSampler (Section 3): uniform sampling via a random rank
+//     permutation over LSH buckets. Deterministic per build; supports
+//     k-samples without replacement and a rank-perturbation mode
+//     (Appendix A) that makes repetitions of one query independent.
+//   - SetIndependent (Section 4): fully independent uniform sampling
+//     (the r-NNIS problem) using per-bucket rank indices and mergeable
+//     count-distinct sketches.
+//   - VecIndependent (Section 5): independent uniform sampling under inner
+//     product similarity in nearly-linear space, built on locality-
+//     sensitive filters.
+//   - SetStandard: the classic biased LSH baseline, plus the naive fair
+//     and approximate-neighborhood samplers used in the paper's
+//     experimental comparison.
+//
+// Points are either item sets (Jaccard similarity; type Set) or unit
+// vectors (inner product; type Vec). The underlying generic implementations
+// in internal/core work for any metric with an LSH family.
+//
+// All structures are deterministic given their seed and are not safe for
+// concurrent use (queries consume per-structure randomness).
+package fairnn
+
+import (
+	"fairnn/internal/core"
+	"fairnn/internal/lsh"
+	"fairnn/internal/set"
+	"fairnn/internal/vector"
+)
+
+// Set is a point for Jaccard similarity: a sorted set of item ids.
+type Set = set.Set
+
+// Vec is a point for inner-product similarity: a dense vector (callers
+// should normalize to unit length; see vector helpers below).
+type Vec = vector.Vec
+
+// QueryStats carries per-query cost counters; pass nil when not needed.
+type QueryStats = core.QueryStats
+
+// Params are the classic LSH (K, L) parameters.
+type Params = lsh.Params
+
+// SetSampler solves r-NNS for Jaccard similarity (Section 3).
+type SetSampler = core.Sampler[set.Set]
+
+// SetIndependent solves r-NNIS for Jaccard similarity (Section 4).
+type SetIndependent = core.Independent[set.Set]
+
+// SetStandard is the classic biased LSH structure plus the fair-by-
+// postprocessing baselines (Section 2.2 / Section 6).
+type SetStandard = core.Standard[set.Set]
+
+// SetExact is the linear-scan ground truth for Jaccard similarity.
+type SetExact = core.Exact[set.Set]
+
+// VecIndependent solves α-NNIS for inner-product similarity in nearly-
+// linear space (Section 5).
+type VecIndependent = core.FilterIndependent
+
+// IndependentOptions tunes SetIndependent; the zero value follows the paper.
+type IndependentOptions = core.IndependentOptions
+
+// VecOptions tunes VecIndependent; the zero value follows the paper.
+type VecOptions = core.FilterIndependentOptions
+
+// Config controls LSH parameter selection for the set-based structures.
+// The zero value reproduces the paper's experimental setup: 1-bit MinHash,
+// K chosen so that at most FarBudget points at similarity FarSim are
+// expected to collide, and L chosen for Recall at the query radius.
+type Config struct {
+	// K and L override automatic parameter selection when both are > 0.
+	K, L int
+	// FullMinHash uses full 64-bit MinHash bucket keys instead of the
+	// 1-bit scheme of Li and König. Full keys expose the clustered-
+	// neighborhood correlations studied in Section 6.2.
+	FullMinHash bool
+	// FarSim is the "far" similarity for ChooseK (default 0.1).
+	FarSim float64
+	// FarBudget is the expected number of far collisions (default 5).
+	FarBudget float64
+	// Recall is the target recall at the radius for ChooseL (default 0.99).
+	Recall float64
+	// Seed drives all randomness (default 1).
+	Seed uint64
+}
+
+func (c Config) family() lsh.Family[set.Set] {
+	if c.FullMinHash {
+		return lsh.MinHash{}
+	}
+	return lsh.OneBitMinHash{}
+}
+
+func (c Config) resolve(n int, radius float64) (lsh.Family[set.Set], lsh.Params, uint64) {
+	if c.FarSim <= 0 {
+		c.FarSim = 0.1
+	}
+	if c.FarBudget <= 0 {
+		c.FarBudget = 5
+	}
+	if c.Recall <= 0 {
+		c.Recall = 0.99
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	fam := c.family()
+	params := lsh.Params{K: c.K, L: c.L}
+	if c.K <= 0 || c.L <= 0 {
+		k := lsh.ChooseK[set.Set](fam, n, c.FarSim, c.FarBudget)
+		l := lsh.ChooseL[set.Set](fam, k, radius, c.Recall)
+		params = lsh.Params{K: k, L: l}
+	}
+	return fam, params, c.Seed
+}
+
+// NewSetSampler indexes the sets for uniform r-near neighbor sampling under
+// Jaccard similarity (radius is the minimum similarity r).
+func NewSetSampler(sets []Set, radius float64, cfg Config) (*SetSampler, error) {
+	fam, params, seed := cfg.resolve(len(sets), radius)
+	return core.NewSampler[set.Set](core.Jaccard(), fam, params, sets, radius, seed)
+}
+
+// NewSetIndependent indexes the sets for independent uniform r-near
+// neighbor sampling (the r-NNIS problem) under Jaccard similarity.
+func NewSetIndependent(sets []Set, radius float64, opts IndependentOptions, cfg Config) (*SetIndependent, error) {
+	fam, params, seed := cfg.resolve(len(sets), radius)
+	return core.NewIndependent[set.Set](core.Jaccard(), fam, params, sets, radius, opts, seed)
+}
+
+// NewSetStandard indexes the sets with the classic biased LSH structure.
+func NewSetStandard(sets []Set, radius float64, cfg Config) (*SetStandard, error) {
+	fam, params, seed := cfg.resolve(len(sets), radius)
+	return core.NewStandard[set.Set](core.Jaccard(), fam, params, sets, radius, seed)
+}
+
+// NewSetExact builds the linear-scan ground truth (radius is the minimum
+// Jaccard similarity).
+func NewSetExact(sets []Set, radius float64, seed uint64) *SetExact {
+	return core.NewExact[set.Set](core.Jaccard(), sets, radius, seed)
+}
+
+// NewVecIndependent indexes unit vectors for independent uniform sampling
+// from {p : ⟨p, q⟩ ≥ alpha}, with far threshold beta (Section 5).
+func NewVecIndependent(points []Vec, alpha, beta float64, opts VecOptions, seed uint64) (*VecIndependent, error) {
+	return core.NewFilterIndependent(points, alpha, beta, opts, seed)
+}
+
+// Jaccard returns the Jaccard similarity of two sets.
+func Jaccard(a, b Set) float64 { return set.Jaccard(a, b) }
+
+// SetFromSlice builds a Set from arbitrary items (sorted, deduplicated).
+func SetFromSlice(items []uint32) Set { return set.FromSlice(items) }
+
+// Dot returns the inner product of two vectors.
+func Dot(a, b Vec) float64 { return vector.Dot(a, b) }
+
+// Normalize scales v to unit length in place and returns it.
+func Normalize(v Vec) Vec { return vector.Normalize(v) }

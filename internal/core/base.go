@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+
+	"fairnn/internal/lsh"
+	"fairnn/internal/rank"
+	"fairnn/internal/rng"
+)
+
+// rankedTable is one LSH table whose buckets are kept sorted by rank — the
+// shared substrate of the Section 3 and Section 4 data structures.
+type rankedTable struct {
+	buckets map[uint64]*rank.Bucket
+}
+
+// rankedBase holds everything the rank-permutation data structures share:
+// the indexed points, the space, the LSH functions g_1..g_L, the rank
+// assignment and the rank-sorted buckets.
+type rankedBase[P any] struct {
+	space  Space[P]
+	points []P
+	radius float64
+	params lsh.Params
+	gs     []lsh.Func[P]
+	tables []rankedTable
+	asg    *rank.Assignment
+}
+
+func newRankedBase[P any](space Space[P], family lsh.Family[P], params lsh.Params, points []P, radius float64, r *rng.Source) (*rankedBase[P], error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, errors.New("core: empty point set")
+	}
+	if space.Score == nil {
+		return nil, errors.New("core: space has nil Score")
+	}
+	b := &rankedBase[P]{
+		space:  space,
+		points: points,
+		radius: radius,
+		params: params,
+		gs:     make([]lsh.Func[P], params.L),
+		tables: make([]rankedTable, params.L),
+		asg:    rank.NewAssignment(len(points), r),
+	}
+	for i := 0; i < params.L; i++ {
+		b.gs[i] = lsh.Concat(family, params.K, r)
+		groups := make(map[uint64][]int32)
+		for id := range points {
+			key := b.gs[i](points[id])
+			groups[key] = append(groups[key], int32(id))
+		}
+		buckets := make(map[uint64]*rank.Bucket, len(groups))
+		for key, ids := range groups {
+			buckets[key] = rank.NewBucket(ids, b.asg)
+		}
+		b.tables[i] = rankedTable{buckets: buckets}
+	}
+	return b, nil
+}
+
+// N returns the number of indexed points.
+func (b *rankedBase[P]) N() int { return len(b.points) }
+
+// Radius returns the query radius/similarity threshold r.
+func (b *rankedBase[P]) Radius() float64 { return b.radius }
+
+// Params returns the LSH parameters in use.
+func (b *rankedBase[P]) Params() lsh.Params { return b.params }
+
+// Point returns the indexed point with the given id.
+func (b *rankedBase[P]) Point(id int32) P { return b.points[id] }
+
+// near reports whether point id is within the radius of q, charging one
+// score evaluation to st.
+func (b *rankedBase[P]) near(q P, id int32, st *QueryStats) bool {
+	st.score()
+	return b.space.Near(b.space.Score(q, b.points[id]), b.radius)
+}
+
+// bucketOf returns the rank-sorted bucket of q in table i (nil if empty).
+func (b *rankedBase[P]) bucketOf(i int, q P, st *QueryStats) *rank.Bucket {
+	st.bucket()
+	return b.tables[i].buckets[b.gs[i](q)]
+}
+
+// TotalBucketEntries returns L·n, the table space in point references.
+func (b *rankedBase[P]) TotalBucketEntries() int { return b.params.L * len(b.points) }

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"fairnn/internal/lsh"
+	"fairnn/internal/rng"
+)
+
+// Dynamic is an insert/delete-capable variant of the Section 3 sampler.
+// The original IRS line of work (Hu–Qiao–Tao, discussed in Section 1.2)
+// treats the dynamic setting as primary; the paper's static construction
+// uses integer ranks from one global permutation, which cannot absorb
+// insertions cheaply. Dynamic replaces ranks with i.i.d. uniform [0,1)
+// *priorities*: the minimum-priority near point is still a uniform sample
+// from the ball (any ball member is the argmin with equal probability),
+// and a fresh point just draws a fresh priority — O(1) rank maintenance,
+// no global renumbering.
+//
+// Query semantics match Sampler.Sample: deterministic per structure state
+// (Definition 1; rebuild or use Independent for independence guarantees).
+// Deletions tombstone the slot; buckets drop the id eagerly.
+type Dynamic[P any] struct {
+	space  Space[P]
+	radius float64
+	params lsh.Params
+	gs     []lsh.Func[P]
+	points []P
+	alive  []bool
+	prio   []float64
+	// tables[i] maps bucket keys to ids sorted by ascending priority.
+	tables []map[uint64][]int32
+	src    *rng.Source
+	live   int
+}
+
+// NewDynamic builds an empty dynamic sampler; add points with Insert.
+func NewDynamic[P any](space Space[P], family lsh.Family[P], params lsh.Params, radius float64, seed uint64) (*Dynamic[P], error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if space.Score == nil {
+		return nil, errors.New("core: space has nil Score")
+	}
+	src := rng.New(seed)
+	d := &Dynamic[P]{
+		space:  space,
+		radius: radius,
+		params: params,
+		gs:     make([]lsh.Func[P], params.L),
+		tables: make([]map[uint64][]int32, params.L),
+		src:    src,
+	}
+	for i := 0; i < params.L; i++ {
+		d.gs[i] = lsh.Concat(family, params.K, src)
+		d.tables[i] = make(map[uint64][]int32)
+	}
+	return d, nil
+}
+
+// N returns the number of live points.
+func (d *Dynamic[P]) N() int { return d.live }
+
+// Point returns the point with the given id; the id must be live.
+func (d *Dynamic[P]) Point(id int32) P { return d.points[id] }
+
+// Alive reports whether id is currently indexed.
+func (d *Dynamic[P]) Alive(id int32) bool {
+	return int(id) < len(d.alive) && d.alive[id]
+}
+
+// Insert adds a point and returns its id. Cost: L bucket insertions.
+func (d *Dynamic[P]) Insert(p P) int32 {
+	id := int32(len(d.points))
+	d.points = append(d.points, p)
+	d.alive = append(d.alive, true)
+	d.prio = append(d.prio, d.src.Float64())
+	for i := 0; i < d.params.L; i++ {
+		key := d.gs[i](p)
+		d.tables[i][key] = d.bucketInsert(d.tables[i][key], id)
+	}
+	d.live++
+	return id
+}
+
+// bucketInsert places id into ids keeping ascending priority order.
+func (d *Dynamic[P]) bucketInsert(ids []int32, id int32) []int32 {
+	p := d.prio[id]
+	pos := sort.Search(len(ids), func(i int) bool { return d.prio[ids[i]] >= p })
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = id
+	return ids
+}
+
+// Delete removes id from the index. Returns false when id was not live.
+func (d *Dynamic[P]) Delete(id int32) bool {
+	if !d.Alive(id) {
+		return false
+	}
+	p := d.points[id]
+	for i := 0; i < d.params.L; i++ {
+		key := d.gs[i](p)
+		ids := d.tables[i][key]
+		pr := d.prio[id]
+		pos := sort.Search(len(ids), func(j int) bool { return d.prio[ids[j]] >= pr })
+		for pos < len(ids) && ids[pos] != id {
+			pos++ // ties on priority are measure-zero but handled anyway
+		}
+		if pos < len(ids) {
+			d.tables[i][key] = append(ids[:pos], ids[pos+1:]...)
+		}
+	}
+	d.alive[id] = false
+	d.live--
+	return true
+}
+
+// Sample returns the minimum-priority near point across q's buckets — a
+// uniform sample from the recalled ball, exactly as in Theorem 1 with
+// priorities playing the role of ranks.
+func (d *Dynamic[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
+	best := int32(-1)
+	bestPrio := 2.0
+	for i := 0; i < d.params.L; i++ {
+		st.bucket()
+		for _, cand := range d.tables[i][d.gs[i](q)] {
+			st.point()
+			if d.prio[cand] >= bestPrio {
+				break // sorted by priority: nothing better in this bucket
+			}
+			st.score()
+			if d.space.Near(d.space.Score(q, d.points[cand]), d.radius) {
+				best = cand
+				bestPrio = d.prio[cand]
+				break
+			}
+		}
+	}
+	if best < 0 {
+		st.found(false)
+		return 0, false
+	}
+	st.found(true)
+	return best, true
+}
+
+// invariantOK verifies bucket priority-ordering and liveness bookkeeping
+// (for property tests).
+func (d *Dynamic[P]) invariantOK() bool {
+	liveCount := 0
+	for _, a := range d.alive {
+		if a {
+			liveCount++
+		}
+	}
+	if liveCount != d.live {
+		return false
+	}
+	for _, table := range d.tables {
+		for _, ids := range table {
+			for j := range ids {
+				if !d.alive[ids[j]] {
+					return false
+				}
+				if j > 0 && d.prio[ids[j-1]] > d.prio[ids[j]] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

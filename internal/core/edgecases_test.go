@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fairnn/internal/lsh"
+	"fairnn/internal/rank"
+	"fairnn/internal/set"
+	"fairnn/internal/stats"
+)
+
+// Edge cases and failure injection across the core data structures.
+
+func TestSamplerDuplicatePoints(t *testing.T) {
+	// Several identical points: each *copy* is a distinct id and must be
+	// individually sampleable with equal probability.
+	points := []int{5, 5, 5, 5, 100, 200}
+	freq := stats.NewFrequency()
+	for b := 0; b < 2000; b++ {
+		s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, points, 0, uint64(b+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, ok := s.Sample(5, nil)
+		if !ok {
+			t.Fatal("no sample")
+		}
+		if points[id] != 5 {
+			t.Fatalf("non-duplicate point %d returned", points[id])
+		}
+		freq.Observe(id)
+	}
+	if tv := freq.TVFromUniform([]int32{0, 1, 2, 3}); tv > 0.06 {
+		t.Errorf("duplicates not equally likely: TV = %v", tv)
+	}
+}
+
+func TestSamplerSinglePoint(t *testing.T) {
+	s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, []int{42}, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := s.Sample(42, nil)
+	if !ok || id != 0 {
+		t.Fatalf("single point not returned: %v %v", id, ok)
+	}
+	// Repeated sampling on a singleton must not corrupt state.
+	for i := 0; i < 100; i++ {
+		if id, ok := s.SampleRepeated(42, nil); !ok || id != 0 {
+			t.Fatal("singleton SampleRepeated failed")
+		}
+	}
+	if !s.rankInvariantOK() {
+		t.Fatal("invariants broken on singleton")
+	}
+}
+
+func TestSamplerRadiusCoversEverything(t *testing.T) {
+	// With a radius covering the whole dataset, Sample is uniform over all
+	// points (over constructions).
+	const n = 12
+	freq := stats.NewFrequency()
+	for b := 0; b < 4000; b++ {
+		s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, lineDataset(n), float64(n), uint64(b+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, ok := s.Sample(0, nil)
+		if !ok {
+			t.Fatal("no sample")
+		}
+		freq.Observe(id)
+	}
+	if tv := freq.TVFromUniform(domainInts(n)); tv > 0.06 {
+		t.Errorf("TV = %v", tv)
+	}
+}
+
+func TestIdentityPermutationIsBiased(t *testing.T) {
+	// Contrast test: with the *identity* permutation (no randomness), the
+	// min-"rank" near point is always the lowest id — the bias the random
+	// permutation of Section 3 removes. This pins down that fairness comes
+	// from the permutation, not from LSH.
+	points := lineDataset(20)
+	hits := map[int32]int{}
+	for b := 0; b < 50; b++ {
+		s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, points, 5, uint64(b+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Overwrite with identity ranks (test-only surgery).
+		s.base.asg = rank.IdentityAssignment(len(points))
+		for i := range s.base.tables {
+			for key, bucket := range s.base.tables[i].buckets {
+				ids := append([]int32(nil), bucket.IDs()...)
+				s.base.tables[i].buckets[key] = rank.NewBucket(ids, s.base.asg)
+			}
+		}
+		id, ok := s.Sample(0, nil)
+		if !ok {
+			t.Fatal("no sample")
+		}
+		hits[id]++
+	}
+	if hits[0] != 50 {
+		t.Errorf("identity permutation should always return id 0; got %v", hits)
+	}
+}
+
+func TestIndependentExtremeConstants(t *testing.T) {
+	// λ = 1 with Σ = 1 is the most hostile configuration: the acceptance
+	// probability saturates at 1 and k collapses after every rejection.
+	// The sampler must remain correct (near outputs only) and keep a
+	// reasonable success rate. (The clamped-acceptance bookkeeping itself
+	// is exercised deterministically in TestWeightedClampRecorded.)
+	d, err := NewIndependent[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, lineDataset(64), 1, IndependentOptions{Lambda: 1, SigmaBudget: 1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for i := 0; i < 200; i++ {
+		var st QueryStats
+		id, ok := d.Sample(0, &st)
+		if !ok {
+			continue
+		}
+		found++
+		if d.Point(id) > 1 {
+			t.Fatal("far point returned")
+		}
+	}
+	if found < 100 {
+		t.Errorf("success rate %d/200 under extreme constants", found)
+	}
+}
+
+func TestIndependentTinySigma(t *testing.T) {
+	// Σ = 1 halves k after every failed segment; the query must still
+	// terminate and (usually) succeed because small k segments are dense.
+	d, err := NewIndependent[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, lineDataset(64), 7, IndependentOptions{SigmaBudget: 1}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for i := 0; i < 200; i++ {
+		if _, ok := d.Sample(0, nil); ok {
+			found++
+		}
+	}
+	if found < 100 {
+		t.Errorf("only %d/200 found with Σ=1", found)
+	}
+}
+
+func TestStandardConcurrentBuildsIndependent(t *testing.T) {
+	// Structures built with different seeds must not share state: querying
+	// one leaves the other's outputs unchanged (guards against accidental
+	// package-level globals).
+	sets := []set.Set{set.Range(1, 10), set.Range(1, 9), set.Range(50, 60)}
+	a, err := NewStandard[set.Set](Jaccard(), lsh.OneBitMinHash{}, lsh.Params{K: 2, L: 8}, sets, 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStandard[set.Set](Jaccard(), lsh.OneBitMinHash{}, lsh.Params{K: 2, L: 8}, sets, 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := set.Range(1, 10)
+	want, _ := b.Query(q, nil)
+	for i := 0; i < 50; i++ {
+		a.NaiveFairSample(q, nil) // consumes a's randomness only
+	}
+	got, _ := b.Query(q, nil)
+	if got != want {
+		t.Error("querying one structure changed another's deterministic output")
+	}
+}
+
+// quick property: SampleK never returns duplicates or far points for any
+// (k, radius) combination.
+func TestSampleKPropertyQuick(t *testing.T) {
+	prop := func(seed uint64, kRaw, radiusRaw uint8) bool {
+		k := int(kRaw%20) + 1
+		radius := float64(radiusRaw % 30)
+		s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, lineDataset(40), radius, seed)
+		if err != nil {
+			return false
+		}
+		out := s.SampleK(0, k, nil)
+		seen := map[int32]bool{}
+		for _, id := range out {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+			if float64(s.Point(id)) > radius {
+				return false
+			}
+		}
+		want := int(radius) + 1
+		if want > 40 {
+			want = 40
+		}
+		if k < want {
+			want = k
+		}
+		return len(out) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quick property: rank invariants survive arbitrary SampleRepeated bursts.
+func TestSampleRepeatedInvariantQuick(t *testing.T) {
+	prop := func(seed uint64, queries []uint8) bool {
+		s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 2}, lineDataset(30), 6, seed)
+		if err != nil {
+			return false
+		}
+		for _, qRaw := range queries {
+			s.SampleRepeated(int(qRaw%35), nil)
+		}
+		return s.rankInvariantOK()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import "fairnn/internal/rng"
+
+// Exact is the linear-scan ground truth: it computes B_S(q, r) exactly and
+// samples from it uniformly. It exists to validate the fairness of the
+// sub-linear structures and to provide the trivial baseline whose query
+// time the paper's constructions beat.
+type Exact[P any] struct {
+	space  Space[P]
+	points []P
+	radius float64
+	qrng   *rng.Source
+}
+
+// NewExact builds the ground-truth scanner.
+func NewExact[P any](space Space[P], points []P, radius float64, seed uint64) *Exact[P] {
+	return &Exact[P]{space: space, points: points, radius: radius, qrng: rng.New(seed)}
+}
+
+// Ball returns the ids of all points within radius of q.
+func (e *Exact[P]) Ball(q P, st *QueryStats) []int32 {
+	var out []int32
+	for id := range e.points {
+		st.point()
+		st.score()
+		if e.space.Near(e.space.Score(q, e.points[id]), e.radius) {
+			out = append(out, int32(id))
+		}
+	}
+	return out
+}
+
+// BallSize returns b_S(q, r) = |B_S(q, r)|.
+func (e *Exact[P]) BallSize(q P, st *QueryStats) int { return len(e.Ball(q, st)) }
+
+// BallSizeAt returns |B_S(q, thr)| for an arbitrary threshold; the Q3
+// experiment uses it to compute b_cr/b_r ratios.
+func (e *Exact[P]) BallSizeAt(q P, thr float64) int {
+	n := 0
+	for id := range e.points {
+		if e.space.Near(e.space.Score(q, e.points[id]), thr) {
+			n++
+		}
+	}
+	return n
+}
+
+// Sample returns a uniform sample from the exact ball.
+func (e *Exact[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
+	ball := e.Ball(q, st)
+	if len(ball) == 0 {
+		st.found(false)
+		return 0, false
+	}
+	st.found(true)
+	return ball[e.qrng.Intn(len(ball))], true
+}
+
+// Point returns the indexed point with the given id.
+func (e *Exact[P]) Point(id int32) P { return e.points[id] }
+
+// N returns the number of indexed points.
+func (e *Exact[P]) N() int { return len(e.points) }

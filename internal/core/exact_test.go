@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"fairnn/internal/stats"
+)
+
+func TestExactBall(t *testing.T) {
+	e := NewExact[int](intSpace(), lineDataset(20), 4, 1)
+	ball := e.Ball(10, nil)
+	if len(ball) != 9 { // {6..14}
+		t.Fatalf("ball size %d, want 9", len(ball))
+	}
+	for _, id := range ball {
+		if d := e.Point(id) - 10; d < -4 || d > 4 {
+			t.Fatalf("far point %d in ball", e.Point(id))
+		}
+	}
+	if e.BallSize(10, nil) != 9 {
+		t.Error("BallSize disagrees with Ball")
+	}
+	if e.BallSizeAt(10, 2.0) != 5 {
+		t.Errorf("BallSizeAt(2) = %d, want 5", e.BallSizeAt(10, 2.0))
+	}
+	if e.N() != 20 {
+		t.Errorf("N = %d", e.N())
+	}
+}
+
+func TestExactSampleUniform(t *testing.T) {
+	e := NewExact[int](intSpace(), lineDataset(30), 4, 3)
+	freq := stats.NewFrequency()
+	for i := 0; i < 20000; i++ {
+		id, ok := e.Sample(0, nil)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		freq.Observe(id)
+	}
+	if tv := freq.TVFromUniform(domainInts(5)); tv > 0.03 {
+		t.Errorf("TV = %v", tv)
+	}
+}
+
+func TestExactSampleEmptyBall(t *testing.T) {
+	e := NewExact[int](intSpace(), lineDataset(10), 1, 5)
+	var st QueryStats
+	if _, ok := e.Sample(100, &st); ok {
+		t.Fatal("sampled from empty ball")
+	}
+}

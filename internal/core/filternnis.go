@@ -1,0 +1,352 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"fairnn/internal/filter"
+	"fairnn/internal/rng"
+	"fairnn/internal/vector"
+)
+
+// FilterIndependentOptions tunes the Section 5 α-NNIS structure.
+type FilterIndependentOptions struct {
+	// Eps is the per-bank failure parameter ε of f(α, ε). Default 0.1.
+	Eps float64
+	// L is the number of independent banks, Θ(log n). Default ⌈1.5·log₂ n⌉.
+	L int
+	// M1T and T override the bank geometry (0 → paper defaults).
+	M1T, T int
+	// MaxRounds caps the rejection loop per query as a safety net; the
+	// loop terminates with probability 1 whenever a near point exists.
+	// Default 0 means 200·(L+1)·(K+1) rounds, far beyond the expected
+	// O((b_β/b_α)·log n).
+	MaxRounds int
+}
+
+func (o FilterIndependentOptions) withDefaults(n int) FilterIndependentOptions {
+	if o.Eps <= 0 {
+		o.Eps = 0.1
+	}
+	if o.L <= 0 {
+		o.L = int(math.Ceil(1.5 * math.Log2(float64(n)+1)))
+		if o.L < 3 {
+			o.L = 3
+		}
+	}
+	return o
+}
+
+// FilterIndependent solves the α-NNIS problem (Section 5.2): L = Θ(log n)
+// independent filter banks, each storing every point exactly once, so the
+// total space is nearly linear. A query enumerates the above-threshold
+// buckets of all banks, verifies that a near point exists, then repeatedly
+// draws a uniform bucket entry, deletes far points lazily, and accepts a
+// near point p with probability 1/c_p, where c_p is the number of selected
+// buckets containing p. The multiplicity correction makes every near point
+// equally likely per round, hence the output is uniform on B_S(q, α)
+// (Theorem 4), and fresh per-query randomness makes outputs independent.
+type FilterIndependent struct {
+	points []vector.Vec
+	alpha  float64
+	beta   float64
+	opts   FilterIndependentOptions
+	banks  []*filter.Bank
+	qrng   *rng.Source
+}
+
+// NewFilterIndependent indexes unit vectors for inner-product threshold
+// alpha with far threshold beta (−1 < beta < alpha < 1).
+func NewFilterIndependent(points []vector.Vec, alpha, beta float64, opts FilterIndependentOptions, seed uint64) (*FilterIndependent, error) {
+	if len(points) == 0 {
+		return nil, errors.New("core: empty point set")
+	}
+	opts = opts.withDefaults(len(points))
+	src := rng.New(seed)
+	params := filter.Params{Alpha: alpha, Beta: beta, Eps: opts.Eps, M1T: opts.M1T, T: opts.T}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	banks := make([]*filter.Bank, opts.L)
+	for i := range banks {
+		b, err := filter.NewBank(points, params, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		banks[i] = b
+	}
+	return &FilterIndependent{
+		points: points,
+		alpha:  alpha,
+		beta:   beta,
+		opts:   opts,
+		banks:  banks,
+		qrng:   src.Split(),
+	}, nil
+}
+
+// N returns the number of indexed points.
+func (f *FilterIndependent) N() int { return len(f.points) }
+
+// Alpha returns the near threshold.
+func (f *FilterIndependent) Alpha() float64 { return f.alpha }
+
+// Beta returns the far threshold.
+func (f *FilterIndependent) Beta() float64 { return f.beta }
+
+// Banks returns the number of independent banks L.
+func (f *FilterIndependent) Banks() int { return len(f.banks) }
+
+// Point returns the indexed point with the given id.
+func (f *FilterIndependent) Point(id int32) vector.Vec { return f.points[id] }
+
+// bucketRef identifies one selected bucket: bank index and packed key.
+type bucketRef struct {
+	bank int
+	key  uint64
+}
+
+// fiPlan gathers the selected buckets of all banks for one query. The plan
+// is deterministic given (structure, query): all sampling randomness lives
+// in the rejection loop, so one plan can serve many independent samples.
+type fiPlan struct {
+	refs     []bucketRef
+	selected map[bucketRef]struct{}
+	// master[i] references the stored ids of refs[i] (never mutated).
+	master [][]int32
+	total  int
+	// sims memoizes ⟨q, p⟩ per candidate across samples of the same plan.
+	sims map[int32]float64
+}
+
+func (f *FilterIndependent) buildPlan(q vector.Vec, st *QueryStats) *fiPlan {
+	p := &fiPlan{selected: make(map[bucketRef]struct{}), sims: make(map[int32]float64)}
+	for l, bank := range f.banks {
+		bp := bank.Query(q)
+		st.filters(bp.FilterEvals)
+		for _, key := range bp.Keys {
+			st.bucket()
+			ref := bucketRef{bank: l, key: key}
+			p.refs = append(p.refs, ref)
+			p.selected[ref] = struct{}{}
+			ids := bank.Bucket(key)
+			p.master = append(p.master, ids)
+			p.total += len(ids)
+		}
+	}
+	return p
+}
+
+func (p *fiPlan) simOf(f *FilterIndependent, q vector.Vec, id int32, st *QueryStats) float64 {
+	if s, ok := p.sims[id]; ok {
+		return s
+	}
+	st.score()
+	s := vector.Dot(q, f.points[id])
+	p.sims[id] = s
+	return s
+}
+
+// multiplicity returns c_p: in how many selected buckets point id occurs.
+func (f *FilterIndependent) multiplicity(p *fiPlan, id int32) int {
+	c := 0
+	for l, bank := range f.banks {
+		if _, ok := p.selected[bucketRef{bank: l, key: bank.KeyOf(id)}]; ok {
+			c++
+		}
+	}
+	return c
+}
+
+// QueryNN is the plain (α, β)-NN query of Section 5.1/Theorem 3 run on all
+// banks: it returns the first candidate with inner product ≥ beta, scanning
+// the selected buckets (in stored order). ok=false when no such point is in
+// any candidate bucket.
+func (f *FilterIndependent) QueryNN(q vector.Vec, st *QueryStats) (id int32, ok bool) {
+	for _, bank := range f.banks {
+		bp := bank.Query(q)
+		st.filters(bp.FilterEvals)
+		for _, key := range bp.Keys {
+			st.bucket()
+			for _, cand := range bank.Bucket(key) {
+				st.point()
+				st.score()
+				if vector.Dot(q, f.points[cand]) >= f.beta {
+					st.found(true)
+					return cand, true
+				}
+			}
+		}
+	}
+	st.found(false)
+	return 0, false
+}
+
+// Sample returns a uniform, independent sample from B_S(q, α) = {p : ⟨p,q⟩ ≥ α},
+// or ok=false when no near point appears in the selected buckets.
+func (f *FilterIndependent) Sample(q vector.Vec, st *QueryStats) (id int32, ok bool) {
+	plan := f.buildPlan(q, st)
+	return f.sampleFromPlan(q, plan, st)
+}
+
+// sampleFromPlan runs one existence check plus rejection loop against a
+// prepared plan. Each call uses fresh randomness, so repeated calls on the
+// same plan produce independent samples — the plan itself carries no
+// randomness.
+func (f *FilterIndependent) sampleFromPlan(q vector.Vec, plan *fiPlan, st *QueryStats) (int32, bool) {
+	if plan.total == 0 {
+		st.found(false)
+		return 0, false
+	}
+	// Existence check (the paper runs the standard query first): scan
+	// buckets in random order, stop at the first near point. Similarities
+	// are memoized in the plan — the rejection loop revisits them.
+	exists := false
+	order := f.qrng.Perm(len(plan.refs))
+	for _, bi := range order {
+		for _, cand := range plan.master[bi] {
+			st.point()
+			if plan.simOf(f, q, cand, st) >= f.alpha {
+				exists = true
+				break
+			}
+		}
+		if exists {
+			break
+		}
+	}
+	if !exists {
+		st.found(false)
+		return 0, false
+	}
+	// Rejection loop with lazy far-point deletion (steps A–D), run on a
+	// per-call mutable copy so the structure itself stays untouched (the
+	// paper restores removed far points after reporting; copying achieves
+	// the same at the same asymptotic cost as the existence scan).
+	contents := make([][]int32, len(plan.master))
+	for i, ids := range plan.master {
+		contents[i] = append([]int32(nil), ids...)
+	}
+	fw := newFenwick(contents)
+	maxRounds := f.opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 200 * (len(f.banks) + 1) * (plan.total + 1)
+	}
+	for round := 0; round < maxRounds; round++ {
+		st.round()
+		total := fw.total()
+		if total == 0 {
+			break // only far points remained and all were deleted
+		}
+		pos := f.qrng.Intn(total)
+		bi, off := fw.find(pos)
+		cand := contents[bi][off]
+		sim := plan.simOf(f, q, cand, st)
+		switch {
+		case sim >= f.alpha:
+			cp := f.multiplicity(plan, cand)
+			if cp < 1 {
+				cp = 1 // the bucket we drew from always counts
+			}
+			if f.qrng.Bernoulli(1 / float64(cp)) {
+				st.found(true)
+				return cand, true
+			}
+		case sim < f.beta:
+			// Far point: delete lazily from this bucket copy.
+			ids := contents[bi]
+			last := len(ids) - 1
+			ids[off] = ids[last]
+			contents[bi] = ids[:last]
+			fw.add(bi, -1)
+		default:
+			// (β, α)-point: stays, costs a round (accounted by Theorem 4's
+			// b_β/b_α factor).
+		}
+	}
+	st.found(false)
+	return 0, false
+}
+
+// RecalledBall returns the distinct near points (⟨p, q⟩ ≥ α) present in
+// the query's selected buckets — the portion of the true ball the structure
+// can sample from. The plan is deterministic per (structure, query), so
+// this is the exact support of Sample's output distribution.
+func (f *FilterIndependent) RecalledBall(q vector.Vec, st *QueryStats) []int32 {
+	plan := f.buildPlan(q, st)
+	seen := make(map[int32]struct{})
+	var out []int32
+	for _, ids := range plan.master {
+		for _, id := range ids {
+			if _, ok := seen[id]; ok {
+				continue
+			}
+			seen[id] = struct{}{}
+			if plan.simOf(f, q, id, st) >= f.alpha {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// SampleK returns k independent with-replacement samples from B_S(q, α).
+// The deterministic query plan is built once and reused; each draw uses
+// fresh randomness, so the samples remain mutually independent.
+func (f *FilterIndependent) SampleK(q vector.Vec, k int, st *QueryStats) []int32 {
+	plan := f.buildPlan(q, st)
+	out := make([]int32, 0, k)
+	for i := 0; i < k; i++ {
+		if id, ok := f.sampleFromPlan(q, plan, st); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// fenwick is a binary-indexed tree over bucket sizes supporting weighted
+// uniform selection of a (bucket, offset) pair and point deletions.
+type fenwick struct {
+	tree []int
+	n    int
+	sum  int
+}
+
+func newFenwick(contents [][]int32) *fenwick {
+	n := len(contents)
+	f := &fenwick{tree: make([]int, n+1), n: n}
+	for i, c := range contents {
+		f.add(i, len(c))
+	}
+	return f
+}
+
+// add adds delta to the size of bucket i.
+func (f *fenwick) add(i, delta int) {
+	f.sum += delta
+	for j := i + 1; j <= f.n; j += j & (-j) {
+		f.tree[j] += delta
+	}
+}
+
+// total returns the sum of all bucket sizes.
+func (f *fenwick) total() int { return f.sum }
+
+// find locates the bucket containing global position v (0-based) and
+// returns (bucket index, offset within bucket).
+func (f *fenwick) find(v int) (bucket, offset int) {
+	idx := 0
+	bit := 1
+	for bit<<1 <= f.n {
+		bit <<= 1
+	}
+	rem := v
+	for ; bit > 0; bit >>= 1 {
+		next := idx + bit
+		if next <= f.n && f.tree[next] <= rem {
+			idx = next
+			rem -= f.tree[next]
+		}
+	}
+	return idx, rem
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"fairnn/internal/lsh"
+	"fairnn/internal/rank"
+	"fairnn/internal/rng"
+	"fairnn/internal/sketch"
+)
+
+// IndependentOptions tunes the Section 4 data structure. Zero values select
+// the paper's asymptotic choices with practical constants.
+type IndependentOptions struct {
+	// Lambda is the per-segment cap λ = Θ(log n) on near neighbors; the
+	// acceptance probability of a segment is λ_q,h / λ.
+	Lambda int
+	// SigmaBudget is Σ = Θ(log² n): after Σ sampled segments without
+	// success, the segment count k is halved.
+	SigmaBudget int
+	// SketchEpsilon is the count-distinct accuracy (paper: 1/2).
+	SketchEpsilon float64
+	// SketchDelta is the count-distinct failure probability
+	// (paper: 1/(6n²)).
+	SketchDelta float64
+	// SketchMinBucket is the bucket size below which sketches are built on
+	// demand instead of stored (the paper's Θ(log n) space rule).
+	SketchMinBucket int
+	// SketchKind selects the count-distinct implementation: sketch.KMV
+	// (the paper's Section 2.3 sketch, default) or sketch.HyperLogLog
+	// (~10x smaller at comparable practical accuracy; see the
+	// BenchmarkAblationSketchKind comparison).
+	SketchKind sketch.Kind
+}
+
+func (o IndependentOptions) withDefaults(n int) IndependentOptions {
+	logn := math.Log2(float64(n) + 1)
+	if o.Lambda <= 0 {
+		o.Lambda = int(math.Ceil(3 * logn))
+		if o.Lambda < 4 {
+			o.Lambda = 4
+		}
+	}
+	if o.SigmaBudget <= 0 {
+		o.SigmaBudget = int(math.Ceil(2 * logn * logn))
+		if o.SigmaBudget < 16 {
+			o.SigmaBudget = 16
+		}
+	}
+	if o.SketchEpsilon <= 0 {
+		o.SketchEpsilon = 0.5
+	}
+	if o.SketchDelta <= 0 {
+		o.SketchDelta = 1 / (6 * float64(n) * float64(n))
+		if o.SketchDelta < 1e-9 {
+			o.SketchDelta = 1e-9
+		}
+	}
+	if o.SketchMinBucket <= 0 {
+		o.SketchMinBucket = int(math.Ceil(4 * logn))
+	}
+	return o
+}
+
+// Independent is the Section 4 data structure for the r-near neighbor
+// independent sampling problem (r-NNIS, Definition 2). On top of the
+// rank-sorted buckets of Section 3 it stores a mergeable count-distinct
+// sketch per (large) bucket. A query:
+//
+//  1. merges the sketches of its L buckets into an estimate ŝ_q of the
+//     number of distinct colliding points,
+//  2. splits the rank permutation Λ into k ≈ 2ŝ_q segments,
+//  3. repeatedly samples a segment uniformly at random, retrieves the near
+//     points inside it via rank-range reports on the buckets, and accepts
+//     the segment with probability λ_q,h / λ,
+//  4. on acceptance returns a uniform near point of the segment; every Σ
+//     rejected segments, k is halved.
+//
+// Every accepted point is uniform on B_S(q, r), and because all query
+// randomness is drawn fresh per query, outputs of consecutive queries are
+// independent (Theorem 2).
+type Independent[P any] struct {
+	base     *rankedBase[P]
+	opts     IndependentOptions
+	skFamily sketch.CounterFamily
+	// sketches[i][key] is the stored sketch of bucket key in table i; small
+	// buckets have no entry and are sketched on demand.
+	sketches []map[uint64]sketch.Counter
+	qrng     *rng.Source
+	maxK     int
+}
+
+// NewIndependent builds the Section 4 structure.
+func NewIndependent[P any](space Space[P], family lsh.Family[P], params lsh.Params, points []P, radius float64, opts IndependentOptions, seed uint64) (*Independent[P], error) {
+	src := rng.New(seed)
+	base, err := newRankedBase(space, family, params, points, radius, src)
+	if err != nil {
+		return nil, err
+	}
+	n := len(points)
+	opts = opts.withDefaults(n)
+	skFamily, err := sketch.NewCounterFamily(opts.SketchKind, opts.SketchEpsilon, opts.SketchDelta, src)
+	if err != nil {
+		return nil, err
+	}
+	d := &Independent[P]{
+		base:     base,
+		opts:     opts,
+		skFamily: skFamily,
+		sketches: make([]map[uint64]sketch.Counter, params.L),
+		qrng:     src.Split(),
+		maxK:     nextPow2(n),
+	}
+	for i := range d.sketches {
+		m := make(map[uint64]sketch.Counter)
+		for key, bucket := range base.tables[i].buckets {
+			if bucket.Len() >= opts.SketchMinBucket {
+				m[key] = skFamily.SketchIDs(bucket.IDs())
+			}
+		}
+		d.sketches[i] = m
+	}
+	return d, nil
+}
+
+func nextPow2(n int) int {
+	k := 1
+	for k < n {
+		k <<= 1
+	}
+	return k
+}
+
+// N returns the number of indexed points.
+func (d *Independent[P]) N() int { return d.base.N() }
+
+// Radius returns the threshold r.
+func (d *Independent[P]) Radius() float64 { return d.base.Radius() }
+
+// Params returns the LSH parameters in use.
+func (d *Independent[P]) Params() lsh.Params { return d.base.Params() }
+
+// Options returns the resolved tuning constants.
+func (d *Independent[P]) Options() IndependentOptions { return d.opts }
+
+// Point returns the indexed point with the given id.
+func (d *Independent[P]) Point(id int32) P { return d.base.Point(id) }
+
+// resolveBuckets hashes q once per table and returns its L buckets (nil
+// entries for empty buckets). The rejection loop performs many rank-range
+// probes against the same buckets, so hashing once per query rather than
+// once per round removes the dominant cost (L·K hash evaluations per
+// round).
+func (d *Independent[P]) resolveBuckets(q P, st *QueryStats) []*rank.Bucket {
+	buckets := make([]*rank.Bucket, d.base.params.L)
+	for i := range buckets {
+		st.bucket()
+		buckets[i] = d.base.tables[i].buckets[d.base.gs[i](q)]
+	}
+	return buckets
+}
+
+// estimateCandidates merges the count-distinct sketches of q's buckets and
+// returns ŝ_q (step 1 of the query). Small buckets contribute their ids
+// directly — equivalent to merging their on-demand sketches.
+func (d *Independent[P]) estimateCandidates(q P, buckets []*rank.Bucket, st *QueryStats) float64 {
+	acc := d.skFamily.NewCounter()
+	empty := true
+	for i, bucket := range buckets {
+		if bucket == nil || bucket.Len() == 0 {
+			continue
+		}
+		empty = false
+		if sk := d.sketches[i][d.base.gs[i](q)]; sk != nil {
+			// Stored sketch: merge (cost linear in sketch size).
+			if err := d.skFamily.MergeInto(acc, sk); err != nil {
+				panic("core: sketch family mismatch (internal invariant)")
+			}
+			continue
+		}
+		// Small bucket: sketch on demand.
+		for _, id := range bucket.IDs() {
+			acc.Add(uint64(uint32(id)))
+		}
+	}
+	if empty {
+		return 0
+	}
+	est := acc.Estimate()
+	if st != nil {
+		st.SketchEstimate = est
+	}
+	return est
+}
+
+// segmentNear collects the distinct near points of q whose rank lies in
+// [lo, hi), using the per-bucket rank indices (step 3.b).
+func (d *Independent[P]) segmentNear(q P, buckets []*rank.Bucket, lo, hi int32, scratch []int32, st *QueryStats) []int32 {
+	cands := scratch[:0]
+	for _, bucket := range buckets {
+		if bucket == nil {
+			continue
+		}
+		before := len(cands)
+		cands = bucket.RangeReport(d.base.asg, lo, hi, cands)
+		st.points(len(cands) - before)
+	}
+	if len(cands) == 0 {
+		return cands
+	}
+	// Deduplicate ids that occur in several buckets.
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	w := 1
+	for i := 1; i < len(cands); i++ {
+		if cands[i] != cands[w-1] {
+			cands[w] = cands[i]
+			w++
+		}
+	}
+	cands = cands[:w]
+	// Keep the near ones.
+	kept := cands[:0]
+	for _, id := range cands {
+		if d.base.near(q, id, st) {
+			kept = append(kept, id)
+		}
+	}
+	return kept
+}
+
+// Sample returns a uniform, independent sample from B_S(q, r), or ok=false
+// when no near point collides with q (or the rejection budget is exhausted,
+// a probability-≤δ event under the paper's constants).
+func (d *Independent[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
+	buckets := d.resolveBuckets(q, st)
+	est := d.estimateCandidates(q, buckets, st)
+	if est <= 0 {
+		st.found(false)
+		return 0, false
+	}
+	n := int64(d.base.N())
+	k := nextPow2(int(math.Ceil(2 * est)))
+	if k > d.maxK {
+		k = d.maxK
+	}
+	lambda := float64(d.opts.Lambda)
+	sigmaFail := 0
+	scratch := make([]int32, 0, 64)
+	for k >= 1 {
+		st.round()
+		h := int64(d.qrng.Intn(k))
+		lo := int32(h * n / int64(k))
+		hi := int32((h + 1) * n / int64(k))
+		nearIDs := d.segmentNear(q, buckets, lo, hi, scratch, st)
+		lqh := len(nearIDs)
+		sigmaFail++
+		if sigmaFail >= d.opts.SigmaBudget {
+			k /= 2
+			sigmaFail = 0
+		}
+		if lqh == 0 {
+			continue
+		}
+		p := float64(lqh) / lambda
+		if p > 1 {
+			st.clamp()
+			p = 1
+		}
+		if d.qrng.Bernoulli(p) {
+			if st != nil {
+				st.FinalK = k
+			}
+			st.found(true)
+			return nearIDs[d.qrng.Intn(lqh)], true
+		}
+	}
+	st.found(false)
+	return 0, false
+}
+
+// SampleK returns k independent with-replacement samples from B_S(q, r)
+// (repeated independent queries; Definition 2 makes them independent).
+func (d *Independent[P]) SampleK(q P, k int, st *QueryStats) []int32 {
+	out := make([]int32, 0, k)
+	for i := 0; i < k; i++ {
+		if id, ok := d.Sample(q, st); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// StoredSketches returns how many buckets carry a precomputed sketch;
+// exposed for the space-accounting experiment.
+func (d *Independent[P]) StoredSketches() (buckets, words int) {
+	for _, m := range d.sketches {
+		for _, sk := range m {
+			buckets++
+			words += sk.MemoryWords()
+		}
+	}
+	return
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"container/heap"
+
+	"fairnn/internal/lsh"
+	"fairnn/internal/rng"
+)
+
+// Sampler is the Section 3 data structure for the r-near neighbor sampling
+// problem (r-NNS): points receive ranks from a random permutation that is
+// independent of the LSH construction, buckets are stored in ascending rank
+// order, and a query returns the minimum-rank near point across its L
+// buckets. Because every point of B_S(q, r) is equally likely to hold the
+// minimum rank, the output is a uniform sample from the ball (Theorem 1),
+// conditioned on the high-probability event that the LSH tables recall the
+// whole ball.
+//
+// Sampler additionally implements Section 3.1: SampleK returns k points
+// without replacement (the k smallest ranks), and SampleRepeated implements
+// the Appendix A rank-perturbation scheme that makes repetitions of a single
+// query independent (Theorem 5).
+//
+// A Sampler is not safe for concurrent use: SampleRepeated mutates ranks,
+// and the internal RNG used by sampling is shared.
+type Sampler[P any] struct {
+	base *rankedBase[P]
+	qrng *rng.Source
+}
+
+// NewSampler builds the Section 3 structure over points with the given LSH
+// family and (K, L) parameters. radius is the threshold r (a distance or a
+// similarity depending on space.Kind). All randomness derives from seed.
+func NewSampler[P any](space Space[P], family lsh.Family[P], params lsh.Params, points []P, radius float64, seed uint64) (*Sampler[P], error) {
+	src := rng.New(seed)
+	base, err := newRankedBase(space, family, params, points, radius, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler[P]{base: base, qrng: src.Split()}, nil
+}
+
+// N returns the number of indexed points.
+func (s *Sampler[P]) N() int { return s.base.N() }
+
+// Radius returns the threshold r.
+func (s *Sampler[P]) Radius() float64 { return s.base.Radius() }
+
+// Params returns the LSH parameters in use.
+func (s *Sampler[P]) Params() lsh.Params { return s.base.Params() }
+
+// Point returns the indexed point with the given id.
+func (s *Sampler[P]) Point(id int32) P { return s.base.Point(id) }
+
+// Sample returns the id of a uniform sample from B_S(q, r), or ok=false if
+// no near point collides with q in any table. The query is deterministic
+// given the data structure (Definition 1 does not require independence);
+// use Independent or SampleRepeated for independent outputs.
+func (s *Sampler[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
+	minRank := int32(-1)
+	var minID int32
+	for i := 0; i < s.base.params.L; i++ {
+		bucket := s.base.bucketOf(i, q, st)
+		if bucket == nil {
+			continue
+		}
+		// Scan in ascending rank order until the first near point; an
+		// earlier-discovered global minimum lets us stop the scan as soon
+		// as ranks exceed it.
+		for _, cand := range bucket.IDs() {
+			st.point()
+			r := s.base.asg.Of(cand)
+			if minRank >= 0 && r >= minRank {
+				break
+			}
+			if s.base.near(q, cand, st) {
+				minRank = r
+				minID = cand
+				break
+			}
+		}
+	}
+	if minRank < 0 {
+		st.found(false)
+		return 0, false
+	}
+	st.found(true)
+	return minID, true
+}
+
+// bucketCursor is a position inside one rank-sorted bucket, ordered by the
+// rank of the current id; used for the k-way merge in SampleK.
+type bucketCursor struct {
+	ids []int32
+	pos int
+	r   int32
+}
+
+type cursorHeap []bucketCursor
+
+func (h cursorHeap) Len() int            { return len(h) }
+func (h cursorHeap) Less(i, j int) bool  { return h[i].r < h[j].r }
+func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(bucketCursor)) }
+func (h *cursorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// SampleK returns up to k ids sampled uniformly without replacement from
+// B_S(q, r): the k near points with the smallest ranks among the candidates
+// (Section 3.1). Fewer than k ids are returned when the recalled ball is
+// smaller than k. The result is in ascending rank order.
+func (s *Sampler[P]) SampleK(q P, k int, st *QueryStats) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	h := make(cursorHeap, 0, s.base.params.L)
+	for i := 0; i < s.base.params.L; i++ {
+		bucket := s.base.bucketOf(i, q, st)
+		if bucket == nil || bucket.Len() == 0 {
+			continue
+		}
+		ids := bucket.IDs()
+		h = append(h, bucketCursor{ids: ids, pos: 0, r: s.base.asg.Of(ids[0])})
+	}
+	heap.Init(&h)
+	out := make([]int32, 0, k)
+	lastID := int32(-1)
+	for h.Len() > 0 && len(out) < k {
+		cur := h[0]
+		id := cur.ids[cur.pos]
+		st.point()
+		// Advance this cursor.
+		if cur.pos+1 < len(cur.ids) {
+			h[0].pos = cur.pos + 1
+			h[0].r = s.base.asg.Of(cur.ids[cur.pos+1])
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+		if id == lastID {
+			continue // duplicate across tables (equal ranks are adjacent)
+		}
+		lastID = id
+		if s.base.near(q, id, st) {
+			out = append(out, id)
+		}
+	}
+	st.found(len(out) > 0)
+	return out
+}
+
+// SampleRepeated implements Appendix A: it returns a uniform sample from
+// B_S(q, r) and then perturbs the permutation by swapping the rank of the
+// returned point with a uniformly random rank in {rank(x), ..., n-1},
+// updating every affected bucket. Repetitions of the *same* query are then
+// mutually independent (Theorem 5). Note the paper's caveat: this does not
+// solve the general r-NNIS problem across different queries — use
+// Independent for that.
+func (s *Sampler[P]) SampleRepeated(q P, st *QueryStats) (id int32, ok bool) {
+	id, ok = s.Sample(q, st)
+	if !ok {
+		return 0, false
+	}
+	rx := s.base.asg.Of(id)
+	n := int32(s.base.N())
+	target := rx + int32(s.qrng.Intn(int(n-rx)))
+	other := s.base.asg.IDAt(target)
+	s.swapRanks(id, other)
+	return id, true
+}
+
+// swapRanks exchanges the ranks of two points and restores the rank-order
+// invariant of every bucket containing either point. Buckets are located by
+// re-hashing the points (the same g_i functions used at build time).
+func (s *Sampler[P]) swapRanks(x, y int32) {
+	if x == y {
+		return
+	}
+	px, py := s.base.points[x], s.base.points[y]
+	type loc struct {
+		i       int
+		keyX    uint64
+		keyY    uint64
+		sameBkt bool
+	}
+	locs := make([]loc, s.base.params.L)
+	// Remove both points from their buckets while the old ranks are live.
+	for i := 0; i < s.base.params.L; i++ {
+		kx, ky := s.base.gs[i](px), s.base.gs[i](py)
+		locs[i] = loc{i: i, keyX: kx, keyY: ky, sameBkt: kx == ky}
+		s.base.tables[i].buckets[kx].Remove(s.base.asg, x)
+		s.base.tables[i].buckets[ky].Remove(s.base.asg, y)
+	}
+	s.base.asg.Swap(x, y)
+	// Re-insert under the new ranks.
+	for _, l := range locs {
+		s.base.tables[l.i].buckets[l.keyX].Insert(s.base.asg, x)
+		s.base.tables[l.i].buckets[l.keyY].Insert(s.base.asg, y)
+	}
+}
+
+// SampleKWithReplacement returns k ids sampled independently (with
+// replacement) from B_S(q, r) by repeating SampleRepeated k times
+// (Section 3.1). ok=false entries are skipped, so fewer than k ids may be
+// returned when recall fails.
+func (s *Sampler[P]) SampleKWithReplacement(q P, k int, st *QueryStats) []int32 {
+	out := make([]int32, 0, k)
+	for i := 0; i < k; i++ {
+		if id, ok := s.SampleRepeated(q, st); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// rankInvariantOK verifies that every bucket is still sorted by rank and
+// the assignment is a bijection; exposed for tests via export_test.go.
+func (s *Sampler[P]) rankInvariantOK() bool {
+	if !s.base.asg.Valid() {
+		return false
+	}
+	for _, t := range s.base.tables {
+		for _, b := range t.buckets {
+			if !b.Sorted(s.base.asg) {
+				return false
+			}
+		}
+	}
+	return true
+}

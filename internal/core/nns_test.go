@@ -1,0 +1,288 @@
+package core
+
+import (
+	"testing"
+
+	"fairnn/internal/lsh"
+	"fairnn/internal/rng"
+	"fairnn/internal/set"
+	"fairnn/internal/stats"
+)
+
+func TestSamplerUniformOverConstructions(t *testing.T) {
+	// Theorem 1: each point of the ball is returned with probability
+	// 1/b_S(q,r). The construction randomness (the permutation) is the only
+	// randomness, so uniformity is over independent builds.
+	const n = 40
+	const radius = 9.0 // ball of query 0 is {0..9}, size 10
+	points := lineDataset(n)
+	freq := stats.NewFrequency()
+	const builds = 4000
+	for b := 0; b < builds; b++ {
+		s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, points, radius, uint64(b+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, ok := s.Sample(0, nil)
+		if !ok {
+			t.Fatal("sample not found with perfect recall")
+		}
+		if points[id] > 9 {
+			t.Fatalf("returned far point %d", points[id])
+		}
+		freq.Observe(id)
+	}
+	domain := domainInts(10)
+	if tv := tvUniform(freq, domain); tv > 0.05 {
+		t.Errorf("TV from uniform over ball = %v, want < 0.05", tv)
+	}
+	if _, p := freq.ChiSquareUniform(domain); p < 1e-4 {
+		t.Errorf("chi-square rejects uniformity: p = %v", p)
+	}
+}
+
+func TestSamplerDeterministicPerBuild(t *testing.T) {
+	// Definition 1 does not require independence: without perturbation the
+	// same build answers the same query identically.
+	s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, lineDataset(30), 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok := s.Sample(0, nil)
+	if !ok {
+		t.Fatal("no sample")
+	}
+	for i := 0; i < 50; i++ {
+		id, ok := s.Sample(0, nil)
+		if !ok || id != first {
+			t.Fatal("Sample is not deterministic per build")
+		}
+	}
+}
+
+func TestSamplerNoNearPoint(t *testing.T) {
+	s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, lineDataset(10), 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st QueryStats
+	if _, ok := s.Sample(100, &st); ok {
+		t.Fatal("found a near point where none exists")
+	}
+	if st.Found {
+		t.Error("stats claim Found")
+	}
+}
+
+func TestSamplerEmptyPointsRejected(t *testing.T) {
+	if _, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, nil, 1, 1); err == nil {
+		t.Fatal("empty point set accepted")
+	}
+}
+
+func TestSampleKWithoutReplacement(t *testing.T) {
+	const n = 40
+	points := lineDataset(n)
+	s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, points, 9, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.SampleK(0, 5, nil)
+	if len(got) != 5 {
+		t.Fatalf("got %d ids, want 5", len(got))
+	}
+	seen := map[int32]bool{}
+	prevRank := int32(-1)
+	for _, id := range got {
+		if seen[id] {
+			t.Fatal("duplicate id in without-replacement sample")
+		}
+		seen[id] = true
+		if points[id] > 9 {
+			t.Fatalf("far point %d returned", points[id])
+		}
+		// Ascending rank order is part of the contract.
+		r := s.base.asg.Of(id)
+		if r <= prevRank {
+			t.Fatal("SampleK not in ascending rank order")
+		}
+		prevRank = r
+	}
+	// Requesting more than the ball returns the whole recalled ball.
+	all := s.SampleK(0, 100, nil)
+	if len(all) != 10 {
+		t.Fatalf("k > ball returned %d ids, want 10", len(all))
+	}
+	if s.SampleK(0, 0, nil) != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestSampleKInclusionUniform(t *testing.T) {
+	// Each ball point should appear in a k-without-replacement sample with
+	// probability k/b (uniformity over builds).
+	const ballSize = 10
+	const k = 3
+	counts := make([]int, ballSize)
+	const builds = 3000
+	for b := 0; b < builds; b++ {
+		s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, lineDataset(30), float64(ballSize-1), uint64(b+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range s.SampleK(0, k, nil) {
+			counts[id]++
+		}
+	}
+	want := float64(builds) * k / ballSize
+	for i, c := range counts {
+		if d := float64(c) - want; d*d > 25*want { // ~5 sigma
+			t.Errorf("point %d included %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestSampleRepeatedUniformSingleBuild(t *testing.T) {
+	// Theorem 5: with rank perturbation, repetitions of one query are each
+	// uniform on the ball — within a single build.
+	const ballSize = 8
+	s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, lineDataset(40), float64(ballSize-1), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := stats.NewFrequency()
+	const reps = 20000
+	for i := 0; i < reps; i++ {
+		id, ok := s.SampleRepeated(0, nil)
+		if !ok {
+			t.Fatal("lost the ball")
+		}
+		freq.Observe(id)
+	}
+	domain := domainInts(ballSize)
+	if tv := tvUniform(freq, domain); tv > 0.03 {
+		t.Errorf("TV = %v, want < 0.03", tv)
+	}
+	if !s.rankInvariantOK() {
+		t.Fatal("rank invariants broken after perturbations")
+	}
+}
+
+func TestSampleRepeatedConsecutiveIndependence(t *testing.T) {
+	// Theorem 5 property 2: consecutive outputs for the same query are
+	// independent, so the joint distribution of (OUT_i, OUT_{i+1}) is
+	// uniform over ball × ball.
+	const ballSize = 5
+	s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, lineDataset(25), float64(ballSize-1), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint := stats.NewFrequency()
+	prev := int32(-1)
+	const reps = 30000
+	for i := 0; i < reps; i++ {
+		id, ok := s.SampleRepeated(0, nil)
+		if !ok {
+			t.Fatal("lost the ball")
+		}
+		if prev >= 0 {
+			joint.Observe(prev*ballSize + id)
+		}
+		prev = id
+	}
+	domain := domainInts(ballSize * ballSize)
+	if tv := tvUniform(joint, domain); tv > 0.05 {
+		t.Errorf("joint TV = %v, want < 0.05 (outputs not independent)", tv)
+	}
+}
+
+func TestSampleKWithReplacementCount(t *testing.T) {
+	s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, lineDataset(30), 6, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.SampleKWithReplacement(0, 12, nil)
+	if len(got) != 12 {
+		t.Fatalf("got %d samples, want 12", len(got))
+	}
+	for _, id := range got {
+		if s.Point(id) > 6 {
+			t.Fatalf("far point %d", s.Point(id))
+		}
+	}
+}
+
+func TestSamplerWithRealLSHOnlyNearReturned(t *testing.T) {
+	// With 1-bit MinHash on the adversarial-style sets, Sample must only
+	// ever return r-near points.
+	q := set.Range(1, 30)
+	points := []set.Set{
+		set.Range(1, 27),  // J 0.9
+		set.Range(1, 18),  // J 0.6
+		set.Range(16, 30), // J 0.5
+		set.Range(40, 60), // J 0
+		set.Range(61, 80), // J 0
+	}
+	s, err := NewSampler[set.Set](Jaccard(), lsh.OneBitMinHash{}, lsh.Params{K: 6, L: 20}, points, 0.55, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		id, ok := s.SampleRepeated(q, nil)
+		if !ok {
+			continue
+		}
+		if got := set.Jaccard(q, s.Point(id)); got < 0.55 {
+			t.Fatalf("returned point with similarity %v < r", got)
+		}
+	}
+}
+
+func TestSamplerRecallWithChosenParams(t *testing.T) {
+	// With K and L chosen by the Section 6 rules, a planted near point is
+	// found with probability ≥ 99% per build.
+	r := rng.New(31)
+	q := set.Range(1, 20)
+	near := set.Range(1, 18) // J = 0.9
+	points := []set.Set{near}
+	for i := 0; i < 200; i++ {
+		items := make([]uint32, 20)
+		for j := range items {
+			items[j] = uint32(1000 + r.Intn(5000))
+		}
+		points = append(points, set.FromSlice(items))
+	}
+	k := lsh.ChooseK[set.Set](lsh.OneBitMinHash{}, len(points), 0.1, 5)
+	l := lsh.ChooseL[set.Set](lsh.OneBitMinHash{}, k, 0.9, 0.99)
+	found := 0
+	const builds = 60
+	for b := 0; b < builds; b++ {
+		s, err := NewSampler[set.Set](Jaccard(), lsh.OneBitMinHash{}, lsh.Params{K: k, L: l}, points, 0.9, uint64(b+500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Sample(q, nil); ok {
+			found++
+		}
+	}
+	if found < builds*90/100 {
+		t.Errorf("recall %d/%d below expectation", found, builds)
+	}
+}
+
+func TestQueryStatsAccumulate(t *testing.T) {
+	s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 2}, lineDataset(20), 5, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st QueryStats
+	if _, ok := s.Sample(0, &st); !ok {
+		t.Fatal("no sample")
+	}
+	if st.BucketsScanned == 0 || st.PointsInspected == 0 || st.ScoreEvals == 0 {
+		t.Errorf("stats not accumulated: %+v", st)
+	}
+	if !st.Found {
+		t.Error("Found flag not set")
+	}
+}

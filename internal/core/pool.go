@@ -1,0 +1,60 @@
+package core
+
+import (
+	"errors"
+
+	"fairnn/internal/lsh"
+)
+
+// IndependentPool makes the Section 4 sampler usable from concurrent
+// goroutines. The underlying structures consume per-query randomness and
+// are deliberately not synchronized (queries are hot paths); the pool owns
+// R independent replicas — each built with its own seed, so recall events
+// are independent too — and checks one out per query, channel-style.
+//
+// Every replica individually satisfies Theorem 2, so any interleaving of
+// Sample calls across goroutines yields uniform, independent outputs
+// (conditioned on the per-replica high-probability recall event).
+type IndependentPool[P any] struct {
+	replicas chan *Independent[P]
+	size     int
+}
+
+// NewIndependentPool builds replicas independent Section 4 structures over
+// the same points. Memory scales linearly with replicas; pick the expected
+// number of concurrently querying goroutines.
+func NewIndependentPool[P any](space Space[P], family lsh.Family[P], params lsh.Params, points []P, radius float64, opts IndependentOptions, seed uint64, replicas int) (*IndependentPool[P], error) {
+	if replicas < 1 {
+		return nil, errors.New("core: pool needs at least one replica")
+	}
+	p := &IndependentPool[P]{
+		replicas: make(chan *Independent[P], replicas),
+		size:     replicas,
+	}
+	for i := 0; i < replicas; i++ {
+		d, err := NewIndependent(space, family, params, points, radius, opts, seed+uint64(i)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, err
+		}
+		p.replicas <- d
+	}
+	return p, nil
+}
+
+// Size returns the number of replicas.
+func (p *IndependentPool[P]) Size() int { return p.size }
+
+// Sample checks out a replica, samples, and returns the replica to the
+// pool. Safe for concurrent use; blocks while all replicas are busy.
+func (p *IndependentPool[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
+	d := <-p.replicas
+	defer func() { p.replicas <- d }()
+	return d.Sample(q, st)
+}
+
+// SampleK draws k independent samples on a single checked-out replica.
+func (p *IndependentPool[P]) SampleK(q P, k int, st *QueryStats) []int32 {
+	d := <-p.replicas
+	defer func() { p.replicas <- d }()
+	return d.SampleK(q, k, st)
+}

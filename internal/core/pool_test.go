@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"fairnn/internal/lsh"
+	"fairnn/internal/stats"
+)
+
+func TestIndependentPoolConcurrentUniform(t *testing.T) {
+	const ballSize = 8
+	pool, err := NewIndependentPool[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1},
+		lineDataset(48), float64(ballSize-1), IndependentOptions{}, 900, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Size() != 4 {
+		t.Fatalf("Size = %d", pool.Size())
+	}
+	const workers = 8
+	const perWorker = 1500
+	results := make([][]int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]int32, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				if id, ok := pool.Sample(0, nil); ok {
+					out = append(out, id)
+				}
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	freq := stats.NewFrequency()
+	total := 0
+	for _, out := range results {
+		for _, id := range out {
+			freq.Observe(id)
+			total++
+		}
+	}
+	if total < workers*perWorker*99/100 {
+		t.Fatalf("only %d/%d samples succeeded", total, workers*perWorker)
+	}
+	if tv := freq.TVFromUniform(domainInts(ballSize)); tv > 0.03 {
+		t.Errorf("concurrent TV = %v", tv)
+	}
+}
+
+func TestIndependentPoolSampleK(t *testing.T) {
+	pool, err := NewIndependentPool[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1},
+		lineDataset(30), 5, IndependentOptions{}, 901, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := pool.SampleK(0, 20, nil)
+	if len(out) != 20 {
+		t.Fatalf("got %d samples", len(out))
+	}
+}
+
+func TestIndependentPoolRejectsZeroReplicas(t *testing.T) {
+	if _, err := NewIndependentPool[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1},
+		lineDataset(10), 2, IndependentOptions{}, 1, 0); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+}

@@ -1,0 +1,158 @@
+// Package core implements the paper's fair near-neighbor data structures:
+//
+//   - Sampler (Section 3): r-near neighbor sampling via a random rank
+//     permutation over LSH buckets — uniform output distribution.
+//   - Sampler.SampleK / SampleRepeated (Section 3.1 + Appendix A):
+//     k-samples without replacement, and with-replacement sampling for a
+//     single repeated query via rank perturbation.
+//   - Independent (Section 4): r-near neighbor *independent* sampling with
+//     per-bucket rank indices and mergeable count-distinct sketches.
+//   - FilterIndependent (Section 5): α-NNIS in nearly-linear space via
+//     locality-sensitive filters for inner-product similarity.
+//   - Standard / NaiveFair / ApproxFair (Section 2.2 and Section 6
+//     baselines) and Exact (linear-scan ground truth).
+//
+// All structures are generic over the point type and use an LSH family as a
+// black box, mirroring the paper's distance-agnostic construction.
+package core
+
+import (
+	"fairnn/internal/set"
+	"fairnn/internal/vector"
+)
+
+// Kind says whether scores are distances (near means score ≤ r) or
+// similarities (near means score ≥ r). The paper states all results for
+// distances and notes the similarity variant in Section 2.1; the Section 6
+// experiments use Jaccard similarity and Section 5 uses inner product.
+type Kind int
+
+const (
+	// Distance spaces treat lower scores as closer.
+	Distance Kind = iota
+	// Similarity spaces treat higher scores as closer.
+	Similarity
+)
+
+// Space bundles a pairwise score with its orientation.
+type Space[P any] struct {
+	Kind  Kind
+	Score func(a, b P) float64
+}
+
+// Near reports whether a score meets the threshold r under the space's
+// orientation.
+func (s Space[P]) Near(score, r float64) bool {
+	if s.Kind == Distance {
+		return score <= r
+	}
+	return score >= r
+}
+
+// Jaccard is the similarity space over item sets used by the Section 6
+// experiments.
+func Jaccard() Space[set.Set] {
+	return Space[set.Set]{Kind: Similarity, Score: func(a, b set.Set) float64 { return set.Jaccard(a, b) }}
+}
+
+// InnerProduct is the similarity space over (unit) vectors used by the
+// Section 5 data structure.
+func InnerProduct() Space[vector.Vec] {
+	return Space[vector.Vec]{Kind: Similarity, Score: vector.Dot}
+}
+
+// Euclidean is the ℓ2 distance space.
+func Euclidean() Space[vector.Vec] {
+	return Space[vector.Vec]{Kind: Distance, Score: vector.Euclidean}
+}
+
+// QueryStats accumulates per-query cost counters; every query method
+// accepts a *QueryStats that may be nil. The counters back the Q3 cost
+// experiments (Section 6.3).
+type QueryStats struct {
+	// BucketsScanned counts bucket lookups across tables/filters.
+	BucketsScanned int
+	// PointsInspected counts bucket entries touched (with multiplicity).
+	PointsInspected int
+	// ScoreEvals counts distance/similarity evaluations.
+	ScoreEvals int
+	// Rounds counts rejection-sampling rounds (Sections 4 and 5).
+	Rounds int
+	// SketchEstimate records the merged count-distinct estimate ŝ_q
+	// (Section 4 only).
+	SketchEstimate float64
+	// FinalK records the segment count k in use when the Section 4 query
+	// succeeded.
+	FinalK int
+	// FilterEvals counts inner products against filter vectors (Section 5).
+	FilterEvals int
+	// Clamped records that an acceptance probability exceeded 1 and was
+	// clamped — a low-probability failure event under correctly chosen
+	// constants.
+	Clamped bool
+	// Found reports whether the query returned a point.
+	Found bool
+}
+
+// add merges counters (used when one logical query performs sub-queries).
+func (s *QueryStats) add(o QueryStats) {
+	if s == nil {
+		return
+	}
+	s.BucketsScanned += o.BucketsScanned
+	s.PointsInspected += o.PointsInspected
+	s.ScoreEvals += o.ScoreEvals
+	s.Rounds += o.Rounds
+	s.FilterEvals += o.FilterEvals
+	s.Clamped = s.Clamped || o.Clamped
+}
+
+// bump* helpers tolerate nil receivers so query code stays uncluttered.
+
+func (s *QueryStats) bucket() {
+	if s != nil {
+		s.BucketsScanned++
+	}
+}
+
+func (s *QueryStats) point() {
+	if s != nil {
+		s.PointsInspected++
+	}
+}
+
+func (s *QueryStats) points(n int) {
+	if s != nil {
+		s.PointsInspected += n
+	}
+}
+
+func (s *QueryStats) score() {
+	if s != nil {
+		s.ScoreEvals++
+	}
+}
+
+func (s *QueryStats) round() {
+	if s != nil {
+		s.Rounds++
+	}
+}
+
+func (s *QueryStats) filters(n int) {
+	if s != nil {
+		s.FilterEvals += n
+	}
+}
+
+func (s *QueryStats) clamp() {
+	if s != nil {
+		s.Clamped = true
+	}
+}
+
+func (s *QueryStats) found(ok bool) {
+	if s != nil {
+		s.Found = ok
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+
+	"fairnn/internal/lsh"
+	"fairnn/internal/rng"
+)
+
+// Standard is the classic LSH data structure of Section 2.2 — the baseline
+// whose output distribution the paper shows to be unfair. Buckets keep
+// points in a fixed (shuffled-at-build) order; a query scans its buckets
+// and returns the first near point it meets, so points with higher
+// collision probability (closer to the query) are systematically
+// overrepresented.
+//
+// Standard also hosts the two fair-by-postprocessing baselines used in the
+// Section 6 experiments:
+//
+//   - NaiveFairSample ("fair LSH" in Figure 1): collect all candidates in
+//     the L buckets, deduplicate, keep the r-near ones, return one uniformly.
+//   - ApproxFairSample (Section 6.2): same, but keep every point with
+//     similarity at least the *approximate* threshold (cr), reproducing the
+//     approximate-neighborhood semantics of Har-Peled and Mahabadi.
+type Standard[P any] struct {
+	space  Space[P]
+	points []P
+	radius float64
+	params lsh.Params
+	gs     []lsh.Func[P]
+	tables []map[uint64][]int32
+	qrng   *rng.Source
+}
+
+// NewStandard builds the baseline structure. Bucket contents are shuffled
+// once at construction (this matches practical implementations and the
+// paper's observation that bias persists even under randomized orders).
+func NewStandard[P any](space Space[P], family lsh.Family[P], params lsh.Params, points []P, radius float64, seed uint64) (*Standard[P], error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, errors.New("core: empty point set")
+	}
+	src := rng.New(seed)
+	s := &Standard[P]{
+		space:  space,
+		points: points,
+		radius: radius,
+		params: params,
+		gs:     make([]lsh.Func[P], params.L),
+		tables: make([]map[uint64][]int32, params.L),
+		qrng:   nil,
+	}
+	for i := 0; i < params.L; i++ {
+		s.gs[i] = lsh.Concat(family, params.K, src)
+		b := make(map[uint64][]int32)
+		for id := range points {
+			key := s.gs[i](points[id])
+			b[key] = append(b[key], int32(id))
+		}
+		for _, ids := range b {
+			src.ShuffleInt32(ids)
+		}
+		s.tables[i] = b
+	}
+	s.qrng = src.Split()
+	return s, nil
+}
+
+// N returns the number of indexed points.
+func (s *Standard[P]) N() int { return len(s.points) }
+
+// Radius returns the threshold r.
+func (s *Standard[P]) Radius() float64 { return s.radius }
+
+// Params returns the LSH parameters in use.
+func (s *Standard[P]) Params() lsh.Params { return s.params }
+
+// Point returns the indexed point with the given id.
+func (s *Standard[P]) Point(id int32) P { return s.points[id] }
+
+func (s *Standard[P]) near(q P, id int32, thr float64, st *QueryStats) bool {
+	st.score()
+	return s.space.Near(s.space.Score(q, s.points[id]), thr)
+}
+
+// Query returns the first r-near point found while scanning the query's
+// buckets table by table — the standard, biased LSH query.
+func (s *Standard[P]) Query(q P, st *QueryStats) (id int32, ok bool) {
+	for i := 0; i < s.params.L; i++ {
+		st.bucket()
+		for _, cand := range s.tables[i][s.gs[i](q)] {
+			st.point()
+			if s.near(q, cand, s.radius, st) {
+				st.found(true)
+				return cand, true
+			}
+		}
+	}
+	st.found(false)
+	return 0, false
+}
+
+// QueryRandomTableOrder scans tables in a fresh random order. The paper
+// notes (Section 2.2) that the output remains biased even under such
+// randomization; the experiments use this to demonstrate exactly that.
+func (s *Standard[P]) QueryRandomTableOrder(q P, st *QueryStats) (id int32, ok bool) {
+	order := s.qrng.Perm(s.params.L)
+	for _, i := range order {
+		st.bucket()
+		for _, cand := range s.tables[i][s.gs[i](q)] {
+			st.point()
+			if s.near(q, cand, s.radius, st) {
+				st.found(true)
+				return cand, true
+			}
+		}
+	}
+	st.found(false)
+	return 0, false
+}
+
+// QueryANN is the textbook (c, r)-approximate near neighbor query: it
+// returns the first cr-near point and gives up after inspecting more than
+// 3L far points (Section 2.2, following Indyk–Motwani). crRadius is the
+// relaxed threshold (c·r for distances, c·r with c<1 for similarities).
+func (s *Standard[P]) QueryANN(q P, crRadius float64, st *QueryStats) (id int32, ok bool) {
+	farBudget := 3 * s.params.L
+	for i := 0; i < s.params.L; i++ {
+		st.bucket()
+		for _, cand := range s.tables[i][s.gs[i](q)] {
+			st.point()
+			if s.near(q, cand, crRadius, st) {
+				st.found(true)
+				return cand, true
+			}
+			farBudget--
+			if farBudget <= 0 {
+				st.found(false)
+				return 0, false
+			}
+		}
+	}
+	st.found(false)
+	return 0, false
+}
+
+// Candidates returns the deduplicated union of q's buckets (the set S_q),
+// in unspecified order, charging the scan to st.
+func (s *Standard[P]) Candidates(q P, st *QueryStats) []int32 {
+	seen := make(map[int32]struct{})
+	var out []int32
+	for i := 0; i < s.params.L; i++ {
+		st.bucket()
+		for _, cand := range s.tables[i][s.gs[i](q)] {
+			st.point()
+			if _, ok := seen[cand]; ok {
+				continue
+			}
+			seen[cand] = struct{}{}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// NaiveFairSample collects all candidates, keeps those within radius, and
+// returns one uniformly at random — the "fair LSH" reference implementation
+// of Section 6.1. Its cost scales with the neighborhood size, which is
+// exactly the inefficiency Sections 3–5 remove.
+func (s *Standard[P]) NaiveFairSample(q P, st *QueryStats) (id int32, ok bool) {
+	return s.uniformAmong(q, s.radius, st)
+}
+
+// ApproxFairSample keeps every candidate with score meeting the relaxed
+// threshold (cr) and samples uniformly among them — the approximate
+// neighborhood semantics studied in Section 6.2. The returned point may be
+// a (c, r)-near point rather than an r-near one.
+func (s *Standard[P]) ApproxFairSample(q P, crRadius float64, st *QueryStats) (id int32, ok bool) {
+	return s.uniformAmong(q, crRadius, st)
+}
+
+func (s *Standard[P]) uniformAmong(q P, thr float64, st *QueryStats) (int32, bool) {
+	cands := s.Candidates(q, st)
+	kept := cands[:0]
+	for _, cand := range cands {
+		if s.near(q, cand, thr, st) {
+			kept = append(kept, cand)
+		}
+	}
+	if len(kept) == 0 {
+		st.found(false)
+		return 0, false
+	}
+	st.found(true)
+	return kept[s.qrng.Intn(len(kept))], true
+}
+
+// RecalledBall returns the r-near candidates of q (deduplicated), i.e. the
+// portion of the true ball that the tables recall. Used by experiments to
+// separate recall failures from fairness effects.
+func (s *Standard[P]) RecalledBall(q P, st *QueryStats) []int32 {
+	cands := s.Candidates(q, st)
+	kept := cands[:0]
+	for _, cand := range cands {
+		if s.near(q, cand, s.radius, st) {
+			kept = append(kept, cand)
+		}
+	}
+	return kept
+}

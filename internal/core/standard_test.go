@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"fairnn/internal/lsh"
+	"fairnn/internal/set"
+	"fairnn/internal/stats"
+)
+
+// twoPointInstance is the paper's Section 2.2 example: S = {x, y} with
+// D(x, y) = r and query q = x. The query collides with x in every bucket
+// but with y only in a p1^K fraction of them, so standard LSH almost
+// always returns x. K is fixed at 8 to make p1^K ≈ 0.1 (the Section 6
+// ChooseK rule is vacuous at n = 2).
+func twoPointInstance(t *testing.T, seed uint64) *Standard[set.Set] {
+	t.Helper()
+	x := set.Range(1, 20)
+	y := set.Range(7, 26) // J(x, y) = 14/26 ≈ 0.538
+	const k = 8
+	l := lsh.ChooseL[set.Set](lsh.OneBitMinHash{}, k, 0.53, 0.99)
+	s, err := NewStandard[set.Set](Jaccard(), lsh.OneBitMinHash{}, lsh.Params{K: k, L: l}, []set.Set{x, y}, 0.5, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStandardBiasTowardsQueryPoint(t *testing.T) {
+	// q = x collides with itself in every table, so standard LSH returns x
+	// nearly always even though y is also r-near.
+	x := set.Range(1, 20)
+	hitsX := 0
+	const builds = 300
+	for b := 0; b < builds; b++ {
+		s := twoPointInstance(t, uint64(b+1))
+		id, ok := s.Query(x, nil)
+		if !ok {
+			t.Fatal("query failed")
+		}
+		if id == 0 {
+			hitsX++
+		}
+	}
+	if frac := float64(hitsX) / builds; frac < 0.9 {
+		t.Errorf("standard LSH returned x only %v of the time; expected heavy bias", frac)
+	}
+}
+
+func TestNaiveFairRemovesBias(t *testing.T) {
+	x := set.Range(1, 20)
+	freq := stats.NewFrequency()
+	const builds = 400
+	for b := 0; b < builds; b++ {
+		s := twoPointInstance(t, uint64(b+1000))
+		id, ok := s.NaiveFairSample(x, nil)
+		if !ok {
+			t.Fatal("query failed")
+		}
+		freq.Observe(id)
+	}
+	// With 99% recall of y, naive fair should be close to 50/50.
+	if fy := freq.Rel(1); fy < 0.40 || fy > 0.60 {
+		t.Errorf("naive fair returns y at rate %v, want ≈ 0.5", fy)
+	}
+}
+
+func TestStandardQueryRandomTableOrderStillBiased(t *testing.T) {
+	// Randomizing table order does not remove the bias (Section 2.2).
+	x := set.Range(1, 20)
+	hitsX := 0
+	const builds = 300
+	for b := 0; b < builds; b++ {
+		s := twoPointInstance(t, uint64(b+2000))
+		id, ok := s.QueryRandomTableOrder(x, nil)
+		if !ok {
+			t.Fatal("query failed")
+		}
+		if id == 0 {
+			hitsX++
+		}
+	}
+	if frac := float64(hitsX) / builds; frac < 0.75 {
+		t.Errorf("random-order LSH returned x at rate %v; bias should persist", frac)
+	}
+}
+
+func TestStandardOnlyNearReturned(t *testing.T) {
+	q := set.Range(1, 30)
+	points := []set.Set{
+		set.Range(1, 27),
+		set.Range(1, 18),
+		set.Range(40, 60),
+	}
+	s, err := NewStandard[set.Set](Jaccard(), lsh.OneBitMinHash{}, lsh.Params{K: 5, L: 15}, points, 0.55, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if id, ok := s.Query(q, nil); ok {
+			if sim := set.Jaccard(q, s.Point(id)); sim < 0.55 {
+				t.Fatalf("similarity %v below threshold", sim)
+			}
+		}
+	}
+}
+
+func TestApproxFairReturnsCRNearPoints(t *testing.T) {
+	// ApproxFair may return points in (cr, r): with r=0.9, cr=0.5 the
+	// Section 6.2 instance lets every point through.
+	inst := []set.Set{
+		set.Range(1, 27),  // J 0.9
+		set.Range(16, 30), // J 0.5
+	}
+	q := set.Range(1, 30)
+	s, err := NewStandard[set.Set](Jaccard(), lsh.OneBitMinHash{}, lsh.Params{K: 5, L: 20}, inst, 0.9, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawApprox := false
+	for i := 0; i < 400; i++ {
+		id, ok := s.ApproxFairSample(q, 0.5, nil)
+		if !ok {
+			continue
+		}
+		sim := set.Jaccard(q, s.Point(id))
+		if sim < 0.5 {
+			t.Fatalf("similarity %v below cr", sim)
+		}
+		if sim < 0.9 {
+			sawApprox = true
+		}
+	}
+	if !sawApprox {
+		t.Error("approximate sampler never returned a (c,r)-near point")
+	}
+}
+
+func TestStandardQueryANNBudget(t *testing.T) {
+	// All points far: QueryANN must give up after ~3L inspections.
+	q := set.Range(1, 10)
+	var points []set.Set
+	for i := 0; i < 200; i++ {
+		points = append(points, set.Range(uint32(1000+20*i), uint32(1000+20*i+10)))
+	}
+	s, err := NewStandard[set.Set](Jaccard(), lsh.OneBitMinHash{}, lsh.Params{K: 2, L: 4}, points, 0.9, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st QueryStats
+	if _, ok := s.QueryANN(q, 0.5, &st); ok {
+		t.Fatal("found a near point among far-only data")
+	}
+	if st.PointsInspected > 3*4+4 {
+		t.Errorf("inspected %d points, budget is ~3L", st.PointsInspected)
+	}
+}
+
+func TestStandardCandidatesDeduplicated(t *testing.T) {
+	q := set.Range(1, 10)
+	points := []set.Set{set.Range(1, 10), set.Range(1, 9)}
+	s, err := NewStandard[set.Set](Jaccard(), lsh.OneBitMinHash{}, lsh.Params{K: 1, L: 30}, points, 0.5, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := s.Candidates(q, nil)
+	seen := map[int32]bool{}
+	for _, id := range cands {
+		if seen[id] {
+			t.Fatal("duplicate candidate")
+		}
+		seen[id] = true
+	}
+}
+
+func TestStandardRecalledBall(t *testing.T) {
+	q := set.Range(1, 10)
+	points := []set.Set{set.Range(1, 10), set.Range(1, 9), set.Range(50, 60)}
+	s, err := NewStandard[set.Set](Jaccard(), lsh.OneBitMinHash{}, lsh.Params{K: 2, L: 25}, points, 0.8, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ball := s.RecalledBall(q, nil)
+	for _, id := range ball {
+		if set.Jaccard(q, s.Point(id)) < 0.8 {
+			t.Fatal("non-near point in recalled ball")
+		}
+	}
+	if len(ball) == 0 {
+		t.Fatal("recalled ball empty; point 0 is identical to q")
+	}
+}
+
+func TestStandardEmptyPointsRejected(t *testing.T) {
+	if _, err := NewStandard[set.Set](Jaccard(), lsh.OneBitMinHash{}, lsh.Params{K: 1, L: 1}, nil, 0.5, 1); err == nil {
+		t.Fatal("empty point set accepted")
+	}
+	if _, err := NewStandard[set.Set](Jaccard(), lsh.OneBitMinHash{}, lsh.Params{K: 0, L: 1}, []set.Set{set.Range(1, 2)}, 0.5, 1); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

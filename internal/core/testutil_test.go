@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math"
+
+	"fairnn/internal/lsh"
+	"fairnn/internal/rng"
+	"fairnn/internal/stats"
+)
+
+// intSpace is a 1-D toy metric: points are integers on a line, distance is
+// the absolute difference. With the allCollide family it isolates the
+// rank-permutation logic from LSH recall effects.
+func intSpace() Space[int] {
+	return Space[int]{Kind: Distance, Score: func(a, b int) float64 {
+		return math.Abs(float64(a - b))
+	}}
+}
+
+// allCollide is a degenerate LSH family where every point lands in one
+// bucket: recall is perfect and every candidate scan sees all points.
+type allCollide struct{}
+
+func (allCollide) New(r *rng.Source) lsh.Func[int] {
+	return func(int) uint64 { return 0 }
+}
+
+func (allCollide) CollisionProb(float64) float64 { return 1 }
+
+// lineDataset returns the points 0..n-1; the ball of query 0 at radius r is
+// {0, ..., r}.
+func lineDataset(n int) []int {
+	pts := make([]int, n)
+	for i := range pts {
+		pts[i] = i
+	}
+	return pts
+}
+
+// tvUniform computes the total-variation distance of freq from the uniform
+// distribution over domain.
+func tvUniform(freq *stats.Frequency, domain []int32) float64 {
+	return freq.TVFromUniform(domain)
+}
+
+// domainInts returns [0, m) as int32s.
+func domainInts(m int) []int32 {
+	out := make([]int32, m)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// newTestRNG returns a fixed-seed source for test-local randomness.
+func newTestRNG() *rng.Source { return rng.New(0xfadecafe) }

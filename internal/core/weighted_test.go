@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fairnn/internal/lsh"
+	"fairnn/internal/stats"
+)
+
+func newLineWeighted(t *testing.T, n int, radius float64, weight WeightFunc, wMax float64, seed uint64) *Weighted[int] {
+	t.Helper()
+	w, err := NewWeighted[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, lineDataset(n), radius, weight, wMax, IndependentOptions{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWeightedConstantEqualsUniform(t *testing.T) {
+	const ballSize = 8
+	w := newLineWeighted(t, 40, float64(ballSize-1), func(float64) float64 { return 1 }, 1, 201)
+	freq := stats.NewFrequency()
+	for i := 0; i < 12000; i++ {
+		id, ok := w.Sample(0, nil)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		freq.Observe(id)
+	}
+	if tv := freq.TVFromUniform(domainInts(ballSize)); tv > 0.04 {
+		t.Errorf("constant weight should be uniform; TV = %v", tv)
+	}
+}
+
+func TestWeightedProportionalToWeight(t *testing.T) {
+	// Weight w(d) = 1/(1+d): closer points more likely, proportionally.
+	const ballSize = 5
+	weight := func(d float64) float64 { return 1 / (1 + d) }
+	w := newLineWeighted(t, 30, float64(ballSize-1), weight, 1, 203)
+	freq := stats.NewFrequency()
+	const reps = 30000
+	for i := 0; i < reps; i++ {
+		id, ok := w.Sample(0, nil)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		freq.Observe(id)
+	}
+	// Expected distribution: weight(d)/Σweights over ball {0..4}.
+	var total float64
+	for d := 0; d < ballSize; d++ {
+		total += weight(float64(d))
+	}
+	for d := 0; d < ballSize; d++ {
+		want := weight(float64(d)) / total
+		got := freq.Rel(int32(d))
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("point %d: P = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestWeightedZeroWeightNeverReturned(t *testing.T) {
+	// Weight 0 on the farthest point of the ball: it must never appear.
+	const ballSize = 4
+	weight := func(d float64) float64 {
+		if d >= float64(ballSize-1) {
+			return 0
+		}
+		return 1
+	}
+	w := newLineWeighted(t, 20, float64(ballSize-1), weight, 1, 207)
+	for i := 0; i < 3000; i++ {
+		id, ok := w.Sample(0, nil)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		if int(id) == ballSize-1 {
+			t.Fatal("zero-weight point returned")
+		}
+	}
+}
+
+func TestWeightedClampRecorded(t *testing.T) {
+	// wMax below the actual max weight triggers clamping.
+	w := newLineWeighted(t, 20, 3, func(d float64) float64 { return 5 }, 1, 211)
+	var st QueryStats
+	if _, ok := w.Sample(0, &st); !ok {
+		t.Fatal("sample failed")
+	}
+	if !st.Clamped {
+		t.Error("clamp event not recorded")
+	}
+}
+
+func TestWeightedRejectsBadInputs(t *testing.T) {
+	if _, err := NewWeighted[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, lineDataset(10), 2, nil, 1, IndependentOptions{}, 1); err == nil {
+		t.Error("nil weight accepted")
+	}
+	if _, err := NewWeighted[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, lineDataset(10), 2, func(float64) float64 { return 1 }, 0, IndependentOptions{}, 1); err == nil {
+		t.Error("non-positive wMax accepted")
+	}
+}
+
+func TestWeightedEmptyBall(t *testing.T) {
+	w := newLineWeighted(t, 10, 2, func(float64) float64 { return 1 }, 1, 213)
+	if _, ok := w.Sample(500, nil); ok {
+		t.Fatal("sampled from empty ball")
+	}
+}
+
+func TestWeightedSampleK(t *testing.T) {
+	w := newLineWeighted(t, 30, 4, func(float64) float64 { return 1 }, 1, 217)
+	out := w.SampleK(0, 9, nil)
+	if len(out) != 9 {
+		t.Fatalf("got %d samples", len(out))
+	}
+	for _, id := range out {
+		if w.Point(id) > 4 {
+			t.Fatal("far point returned")
+		}
+	}
+	if w.N() != 30 {
+		t.Errorf("N = %d", w.N())
+	}
+	if w.Independent() == nil {
+		t.Error("inner sampler not exposed")
+	}
+}

@@ -1,0 +1,82 @@
+package dataset
+
+import "fairnn/internal/set"
+
+// AdversarialInstance is the Section 6.2 dataset demonstrating that the
+// *approximate neighborhood* fairness notion can discriminate between
+// points at the same distance: over the universe U = {1, ..., 30} it
+// contains
+//
+//	X = {16, ..., 30}            similarity 0.5 to the query,
+//	Y = {1, ..., 18}             similarity 0.6 to the query,
+//	Z = {1, ..., 27}             similarity 0.9 to the query,
+//	M = all subsets of Y with at least 15 elements (excluding Y itself),
+//	    similarities in [0.5, 17/30],
+//
+// and the query Q = {1, ..., 30}. The M sets form a tight cluster around Y,
+// so whenever Y appears in the query's buckets it is accompanied by many
+// cluster members, while X sits alone in its neighborhood — the
+// approximate-neighborhood sampler therefore returns X far more often than
+// Y even though Y is more similar to Q.
+type AdversarialInstance struct {
+	// Points contains X, Y, Z followed by the 987 M sets.
+	Points []set.Set
+	// Query is Q = {1, ..., 30}.
+	Query set.Set
+	// X, Y, Z are the indices of the three distinguished points.
+	X, Y, Z int32
+	// MStart is the index of the first M set (they occupy [MStart, len)).
+	MStart int32
+}
+
+// Adversarial constructs the instance. |M| = C(18,15)+C(18,16)+C(18,17) =
+// 816+153+18 = 987, so the instance has 990 points.
+func Adversarial() AdversarialInstance {
+	x := set.Range(16, 30)
+	y := set.Range(1, 18)
+	z := set.Range(1, 27)
+	points := []set.Set{x, y, z}
+	yItems := []uint32(y)
+	for size := 15; size <= 17; size++ {
+		points = appendSubsets(points, yItems, size)
+	}
+	return AdversarialInstance{
+		Points: points,
+		Query:  set.Range(1, 30),
+		X:      0,
+		Y:      1,
+		Z:      2,
+		MStart: 3,
+	}
+}
+
+// appendSubsets appends every size-element subset of items to dst.
+func appendSubsets(dst []set.Set, items []uint32, size int) []set.Set {
+	n := len(items)
+	if size > n {
+		return dst
+	}
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		subset := make([]uint32, size)
+		for i, j := range idx {
+			subset[i] = items[j]
+		}
+		dst = append(dst, set.Set(subset)) // items sorted ⇒ subset sorted
+		// Advance the combination.
+		i := size - 1
+		for i >= 0 && idx[i] == n-size+i {
+			i--
+		}
+		if i < 0 {
+			return dst
+		}
+		idx[i]++
+		for j := i + 1; j < size; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"fairnn/internal/set"
+	"fairnn/internal/vector"
+)
+
+func TestAdversarialStructure(t *testing.T) {
+	inst := Adversarial()
+	if got := len(inst.Points); got != 990 {
+		t.Fatalf("instance has %d points, want 990 (3 + 987 M sets)", got)
+	}
+	q := inst.Query
+	if q.Len() != 30 {
+		t.Fatalf("query size %d", q.Len())
+	}
+	checks := []struct {
+		id   int32
+		want float64
+	}{
+		{inst.X, 0.5},
+		{inst.Y, 0.6},
+		{inst.Z, 0.9},
+	}
+	for _, c := range checks {
+		if got := set.Jaccard(q, inst.Points[c.id]); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("similarity of point %d = %v, want %v", c.id, got, c.want)
+		}
+	}
+	// All M sets are subsets of Y with 15..17 elements and similarity in
+	// [0.5, 17/30].
+	y := inst.Points[inst.Y]
+	for i := int(inst.MStart); i < len(inst.Points); i++ {
+		m := inst.Points[i]
+		if m.Len() < 15 || m.Len() > 17 {
+			t.Fatalf("M set %d has size %d", i, m.Len())
+		}
+		if set.IntersectionSize(m, y) != m.Len() {
+			t.Fatalf("M set %d is not a subset of Y", i)
+		}
+		sim := set.Jaccard(q, m)
+		if sim < 0.5-1e-12 || sim > 17.0/30.0+1e-12 {
+			t.Fatalf("M set %d similarity %v out of range", i, sim)
+		}
+	}
+	// No duplicates among the M sets.
+	seen := map[string]bool{}
+	for i := int(inst.MStart); i < len(inst.Points); i++ {
+		key := ""
+		for _, v := range inst.Points[i] {
+			key += string(rune(v)) + ","
+		}
+		if seen[key] {
+			t.Fatal("duplicate M set")
+		}
+		seen[key] = true
+	}
+}
+
+func TestGenerateMatchesTargetStatistics(t *testing.T) {
+	cfg := LastFMLike()
+	cfg.Users = 400 // smaller for test speed; statistics are per-user
+	sets := Generate(cfg)
+	if len(sets) != 400 {
+		t.Fatalf("got %d sets", len(sets))
+	}
+	var sum, sumsq float64
+	for _, s := range sets {
+		if !s.Valid() {
+			t.Fatal("invalid set representation")
+		}
+		sum += float64(s.Len())
+		sumsq += float64(s.Len()) * float64(s.Len())
+	}
+	mean := sum / 400
+	sd := math.Sqrt(sumsq/400 - mean*mean)
+	if math.Abs(mean-cfg.MeanSize) > 2 {
+		t.Errorf("mean size %v, want ≈ %v", mean, cfg.MeanSize)
+	}
+	if sd > 4*cfg.SizeStdDev+2 {
+		t.Errorf("size sd %v too large vs target %v", sd, cfg.SizeStdDev)
+	}
+	for _, s := range sets {
+		for _, item := range s {
+			if int(item) >= cfg.Universe {
+				t.Fatalf("item %d outside universe", item)
+			}
+		}
+	}
+}
+
+func TestGenerateHasDenseNeighborhoods(t *testing.T) {
+	cfg := LastFMLike()
+	cfg.Users = 400
+	sets := Generate(cfg)
+	qs := InterestingQueries(sets, 0.2, 10, 20, 99)
+	if len(qs) < 10 {
+		t.Errorf("found only %d interesting queries; communities too sparse", len(qs))
+	}
+	for _, q := range qs {
+		cnt := 0
+		for v := range sets {
+			if v != q && set.Jaccard(sets[q], sets[v]) >= 0.2 {
+				cnt++
+			}
+		}
+		if cnt < 10 {
+			t.Errorf("query %d has only %d neighbors", q, cnt)
+		}
+	}
+}
+
+func TestGenerateMovieLensLikeSmall(t *testing.T) {
+	cfg := MovieLensLike()
+	cfg.Users = 300
+	sets := Generate(cfg)
+	var sum float64
+	maxLen := 0
+	for _, s := range sets {
+		sum += float64(s.Len())
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	mean := sum / 300
+	if mean < 100 || mean > 260 {
+		t.Errorf("mean size %v far from 178", mean)
+	}
+	// Lognormal tail: some users should be much larger than the mean.
+	if float64(maxLen) < 2*mean {
+		t.Errorf("no heavy tail: max %d vs mean %v", maxLen, mean)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := LastFMLike()
+	cfg.Users = 50
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for i := range a {
+		if set.Jaccard(a[i], b[i]) != 1 {
+			t.Fatal("generation not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestPlantedBallGroundTruth(t *testing.T) {
+	w := NewPlantedBall(PlantedBallConfig{
+		N: 200, Dim: 24, Alpha: 0.8, Beta: 0.5, BallSize: 15, MidSize: 25, Seed: 5,
+	})
+	if len(w.Points) != 200 {
+		t.Fatalf("got %d points", len(w.Points))
+	}
+	if len(w.BallIDs) != 15 || len(w.MidIDs) != 25 {
+		t.Fatalf("planted counts wrong: %d, %d", len(w.BallIDs), len(w.MidIDs))
+	}
+	for _, id := range w.BallIDs {
+		if ip := vector.Dot(w.Query, w.Points[id]); ip < 0.8-1e-9 {
+			t.Errorf("ball point %d has inner product %v", id, ip)
+		}
+	}
+	for _, id := range w.MidIDs {
+		ip := vector.Dot(w.Query, w.Points[id])
+		if ip < 0.5-1e-9 || ip >= 0.8 {
+			t.Errorf("mid point %d has inner product %v", id, ip)
+		}
+	}
+	// Count points in the ball: exactly the planted ones (background is
+	// nearly orthogonal in dim 24 whp).
+	count := 0
+	for _, p := range w.Points {
+		if vector.Dot(w.Query, p) >= 0.8 {
+			count++
+		}
+	}
+	if count != 15 {
+		t.Errorf("ball contains %d points, want 15", count)
+	}
+	for _, p := range w.Points {
+		if n := vector.Norm(p); math.Abs(n-1) > 1e-9 {
+			t.Fatalf("non-unit point: %v", n)
+		}
+	}
+}
+
+func TestEmbeddingsTopicStructure(t *testing.T) {
+	e := NewEmbeddings(EmbeddingsConfig{Items: 200, Users: 50, Dim: 16, Topics: 4, Spread: 0.2, Seed: 7})
+	if len(e.Items) != 200 || len(e.Users) != 50 || len(e.TopicOf) != 200 {
+		t.Fatal("wrong counts")
+	}
+	for _, v := range e.Items {
+		if math.Abs(vector.Norm(v)-1) > 1e-9 {
+			t.Fatal("item not unit norm")
+		}
+	}
+	// Same-topic items should be more similar on average than cross-topic.
+	var same, cross float64
+	var nSame, nCross int
+	for i := 0; i < 100; i++ {
+		for j := i + 1; j < 100; j++ {
+			ip := vector.Dot(e.Items[i], e.Items[j])
+			if e.TopicOf[i] == e.TopicOf[j] {
+				same += ip
+				nSame++
+			} else {
+				cross += ip
+				nCross++
+			}
+		}
+	}
+	if nSame == 0 || nCross == 0 {
+		t.Skip("degenerate topic assignment")
+	}
+	if same/float64(nSame) <= cross/float64(nCross) {
+		t.Error("topic structure missing: same-topic similarity not higher")
+	}
+}
+
+func TestInterestingQueriesRespectsBounds(t *testing.T) {
+	sets := []set.Set{set.Range(1, 10), set.Range(1, 10), set.Range(1, 10), set.Range(100, 120)}
+	qs := InterestingQueries(sets, 0.5, 2, 10, 1)
+	for _, q := range qs {
+		if q == 3 {
+			t.Error("isolated set selected as interesting")
+		}
+	}
+	if len(qs) != 3 {
+		t.Errorf("got %d interesting queries, want 3", len(qs))
+	}
+}

@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fairnn/internal/set"
+)
+
+func writeFixture(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadLastFM(t *testing.T) {
+	path := writeFixture(t, "user_artists.dat",
+		"userID\tartistID\tweight\n"+
+			"2\t51\t100\n"+
+			"2\t52\t200\n"+
+			"2\t53\t50\n"+
+			"3\t51\t10\n"+
+			"3\t99\t20\n")
+	sets, err := LoadLastFM(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 {
+		t.Fatalf("got %d users", len(sets))
+	}
+	// User 2's top-2 by weight: artists 52 (200) and 51 (100), not 53.
+	if sets[0].Len() != 2 {
+		t.Fatalf("user 2 set size %d", sets[0].Len())
+	}
+	// Artists 51 and 52 map to dense ids; user 3 shares artist 51.
+	if got := set.IntersectionSize(sets[0], sets[1]); got != 1 {
+		t.Errorf("users share %d artists, want 1 (artist 51)", got)
+	}
+}
+
+func TestLoadMovieLens(t *testing.T) {
+	path := writeFixture(t, "user_ratedmovies.dat",
+		"userID\tmovieID\trating\tdate_day\n"+
+			"75\t3\t1.0\t29\n"+
+			"75\t32\t4.5\t29\n"+
+			"75\t110\t4.0\t29\n"+
+			"78\t3\t5.0\t12\n")
+	sets, err := LoadMovieLens(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 {
+		t.Fatalf("got %d users", len(sets))
+	}
+	if sets[0].Len() != 2 { // movies 32 and 110; movie 3 rated 1.0 excluded
+		t.Errorf("user 75 kept %d movies, want 2", sets[0].Len())
+	}
+	if sets[1].Len() != 1 {
+		t.Errorf("user 78 kept %d movies, want 1", sets[1].Len())
+	}
+}
+
+func TestLoadRejectsBadHeader(t *testing.T) {
+	path := writeFixture(t, "bad.dat", "foo\tbar\tbaz\n1\t2\t3\n")
+	if _, err := LoadLastFM(path, 20); err == nil {
+		t.Error("bad header accepted")
+	}
+}
+
+func TestLoadRejectsShortRow(t *testing.T) {
+	path := writeFixture(t, "short.dat", "userID\tartistID\tweight\n1\t2\n")
+	if _, err := LoadLastFM(path, 20); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestLoadRejectsBadNumbers(t *testing.T) {
+	path := writeFixture(t, "nan.dat", "userID\tartistID\tweight\n1\tx\t3\n")
+	if _, err := LoadLastFM(path, 20); err == nil {
+		t.Error("non-numeric artistID accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := LoadLastFM("/nonexistent/file.dat", 20); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadSkipsBlankLines(t *testing.T) {
+	path := writeFixture(t, "blank.dat",
+		"userID\tartistID\tweight\n\n1\t10\t5\n\n")
+	sets, err := LoadLastFM(path, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 || sets[0].Len() != 1 {
+		t.Errorf("unexpected result: %v", sets)
+	}
+}

@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"math"
+
+	"fairnn/internal/rng"
+	"fairnn/internal/vector"
+)
+
+// PlantedBall is a vector workload with known ground truth for the
+// Section 5 experiments: a query on the unit sphere, BallSize points
+// planted at inner products uniformly spread over [Alpha, AlphaMax], a
+// band of MidSize points in (Beta, Alpha), and background points that are
+// nearly orthogonal to the query.
+type PlantedBall struct {
+	Points []vector.Vec
+	Query  vector.Vec
+	// BallIDs are the indices of the planted near points (⟨p, q⟩ ≥ Alpha).
+	BallIDs []int32
+	// MidIDs are the indices of the (Beta, Alpha) band points.
+	MidIDs []int32
+}
+
+// PlantedBallConfig parameterizes NewPlantedBall.
+type PlantedBallConfig struct {
+	N        int     // total points
+	Dim      int     // dimensionality
+	Alpha    float64 // near threshold
+	AlphaMax float64 // highest planted similarity (default 0.95)
+	Beta     float64 // far threshold
+	BallSize int     // number of near points
+	MidSize  int     // number of (Beta, Alpha) band points
+	Seed     uint64
+}
+
+// NewPlantedBall builds the workload. All points are unit vectors.
+func NewPlantedBall(cfg PlantedBallConfig) PlantedBall {
+	if cfg.AlphaMax <= cfg.Alpha {
+		cfg.AlphaMax = math.Min(0.98, cfg.Alpha+0.2)
+	}
+	r := rng.New(cfg.Seed)
+	q := vector.RandomUnit(r, cfg.Dim)
+	points := make([]vector.Vec, 0, cfg.N)
+	var ballIDs, midIDs []int32
+	for i := 0; i < cfg.BallSize; i++ {
+		// Spread similarities over (Alpha, AlphaMax]; the +0.5 offset keeps
+		// the lowest planted point strictly above Alpha so that float
+		// rounding in later dot products cannot drop it out of the ball.
+		frac := (float64(i) + 0.5) / float64(cfg.BallSize)
+		sim := cfg.Alpha + frac*(cfg.AlphaMax-cfg.Alpha)
+		ballIDs = append(ballIDs, int32(len(points)))
+		points = append(points, vector.UnitWithInnerProduct(r, q, sim))
+	}
+	for i := 0; i < cfg.MidSize; i++ {
+		frac := (float64(i) + 0.5) / float64(cfg.MidSize)
+		sim := cfg.Beta + frac*(cfg.Alpha-cfg.Beta)*0.96
+		midIDs = append(midIDs, int32(len(points)))
+		points = append(points, vector.UnitWithInnerProduct(r, q, sim))
+	}
+	for len(points) < cfg.N {
+		points = append(points, vector.RandomUnit(r, cfg.Dim))
+	}
+	return PlantedBall{Points: points, Query: q, BallIDs: ballIDs, MidIDs: midIDs}
+}
+
+// Embeddings is a matrix-factorization-style recommender workload: item
+// and user vectors living near a small number of topic directions, as
+// produced by factorizing a ratings matrix (Koren–Bell–Volinsky). Used by
+// the recommender example and the Section 5 benchmarks.
+type Embeddings struct {
+	Items []vector.Vec
+	Users []vector.Vec
+	// TopicOf[i] is the dominant topic of item i.
+	TopicOf []int
+}
+
+// EmbeddingsConfig parameterizes NewEmbeddings.
+type EmbeddingsConfig struct {
+	Items  int
+	Users  int
+	Dim    int
+	Topics int
+	// Spread is the within-topic angular noise (0.1–0.5 sensible).
+	Spread float64
+	Seed   uint64
+}
+
+// NewEmbeddings builds unit-norm item and user vectors clustered by topic.
+func NewEmbeddings(cfg EmbeddingsConfig) Embeddings {
+	if cfg.Spread <= 0 {
+		cfg.Spread = 0.25
+	}
+	r := rng.New(cfg.Seed)
+	topics := make([]vector.Vec, cfg.Topics)
+	for t := range topics {
+		topics[t] = vector.RandomUnit(r, cfg.Dim)
+	}
+	mk := func(topic int) vector.Vec {
+		noise := vector.Gaussian(r, cfg.Dim)
+		v := make(vector.Vec, cfg.Dim)
+		for i := range v {
+			v[i] = topics[topic][i] + cfg.Spread*noise[i]
+		}
+		return vector.Normalize(v)
+	}
+	e := Embeddings{
+		Items:   make([]vector.Vec, cfg.Items),
+		Users:   make([]vector.Vec, cfg.Users),
+		TopicOf: make([]int, cfg.Items),
+	}
+	for i := range e.Items {
+		t := r.Intn(cfg.Topics)
+		e.TopicOf[i] = t
+		e.Items[i] = mk(t)
+	}
+	for u := range e.Users {
+		e.Users[u] = mk(r.Intn(cfg.Topics))
+	}
+	return e
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Shape assertions: the experiments must reproduce the paper's qualitative
+// findings even at reduced Monte-Carlo scale. Absolute numbers differ (our
+// datasets are synthetic stand-ins), but who wins and by what order must
+// match Section 6.
+
+func smallFig1() Fig1Config {
+	cfg := DefaultFig1LastFM()
+	cfg.Dataset.Users = 400
+	cfg.Dataset.Communities = 8
+	cfg.Queries = 6
+	cfg.Builds = 3
+	cfg.RepsPerBuild = 150
+	cfg.MinNeighbors = 10
+	return cfg
+}
+
+func TestFig1StandardIsBiasedFairIsNot(t *testing.T) {
+	res, err := RunFig1(smallFig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q1 headline: standard LSH's output distribution is far from uniform,
+	// fair LSH's is close.
+	if res.MeanTVStd < 3*res.MeanTVFair {
+		t.Errorf("TV separation too small: std %v vs fair %v", res.MeanTVStd, res.MeanTVFair)
+	}
+	if res.MeanTVFair > 0.35 {
+		t.Errorf("fair LSH TV %v too high", res.MeanTVFair)
+	}
+	// The bias gradient: standard frequencies increase with similarity.
+	if slope := res.BiasSlope(false); slope < 0.3 {
+		t.Errorf("standard bias slope %v, want strongly positive", slope)
+	}
+	if slope := res.BiasSlope(true); slope > 0.4 {
+		t.Errorf("fair bias slope %v, want near zero", slope)
+	}
+}
+
+func TestFig1RowsCoverEveryQuery(t *testing.T) {
+	res, err := RunFig1(smallFig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := map[int]bool{}
+	for _, row := range res.Rows {
+		queries[row.Query] = true
+		if row.PointsAt <= 0 {
+			t.Fatalf("empty similarity group in row %+v", row)
+		}
+		if row.Similarity < res.Config.Radius-0.01 {
+			t.Fatalf("row below radius: %+v", row)
+		}
+	}
+	if len(queries) != len(res.PerQuery) {
+		t.Errorf("rows cover %d queries, per-query stats %d", len(queries), len(res.PerQuery))
+	}
+}
+
+func TestFig1Render(t *testing.T) {
+	res, err := RunFig1(smallFig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 1", "TV distance", "mean TV standard"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q", want)
+		}
+	}
+}
+
+func smallFig2() Fig2Config {
+	cfg := DefaultFig2()
+	cfg.Batches = 6
+	cfg.BuildsPerBatch = 12
+	cfg.RepsPerBuild = 40
+	return cfg
+}
+
+func TestFig2ApproximateNeighborhoodIsUnfair(t *testing.T) {
+	res, err := RunFig2(smallFig2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q2 headline: X (similarity 0.5) dominates Y (similarity 0.6).
+	if res.X.Median <= res.Y.Median {
+		t.Errorf("P[X]=%v not above P[Y]=%v", res.X.Median, res.Y.Median)
+	}
+	if res.RatioXY < 10 {
+		t.Errorf("X/Y ratio %v, paper reports > 50", res.RatioXY)
+	}
+	// X is orders of magnitude above a typical cluster member.
+	if res.MMean > 0 && res.X.Median < 10*res.MMean {
+		t.Errorf("P[X]=%v not far above per-M probability %v", res.X.Median, res.MMean)
+	}
+	// The exact-neighborhood baseline has no such pathology: the 0.9-ball
+	// is exactly {Z}.
+	if res.FairZ < 0.99 {
+		t.Errorf("exact-neighborhood P[Z] = %v, want ~1", res.FairZ)
+	}
+	if res.FairX > 0.001 || res.FairY > 0.001 {
+		t.Errorf("exact-neighborhood returned X or Y: %v, %v", res.FairX, res.FairY)
+	}
+}
+
+func TestFig2OneBitAblationWashesOutCorrelation(t *testing.T) {
+	cfg := smallFig2()
+	full, err := RunFig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.OneBit = true
+	onebit, err := RunFig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under 1-bit keys the cluster enters candidate sets near-independently
+	// per set, so X loses most of its advantage.
+	if onebit.X.Median > full.X.Median/2 {
+		t.Errorf("1-bit P[X]=%v not well below full-MinHash P[X]=%v", onebit.X.Median, full.X.Median)
+	}
+}
+
+func TestFig2Render(t *testing.T) {
+	res, err := RunFig2(smallFig2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Error("render output missing title")
+	}
+}
+
+func smallFig3(base func() Fig3Config) Fig3Config {
+	cfg := base()
+	cfg.Dataset.Users = 450
+	cfg.Dataset.Communities = 8
+	cfg.Queries = 15
+	cfg.MinNeighbors = 10
+	return cfg
+}
+
+func TestFig3RatiosDecreaseInC(t *testing.T) {
+	res, err := RunFig3(smallFig3(DefaultFig3LastFM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For a fixed r, a larger c (threshold closer to r) means a smaller
+	// b_cr, so the mean ratio must be non-increasing in c.
+	byR := map[float64][]Fig3Cell{}
+	for _, cell := range res.Cells {
+		byR[cell.R] = append(byR[cell.R], cell)
+	}
+	for r, cells := range byR {
+		for i := 1; i < len(cells); i++ {
+			if cells[i].C <= cells[i-1].C {
+				t.Fatalf("cells not ordered by c for r=%v", r)
+			}
+			if cells[i].MeanRatio > cells[i-1].MeanRatio+1e-9 {
+				t.Errorf("r=%v: ratio increases from c=%v (%v) to c=%v (%v)",
+					r, cells[i-1].C, cells[i-1].MeanRatio, cells[i].C, cells[i].MeanRatio)
+			}
+		}
+	}
+	// Ratios are at least 1 by definition (b_cr ⊇ b_r).
+	for _, cell := range res.Cells {
+		if cell.MeanRatio < 1-1e-9 {
+			t.Errorf("ratio below 1: %+v", cell)
+		}
+	}
+}
+
+func TestFig3MovieLensHeavierThanLastFM(t *testing.T) {
+	lfm, err := RunFig3(smallFig3(DefaultFig3LastFM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvl, err := RunFig3(smallFig3(DefaultFig3MovieLens))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxOf := func(res *Fig3Result) float64 {
+		max := 0.0
+		for _, c := range res.Cells {
+			if c.MeanRatio > max {
+				max = c.MeanRatio
+			}
+		}
+		return max
+	}
+	// The paper's bottom row (MovieLens) reaches ratios an order of
+	// magnitude above the top row (Last.FM): large, popularity-skewed sets
+	// accumulate weak similarities.
+	if maxOf(mvl) < 2*maxOf(lfm) {
+		t.Errorf("MovieLens max ratio %v not well above Last.FM %v", maxOf(mvl), maxOf(lfm))
+	}
+}
+
+func TestCostOrderings(t *testing.T) {
+	cfg := DefaultCost()
+	cfg.Dataset.Users = 400
+	cfg.Dataset.Communities = 8
+	cfg.Queries = 8
+	cfg.RepsPerQuery = 10
+	cfg.MinNeighbors = 10
+	res, err := RunCost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]CostRow{}
+	for _, row := range res.Rows {
+		byName[row.Method] = row
+		if row.FoundRate < 0.95 {
+			t.Errorf("%s found rate %v", row.Method, row.FoundRate)
+		}
+	}
+	std := byName["standard LSH (first hit)"]
+	naive := byName["naive fair (collect all)"]
+	nns := byName["Section 3 NNS (min rank)"]
+	// The biased baseline inspects far fewer points than any fair method.
+	if std.MeanInspected >= nns.MeanInspected {
+		t.Errorf("standard inspects %v, fair NNS %v — expected standard cheaper", std.MeanInspected, nns.MeanInspected)
+	}
+	// The Section 3 structure beats collecting the whole candidate set.
+	if nns.MeanInspected >= naive.MeanInspected {
+		t.Errorf("NNS inspects %v, naive fair %v — expected NNS cheaper", nns.MeanInspected, naive.MeanInspected)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTable(&buf, "title", []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"title", "a", "4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in table output", want)
+		}
+	}
+}
+
+func TestScalingSubLinear(t *testing.T) {
+	cfg := DefaultScaling()
+	cfg.Ns = []int{500, 1000, 2000, 4000}
+	cfg.QueriesPerN = 20
+	res, err := RunScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 3 shape: candidate work clearly sub-linear, the exact scan
+	// essentially linear, and per-bank space exactly linear.
+	if res.CandidateExponent > 0.9 {
+		t.Errorf("candidate exponent %v, want sub-linear (< 0.9)", res.CandidateExponent)
+	}
+	if res.ExactExponent < 0.8 {
+		t.Errorf("exact-scan exponent %v, want ≈ 1", res.ExactExponent)
+	}
+	for _, row := range res.Rows {
+		if row.SpaceRefs != row.Banks*row.N {
+			t.Errorf("n=%d: %d refs for %d banks — not linear space", row.N, row.SpaceRefs, row.Banks)
+		}
+	}
+}

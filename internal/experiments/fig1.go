@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"fairnn/internal/core"
+	"fairnn/internal/dataset"
+	"fairnn/internal/lsh"
+	"fairnn/internal/set"
+	"fairnn/internal/stats"
+)
+
+// Fig1Config parameterizes the Q1 experiment (§6.1 / Figure 1): compare the
+// output distribution of standard LSH against fair LSH on a set-similarity
+// dataset.
+type Fig1Config struct {
+	// Dataset is the user-set generator configuration.
+	Dataset dataset.SetConfig
+	// Radius is the similarity threshold r (paper: 0.15 for Last.FM,
+	// 0.2 for MovieLens in the shown plots).
+	Radius float64
+	// Queries is the number of interesting queries (paper: 50).
+	Queries int
+	// MinSim and MinNeighbors define "interesting" queries (paper: at
+	// least 40 neighbors at Jaccard >= 0.2). Zero values select the
+	// paper's thresholds.
+	MinSim       float64
+	MinNeighbors int
+	// Builds is the number of independent data-structure constructions;
+	// query repetitions are spread across them so that both construction
+	// and query randomness are exercised (the paper repeats the full
+	// process 26 000 times).
+	Builds int
+	// RepsPerBuild is the number of repetitions per build and query.
+	RepsPerBuild int
+	// FarSim and FarBudget drive the ChooseK rule (paper: ≤5 expected
+	// collisions at similarity 0.1).
+	FarSim    float64
+	FarBudget float64
+	// Recall drives the ChooseL rule (paper: 0.99 at similarity Radius).
+	Recall float64
+	// Seed drives everything.
+	Seed uint64
+}
+
+// DefaultFig1LastFM mirrors the paper's Last.FM plot (top row of Figure 1).
+func DefaultFig1LastFM() Fig1Config {
+	return Fig1Config{
+		Dataset:      dataset.LastFMLike(),
+		Radius:       0.15,
+		Queries:      50,
+		Builds:       20,
+		RepsPerBuild: 1300, // 26 000 total
+		FarSim:       0.1,
+		FarBudget:    5,
+		Recall:       0.99,
+		Seed:         161,
+	}
+}
+
+// DefaultFig1MovieLens mirrors the paper's MovieLens plot (bottom row).
+func DefaultFig1MovieLens() Fig1Config {
+	return Fig1Config{
+		Dataset:      dataset.MovieLensLike(),
+		Radius:       0.2,
+		Queries:      50,
+		Builds:       20,
+		RepsPerBuild: 1300,
+		FarSim:       0.1,
+		FarBudget:    5,
+		Recall:       0.99,
+		Seed:         162,
+	}
+}
+
+// Fig1Row is one scatter point of Figure 1: the average relative report
+// frequency over all ball points of one query sharing the same similarity.
+type Fig1Row struct {
+	Query      int     // query index (y-axis of the figure)
+	Similarity float64 // similarity level (x-axis), rounded to 2 decimals
+	PointsAt   int     // number of ball points at this similarity
+	RelStd     float64 // average relative frequency under standard LSH
+	RelFair    float64 // average relative frequency under fair LSH
+}
+
+// Fig1QueryStat summarizes one query: the total-variation distance of each
+// method's output distribution from uniform over the true ball.
+type Fig1QueryStat struct {
+	Query    int
+	BallSize int
+	TVStd    float64
+	TVFair   float64
+}
+
+// Fig1Result carries the full figure.
+type Fig1Result struct {
+	Config                Fig1Config
+	Params                lsh.Params
+	Rows                  []Fig1Row
+	PerQuery              []Fig1QueryStat
+	MeanTVStd, MeanTVFair float64
+}
+
+// RunFig1 executes the experiment.
+func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
+	sets := dataset.Generate(cfg.Dataset)
+	minSim, minNb := cfg.MinSim, cfg.MinNeighbors
+	if minSim <= 0 {
+		minSim = 0.2
+	}
+	if minNb <= 0 {
+		minNb = 40
+	}
+	queries := dataset.InterestingQueries(sets, minSim, minNb, cfg.Queries, cfg.Seed)
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("fig1: no interesting queries in dataset")
+	}
+	k := lsh.ChooseK[set.Set](lsh.OneBitMinHash{}, len(sets), cfg.FarSim, cfg.FarBudget)
+	l := lsh.ChooseL[set.Set](lsh.OneBitMinHash{}, k, cfg.Radius, cfg.Recall)
+	params := lsh.Params{K: k, L: l}
+
+	space := core.Jaccard()
+	exact := core.NewExact[set.Set](space, sets, cfg.Radius, cfg.Seed+7)
+
+	// Ground-truth balls per query.
+	balls := make([][]int32, len(queries))
+	for qi, q := range queries {
+		balls[qi] = exact.Ball(sets[q], nil)
+	}
+
+	freqStd := make([]*stats.Frequency, len(queries))
+	freqFair := make([]*stats.Frequency, len(queries))
+	for qi := range queries {
+		freqStd[qi] = stats.NewFrequency()
+		freqFair[qi] = stats.NewFrequency()
+	}
+
+	for b := 0; b < cfg.Builds; b++ {
+		std, err := core.NewStandard[set.Set](space, lsh.OneBitMinHash{}, params, sets, cfg.Radius, cfg.Seed+uint64(1000+b))
+		if err != nil {
+			return nil, err
+		}
+		for qi, q := range queries {
+			for rep := 0; rep < cfg.RepsPerBuild; rep++ {
+				if id, ok := std.QueryRandomTableOrder(sets[q], nil); ok {
+					freqStd[qi].Observe(id)
+				}
+				if id, ok := std.NaiveFairSample(sets[q], nil); ok {
+					freqFair[qi].Observe(id)
+				}
+			}
+		}
+	}
+
+	res := &Fig1Result{Config: cfg, Params: params}
+	var tvStdSum, tvFairSum float64
+	for qi, q := range queries {
+		ball := balls[qi]
+		// Group ball points by similarity (2 decimals, as in the plot).
+		groups := make(map[float64][]int32)
+		for _, id := range ball {
+			sim := math.Round(set.Jaccard(sets[q], sets[id])*100) / 100
+			groups[sim] = append(groups[sim], id)
+		}
+		for _, sim := range sortedKeysF64(groups) {
+			ids := groups[sim]
+			var sumStd, sumFair float64
+			for _, id := range ids {
+				sumStd += freqStd[qi].Rel(id)
+				sumFair += freqFair[qi].Rel(id)
+			}
+			res.Rows = append(res.Rows, Fig1Row{
+				Query:      qi,
+				Similarity: sim,
+				PointsAt:   len(ids),
+				RelStd:     sumStd / float64(len(ids)),
+				RelFair:    sumFair / float64(len(ids)),
+			})
+		}
+		tvStd := freqStd[qi].TVFromUniform(ball)
+		tvFair := freqFair[qi].TVFromUniform(ball)
+		res.PerQuery = append(res.PerQuery, Fig1QueryStat{
+			Query: qi, BallSize: len(ball), TVStd: tvStd, TVFair: tvFair,
+		})
+		tvStdSum += tvStd
+		tvFairSum += tvFair
+	}
+	res.MeanTVStd = tvStdSum / float64(len(queries))
+	res.MeanTVFair = tvFairSum / float64(len(queries))
+	return res, nil
+}
+
+// BiasSlope quantifies the Figure 1 gradient for one method: the
+// correlation between a ball point's similarity and its report frequency.
+// Standard LSH shows a strongly positive slope (bias towards near points);
+// fair LSH shows a slope near zero.
+func (r *Fig1Result) BiasSlope(fair bool) float64 {
+	var xs, ys []float64
+	for _, row := range r.Rows {
+		v := row.RelStd
+		if fair {
+			v = row.RelFair
+		}
+		// Weight groups by the number of points they average over.
+		for i := 0; i < row.PointsAt; i++ {
+			xs = append(xs, row.Similarity)
+			ys = append(ys, v)
+		}
+	}
+	return correlation(xs, ys)
+}
+
+func correlation(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		cov += (xs[i] - mx) * (ys[i] - my)
+		vx += (xs[i] - mx) * (xs[i] - mx)
+		vy += (ys[i] - my) * (ys[i] - my)
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Render writes the figure as text tables.
+func (r *Fig1Result) Render(w io.Writer, name string) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Query),
+			f2(row.Similarity),
+			fmt.Sprintf("%d", row.PointsAt),
+			f(row.RelStd),
+			f(row.RelFair),
+		})
+	}
+	if err := WriteTable(w, fmt.Sprintf("Figure 1 (%s, r=%.2f, K=%d, L=%d): relative report frequency by similarity", name, r.Config.Radius, r.Params.K, r.Params.L),
+		[]string{"query", "similarity", "#points", "rel.freq standard", "rel.freq fair"}, rows); err != nil {
+		return err
+	}
+	qrows := make([][]string, 0, len(r.PerQuery))
+	for _, s := range r.PerQuery {
+		qrows = append(qrows, []string{
+			fmt.Sprintf("%d", s.Query), fmt.Sprintf("%d", s.BallSize), f(s.TVStd), f(s.TVFair),
+		})
+	}
+	sort.Slice(qrows, func(i, j int) bool { return qrows[i][0] < qrows[j][0] })
+	if err := WriteTable(w, fmt.Sprintf("Figure 1 (%s): per-query TV distance from uniform", name),
+		[]string{"query", "ball size", "TV standard", "TV fair"}, qrows); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nmean TV standard = %.4f   mean TV fair = %.4f   bias slope standard = %.3f   fair = %.3f\n",
+		r.MeanTVStd, r.MeanTVFair, r.BiasSlope(false), r.BiasSlope(true))
+	return err
+}

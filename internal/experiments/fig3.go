@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fairnn/internal/core"
+	"fairnn/internal/dataset"
+	"fairnn/internal/set"
+	"fairnn/internal/stats"
+)
+
+// Fig3Config parameterizes the Q3 ratio experiment (§6.3 / Figure 3): the
+// additional cost factor b_cr/b_r of solving the exact neighborhood
+// variant, across radii r and approximation factors c (for similarities,
+// c < 1 relaxes the threshold downwards to c·r).
+type Fig3Config struct {
+	Dataset dataset.SetConfig
+	// Radii are the thresholds r (paper: 0.15, 0.2, 0.25).
+	Radii []float64
+	// Cs are the approximation factors (paper's x-axis: 1/5, 1/4, 1/3,
+	// 1/2, 2/3).
+	Cs []float64
+	// Queries is the number of interesting queries (paper: 50).
+	Queries int
+	// MinSim and MinNeighbors define "interesting" queries (paper: at
+	// least 40 neighbors at Jaccard >= 0.2). Zero values select the
+	// paper's thresholds.
+	MinSim       float64
+	MinNeighbors int
+	Seed         uint64
+}
+
+// DefaultFig3LastFM mirrors the top row of Figure 3.
+func DefaultFig3LastFM() Fig3Config {
+	return Fig3Config{
+		Dataset: dataset.LastFMLike(),
+		Radii:   []float64{0.15, 0.2, 0.25},
+		Cs:      []float64{0.2, 0.25, 1.0 / 3.0, 0.5, 2.0 / 3.0},
+		Queries: 50,
+		Seed:    363,
+	}
+}
+
+// DefaultFig3MovieLens mirrors the bottom row of Figure 3.
+func DefaultFig3MovieLens() Fig3Config {
+	cfg := DefaultFig3LastFM()
+	cfg.Dataset = dataset.MovieLensLike()
+	cfg.Seed = 364
+	return cfg
+}
+
+// Fig3Cell is one (r, c) point of the figure: the distribution of
+// b_{c·r}(q)/b_r(q) over the query set.
+type Fig3Cell struct {
+	R, C          float64
+	MeanRatio     float64
+	MedianRatio   float64
+	Q25, Q75, Max float64
+	MeanBallR     float64
+	MeanBallCR    float64
+}
+
+// Fig3Result carries the full figure for one dataset.
+type Fig3Result struct {
+	Config Fig3Config
+	Cells  []Fig3Cell
+}
+
+// RunFig3 executes the experiment.
+func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
+	sets := dataset.Generate(cfg.Dataset)
+	minSim, minNb := cfg.MinSim, cfg.MinNeighbors
+	if minSim <= 0 {
+		minSim = 0.2
+	}
+	if minNb <= 0 {
+		minNb = 40
+	}
+	queries := dataset.InterestingQueries(sets, minSim, minNb, cfg.Queries, cfg.Seed)
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("fig3: no interesting queries in dataset")
+	}
+	exact := core.NewExact[set.Set](core.Jaccard(), sets, 0, cfg.Seed)
+	res := &Fig3Result{Config: cfg}
+	for _, r := range cfg.Radii {
+		// b_r per query (computed once per radius).
+		br := make([]float64, len(queries))
+		for qi, q := range queries {
+			br[qi] = float64(exact.BallSizeAt(sets[q], r))
+		}
+		for _, c := range cfg.Cs {
+			cr := c * r
+			ratios := make([]float64, len(queries))
+			var sumR, sumCR float64
+			for qi, q := range queries {
+				bcr := float64(exact.BallSizeAt(sets[q], cr))
+				den := br[qi]
+				if den < 1 {
+					den = 1
+				}
+				ratios[qi] = bcr / den
+				sumR += br[qi]
+				sumCR += bcr
+			}
+			s := stats.Summarize(ratios)
+			res.Cells = append(res.Cells, Fig3Cell{
+				R: r, C: c,
+				MeanRatio:   s.Mean,
+				MedianRatio: s.Median,
+				Q25:         s.Q25,
+				Q75:         s.Q75,
+				Max:         s.Max,
+				MeanBallR:   sumR / float64(len(queries)),
+				MeanBallCR:  sumCR / float64(len(queries)),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render writes the figure as a text table.
+func (r *Fig3Result) Render(w io.Writer, name string) error {
+	rows := make([][]string, 0, len(r.Cells))
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			f2(c.R), f2(c.C), f2(c.C * c.R),
+			f2(c.MeanRatio), f2(c.MedianRatio), f2(c.Q25), f2(c.Q75), f2(c.Max),
+			f2(c.MeanBallR), f2(c.MeanBallCR),
+		})
+	}
+	return WriteTable(w,
+		fmt.Sprintf("Figure 3 (%s): ratio b_cr/b_r over %d queries", name, r.Config.Queries),
+		[]string{"r", "c", "cr", "mean ratio", "median", "q25", "q75", "max", "mean b_r", "mean b_cr"},
+		rows)
+}

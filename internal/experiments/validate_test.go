@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestValidateFairStructuresAtNoiseFloor(t *testing.T) {
+	cfg := DefaultValidate()
+	cfg.Users = 350
+	cfg.Samples = 2500
+	res, err := RunValidate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		switch row.Structure {
+		case "standard LSH (biased baseline)":
+			// The biased baseline must be far above the noise floor and
+			// decisively rejected by the χ² test.
+			if row.TV < 5*row.NoiseTV {
+				t.Errorf("biased baseline TV %v suspiciously close to floor %v", row.TV, row.NoiseTV)
+			}
+			if row.ChiP > 1e-6 {
+				t.Errorf("biased baseline χ² p = %v, want ≈ 0", row.ChiP)
+			}
+		default:
+			// Every fair structure sits near the noise floor.
+			if row.TV > 3*row.NoiseTV {
+				t.Errorf("%s: TV %v above 3x noise floor %v", row.Structure, row.TV, row.NoiseTV)
+			}
+			if row.ChiP < 1e-4 {
+				t.Errorf("%s: χ² rejects uniformity (p=%v)", row.Structure, row.ChiP)
+			}
+			if row.HasPair && row.PairTV > 1.5*row.PairNoiseTV {
+				t.Errorf("%s: pair TV %v above 1.5x pair floor %v — outputs correlated", row.Structure, row.PairTV, row.PairNoiseTV)
+			}
+		}
+	}
+}
+
+func TestValidateRender(t *testing.T) {
+	cfg := DefaultValidate()
+	cfg.Users = 300
+	cfg.Samples = 600
+	res, err := RunValidate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Theory check", "Thm 2", "Thm 5", "noise floor"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestNoiseFloor(t *testing.T) {
+	// More samples → lower floor; more cells → higher floor.
+	if noiseFloor(10, 1000) <= noiseFloor(10, 100000) {
+		t.Error("floor not decreasing in samples")
+	}
+	if noiseFloor(100, 1000) <= noiseFloor(10, 1000) {
+		t.Error("floor not increasing in cells")
+	}
+	if noiseFloor(10, 0) != 0 {
+		t.Error("zero samples should give zero floor")
+	}
+}

@@ -1,0 +1,241 @@
+// Package filter implements the locality-sensitive filter substrate of
+// Section 5 and Appendix B: a bank of t·m^(1/t) Gaussian filter vectors
+// arranged as t independent sub-structures (tensoring). Every data point is
+// stored exactly once — in the bucket indexed by the t vectors achieving
+// the maximum inner product with the point, one per sub-structure. A query
+// evaluates all filters and enumerates the buckets whose component filters
+// score at least α·Δ_{q,i} − f(α, ε).
+//
+// This is the "much simpler" nearly-linear-space alternative to the LSH
+// tables: construction stores n + t·m^(1/t) items, and Theorem 7 bounds the
+// query time by n^ρ + o(1) with ρ = (1−α²)(1−β²)/(1−αβ)².
+package filter
+
+import (
+	"errors"
+	"math"
+
+	"fairnn/internal/rng"
+	"fairnn/internal/vector"
+)
+
+// F returns f(α, ε) = sqrt(2(1−α²) ln(1/ε)), the query threshold slack of
+// Section 5.
+func F(alpha, eps float64) float64 {
+	return math.Sqrt(2 * (1 - alpha*alpha) * math.Log(1/eps))
+}
+
+// Tensoring returns t = ⌈1/(1−α²)⌉, the number of sub-structures.
+func Tensoring(alpha float64) int {
+	t := int(math.Ceil(1 / (1 - alpha*alpha)))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Rho returns the query exponent ρ = (1−α²)(1−β²)/(1−αβ)² of Theorem 3.
+func Rho(alpha, beta float64) float64 {
+	num := (1 - alpha*alpha) * (1 - beta*beta)
+	den := (1 - alpha*beta) * (1 - alpha*beta)
+	return num / den
+}
+
+// FiltersPerSub returns m^(1/t) for m = n^((1−β²)/(1−αβ)²), the per-sub-
+// structure filter count that balances far-point cost against filter
+// evaluation cost (Lemma 3 / Theorem 7), with a floor of 2.
+func FiltersPerSub(n int, alpha, beta float64) int {
+	exp := (1 - beta*beta) / ((1 - alpha*beta) * (1 - alpha*beta))
+	m := math.Pow(float64(n), exp)
+	t := Tensoring(alpha)
+	m1t := int(math.Ceil(math.Pow(m, 1/float64(t))))
+	if m1t < 2 {
+		m1t = 2
+	}
+	return m1t
+}
+
+// Params configures one filter bank.
+type Params struct {
+	// Alpha is the near threshold (inner product of unit vectors).
+	Alpha float64
+	// Beta is the far threshold, −1 < Beta < Alpha < 1.
+	Beta float64
+	// Eps controls the per-bank success probability via f(α, ε).
+	Eps float64
+	// M1T overrides m^(1/t) when > 0; otherwise FiltersPerSub is used.
+	M1T int
+	// T overrides the tensoring degree when > 0; otherwise Tensoring(α).
+	T int
+}
+
+// Validate reports whether the parameters are usable for n points.
+func (p Params) Validate() error {
+	if !(p.Alpha > -1 && p.Alpha < 1) {
+		return errors.New("filter: Alpha must be in (-1, 1)")
+	}
+	if !(p.Beta > -1 && p.Beta < p.Alpha) {
+		return errors.New("filter: Beta must be in (-1, Alpha)")
+	}
+	if !(p.Eps > 0 && p.Eps < 1) {
+		return errors.New("filter: Eps must be in (0, 1)")
+	}
+	return nil
+}
+
+func (p Params) resolve(n int) Params {
+	if p.T <= 0 {
+		p.T = Tensoring(p.Alpha)
+	}
+	if p.M1T <= 0 {
+		p.M1T = FiltersPerSub(n, p.Alpha, p.Beta)
+	}
+	return p
+}
+
+// Bank is one Section 5 data structure: t sub-structures of m^(1/t)
+// Gaussian vectors each, plus the bucket hash table. Each indexed point is
+// referenced exactly once.
+type Bank struct {
+	params Params
+	// vecs[i][j] is filter vector a_{i,j}.
+	vecs [][]vector.Vec
+	// keyOf[id] is the bucket key of point id (its argmax tuple, packed).
+	keyOf []uint64
+	// buckets maps packed keys to the ids stored there.
+	buckets map[uint64][]int32
+	dim     int
+}
+
+// NewBank indexes the points (assumed unit vectors) into a fresh bank.
+func NewBank(points []vector.Vec, params Params, r *rng.Source) (*Bank, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, errors.New("filter: empty point set")
+	}
+	params = params.resolve(len(points))
+	dim := len(points[0])
+	b := &Bank{
+		params:  params,
+		vecs:    make([][]vector.Vec, params.T),
+		keyOf:   make([]uint64, len(points)),
+		buckets: make(map[uint64][]int32),
+		dim:     dim,
+	}
+	for i := 0; i < params.T; i++ {
+		b.vecs[i] = make([]vector.Vec, params.M1T)
+		for j := 0; j < params.M1T; j++ {
+			b.vecs[i][j] = vector.Gaussian(r, dim)
+		}
+	}
+	for id, p := range points {
+		key := b.argmaxKey(p)
+		b.keyOf[id] = key
+		b.buckets[key] = append(b.buckets[key], int32(id))
+	}
+	return b, nil
+}
+
+// Params returns the resolved parameters of the bank.
+func (b *Bank) Params() Params { return b.params }
+
+// NumFilters returns t·m^(1/t), the number of stored filter vectors.
+func (b *Bank) NumFilters() int { return b.params.T * b.params.M1T }
+
+// KeyOf returns the bucket key point id was stored under.
+func (b *Bank) KeyOf(id int32) uint64 { return b.keyOf[id] }
+
+// Bucket returns the ids stored under key (owned by the bank).
+func (b *Bank) Bucket(key uint64) []int32 { return b.buckets[key] }
+
+// argmaxKey maps a point to the packed tuple (j_1, ..., j_t) of per-sub-
+// structure argmax filters.
+func (b *Bank) argmaxKey(p vector.Vec) uint64 {
+	key := uint64(0)
+	for i := 0; i < b.params.T; i++ {
+		best, bestDot := 0, math.Inf(-1)
+		for j, a := range b.vecs[i] {
+			if d := vector.Dot(a, p); d > bestDot {
+				bestDot = d
+				best = j
+			}
+		}
+		key = key*uint64(b.params.M1T) + uint64(best)
+	}
+	return key
+}
+
+// QueryPlan is the result of evaluating all filters for a query: the
+// per-sub-structure index sets I_i and the packed keys of the non-empty
+// buckets in I_1 × ... × I_t.
+type QueryPlan struct {
+	// Keys are the packed keys of non-empty candidate buckets.
+	Keys []uint64
+	// Candidates is the total number of points across those buckets.
+	Candidates int
+	// FilterEvals is the number of inner products computed (t·m^(1/t)).
+	FilterEvals int
+	// Combos is the size of the full cartesian product enumerated.
+	Combos int
+}
+
+// Query evaluates all filters against q and enumerates candidate buckets:
+// sub-structure i admits filters with ⟨a_{i,j}, q⟩ ≥ α·Δ_{q,i} − f(α, ε).
+// Only non-empty buckets are returned.
+func (b *Bank) Query(q vector.Vec) QueryPlan {
+	params := b.params
+	f := F(params.Alpha, params.Eps)
+	idxSets := make([][]int, params.T)
+	for i := 0; i < params.T; i++ {
+		dots := make([]float64, params.M1T)
+		maxDot := math.Inf(-1)
+		for j, a := range b.vecs[i] {
+			dots[j] = vector.Dot(a, q)
+			if dots[j] > maxDot {
+				maxDot = dots[j]
+			}
+		}
+		thr := params.Alpha*maxDot - f
+		for j, d := range dots {
+			if d >= thr {
+				idxSets[i] = append(idxSets[i], j)
+			}
+		}
+	}
+	plan := QueryPlan{FilterEvals: params.T * params.M1T}
+	// Enumerate the cartesian product I_1 × ... × I_t iteratively.
+	combos := 1
+	for _, s := range idxSets {
+		combos *= len(s)
+	}
+	plan.Combos = combos
+	if combos == 0 {
+		return plan
+	}
+	counters := make([]int, params.T)
+	for {
+		key := uint64(0)
+		for i := 0; i < params.T; i++ {
+			key = key*uint64(params.M1T) + uint64(idxSets[i][counters[i]])
+		}
+		if ids := b.buckets[key]; len(ids) > 0 {
+			plan.Keys = append(plan.Keys, key)
+			plan.Candidates += len(ids)
+		}
+		// Advance the odometer.
+		i := params.T - 1
+		for ; i >= 0; i-- {
+			counters[i]++
+			if counters[i] < len(idxSets[i]) {
+				break
+			}
+			counters[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return plan
+}

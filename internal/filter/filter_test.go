@@ -1,0 +1,221 @@
+package filter
+
+import (
+	"math"
+	"testing"
+
+	"fairnn/internal/rng"
+	"fairnn/internal/vector"
+)
+
+func TestF(t *testing.T) {
+	// f(α, ε) = sqrt(2(1-α²) ln(1/ε)).
+	got := F(0.8, 0.1)
+	want := math.Sqrt(2 * (1 - 0.64) * math.Log(10))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("F = %v, want %v", got, want)
+	}
+	if F(0.8, 1) != 0 {
+		t.Errorf("F(·, 1) should be 0")
+	}
+}
+
+func TestTensoring(t *testing.T) {
+	cases := map[float64]int{0.0: 1, 0.5: 2, 0.8: 3, 0.9: 6}
+	for alpha, want := range cases {
+		if got := Tensoring(alpha); got != want {
+			t.Errorf("Tensoring(%v) = %d, want %d", alpha, got, want)
+		}
+	}
+}
+
+func TestRho(t *testing.T) {
+	// ρ = (1-α²)(1-β²)/(1-αβ)².
+	got := Rho(0.8, 0.5)
+	want := (1 - 0.64) * (1 - 0.25) / ((1 - 0.4) * (1 - 0.4))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Rho = %v, want %v", got, want)
+	}
+	if Rho(0.9, 0.1) >= 1 {
+		t.Error("rho should be < 1 for a sensible gap")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Alpha: 1, Beta: 0.5, Eps: 0.1},
+		{Alpha: 0.5, Beta: 0.6, Eps: 0.1},
+		{Alpha: 0.5, Beta: -1.5, Eps: 0.1},
+		{Alpha: 0.5, Beta: 0.2, Eps: 0},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", p)
+		}
+	}
+	if err := (Params{Alpha: 0.8, Beta: 0.5, Eps: 0.1}).Validate(); err != nil {
+		t.Errorf("valid rejected: %v", err)
+	}
+}
+
+func TestBankStoresEachPointOnce(t *testing.T) {
+	r := rng.New(1)
+	points := make([]vector.Vec, 200)
+	for i := range points {
+		points[i] = vector.RandomUnit(r, 16)
+	}
+	b, err := NewBank(points, Params{Alpha: 0.8, Beta: 0.3, Eps: 0.1}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	counts := make(map[int32]int)
+	for key := range b.buckets {
+		for _, id := range b.Bucket(key) {
+			counts[id]++
+			total++
+		}
+	}
+	if total != len(points) {
+		t.Fatalf("bank stores %d references, want %d (linear space)", total, len(points))
+	}
+	for id, c := range counts {
+		if c != 1 {
+			t.Fatalf("point %d stored %d times", id, c)
+		}
+		if b.KeyOf(id) == 0 && c == 0 {
+			t.Fatal("unreachable")
+		}
+	}
+	// KeyOf must agree with the bucket the point is in.
+	for id := range points {
+		found := false
+		for _, other := range b.Bucket(b.KeyOf(int32(id))) {
+			if other == int32(id) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("KeyOf(%d) does not contain the point", id)
+		}
+	}
+}
+
+func TestBankEmptyPoints(t *testing.T) {
+	if _, err := NewBank(nil, Params{Alpha: 0.8, Beta: 0.3, Eps: 0.1}, rng.New(1)); err == nil {
+		t.Fatal("empty point set accepted")
+	}
+}
+
+func TestQueryRecallsExactMatch(t *testing.T) {
+	// The bucket of the query itself is always above threshold (its filter
+	// scores Δ_{q,i} ≥ αΔ_{q,i} - f), so an indexed copy of q is found.
+	r := rng.New(2)
+	points := make([]vector.Vec, 100)
+	for i := range points {
+		points[i] = vector.RandomUnit(r, 16)
+	}
+	q := points[17]
+	b, err := NewBank(points, Params{Alpha: 0.8, Beta: 0.3, Eps: 0.1}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := b.Query(q)
+	found := false
+	for _, key := range plan.Keys {
+		for _, id := range b.Bucket(key) {
+			if id == 17 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("query point's own bucket not enumerated")
+	}
+	if plan.FilterEvals != b.NumFilters() {
+		t.Errorf("FilterEvals = %d, want %d", plan.FilterEvals, b.NumFilters())
+	}
+	if plan.Candidates == 0 || plan.Combos == 0 {
+		t.Errorf("empty plan: %+v", plan)
+	}
+}
+
+func TestQueryNearRecallStatistical(t *testing.T) {
+	// Points planted at inner product ≥ α are recalled by a single bank with
+	// noticeable probability, and far points dominate misses (Lemma 1/3
+	// behaviourally: recall(near) substantially above per-point fraction of
+	// far candidates enumerated).
+	r := rng.New(3)
+	const dim = 24
+	const n = 400
+	q := vector.RandomUnit(r, dim)
+	points := make([]vector.Vec, n)
+	for i := range points {
+		if i < 40 {
+			points[i] = vector.UnitWithInnerProduct(r, q, 0.85)
+		} else {
+			points[i] = vector.RandomUnit(r, dim)
+		}
+	}
+	const banks = 20
+	nearHits, farCands := 0, 0
+	for bidx := 0; bidx < banks; bidx++ {
+		b, err := NewBank(points, Params{Alpha: 0.8, Beta: 0.3, Eps: 0.05}, r.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := b.Query(q)
+		inPlan := map[int32]bool{}
+		for _, key := range plan.Keys {
+			for _, id := range b.Bucket(key) {
+				inPlan[id] = true
+			}
+		}
+		for i := 0; i < 40; i++ {
+			if inPlan[int32(i)] {
+				nearHits++
+			}
+		}
+		for i := 40; i < n; i++ {
+			if inPlan[int32(i)] {
+				farCands++
+			}
+		}
+	}
+	nearRecall := float64(nearHits) / float64(40*banks)
+	farRate := float64(farCands) / float64((n-40)*banks)
+	if nearRecall < 0.25 {
+		t.Errorf("near recall per bank %v too low", nearRecall)
+	}
+	if farRate > nearRecall/2 {
+		t.Errorf("far rate %v not well below near recall %v", farRate, nearRecall)
+	}
+}
+
+func TestFiltersPerSub(t *testing.T) {
+	m1t := FiltersPerSub(1000, 0.8, 0.5)
+	if m1t < 2 {
+		t.Fatalf("m1t = %d", m1t)
+	}
+	// Larger n should not shrink the filter count.
+	if FiltersPerSub(100000, 0.8, 0.5) < m1t {
+		t.Error("FiltersPerSub not monotone in n")
+	}
+}
+
+func TestBankDeterministicKeys(t *testing.T) {
+	r := rng.New(4)
+	points := make([]vector.Vec, 50)
+	for i := range points {
+		points[i] = vector.RandomUnit(r, 8)
+	}
+	b, err := NewBank(points, Params{Alpha: 0.7, Beta: 0.2, Eps: 0.1}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, p := range points {
+		if b.argmaxKey(p) != b.KeyOf(int32(id)) {
+			t.Fatalf("argmaxKey not deterministic for %d", id)
+		}
+	}
+}

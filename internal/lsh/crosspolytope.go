@@ -1,0 +1,112 @@
+package lsh
+
+import (
+	"math"
+
+	"fairnn/internal/rng"
+	"fairnn/internal/vector"
+)
+
+// CrossPolytope is the cross-polytope LSH family of Andoni, Indyk,
+// Laarhoven, Razenshteyn and Schmidt (NIPS 2015) for angular similarity:
+// apply a random rotation (here a dense Gaussian matrix, sufficient for
+// the non-asymptotic regimes of this library) and map the vector to the
+// index (and sign) of its largest-magnitude coordinate. It is the bucket-
+// style analogue of the argmax filters of Section 5 and converges to the
+// optimal ρ for angular distance as the dimension grows.
+type CrossPolytope struct {
+	// Dim is the input dimensionality.
+	Dim int
+	// ProjDim is the rotated dimensionality d' (number of Gaussian rows);
+	// 0 means Dim.
+	ProjDim int
+}
+
+func (f CrossPolytope) projDim() int {
+	if f.ProjDim > 0 {
+		return f.ProjDim
+	}
+	return f.Dim
+}
+
+// New draws one rotated argmax function. The returned key encodes both the
+// winning coordinate and its sign: 2*i for +e_i, 2*i+1 for -e_i.
+func (f CrossPolytope) New(r *rng.Source) Func[vector.Vec] {
+	d := f.projDim()
+	rows := make([]vector.Vec, d)
+	for i := range rows {
+		rows[i] = vector.Gaussian(r, f.Dim)
+	}
+	return func(v vector.Vec) uint64 {
+		best := 0
+		bestAbs := math.Inf(-1)
+		bestNeg := false
+		for i, row := range rows {
+			p := vector.Dot(row, v)
+			a := math.Abs(p)
+			if a > bestAbs {
+				bestAbs = a
+				best = i
+				bestNeg = p < 0
+			}
+		}
+		key := uint64(2 * best)
+		if bestNeg {
+			key++
+		}
+		return key
+	}
+}
+
+// CollisionProb returns the collision probability of two unit vectors at
+// inner product s, estimated via the asymptotic formula of the
+// cross-polytope analysis: ln(1/p) ≈ (d'-dependent constant) · (1-s)/(1+s)
+// · ln d'. The normalization is fixed so that p(1) = 1 and p(0) matches
+// the 1/(2d') probability of two independent argmax draws agreeing.
+func (f CrossPolytope) CollisionProb(s float64) float64 {
+	if s >= 1 {
+		return 1
+	}
+	if s <= -1 {
+		return 0
+	}
+	d := float64(2 * f.projDim())
+	// At s = 0 the two vectors hash independently: p = 1/d. The exponent
+	// interpolates with the (1-s)/(1+s) law of the cross-polytope family.
+	expo := (1 - s) / (1 + s)
+	return math.Pow(1/d, expo)
+}
+
+// Cauchy is the p-stable LSH family for ℓ1 distance (Datar et al., with
+// 1-stable Cauchy projections): h(x) = ⌊(<a,x> + b)/w⌋ with a ~ Cauchy^d.
+type Cauchy struct {
+	Dim int
+	W   float64
+}
+
+// New draws one 1-stable function.
+func (f Cauchy) New(r *rng.Source) Func[vector.Vec] {
+	a := make(vector.Vec, f.Dim)
+	for i := range a {
+		// Standard Cauchy via the ratio of the tangent transform.
+		a[i] = math.Tan(math.Pi * (r.Float64() - 0.5))
+	}
+	b := r.Float64() * f.W
+	return func(v vector.Vec) uint64 {
+		return uint64(int64(math.Floor((vector.Dot(a, v) + b) / f.W)))
+	}
+}
+
+// CollisionProb returns the collision probability at ℓ1 distance d:
+// p(d) = 2·atan(w/d)/π − (d/(π·w))·ln(1 + (w/d)²).
+func (f Cauchy) CollisionProb(d float64) float64 {
+	if d <= 0 {
+		return 1
+	}
+	u := f.W / d
+	p := 2*math.Atan(u)/math.Pi - math.Log(1+u*u)/(math.Pi*u)
+	if p < 0 {
+		return 0
+	}
+	return p
+}

@@ -1,0 +1,106 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"fairnn/internal/rng"
+	"fairnn/internal/vector"
+)
+
+func TestCrossPolytopeIdenticalVectorsCollide(t *testing.T) {
+	r := rng.New(1)
+	f := CrossPolytope{Dim: 16}
+	q := vector.RandomUnit(r, 16)
+	if got := collisionRate[vector.Vec](f, q, vector.Clone(q), 300, 2); got != 1 {
+		t.Errorf("identical vectors collide at rate %v", got)
+	}
+}
+
+func TestCrossPolytopeMonotoneInSimilarity(t *testing.T) {
+	r := rng.New(3)
+	f := CrossPolytope{Dim: 24}
+	q := vector.RandomUnit(r, 24)
+	prev := 1.1
+	for _, s := range []float64{0.95, 0.8, 0.5, 0.0} {
+		p := vector.UnitWithInnerProduct(r, q, s)
+		got := collisionRate[vector.Vec](f, q, p, 4000, uint64(10*s)+5)
+		if got > prev+0.03 {
+			t.Errorf("collision rate not decreasing: s=%v rate=%v prev=%v", s, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestCrossPolytopeOppositeRarelyCollide(t *testing.T) {
+	r := rng.New(7)
+	f := CrossPolytope{Dim: 16}
+	q := vector.RandomUnit(r, 16)
+	neg := vector.Scale(q, -1)
+	// -q maps to the same coordinate with opposite sign: never collides.
+	if got := collisionRate[vector.Vec](f, q, neg, 500, 8); got != 0 {
+		t.Errorf("antipodal vectors collide at rate %v", got)
+	}
+}
+
+func TestCrossPolytopeKeyRange(t *testing.T) {
+	r := rng.New(9)
+	f := CrossPolytope{Dim: 8, ProjDim: 4}
+	h := f.New(r)
+	for i := 0; i < 200; i++ {
+		v := vector.RandomUnit(r, 8)
+		if key := h(v); key >= 8 { // 2 * ProjDim
+			t.Fatalf("key %d out of range for ProjDim 4", key)
+		}
+	}
+}
+
+func TestCrossPolytopeCollisionProbShape(t *testing.T) {
+	f := CrossPolytope{Dim: 32}
+	if p := f.CollisionProb(1); p != 1 {
+		t.Errorf("p(1) = %v", p)
+	}
+	if p := f.CollisionProb(-1); p != 0 {
+		t.Errorf("p(-1) = %v", p)
+	}
+	if p0 := f.CollisionProb(0); math.Abs(p0-1.0/64.0) > 1e-12 {
+		t.Errorf("p(0) = %v, want 1/2d = %v", p0, 1.0/64.0)
+	}
+	prev := 1.0
+	for _, s := range []float64{0.9, 0.6, 0.3, 0, -0.4, -0.9} {
+		p := f.CollisionProb(s)
+		if p > prev {
+			t.Errorf("CollisionProb not monotone at %v", s)
+		}
+		prev = p
+	}
+}
+
+func TestCauchyCollisionEmpirical(t *testing.T) {
+	r := rng.New(11)
+	f := Cauchy{Dim: 12, W: 4}
+	a := vector.Gaussian(r, 12)
+	b := vector.Clone(a)
+	b[0] += 1.0
+	b[1] += 1.0 // ℓ1 distance exactly 2
+	want := f.CollisionProb(2)
+	got := collisionRate[vector.Vec](f, a, b, 20000, 12)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("empirical %v vs analytic %v", got, want)
+	}
+}
+
+func TestCauchyCollisionProbMonotone(t *testing.T) {
+	f := Cauchy{Dim: 4, W: 2}
+	if p := f.CollisionProb(0); p != 1 {
+		t.Errorf("p(0) = %v", p)
+	}
+	prev := 1.0
+	for _, d := range []float64{0.1, 0.5, 1, 2, 5, 20} {
+		p := f.CollisionProb(d)
+		if p > prev+1e-12 {
+			t.Errorf("not monotone at %v", d)
+		}
+		prev = p
+	}
+}

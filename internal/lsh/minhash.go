@@ -1,0 +1,61 @@
+package lsh
+
+import (
+	"fairnn/internal/rng"
+	"fairnn/internal/set"
+)
+
+// MinHash is the classic min-wise hashing family of Broder for Jaccard
+// similarity: one function hashes every element of a set with a fixed
+// random 64-bit mixer and returns the minimum hashed value. Two sets agree
+// with probability equal to their Jaccard similarity.
+//
+// The empty set hashes to a sentinel (MaxUint64), so two empty sets always
+// collide — consistent with Jaccard(∅, ∅) = 1.
+type MinHash struct{}
+
+// New draws one min-wise function keyed by a random 64-bit seed.
+func (MinHash) New(r *rng.Source) Func[set.Set] {
+	seed := r.Uint64()
+	return func(s set.Set) uint64 { return minHashValue(s, seed) }
+}
+
+// CollisionProb returns Pr[h(x)=h(y)] = J(x,y).
+func (MinHash) CollisionProb(jaccard float64) float64 { return clamp01(jaccard) }
+
+func minHashValue(s set.Set, seed uint64) uint64 {
+	min := ^uint64(0)
+	for _, e := range s {
+		if v := rng.Mix64(seed ^ uint64(e)); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// OneBitMinHash is the b-bit minwise hashing scheme of Li and König
+// (WWW 2010) with b = 1: each function keeps only the lowest bit of the
+// min-wise hash value. Collision probability at Jaccard similarity J is
+// (1+J)/2 — the scheme used in the Section 6 experiments.
+type OneBitMinHash struct{}
+
+// New draws one 1-bit min-wise function.
+func (OneBitMinHash) New(r *rng.Source) Func[set.Set] {
+	seed := r.Uint64()
+	return func(s set.Set) uint64 { return minHashValue(s, seed) & 1 }
+}
+
+// CollisionProb returns (1+J)/2.
+func (OneBitMinHash) CollisionProb(jaccard float64) float64 {
+	return (1 + clamp01(jaccard)) / 2
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,110 @@
+package lsh
+
+import (
+	"math"
+
+	"fairnn/internal/rng"
+	"fairnn/internal/vector"
+)
+
+// SimHash is Charikar's sign-random-projection family for angular
+// similarity (STOC 2002): h(x) = sign(<a, x>) with a ~ N(0, I). Two unit
+// vectors with inner product s collide with probability 1 - arccos(s)/π.
+type SimHash struct {
+	// Dim is the dimensionality of the indexed vectors.
+	Dim int
+}
+
+// New draws one random hyperplane function.
+func (f SimHash) New(r *rng.Source) Func[vector.Vec] {
+	a := vector.Gaussian(r, f.Dim)
+	return func(v vector.Vec) uint64 {
+		if vector.Dot(a, v) >= 0 {
+			return 1
+		}
+		return 0
+	}
+}
+
+// CollisionProb returns 1 - arccos(s)/π for inner-product similarity s of
+// unit vectors.
+func (SimHash) CollisionProb(s float64) float64 {
+	if s > 1 {
+		s = 1
+	}
+	if s < -1 {
+		s = -1
+	}
+	return 1 - math.Acos(s)/math.Pi
+}
+
+// Euclidean is the p-stable LSH family of Datar, Immorlica, Indyk and
+// Mirrokni for ℓ2 distance: h(x) = ⌊(<a,x> + b)/w⌋ with a ~ N(0, I) and
+// b ~ U[0, w). Collision probability is a decreasing function of the
+// distance between the points.
+type Euclidean struct {
+	// Dim is the dimensionality of the indexed vectors.
+	Dim int
+	// W is the quantization width w.
+	W float64
+}
+
+// New draws one p-stable function.
+func (f Euclidean) New(r *rng.Source) Func[vector.Vec] {
+	a := vector.Gaussian(r, f.Dim)
+	b := r.Float64() * f.W
+	return func(v vector.Vec) uint64 {
+		return uint64(int64(math.Floor((vector.Dot(a, v) + b) / f.W)))
+	}
+}
+
+// CollisionProb returns the collision probability at ℓ2 distance d:
+// p(d) = 1 - 2Φ(-w/d) - (2d/(√(2π)·w))·(1 - e^{-w²/(2d²)}).
+func (f Euclidean) CollisionProb(d float64) float64 {
+	if d <= 0 {
+		return 1
+	}
+	u := f.W / d
+	phi := stdNormalCDF(-u)
+	p := 1 - 2*phi - (2/(math.Sqrt(2*math.Pi)*u))*(1-math.Exp(-u*u/2))
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// stdNormalCDF is the standard normal CDF Φ.
+func stdNormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// BitSampling is the Indyk–Motwani family for Hamming distance over
+// {0,1}^Dim, with vectors represented as float64 slices holding 0/1
+// entries: h(x) = x_i for a uniformly random coordinate i. Collision
+// probability at Hamming distance d is 1 - d/Dim.
+type BitSampling struct {
+	Dim int
+}
+
+// New draws one coordinate-sampling function.
+func (f BitSampling) New(r *rng.Source) Func[vector.Vec] {
+	i := r.Intn(f.Dim)
+	return func(v vector.Vec) uint64 {
+		if v[i] != 0 {
+			return 1
+		}
+		return 0
+	}
+}
+
+// CollisionProb returns 1 - d/Dim at Hamming distance d.
+func (f BitSampling) CollisionProb(d float64) float64 {
+	p := 1 - d/float64(f.Dim)
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

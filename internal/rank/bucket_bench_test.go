@@ -1,0 +1,60 @@
+package rank
+
+import (
+	"fmt"
+	"testing"
+
+	"fairnn/internal/rng"
+)
+
+// Crossover benchmarks: sorted-slice Bucket vs Treap for the operations
+// the core data structures perform. Slices win for the small buckets LSH
+// typically produces (O(bucket) memmove beats pointer chasing); treaps win
+// for the large, frequently-updated buckets of the Appendix A workload.
+
+func benchIDs(n int) []int32 {
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
+}
+
+func BenchmarkBucketVsTreap(b *testing.B) {
+	for _, size := range []int{16, 256, 4096} {
+		a := NewAssignment(size, rng.New(1))
+		src := rng.New(2)
+		b.Run(fmt.Sprintf("slice/update/n=%d", size), func(b *testing.B) {
+			bk := NewBucket(benchIDs(size), a)
+			for i := 0; i < b.N; i++ {
+				id := int32(src.Intn(size))
+				bk.Remove(a, id)
+				bk.Insert(a, id)
+			}
+		})
+		b.Run(fmt.Sprintf("treap/update/n=%d", size), func(b *testing.B) {
+			tr := NewTreap(benchIDs(size), a)
+			for i := 0; i < b.N; i++ {
+				id := int32(src.Intn(size))
+				tr.Remove(a, id)
+				tr.Insert(a, id)
+			}
+		})
+		b.Run(fmt.Sprintf("slice/range/n=%d", size), func(b *testing.B) {
+			bk := NewBucket(benchIDs(size), a)
+			out := make([]int32, 0, 64)
+			for i := 0; i < b.N; i++ {
+				lo := int32(src.Intn(size))
+				out = bk.RangeReport(a, lo, lo+int32(size/16)+1, out[:0])
+			}
+		})
+		b.Run(fmt.Sprintf("treap/range/n=%d", size), func(b *testing.B) {
+			tr := NewTreap(benchIDs(size), a)
+			out := make([]int32, 0, 64)
+			for i := 0; i < b.N; i++ {
+				lo := int32(src.Intn(size))
+				out = tr.RangeReport(lo, lo+int32(size/16)+1, out[:0])
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+// Package rank implements the random-rank machinery shared by the Section 3
+// and Section 4 data structures: a random permutation assigning each point a
+// rank, and buckets kept sorted by rank that support (a) scanning in rank
+// order, (b) reporting all ids with rank inside a segment [lo, hi) in
+// O(log n + output) time (the per-bucket "index" of Section 4), and (c) the
+// rank swaps of Appendix A.
+package rank
+
+import "sort"
+
+import "fairnn/internal/rng"
+
+// Assignment is a bijection between point ids [0, n) and ranks [0, n).
+// Lower rank means "earlier in the random permutation Λ".
+type Assignment struct {
+	rank   []int32 // rank[id] = rank of point id
+	byRank []int32 // byRank[rank] = id holding that rank
+}
+
+// NewAssignment draws a uniform random permutation of n points.
+func NewAssignment(n int, r *rng.Source) *Assignment {
+	byRank := r.Perm(n)
+	rank := make([]int32, n)
+	for pos, id := range byRank {
+		rank[id] = int32(pos)
+	}
+	return &Assignment{rank: rank, byRank: byRank}
+}
+
+// IdentityAssignment returns the identity permutation; useful in tests to
+// demonstrate the bias that the random permutation removes.
+func IdentityAssignment(n int) *Assignment {
+	rank := make([]int32, n)
+	byRank := make([]int32, n)
+	for i := 0; i < n; i++ {
+		rank[i] = int32(i)
+		byRank[i] = int32(i)
+	}
+	return &Assignment{rank: rank, byRank: byRank}
+}
+
+// N returns the number of points.
+func (a *Assignment) N() int { return len(a.rank) }
+
+// Of returns the rank of point id.
+func (a *Assignment) Of(id int32) int32 { return a.rank[id] }
+
+// IDAt returns the id holding the given rank.
+func (a *Assignment) IDAt(rank int32) int32 { return a.byRank[rank] }
+
+// Swap exchanges the ranks of two points (the Fisher–Yates-style
+// perturbation of Appendix A). Swapping a point with itself is a no-op.
+func (a *Assignment) Swap(id1, id2 int32) {
+	r1, r2 := a.rank[id1], a.rank[id2]
+	a.rank[id1], a.rank[id2] = r2, r1
+	a.byRank[r1], a.byRank[r2] = id2, id1
+}
+
+// Valid reports whether the assignment is a bijection (for property tests).
+func (a *Assignment) Valid() bool {
+	if len(a.rank) != len(a.byRank) {
+		return false
+	}
+	for id, r := range a.rank {
+		if r < 0 || int(r) >= len(a.byRank) || a.byRank[r] != int32(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bucket is a list of point ids kept sorted by ascending rank under a fixed
+// Assignment. It is the bucket representation of both Section 3 (scan in
+// rank order, stop at first near point) and Section 4 (rank-range
+// reporting). The Assignment is passed to each operation rather than stored
+// so that rank swaps (Appendix A) can relocate ids across many buckets
+// without back-pointers.
+type Bucket struct {
+	ids []int32
+}
+
+// NewBucket builds a bucket over ids, sorting them by rank. The slice is
+// taken over by the bucket.
+func NewBucket(ids []int32, a *Assignment) *Bucket {
+	sort.Slice(ids, func(i, j int) bool { return a.Of(ids[i]) < a.Of(ids[j]) })
+	return &Bucket{ids: ids}
+}
+
+// Len returns the number of ids in the bucket.
+func (b *Bucket) Len() int { return len(b.ids) }
+
+// IDs returns the ids in ascending rank order. The slice is owned by the
+// bucket and must not be modified.
+func (b *Bucket) IDs() []int32 { return b.ids }
+
+// At returns the i-th id in rank order.
+func (b *Bucket) At(i int) int32 { return b.ids[i] }
+
+// RangeReport appends to out every id whose rank lies in [loRank, hiRank),
+// in ascending rank order, using binary search: O(log |bucket| + output).
+func (b *Bucket) RangeReport(a *Assignment, loRank, hiRank int32, out []int32) []int32 {
+	i := sort.Search(len(b.ids), func(i int) bool { return a.Of(b.ids[i]) >= loRank })
+	for ; i < len(b.ids); i++ {
+		if a.Of(b.ids[i]) >= hiRank {
+			break
+		}
+		out = append(out, b.ids[i])
+	}
+	return out
+}
+
+// CountRange returns the number of ids with rank in [loRank, hiRank).
+func (b *Bucket) CountRange(a *Assignment, loRank, hiRank int32) int {
+	lo := sort.Search(len(b.ids), func(i int) bool { return a.Of(b.ids[i]) >= loRank })
+	hi := sort.Search(len(b.ids), func(i int) bool { return a.Of(b.ids[i]) >= hiRank })
+	return hi - lo
+}
+
+// Remove deletes id from the bucket (identified by its current rank).
+// It reports whether the id was present.
+func (b *Bucket) Remove(a *Assignment, id int32) bool {
+	r := a.Of(id)
+	i := sort.Search(len(b.ids), func(i int) bool { return a.Of(b.ids[i]) >= r })
+	if i >= len(b.ids) || b.ids[i] != id {
+		return false
+	}
+	b.ids = append(b.ids[:i], b.ids[i+1:]...)
+	return true
+}
+
+// Insert adds id at the position given by its current rank.
+func (b *Bucket) Insert(a *Assignment, id int32) {
+	r := a.Of(id)
+	i := sort.Search(len(b.ids), func(i int) bool { return a.Of(b.ids[i]) >= r })
+	b.ids = append(b.ids, 0)
+	copy(b.ids[i+1:], b.ids[i:])
+	b.ids[i] = id
+}
+
+// Contains reports whether id is present (by rank lookup).
+func (b *Bucket) Contains(a *Assignment, id int32) bool {
+	r := a.Of(id)
+	i := sort.Search(len(b.ids), func(i int) bool { return a.Of(b.ids[i]) >= r })
+	return i < len(b.ids) && b.ids[i] == id
+}
+
+// Sorted reports whether the bucket is sorted by rank (invariant check for
+// property tests).
+func (b *Bucket) Sorted(a *Assignment) bool {
+	for i := 1; i < len(b.ids); i++ {
+		if a.Of(b.ids[i-1]) >= a.Of(b.ids[i]) {
+			return false
+		}
+	}
+	return true
+}

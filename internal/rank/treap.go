@@ -1,0 +1,282 @@
+package rank
+
+import "fairnn/internal/rng"
+
+// Treap is a randomized balanced search tree over point ids keyed by their
+// current rank. It offers the O(log n) insert/delete/range-report bounds
+// the paper assumes for the per-bucket "index" (Section 4) and "priority
+// queue" (Appendix A); the sorted-slice Bucket has the same interface with
+// O(bucket) updates, which is faster for the small buckets LSH typically
+// produces. Benchmarks in bucket_bench_test.go quantify the crossover.
+//
+// Tree priorities are derived deterministically from the id via a strong
+// mixer, which makes the structure reproducible without storing a
+// generator and keeps expected depth O(log n) for any insertion order.
+type Treap struct {
+	root *treapNode
+	size int
+}
+
+type treapNode struct {
+	id          int32
+	rank        int32 // cached key; updated on Reinsert
+	priority    uint64
+	left, right *treapNode
+}
+
+// NewTreap builds a treap over ids with ranks from a.
+func NewTreap(ids []int32, a *Assignment) *Treap {
+	t := &Treap{}
+	for _, id := range ids {
+		t.Insert(a, id)
+	}
+	return t
+}
+
+// Len returns the number of stored ids.
+func (t *Treap) Len() int { return t.size }
+
+func treapPriority(id int32) uint64 {
+	return rng.Mix64(uint64(uint32(id)) ^ 0x72616e6b74726565)
+}
+
+// rotateRight / rotateLeft restore the heap property on priorities.
+func rotateRight(n *treapNode) *treapNode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	return l
+}
+
+func rotateLeft(n *treapNode) *treapNode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	return r
+}
+
+// Insert adds id under its current rank. Duplicate ids are rejected
+// (idempotent insert) to preserve the bucket-set semantics.
+func (t *Treap) Insert(a *Assignment, id int32) {
+	if t.Contains(a, id) {
+		return
+	}
+	t.root = t.insert(t.root, id, a.Of(id))
+	t.size++
+}
+
+func (t *Treap) insert(n *treapNode, id, rank int32) *treapNode {
+	if n == nil {
+		return &treapNode{id: id, rank: rank, priority: treapPriority(id)}
+	}
+	if rank < n.rank {
+		n.left = t.insert(n.left, id, rank)
+		if n.left.priority > n.priority {
+			n = rotateRight(n)
+		}
+	} else {
+		n.right = t.insert(n.right, id, rank)
+		if n.right.priority > n.priority {
+			n = rotateLeft(n)
+		}
+	}
+	return n
+}
+
+// Remove deletes id (located by its current rank). Returns whether the id
+// was present.
+func (t *Treap) Remove(a *Assignment, id int32) bool {
+	removed := false
+	t.root = t.remove(t.root, id, a.Of(id), &removed)
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+func (t *Treap) remove(n *treapNode, id, rank int32, removed *bool) *treapNode {
+	if n == nil {
+		return nil
+	}
+	switch {
+	case rank < n.rank:
+		n.left = t.remove(n.left, id, rank, removed)
+	case rank > n.rank:
+		n.right = t.remove(n.right, id, rank, removed)
+	case n.id != id:
+		// Same rank, different id cannot happen under a bijective
+		// Assignment; defensively search both sides.
+		n.left = t.remove(n.left, id, rank, removed)
+		if !*removed {
+			n.right = t.remove(n.right, id, rank, removed)
+		}
+	default:
+		*removed = true
+		// Rotate the node down until it is a leaf, then drop it.
+		switch {
+		case n.left == nil:
+			return n.right
+		case n.right == nil:
+			return n.left
+		case n.left.priority > n.right.priority:
+			n = rotateRight(n)
+			n.right = t.remove(n.right, id, rank, removed)
+		default:
+			n = rotateLeft(n)
+			n.left = t.remove(n.left, id, rank, removed)
+		}
+	}
+	return n
+}
+
+// Contains reports whether id is present (by rank lookup).
+func (t *Treap) Contains(a *Assignment, id int32) bool {
+	rank := a.Of(id)
+	n := t.root
+	for n != nil {
+		switch {
+		case rank < n.rank:
+			n = n.left
+		case rank > n.rank:
+			n = n.right
+		default:
+			return n.id == id
+		}
+	}
+	return false
+}
+
+// Min returns the id with the smallest rank, or ok=false when empty.
+func (t *Treap) Min() (id int32, ok bool) {
+	n := t.root
+	if n == nil {
+		return 0, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.id, true
+}
+
+// RangeReport appends every id with rank in [loRank, hiRank) to out, in
+// ascending rank order: O(log n + output).
+func (t *Treap) RangeReport(loRank, hiRank int32, out []int32) []int32 {
+	return rangeReport(t.root, loRank, hiRank, out)
+}
+
+func rangeReport(n *treapNode, lo, hi int32, out []int32) []int32 {
+	if n == nil {
+		return out
+	}
+	if lo < n.rank {
+		out = rangeReport(n.left, lo, hi, out)
+	}
+	if n.rank >= lo && n.rank < hi {
+		out = append(out, n.id)
+	}
+	if hi > n.rank {
+		out = rangeReport(n.right, lo, hi, out)
+	}
+	return out
+}
+
+// CountRange returns the number of ids with rank in [loRank, hiRank).
+func (t *Treap) CountRange(loRank, hiRank int32) int {
+	return countRange(t.root, loRank, hiRank)
+}
+
+func countRange(n *treapNode, lo, hi int32) int {
+	if n == nil {
+		return 0
+	}
+	c := 0
+	if lo < n.rank {
+		c += countRange(n.left, lo, hi)
+	}
+	if n.rank >= lo && n.rank < hi {
+		c++
+	}
+	if hi > n.rank {
+		c += countRange(n.right, lo, hi)
+	}
+	return c
+}
+
+// InOrder appends all ids in ascending rank order.
+func (t *Treap) InOrder(out []int32) []int32 {
+	return rangeReport(t.root, -1<<31, 1<<31-1, out)
+}
+
+// Reinsert refreshes id's position after its rank changed in a: it removes
+// the node under the old cached rank and reinserts under the current one.
+// Callers that cannot guarantee removal-before-swap should use this.
+func (t *Treap) Reinsert(a *Assignment, id int32) {
+	// The cached rank inside the tree may be stale; locate by scanning the
+	// path for both old and new key. Removing by stored key:
+	removed := false
+	t.root = removeByID(t.root, id, &removed)
+	if removed {
+		t.size--
+	}
+	t.Insert(a, id)
+}
+
+// removeByID removes the node with the given id wherever it is (O(n) worst
+// case; only used by Reinsert's stale-rank path).
+func removeByID(n *treapNode, id int32, removed *bool) *treapNode {
+	if n == nil || *removed {
+		return n
+	}
+	if n.id == id {
+		*removed = true
+		switch {
+		case n.left == nil:
+			return n.right
+		case n.right == nil:
+			return n.left
+		case n.left.priority > n.right.priority:
+			n = rotateRight(n)
+			n.right = removeByID(n.right, id, removed)
+		default:
+			n = rotateLeft(n)
+			n.left = removeByID(n.left, id, removed)
+		}
+		return n
+	}
+	n.left = removeByID(n.left, id, removed)
+	if !*removed {
+		n.right = removeByID(n.right, id, removed)
+	}
+	return n
+}
+
+// Valid verifies the BST-on-rank and heap-on-priority invariants plus the
+// cached ranks against a (for property tests).
+func (t *Treap) Valid(a *Assignment) bool {
+	count := 0
+	ok := validate(t.root, a, nil, nil, &count)
+	return ok && count == t.size
+}
+
+func validate(n *treapNode, a *Assignment, lo, hi *int32, count *int) bool {
+	if n == nil {
+		return true
+	}
+	*count++
+	if a.Of(n.id) != n.rank {
+		return false // stale cached rank
+	}
+	if lo != nil && n.rank <= *lo {
+		return false
+	}
+	if hi != nil && n.rank >= *hi {
+		return false
+	}
+	if n.left != nil && n.left.priority > n.priority {
+		return false
+	}
+	if n.right != nil && n.right.priority > n.priority {
+		return false
+	}
+	return validate(n.left, a, lo, &n.rank, count) && validate(n.right, a, &n.rank, hi, count)
+}

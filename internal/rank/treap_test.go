@@ -1,0 +1,213 @@
+package rank
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fairnn/internal/rng"
+)
+
+func TestTreapBasicOps(t *testing.T) {
+	a := NewAssignment(50, rng.New(1))
+	tr := NewTreap([]int32{3, 7, 11, 19, 23}, a)
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Valid(a) {
+		t.Fatal("invalid after build")
+	}
+	for _, id := range []int32{3, 7, 11, 19, 23} {
+		if !tr.Contains(a, id) {
+			t.Fatalf("missing %d", id)
+		}
+	}
+	if tr.Contains(a, 4) {
+		t.Fatal("phantom member")
+	}
+	if !tr.Remove(a, 11) {
+		t.Fatal("Remove existing failed")
+	}
+	if tr.Remove(a, 11) {
+		t.Fatal("Remove missing succeeded")
+	}
+	if tr.Len() != 4 || !tr.Valid(a) {
+		t.Fatal("invalid after removal")
+	}
+	tr.Insert(a, 11)
+	tr.Insert(a, 11) // duplicate insert is a no-op
+	if tr.Len() != 5 || !tr.Valid(a) {
+		t.Fatal("invalid after reinsert")
+	}
+}
+
+func TestTreapMin(t *testing.T) {
+	a := IdentityAssignment(20)
+	tr := NewTreap([]int32{9, 4, 15}, a)
+	id, ok := tr.Min()
+	if !ok || id != 4 {
+		t.Fatalf("Min = %d, %v", id, ok)
+	}
+	empty := NewTreap(nil, a)
+	if _, ok := empty.Min(); ok {
+		t.Fatal("Min on empty succeeded")
+	}
+}
+
+func TestTreapMatchesBucketReference(t *testing.T) {
+	// Property: Treap and the sorted-slice Bucket agree on every
+	// operation for arbitrary id sets and rank ranges.
+	prop := func(seed uint64, rawIDs []uint8, loRaw, hiRaw uint8) bool {
+		const n = 150
+		a := NewAssignment(n, rng.New(seed))
+		seen := map[int32]bool{}
+		var ids []int32
+		for _, v := range rawIDs {
+			id := int32(v) % n
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		tr := NewTreap(append([]int32(nil), ids...), a)
+		bk := NewBucket(append([]int32(nil), ids...), a)
+		if tr.Len() != bk.Len() {
+			return false
+		}
+		lo := int32(loRaw) % n
+		hi := int32(hiRaw) % n
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		gotT := tr.RangeReport(lo, hi, nil)
+		gotB := bk.RangeReport(a, lo, hi, nil)
+		if len(gotT) != len(gotB) {
+			return false
+		}
+		for i := range gotT {
+			if gotT[i] != gotB[i] {
+				return false
+			}
+		}
+		if tr.CountRange(lo, hi) != bk.CountRange(a, lo, hi) {
+			return false
+		}
+		// In-order traversal equals the bucket's rank order.
+		all := tr.InOrder(nil)
+		if len(all) != bk.Len() {
+			return false
+		}
+		for i, id := range all {
+			if id != bk.At(i) {
+				return false
+			}
+		}
+		return tr.Valid(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreapRandomOpsStayValid(t *testing.T) {
+	prop := func(seed uint64, ops []uint16) bool {
+		const n = 100
+		a := NewAssignment(n, rng.New(seed))
+		tr := NewTreap(nil, a)
+		member := map[int32]bool{}
+		for _, op := range ops {
+			id := int32(op) % n
+			switch (op / n) % 3 {
+			case 0:
+				tr.Insert(a, id)
+				member[id] = true
+			case 1:
+				got := tr.Remove(a, id)
+				if got != member[id] {
+					return false
+				}
+				delete(member, id)
+			case 2:
+				if tr.Contains(a, id) != member[id] {
+					return false
+				}
+			}
+		}
+		return tr.Len() == len(member) && tr.Valid(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreapRankSwapWorkflow(t *testing.T) {
+	// The Appendix A update on a treap: remove both ids, swap, reinsert.
+	const n = 60
+	a := NewAssignment(n, rng.New(4))
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	tr := NewTreap(all, a)
+	src := rng.New(5)
+	for i := 0; i < 300; i++ {
+		x := int32(src.Intn(n))
+		y := int32(src.Intn(n))
+		tr.Remove(a, x)
+		if x != y {
+			tr.Remove(a, y)
+		}
+		a.Swap(x, y)
+		tr.Insert(a, x)
+		if x != y {
+			tr.Insert(a, y)
+		}
+		if !tr.Valid(a) {
+			t.Fatalf("invalid after swap %d", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("lost elements: %d", tr.Len())
+	}
+}
+
+func TestTreapReinsertAfterRankChange(t *testing.T) {
+	const n = 40
+	a := NewAssignment(n, rng.New(7))
+	tr := NewTreap([]int32{1, 2, 3, 4, 5}, a)
+	// Swap ranks *without* removing first — the stale-rank path.
+	a.Swap(2, 3)
+	tr.Reinsert(a, 2)
+	tr.Reinsert(a, 3)
+	if !tr.Valid(a) {
+		t.Fatal("invalid after Reinsert")
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestTreapDepthIsLogarithmic(t *testing.T) {
+	const n = 4096
+	a := NewAssignment(n, rng.New(9))
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	tr := NewTreap(ids, a)
+	d := depth(tr.root)
+	// Expected depth ~ 3·log2(n) ≈ 36 for a treap; fail above 5·log2(n).
+	if d > 60 {
+		t.Errorf("treap depth %d too large for n=%d", d, n)
+	}
+}
+
+func depth(n *treapNode) int {
+	if n == nil {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

@@ -1,0 +1,90 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairwiseHashRange(t *testing.T) {
+	f := func(seed, x uint64) bool {
+		h := NewPairwiseHash(New(seed))
+		return h.Hash(x) < h.Range()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairwiseHashDeterministic(t *testing.T) {
+	h := NewPairwiseHash(New(9))
+	for x := uint64(0); x < 1000; x++ {
+		if h.Hash(x) != h.Hash(x) {
+			t.Fatal("hash not deterministic")
+		}
+	}
+}
+
+func TestPairwiseHashSpreads(t *testing.T) {
+	// Bucket 100k consecutive keys into 16 buckets; each bucket should be
+	// near 1/16 of the mass.
+	h := NewPairwiseHash(New(31))
+	const buckets = 16
+	counts := make([]int, buckets)
+	const n = 100000
+	for x := uint64(0); x < n; x++ {
+		counts[h.Hash(x)%buckets]++
+	}
+	want := float64(n) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d, want ~%f", i, c, want)
+		}
+	}
+}
+
+func TestPairwiseHashPairwiseCollisions(t *testing.T) {
+	// Over random function draws, Pr[h(x)=h(y) mod m] ≈ 1/m for x≠y.
+	const m = 64
+	const trials = 20000
+	src := New(55)
+	coll := 0
+	for i := 0; i < trials; i++ {
+		h := NewPairwiseHash(src)
+		if h.Hash(12345)%m == h.Hash(67890)%m {
+			coll++
+		}
+	}
+	p := float64(coll) / trials
+	if p > 2.0/m {
+		t.Errorf("pairwise collision rate %v, want ≈ %v", p, 1.0/m)
+	}
+}
+
+func TestTabulationHashDistinctAndDeterministic(t *testing.T) {
+	h := NewTabulationHash(New(17))
+	seen := make(map[uint64]uint64)
+	for x := uint64(0); x < 20000; x++ {
+		v := h.Hash(x)
+		if v != h.Hash(x) {
+			t.Fatal("tabulation hash not deterministic")
+		}
+		if prev, ok := seen[v]; ok {
+			t.Fatalf("collision between %d and %d", prev, x)
+		}
+		seen[v] = x
+	}
+}
+
+func TestTabulationHashBitBalance(t *testing.T) {
+	h := NewTabulationHash(New(23))
+	const n = 50000
+	ones := 0
+	for x := uint64(0); x < n; x++ {
+		ones += int(h.Hash(x) & 1)
+	}
+	p := float64(ones) / n
+	if math.Abs(p-0.5) > 0.01 {
+		t.Errorf("low bit bias: %v", p)
+	}
+}

@@ -1,0 +1,258 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(1)
+	for _, n := range []uint64{1, 2, 3, 7, 16, 100, 1 << 40} {
+		for i := 0; i < 1000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n<=0")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(42)
+	const n = 10
+	const trials = 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d deviates from %f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp()
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsBijection(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	// The first element of a uniform permutation of [0,n) is uniform.
+	const n = 8
+	const trials = 80000
+	counts := make([]int, n)
+	r := New(99)
+	for i := 0; i < trials; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("first element %d count %d, want ~%f", i, c, want)
+		}
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	a, b := New(1234), New(1234)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := New(1235)
+	same := 0
+	a = New(1234)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds agree on %d of 1000 draws", same)
+	}
+}
+
+func TestSplitStreamsDiffer(t *testing.T) {
+	a := New(5)
+	b := a.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams agree on %d of 1000 draws", same)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / trials; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate %v", p)
+	}
+}
+
+func TestZipfHeadHeavierThanTail(t *testing.T) {
+	z := NewZipf(1000, 1.0)
+	r := New(21)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] <= counts[500] {
+		t.Errorf("Zipf head (%d) not heavier than tail (%d)", counts[0], counts[500])
+	}
+	// Rank-0 frequency should be near 1/H_1000 ≈ 0.133.
+	p0 := float64(counts[0]) / 100000
+	if p0 < 0.10 || p0 > 0.17 {
+		t.Errorf("Zipf p(0) = %v, want ≈ 0.133", p0)
+	}
+}
+
+func TestZipfSampleInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		z := NewZipf(50, 0.8)
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			if v := z.Sample(r); v < 0 || v >= 50 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMix64Distinct(t *testing.T) {
+	seen := make(map[uint64]struct{})
+	for i := uint64(0); i < 10000; i++ {
+		v := Mix64(i)
+		if _, ok := seen[v]; ok {
+			t.Fatalf("Mix64 collision at %d", i)
+		}
+		seen[v] = struct{}{}
+	}
+}
+
+func TestCombineOrderSensitive(t *testing.T) {
+	a := Combine(Combine(1, 2), 3)
+	b := Combine(Combine(1, 3), 2)
+	if a == b {
+		t.Error("Combine is order-insensitive; AND-composition keys would collide")
+	}
+}
+
+func TestShuffleInt32Preserves(t *testing.T) {
+	r := New(77)
+	p := []int32{5, 6, 7, 8, 9}
+	r.ShuffleInt32(p)
+	seen := map[int32]bool{}
+	for _, v := range p {
+		seen[v] = true
+	}
+	for v := int32(5); v <= 9; v++ {
+		if !seen[v] {
+			t.Fatalf("shuffle lost element %d", v)
+		}
+	}
+}

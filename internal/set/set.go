@@ -1,0 +1,171 @@
+// Package set implements the sparse set representation used for the
+// Jaccard-similarity experiments of Section 6: each user is the set of item
+// ids they interacted with. Sets are stored as strictly increasing []uint32
+// slices, which makes intersections, Jaccard similarity and MinHash linear
+// scans cache-friendly.
+package set
+
+import "sort"
+
+// Set is a set of item identifiers stored in strictly increasing order.
+// The zero value is the empty set.
+type Set []uint32
+
+// FromSlice builds a Set from arbitrary (possibly duplicated, unsorted)
+// items. The input slice is not modified.
+func FromSlice(items []uint32) Set {
+	if len(items) == 0 {
+		return nil
+	}
+	s := make(Set, len(items))
+	copy(s, items)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	// Deduplicate in place.
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[w-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// Range builds the set {lo, lo+1, ..., hi} (inclusive). It panics if hi < lo.
+func Range(lo, hi uint32) Set {
+	if hi < lo {
+		panic("set: Range with hi < lo")
+	}
+	s := make(Set, 0, hi-lo+1)
+	for v := lo; ; v++ {
+		s = append(s, v)
+		if v == hi {
+			break
+		}
+	}
+	return s
+}
+
+// Len returns the cardinality of the set.
+func (s Set) Len() int { return len(s) }
+
+// Contains reports whether v is a member of s.
+func (s Set) Contains(v uint32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	if s == nil {
+		return nil
+	}
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// Valid reports whether s is strictly increasing (the representation
+// invariant). Exposed for property-based tests.
+func (s Set) Valid() bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectionSize returns |a ∩ b| by a linear merge.
+func IntersectionSize(a, b Set) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// UnionSize returns |a ∪ b|.
+func UnionSize(a, b Set) int {
+	return len(a) + len(b) - IntersectionSize(a, b)
+}
+
+// Jaccard returns |a ∩ b| / |a ∪ b|; the Jaccard similarity of two empty
+// sets is defined as 1 (they are identical).
+func Jaccard(a, b Set) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := IntersectionSize(a, b)
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Intersection returns a ∩ b as a new Set.
+func Intersection(a, b Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns a ∪ b as a new Set.
+func Union(a, b Set) Set {
+	out := make(Set, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Difference returns a \ b as a new Set.
+func Difference(a, b Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(a) {
+		if j >= len(b) || a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else if a[i] > b[j] {
+			j++
+		} else {
+			i++
+			j++
+		}
+	}
+	return out
+}

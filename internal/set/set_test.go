@@ -1,0 +1,188 @@
+package set
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func ref(items []uint32) map[uint32]bool {
+	m := make(map[uint32]bool)
+	for _, v := range items {
+		m[v] = true
+	}
+	return m
+}
+
+func TestFromSliceSortsAndDedupes(t *testing.T) {
+	s := FromSlice([]uint32{5, 1, 5, 3, 1, 9})
+	want := Set{1, 3, 5, 9}
+	if len(s) != len(want) {
+		t.Fatalf("got %v want %v", s, want)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("got %v want %v", s, want)
+		}
+	}
+}
+
+func TestFromSliceEmpty(t *testing.T) {
+	if s := FromSlice(nil); s.Len() != 0 {
+		t.Fatalf("empty input produced %v", s)
+	}
+}
+
+func TestFromSlicePropertyValid(t *testing.T) {
+	f := func(items []uint32) bool {
+		s := FromSlice(items)
+		if !s.Valid() {
+			return false
+		}
+		m := ref(items)
+		if len(s) != len(m) {
+			return false
+		}
+		for _, v := range s {
+			if !m[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := Range(3, 6)
+	want := Set{3, 4, 5, 6}
+	if len(s) != 4 {
+		t.Fatalf("got %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("got %v want %v", s, want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := FromSlice([]uint32{2, 4, 6})
+	for _, v := range []uint32{2, 4, 6} {
+		if !s.Contains(v) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	for _, v := range []uint32{1, 3, 5, 7} {
+		if s.Contains(v) {
+			t.Errorf("Contains(%d) = true", v)
+		}
+	}
+}
+
+func TestJaccardKnownValues(t *testing.T) {
+	q := Range(1, 30)
+	cases := []struct {
+		s    Set
+		want float64
+	}{
+		{Range(1, 27), 27.0 / 30.0},  // Z of Section 6.2
+		{Range(1, 18), 18.0 / 30.0},  // Y
+		{Range(16, 30), 15.0 / 30.0}, // X
+		{q, 1},
+	}
+	for _, c := range cases {
+		if got := Jaccard(q, c.s); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jaccard = %v, want %v", got, c.want)
+		}
+	}
+}
+
+func TestJaccardEmpty(t *testing.T) {
+	if got := Jaccard(nil, nil); got != 1 {
+		t.Errorf("Jaccard(∅,∅) = %v, want 1", got)
+	}
+	if got := Jaccard(nil, Range(1, 3)); got != 0 {
+		t.Errorf("Jaccard(∅,s) = %v, want 0", got)
+	}
+}
+
+func TestJaccardProperties(t *testing.T) {
+	f := func(a, b []uint32) bool {
+		x, y := FromSlice(a), FromSlice(b)
+		j1, j2 := Jaccard(x, y), Jaccard(y, x)
+		if j1 != j2 {
+			return false // symmetry
+		}
+		if j1 < 0 || j1 > 1 {
+			return false // bounds
+		}
+		if Jaccard(x, x) != 1 {
+			return false // reflexivity
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAlgebraAgainstReference(t *testing.T) {
+	f := func(a, b []uint32) bool {
+		x, y := FromSlice(a), FromSlice(b)
+		ma, mb := ref(a), ref(b)
+
+		inter := Intersection(x, y)
+		union := Union(x, y)
+		diff := Difference(x, y)
+		if !inter.Valid() || !union.Valid() || !diff.Valid() {
+			return false
+		}
+		wantInter := 0
+		for v := range ma {
+			if mb[v] {
+				wantInter++
+			}
+		}
+		if inter.Len() != wantInter || IntersectionSize(x, y) != wantInter {
+			return false
+		}
+		wantUnion := len(ma) + len(mb) - wantInter
+		if union.Len() != wantUnion || UnionSize(x, y) != wantUnion {
+			return false
+		}
+		wantDiff := len(ma) - wantInter
+		if diff.Len() != wantDiff {
+			return false
+		}
+		for _, v := range diff {
+			if !ma[v] || mb[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := FromSlice([]uint32{1, 2, 3})
+	c := s.Clone()
+	c[0] = 99
+	if s[0] == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestJaccardInclusionMonotone(t *testing.T) {
+	// For m ⊂ Y ⊂ Q, J(Q,m) = |m|/|Q|.
+	q := Range(1, 30)
+	m := Range(1, 15)
+	if got, want := Jaccard(q, m), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("J = %v want %v", got, want)
+	}
+}

@@ -1,0 +1,105 @@
+package sketch
+
+import (
+	"errors"
+	"math"
+
+	"fairnn/internal/rng"
+)
+
+// Counter is the common interface of the two count-distinct sketches
+// (the Section 2.3 KMV/BJKST sketch and HyperLogLog), letting the
+// Section 4 data structure treat its per-bucket sketches generically.
+type Counter interface {
+	// Add inserts an element.
+	Add(x uint64)
+	// Estimate returns the estimated number of distinct elements.
+	Estimate() float64
+	// MemoryWords returns the sketch size in 64-bit words.
+	MemoryWords() int
+}
+
+// CounterFamily creates mergeable counters that share hash functions.
+type CounterFamily interface {
+	// NewCounter returns an empty counter.
+	NewCounter() Counter
+	// SketchIDs builds a counter over point ids in one pass.
+	SketchIDs(ids []int32) Counter
+	// MergeInto folds src into dst; both must come from this family.
+	MergeInto(dst, src Counter) error
+}
+
+// Kind selects a counter implementation.
+type Kind int
+
+const (
+	// KMV is the paper's Section 2.3 sketch (t smallest hash values per
+	// row, Δ rows): clean (ε, δ) guarantees under pairwise independence.
+	KMV Kind = iota
+	// HyperLogLog trades the analysis for ~10x smaller sketches at
+	// comparable practical accuracy.
+	HyperLogLog
+)
+
+// NewCounterFamily constructs a family of the given kind. For KMV, eps and
+// delta carry the Section 2.3 parameters; for HyperLogLog, eps picks the
+// precision p as the smallest with 1.04/√(2^p) ≤ eps (delta is unused).
+func NewCounterFamily(kind Kind, eps, delta float64, r *rng.Source) (CounterFamily, error) {
+	switch kind {
+	case KMV:
+		f, err := NewFamily(Params{Epsilon: eps, Delta: delta}, r)
+		if err != nil {
+			return nil, err
+		}
+		return kmvFamily{f}, nil
+	case HyperLogLog:
+		// Smallest precision p with nominal error 1.04/√(2^p) ≤ eps.
+		p := uint8(4)
+		for p < 16 && 1.04/math.Sqrt(float64(uint64(1)<<p)) > eps {
+			p++
+		}
+		f, err := NewHLLFamily(p, r)
+		if err != nil {
+			return nil, err
+		}
+		return hllFamily{f}, nil
+	default:
+		return nil, errors.New("sketch: unknown counter kind")
+	}
+}
+
+type kmvFamily struct{ f *Family }
+
+func (k kmvFamily) NewCounter() Counter { return k.f.NewSketch() }
+
+func (k kmvFamily) SketchIDs(ids []int32) Counter { return k.f.Sketch(ids) }
+
+func (k kmvFamily) MergeInto(dst, src Counter) error {
+	d, ok := dst.(*Distinct)
+	if !ok {
+		return errors.New("sketch: dst is not a KMV sketch")
+	}
+	s, ok := src.(*Distinct)
+	if !ok {
+		return errors.New("sketch: src is not a KMV sketch")
+	}
+	return d.Merge(s)
+}
+
+type hllFamily struct{ f *HLLFamily }
+
+func (h hllFamily) NewCounter() Counter { return h.f.NewSketch() }
+
+func (h hllFamily) SketchIDs(ids []int32) Counter { return h.f.Sketch(ids) }
+
+func (h hllFamily) MergeInto(dst, src Counter) error {
+	d, ok := dst.(*HLL)
+	if !ok {
+		return errors.New("sketch: dst is not an HLL sketch")
+	}
+	s, ok := src.(*HLL)
+	if !ok {
+		return errors.New("sketch: src is not an HLL sketch")
+	}
+	return d.Merge(s)
+}

@@ -1,0 +1,71 @@
+package sketch
+
+import (
+	"testing"
+
+	"fairnn/internal/rng"
+)
+
+func TestNewCounterFamilyKinds(t *testing.T) {
+	for _, kind := range []Kind{KMV, HyperLogLog} {
+		f, err := NewCounterFamily(kind, 0.5, 0.01, rng.New(uint64(kind)+1))
+		if err != nil {
+			t.Fatalf("kind %v: %v", kind, err)
+		}
+		c := f.SketchIDs([]int32{1, 2, 3, 2, 1})
+		if est := c.Estimate(); est < 2 || est > 4 {
+			t.Errorf("kind %v: estimate %v for 3 distinct", kind, est)
+		}
+	}
+	if _, err := NewCounterFamily(Kind(99), 0.5, 0.01, rng.New(1)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestCounterFamilyMergeInto(t *testing.T) {
+	for _, kind := range []Kind{KMV, HyperLogLog} {
+		f, err := NewCounterFamily(kind, 0.5, 0.01, rng.New(uint64(kind)+5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := f.SketchIDs([]int32{1, 2, 3})
+		b := f.SketchIDs([]int32{3, 4, 5})
+		if err := f.MergeInto(a, b); err != nil {
+			t.Fatalf("kind %v: %v", kind, err)
+		}
+		if est := a.Estimate(); est < 3.5 || est > 7 {
+			t.Errorf("kind %v: merged estimate %v for union of 5", kind, est)
+		}
+	}
+}
+
+func TestCounterFamilyMergeTypeMismatch(t *testing.T) {
+	kmv, _ := NewCounterFamily(KMV, 0.5, 0.01, rng.New(1))
+	hll, _ := NewCounterFamily(HyperLogLog, 0.5, 0.01, rng.New(2))
+	if err := kmv.MergeInto(kmv.NewCounter(), hll.NewCounter()); err == nil {
+		t.Error("KMV family accepted an HLL sketch")
+	}
+	if err := hll.MergeInto(hll.NewCounter(), kmv.NewCounter()); err == nil {
+		t.Error("HLL family accepted a KMV sketch")
+	}
+}
+
+func TestHLLPrecisionSelection(t *testing.T) {
+	// eps 0.5 → smallest p with 1.04/sqrt(2^p) <= 0.5 is p=4 (1.04/4=0.26).
+	f, err := NewCounterFamily(HyperLogLog, 0.5, 0, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf := f.(hllFamily).f
+	if hf.Registers() != 16 {
+		t.Errorf("eps 0.5 picked %d registers, want 16", hf.Registers())
+	}
+	// eps 0.02 → 1.04/sqrt(m) <= 0.02 → m >= 2704 → p=12.
+	f2, err := NewCounterFamily(HyperLogLog, 0.02, 0, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.(hllFamily).f.Registers() != 4096 {
+		t.Errorf("eps 0.02 picked %d registers, want 4096", f2.(hllFamily).f.Registers())
+	}
+}

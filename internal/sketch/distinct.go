@@ -1,0 +1,233 @@
+// Package sketch implements the mergeable count-distinct (F0) sketch of
+// Section 2.3 of the paper, following Bar-Yossef, Jayram, Kumar, Sivakumar
+// and Trevisan ("Counting Distinct Elements in a Data Stream", RANDOM 2002),
+// which generalizes Flajolet–Martin.
+//
+// The sketch keeps Δ = Θ(log 1/δ) independent rows; row w stores the
+// t = Θ(1/ε²) smallest distinct values of {ψ_w(x)} over the stream, where
+// ψ_w is drawn from a pairwise-independent family. The estimate is the
+// median over rows of t·M/v_t, with v_t the t-th smallest value in the row
+// and M the hash range. With probability at least 1-δ the estimate is
+// within (1±ε) of the true number of distinct elements.
+//
+// Sketches of stream segments can be merged (union of rows, keep the t
+// smallest), which is the property Section 4 uses: every LSH bucket stores
+// a sketch, and a query merges the L sketches of its buckets to estimate
+// s_q = |S_q|.
+package sketch
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"fairnn/internal/rng"
+)
+
+// Params fixes the accuracy of a Distinct sketch.
+type Params struct {
+	// Epsilon is the multiplicative estimation error (ε in the paper).
+	Epsilon float64
+	// Delta is the failure probability (δ in the paper).
+	Delta float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if !(p.Epsilon > 0 && p.Epsilon < 1) {
+		return errors.New("sketch: Epsilon must be in (0,1)")
+	}
+	if !(p.Delta > 0 && p.Delta < 1) {
+		return errors.New("sketch: Delta must be in (0,1)")
+	}
+	return nil
+}
+
+// rows returns Δ = Θ(log 1/δ).
+func (p Params) rows() int {
+	d := int(math.Ceil(4 * math.Log(1/p.Delta)))
+	if d < 1 {
+		d = 1
+	}
+	// The median trick needs an odd number of rows.
+	if d%2 == 0 {
+		d++
+	}
+	return d
+}
+
+// capacityPerRow returns t = Θ(1/ε²).
+func (p Params) capacityPerRow() int {
+	t := int(math.Ceil(16 / (p.Epsilon * p.Epsilon)))
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// FamilySeed identifies the shared hash functions ψ_1..ψ_Δ. Two sketches
+// can only be merged if they were created from the same Family.
+type Family struct {
+	params Params
+	t      int
+	hashes []rng.PairwiseHash
+}
+
+// NewFamily draws the Δ pairwise-independent hash functions. All sketches
+// of one Section 4 data structure share a single Family so that per-bucket
+// sketches are mergeable.
+func NewFamily(params Params, r *rng.Source) (*Family, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	rows := params.rows()
+	hashes := make([]rng.PairwiseHash, rows)
+	for i := range hashes {
+		hashes[i] = rng.NewPairwiseHash(r)
+	}
+	return &Family{params: params, t: params.capacityPerRow(), hashes: hashes}, nil
+}
+
+// Rows returns Δ, the number of independent estimator rows.
+func (f *Family) Rows() int { return len(f.hashes) }
+
+// Capacity returns t, the number of minima kept per row.
+func (f *Family) Capacity() int { return f.t }
+
+// Distinct is one F0 sketch. The zero value is not usable; create sketches
+// with Family.NewSketch.
+type Distinct struct {
+	family *Family
+	// rows[w] holds the at most t smallest distinct hash values seen by ψ_w,
+	// kept as a sorted ascending slice (t is small, insertion is a memmove).
+	rows [][]uint64
+}
+
+// NewSketch returns an empty sketch bound to the family.
+func (f *Family) NewSketch() *Distinct {
+	rows := make([][]uint64, f.Rows())
+	return &Distinct{family: f, rows: rows}
+}
+
+// Sketch builds a sketch of the given ids in one pass.
+func (f *Family) Sketch(ids []int32) *Distinct {
+	s := f.NewSketch()
+	for _, id := range ids {
+		s.Add(uint64(uint32(id)))
+	}
+	return s
+}
+
+// Add inserts element x into the sketch.
+func (s *Distinct) Add(x uint64) {
+	for w, h := range s.family.hashes {
+		s.insert(w, h.Hash(x))
+	}
+}
+
+// insert places value v into row w if it is among the t smallest distinct
+// values, keeping the row sorted.
+func (s *Distinct) insert(w int, v uint64) {
+	row := s.rows[w]
+	t := s.family.t
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	if i < len(row) && row[i] == v {
+		return // already present (distinct values only)
+	}
+	if len(row) == t && i == t {
+		return // larger than current t-th minimum
+	}
+	if len(row) < t {
+		row = append(row, 0)
+	}
+	copy(row[i+1:], row[i:])
+	row[i] = v
+	s.rows[w] = row
+}
+
+// Merge folds other into s. Both sketches must come from the same Family.
+// Merging sketches of stream segments yields exactly the sketch of the
+// concatenated stream (the property Section 4 relies on).
+func (s *Distinct) Merge(other *Distinct) error {
+	if other == nil {
+		return nil
+	}
+	if s.family != other.family {
+		return errors.New("sketch: cannot merge sketches from different families")
+	}
+	for w, row := range other.rows {
+		for _, v := range row {
+			s.insert(w, v)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of s (same family).
+func (s *Distinct) Clone() *Distinct {
+	c := s.family.NewSketch()
+	for w, row := range s.rows {
+		c.rows[w] = append([]uint64(nil), row...)
+	}
+	return c
+}
+
+// Estimate returns the estimated number of distinct elements: the median
+// over rows of t·M/v_t, or the exact count when a row holds fewer than t
+// values (then the row has seen every distinct element).
+func (s *Distinct) Estimate() float64 {
+	f := s.family
+	ests := make([]float64, 0, len(s.rows))
+	for w, row := range s.rows {
+		if len(row) < f.t {
+			// Fewer than t distinct hashed values: exact distinct count
+			// (pairwise-independent hashing over a 61-bit range makes
+			// collisions negligible at the scales used here).
+			ests = append(ests, float64(len(row)))
+			continue
+		}
+		vt := row[len(row)-1]
+		if vt == 0 {
+			ests = append(ests, float64(len(row)))
+			continue
+		}
+		m := float64(f.hashes[w].Range())
+		ests = append(ests, float64(f.t)*m/float64(vt))
+	}
+	sort.Float64s(ests)
+	return ests[len(ests)/2]
+}
+
+// MergedEstimate merges the given sketches (without mutating them) and
+// returns the estimate of the union. A nil entry is skipped. Returns 0 when
+// all inputs are nil or empty.
+func MergedEstimate(sketches ...*Distinct) (float64, error) {
+	var acc *Distinct
+	for _, sk := range sketches {
+		if sk == nil {
+			continue
+		}
+		if acc == nil {
+			acc = sk.Clone()
+			continue
+		}
+		if err := acc.Merge(sk); err != nil {
+			return 0, err
+		}
+	}
+	if acc == nil {
+		return 0, nil
+	}
+	return acc.Estimate(), nil
+}
+
+// MemoryWords returns an estimate of the sketch size in 64-bit words,
+// used by the Section 4 construction to decide whether storing the sketch
+// is cheaper than re-sketching a small bucket on demand.
+func (s *Distinct) MemoryWords() int {
+	n := 0
+	for _, row := range s.rows {
+		n += len(row)
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairnn/internal/rng"
+)
+
+func mustFamily(t *testing.T, eps, delta float64, seed uint64) *Family {
+	t.Helper()
+	f, err := NewFamily(Params{Epsilon: eps, Delta: delta}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Epsilon: 0, Delta: 0.1},
+		{Epsilon: 1, Delta: 0.1},
+		{Epsilon: 0.5, Delta: 0},
+		{Epsilon: 0.5, Delta: 1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+	if err := (Params{Epsilon: 0.5, Delta: 0.01}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestExactForSmallCounts(t *testing.T) {
+	f := mustFamily(t, 0.5, 0.01, 1)
+	s := f.NewSketch()
+	for i := uint64(0); i < 20; i++ {
+		s.Add(i)
+		s.Add(i) // duplicates must not count
+	}
+	if got := s.Estimate(); got != 20 {
+		t.Errorf("Estimate = %v, want exactly 20 (below row capacity)", got)
+	}
+}
+
+func TestDuplicateInsensitivity(t *testing.T) {
+	f := mustFamily(t, 0.5, 0.01, 2)
+	a := f.NewSketch()
+	b := f.NewSketch()
+	for i := uint64(0); i < 5000; i++ {
+		a.Add(i)
+		b.Add(i)
+		b.Add(i)
+		b.Add(i % 100) // extra duplicates
+	}
+	if ea, eb := a.Estimate(), b.Estimate(); ea != eb {
+		t.Errorf("duplicates changed estimate: %v vs %v", ea, eb)
+	}
+}
+
+func TestAccuracyLargeStream(t *testing.T) {
+	const n = 50000
+	misses := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		f := mustFamily(t, 0.5, 0.05, uint64(trial+10))
+		s := f.NewSketch()
+		for i := uint64(0); i < n; i++ {
+			s.Add(i * 2654435761) // spread-out ids
+		}
+		est := s.Estimate()
+		if est < n*0.5 || est > n*1.5 {
+			misses++
+		}
+	}
+	if misses > 1 {
+		t.Errorf("estimate outside (1±ε) range in %d/%d trials", misses, trials)
+	}
+}
+
+func TestMergeEqualsWholeStream(t *testing.T) {
+	// Sketch(A) merged with Sketch(B) must equal Sketch(A++B) exactly —
+	// the segment-merge property Section 4 relies on.
+	f := mustFamily(t, 0.5, 0.05, 3)
+	whole := f.NewSketch()
+	partA := f.NewSketch()
+	partB := f.NewSketch()
+	for i := uint64(0); i < 3000; i++ {
+		whole.Add(i)
+		if i%2 == 0 {
+			partA.Add(i)
+		} else {
+			partB.Add(i)
+		}
+	}
+	if err := partA.Merge(partB); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := partA.Estimate(), whole.Estimate(); got != want {
+		t.Errorf("merged estimate %v != whole-stream estimate %v", got, want)
+	}
+	for w := range whole.rows {
+		if len(whole.rows[w]) != len(partA.rows[w]) {
+			t.Fatalf("row %d lengths differ", w)
+		}
+		for i := range whole.rows[w] {
+			if whole.rows[w][i] != partA.rows[w][i] {
+				t.Fatalf("row %d differs at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestMergePropertyQuick(t *testing.T) {
+	f := mustFamily(t, 0.5, 0.1, 4)
+	prop := func(a, b []uint32) bool {
+		sa, sb, sw := f.NewSketch(), f.NewSketch(), f.NewSketch()
+		for _, v := range a {
+			sa.Add(uint64(v))
+			sw.Add(uint64(v))
+		}
+		for _, v := range b {
+			sb.Add(uint64(v))
+			sw.Add(uint64(v))
+		}
+		if err := sa.Merge(sb); err != nil {
+			return false
+		}
+		return sa.Estimate() == sw.Estimate()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeFamilyMismatch(t *testing.T) {
+	f1 := mustFamily(t, 0.5, 0.1, 5)
+	f2 := mustFamily(t, 0.5, 0.1, 6)
+	s1, s2 := f1.NewSketch(), f2.NewSketch()
+	if err := s1.Merge(s2); err == nil {
+		t.Error("merging across families must fail")
+	}
+}
+
+func TestMergeNil(t *testing.T) {
+	f := mustFamily(t, 0.5, 0.1, 7)
+	s := f.NewSketch()
+	if err := s.Merge(nil); err != nil {
+		t.Errorf("Merge(nil) = %v", err)
+	}
+}
+
+func TestMergedEstimate(t *testing.T) {
+	f := mustFamily(t, 0.5, 0.05, 8)
+	s1 := f.Sketch([]int32{1, 2, 3})
+	s2 := f.Sketch([]int32{3, 4, 5})
+	est, err := MergedEstimate(s1, nil, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 5 {
+		t.Errorf("MergedEstimate = %v, want 5 (small union is exact)", est)
+	}
+	est, err = MergedEstimate()
+	if err != nil || est != 0 {
+		t.Errorf("empty MergedEstimate = %v, %v", est, err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := mustFamily(t, 0.5, 0.1, 9)
+	s := f.Sketch([]int32{1, 2, 3})
+	c := s.Clone()
+	c.Add(100)
+	if s.Estimate() == c.Estimate() {
+		t.Error("Clone shares row storage")
+	}
+}
+
+func TestOverlappingUnionEstimate(t *testing.T) {
+	// The merged estimate must track |A ∪ B|, not |A| + |B|.
+	f := mustFamily(t, 0.5, 0.05, 11)
+	const n = 20000
+	sa, sb := f.NewSketch(), f.NewSketch()
+	for i := uint64(0); i < n; i++ {
+		sa.Add(i)
+		sb.Add(i + n/2) // 50% overlap; union = 1.5n
+	}
+	if err := sa.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	est := sa.Estimate()
+	want := 1.5 * n
+	if math.Abs(est-want)/want > 0.5 {
+		t.Errorf("union estimate %v, want ≈ %v", est, want)
+	}
+}
+
+func TestMemoryWords(t *testing.T) {
+	f := mustFamily(t, 0.5, 0.1, 12)
+	s := f.NewSketch()
+	if s.MemoryWords() != 0 {
+		t.Error("empty sketch has nonzero memory")
+	}
+	s.Add(1)
+	if s.MemoryWords() != f.Rows() {
+		t.Errorf("one element should occupy one slot per row: %d vs %d", s.MemoryWords(), f.Rows())
+	}
+}

@@ -1,0 +1,149 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairnn/internal/rng"
+)
+
+func mustHLLFamily(t *testing.T, p uint8, seed uint64) *HLLFamily {
+	t.Helper()
+	f, err := NewHLLFamily(p, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestHLLPrecisionBounds(t *testing.T) {
+	if _, err := NewHLLFamily(3, rng.New(1)); err == nil {
+		t.Error("precision 3 accepted")
+	}
+	if _, err := NewHLLFamily(17, rng.New(1)); err == nil {
+		t.Error("precision 17 accepted")
+	}
+	f := mustHLLFamily(t, 10, 1)
+	if f.Registers() != 1024 {
+		t.Errorf("Registers = %d", f.Registers())
+	}
+	if math.Abs(f.StdError()-1.04/32) > 1e-12 {
+		t.Errorf("StdError = %v", f.StdError())
+	}
+}
+
+func TestHLLSmallCardinalityExactish(t *testing.T) {
+	f := mustHLLFamily(t, 12, 2)
+	s := f.NewSketch()
+	for i := uint64(0); i < 100; i++ {
+		s.Add(i)
+		s.Add(i) // duplicates ignored
+	}
+	est := s.Estimate()
+	if est < 90 || est > 110 {
+		t.Errorf("estimate %v for 100 distinct (linear counting regime)", est)
+	}
+}
+
+func TestHLLLargeCardinalityAccuracy(t *testing.T) {
+	const n = 200000
+	f := mustHLLFamily(t, 12, 3) // std err ≈ 1.6%
+	s := f.NewSketch()
+	for i := uint64(0); i < n; i++ {
+		s.Add(i * 0x9e3779b97f4a7c15)
+	}
+	est := s.Estimate()
+	if math.Abs(est-n)/n > 0.08 { // 5 sigma
+		t.Errorf("estimate %v for %d distinct", est, n)
+	}
+}
+
+func TestHLLMergeEqualsWholeStream(t *testing.T) {
+	f := mustHLLFamily(t, 10, 4)
+	whole, pa, pb := f.NewSketch(), f.NewSketch(), f.NewSketch()
+	for i := uint64(0); i < 50000; i++ {
+		whole.Add(i)
+		if i%2 == 0 {
+			pa.Add(i)
+		} else {
+			pb.Add(i)
+		}
+	}
+	if err := pa.Merge(pb); err != nil {
+		t.Fatal(err)
+	}
+	if pa.Estimate() != whole.Estimate() {
+		t.Errorf("merged %v != whole %v", pa.Estimate(), whole.Estimate())
+	}
+	for i := range whole.registers {
+		if whole.registers[i] != pa.registers[i] {
+			t.Fatal("registers differ after merge")
+		}
+	}
+}
+
+func TestHLLMergePropertyQuick(t *testing.T) {
+	f := mustHLLFamily(t, 8, 5)
+	prop := func(a, b []uint32) bool {
+		sa, sb, sw := f.NewSketch(), f.NewSketch(), f.NewSketch()
+		for _, v := range a {
+			sa.Add(uint64(v))
+			sw.Add(uint64(v))
+		}
+		for _, v := range b {
+			sb.Add(uint64(v))
+			sw.Add(uint64(v))
+		}
+		if err := sa.Merge(sb); err != nil {
+			return false
+		}
+		return sa.Estimate() == sw.Estimate()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHLLMergeFamilyMismatch(t *testing.T) {
+	f1 := mustHLLFamily(t, 8, 6)
+	f2 := mustHLLFamily(t, 8, 7)
+	if err := f1.NewSketch().Merge(f2.NewSketch()); err == nil {
+		t.Error("cross-family merge accepted")
+	}
+	if err := f1.NewSketch().Merge(nil); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+}
+
+func TestHLLCloneIndependent(t *testing.T) {
+	f := mustHLLFamily(t, 8, 8)
+	s := f.Sketch([]int32{1, 2, 3})
+	c := s.Clone()
+	for i := uint64(100); i < 2000; i++ {
+		c.Add(i)
+	}
+	if s.Estimate() == c.Estimate() {
+		t.Error("clone shares registers")
+	}
+}
+
+func TestHLLMemoryMuchSmallerThanKMV(t *testing.T) {
+	// The point of offering HLL: at comparable accuracy (~12-13% rel err),
+	// HLL with p=6 stores 64 registers = 8 words, while the KMV Distinct
+	// at ε=0.5 stores tens of rows × 64 values.
+	hf := mustHLLFamily(t, 6, 9)
+	hs := hf.NewSketch()
+	kf, err := NewFamily(Params{Epsilon: 0.5, Delta: 0.05}, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := kf.NewSketch()
+	for i := uint64(0); i < 10000; i++ {
+		hs.Add(i)
+		ks.Add(i)
+	}
+	if hs.MemoryWords()*10 > ks.MemoryWords() {
+		t.Errorf("HLL %d words not far below KMV %d words", hs.MemoryWords(), ks.MemoryWords())
+	}
+}

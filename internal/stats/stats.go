@@ -1,0 +1,282 @@
+// Package stats provides the statistical machinery the experiments use to
+// quantify (un)fairness: empirical frequency tables over returned
+// neighbors, total-variation distance from the uniform distribution,
+// a χ² uniformity test (with its own regularized incomplete gamma
+// implementation, since the stdlib has none), quantiles and summaries.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Frequency counts occurrences of int32 outcomes (returned point ids).
+type Frequency struct {
+	counts map[int32]int
+	total  int
+}
+
+// NewFrequency returns an empty frequency table.
+func NewFrequency() *Frequency {
+	return &Frequency{counts: make(map[int32]int)}
+}
+
+// Observe records one outcome.
+func (f *Frequency) Observe(id int32) {
+	f.counts[id]++
+	f.total++
+}
+
+// Total returns the number of observations.
+func (f *Frequency) Total() int { return f.total }
+
+// Count returns the number of observations of id.
+func (f *Frequency) Count(id int32) int { return f.counts[id] }
+
+// Rel returns the relative frequency of id.
+func (f *Frequency) Rel(id int32) float64 {
+	if f.total == 0 {
+		return 0
+	}
+	return float64(f.counts[id]) / float64(f.total)
+}
+
+// Support returns the observed outcomes in ascending order.
+func (f *Frequency) Support() []int32 {
+	out := make([]int32, 0, len(f.counts))
+	for id := range f.counts {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TVFromUniform returns the total-variation distance between the empirical
+// distribution restricted to domain and the uniform distribution over
+// domain: ½ Σ |p̂(i) − 1/|domain||. Observations outside domain contribute
+// their full mass (they should not have been returned at all).
+func (f *Frequency) TVFromUniform(domain []int32) float64 {
+	if f.total == 0 || len(domain) == 0 {
+		return 0
+	}
+	inDomain := make(map[int32]struct{}, len(domain))
+	for _, id := range domain {
+		inDomain[id] = struct{}{}
+	}
+	u := 1 / float64(len(domain))
+	tv := 0.0
+	for _, id := range domain {
+		tv += math.Abs(f.Rel(id) - u)
+	}
+	for id, c := range f.counts {
+		if _, ok := inDomain[id]; !ok {
+			tv += float64(c) / float64(f.total)
+		}
+	}
+	return tv / 2
+}
+
+// ChiSquareUniform returns the χ² statistic and p-value of the empirical
+// counts against the uniform null over domain. Observations outside the
+// domain are pooled into one extra cell. The p-value uses the χ² survival
+// function with len(domain)-1 (+1 if the extra cell is non-empty) degrees
+// of freedom.
+func (f *Frequency) ChiSquareUniform(domain []int32) (statistic, pValue float64) {
+	if f.total == 0 || len(domain) == 0 {
+		return 0, 1
+	}
+	expected := float64(f.total) / float64(len(domain))
+	chi2 := 0.0
+	seen := make(map[int32]struct{}, len(domain))
+	for _, id := range domain {
+		seen[id] = struct{}{}
+		d := float64(f.counts[id]) - expected
+		chi2 += d * d / expected
+	}
+	outside := 0
+	for id, c := range f.counts {
+		if _, ok := seen[id]; !ok {
+			outside += c
+		}
+	}
+	df := float64(len(domain) - 1)
+	if outside > 0 {
+		// Pool out-of-domain mass into one cell with expectation ~0⁺; treat
+		// as expected-1 cell to keep the statistic finite but punishing.
+		d := float64(outside) - 1
+		chi2 += d*d/1 + 1
+		df++
+	}
+	return chi2, ChiSquareSurvival(chi2, df)
+}
+
+// ChiSquareSurvival returns P[X ≥ x] for X ~ χ²(df).
+func ChiSquareSurvival(x, df float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return 1 - RegularizedGammaP(df/2, x/2)
+}
+
+// RegularizedGammaP computes P(a, x), the regularized lower incomplete
+// gamma function, via the series expansion for x < a+1 and the continued
+// fraction for x ≥ a+1 (Numerical Recipes style, using math.Lgamma).
+func RegularizedGammaP(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaPSeries(a, x)
+	}
+	return 1 - gammaQContinuedFraction(a, x)
+}
+
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaQContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of values using linear
+// interpolation; the input is not modified.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary holds basic descriptive statistics.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+	Q25, Q75  float64
+}
+
+// Summarize computes descriptive statistics of values.
+func Summarize(values []float64) Summary {
+	s := Summary{N: len(values)}
+	if len(values) == 0 {
+		s.Mean, s.Std = math.NaN(), math.NaN()
+		s.Min, s.Max = math.NaN(), math.NaN()
+		s.Median, s.Q25, s.Q75 = math.NaN(), math.NaN(), math.NaN()
+		return s
+	}
+	sum := 0.0
+	s.Min, s.Max = values[0], values[0]
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(values))
+	var ss float64
+	for _, v := range values {
+		d := v - s.Mean
+		ss += d * d
+	}
+	if len(values) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(values)-1))
+	}
+	s.Median = Quantile(values, 0.5)
+	s.Q25 = Quantile(values, 0.25)
+	s.Q75 = Quantile(values, 0.75)
+	return s
+}
+
+// Histogram bins values into nbins equal-width bins over [lo, hi].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram creates a histogram with nbins bins covering [lo, hi].
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+}
+
+// Observe adds a value (clamped into range).
+func (h *Histogram) Observe(v float64) {
+	if len(h.Counts) == 0 {
+		return
+	}
+	frac := (v - h.Lo) / (h.Hi - h.Lo)
+	i := int(frac * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.Total++
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrequencyBasics(t *testing.T) {
+	f := NewFrequency()
+	if f.Total() != 0 || f.Rel(1) != 0 {
+		t.Fatal("empty frequency wrong")
+	}
+	f.Observe(1)
+	f.Observe(1)
+	f.Observe(2)
+	if f.Total() != 3 || f.Count(1) != 2 {
+		t.Fatal("counts wrong")
+	}
+	if math.Abs(f.Rel(1)-2.0/3.0) > 1e-12 {
+		t.Fatal("rel wrong")
+	}
+	sup := f.Support()
+	if len(sup) != 2 || sup[0] != 1 || sup[1] != 2 {
+		t.Fatalf("support %v", sup)
+	}
+}
+
+func TestTVFromUniformExactlyUniform(t *testing.T) {
+	f := NewFrequency()
+	domain := []int32{0, 1, 2, 3}
+	for i := 0; i < 1000; i++ {
+		f.Observe(int32(i % 4))
+	}
+	if tv := f.TVFromUniform(domain); tv > 1e-12 {
+		t.Errorf("TV = %v for perfectly uniform counts", tv)
+	}
+}
+
+func TestTVFromUniformPointMass(t *testing.T) {
+	f := NewFrequency()
+	domain := []int32{0, 1, 2, 3}
+	for i := 0; i < 100; i++ {
+		f.Observe(0)
+	}
+	// Point mass vs uniform over 4: TV = 1 - 1/4.
+	if tv := f.TVFromUniform(domain); math.Abs(tv-0.75) > 1e-12 {
+		t.Errorf("TV = %v, want 0.75", tv)
+	}
+}
+
+func TestTVOutOfDomainMassCounts(t *testing.T) {
+	f := NewFrequency()
+	domain := []int32{0, 1}
+	f.Observe(0)
+	f.Observe(1)
+	f.Observe(99) // outside
+	tv := f.TVFromUniform(domain)
+	// p = (1/3, 1/3) on domain, 1/3 outside: TV = ½(|1/3−1/2|·2 + 1/3) = 1/3.
+	if math.Abs(tv-1.0/3.0) > 1e-12 {
+		t.Errorf("TV = %v, want 1/3", tv)
+	}
+}
+
+func TestTVBounds(t *testing.T) {
+	prop := func(obs []uint8) bool {
+		f := NewFrequency()
+		for _, o := range obs {
+			f.Observe(int32(o % 16))
+		}
+		tv := f.TVFromUniform([]int32{0, 1, 2, 3, 4, 5, 6, 7})
+		return tv >= -1e-12 && tv <= 1+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChiSquareUniformAcceptsUniform(t *testing.T) {
+	f := NewFrequency()
+	domain := make([]int32, 10)
+	for i := range domain {
+		domain[i] = int32(i)
+	}
+	for i := 0; i < 10000; i++ {
+		f.Observe(int32(i % 10))
+	}
+	stat, p := f.ChiSquareUniform(domain)
+	if stat > 1e-9 {
+		t.Errorf("statistic %v for exact uniform", stat)
+	}
+	if p < 0.99 {
+		t.Errorf("p = %v for exact uniform", p)
+	}
+}
+
+func TestChiSquareUniformRejectsSkew(t *testing.T) {
+	f := NewFrequency()
+	domain := []int32{0, 1, 2, 3}
+	for i := 0; i < 1000; i++ {
+		f.Observe(0)
+	}
+	for i := 0; i < 10; i++ {
+		f.Observe(1)
+		f.Observe(2)
+		f.Observe(3)
+	}
+	if _, p := f.ChiSquareUniform(domain); p > 1e-6 {
+		t.Errorf("p = %v for extreme skew", p)
+	}
+}
+
+func TestRegularizedGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^{-x}.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-x)
+		if got := RegularizedGammaP(1, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("P(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Chi-square with 2 df: survival(x) = e^{-x/2}.
+	for _, x := range []float64{0.5, 1, 3, 10} {
+		want := math.Exp(-x / 2)
+		if got := ChiSquareSurvival(x, 2); math.Abs(got-want) > 1e-9 {
+			t.Errorf("survival(%v, 2) = %v, want %v", x, got, want)
+		}
+	}
+	// Median of chi-square_1 ≈ 0.4549.
+	if got := ChiSquareSurvival(0.4549, 1); math.Abs(got-0.5) > 1e-3 {
+		t.Errorf("survival at median = %v", got)
+	}
+}
+
+func TestRegularizedGammaPEdges(t *testing.T) {
+	if got := RegularizedGammaP(2, 0); got != 0 {
+		t.Errorf("P(2,0) = %v", got)
+	}
+	if !math.IsNaN(RegularizedGammaP(-1, 1)) {
+		t.Error("negative a accepted")
+	}
+	if !math.IsNaN(RegularizedGammaP(1, -1)) {
+		t.Error("negative x accepted")
+	}
+	if got := RegularizedGammaP(3, 1e6); math.Abs(got-1) > 1e-9 {
+		t.Errorf("P(3,large) = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 0.25: 2, 0.5: 3, 0.75: 4, 1: 5}
+	for q, want := range cases {
+		if got := Quantile(vals, q); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	// Interpolation.
+	if got := Quantile([]float64{0, 10}, 0.5); math.Abs(got-5) > 1e-12 {
+		t.Errorf("interpolated median = %v", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Quantile(vals, 0.5)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatal("N wrong")
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Errorf("mean %v", s.Mean)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max %v %v", s.Min, s.Max)
+	}
+	if math.Abs(s.Std-math.Sqrt(32.0/7.0)) > 1e-9 {
+		t.Errorf("std %v", s.Std)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Error("empty summary wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	for _, v := range []float64{0.1, 0.3, 0.6, 0.9, -5, 5} {
+		h.Observe(v)
+	}
+	if h.Total != 6 {
+		t.Fatalf("total %d", h.Total)
+	}
+	if h.Counts[0] != 2 { // 0.1 and clamped -5
+		t.Errorf("bin 0 count %d", h.Counts[0])
+	}
+	if h.Counts[3] != 2 { // 0.9 and clamped 5
+		t.Errorf("bin 3 count %d", h.Counts[3])
+	}
+	if math.Abs(h.BinCenter(0)-0.125) > 1e-12 {
+		t.Errorf("bin center %v", h.BinCenter(0))
+	}
+}

@@ -1,0 +1,162 @@
+package vector
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairnn/internal/rng"
+)
+
+func TestDotKnown(t *testing.T) {
+	a := Vec{1, 2, 3}
+	b := Vec{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot(Vec{1}, Vec{1, 2})
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	v := Vec{3, 4}
+	if got := Norm(v); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	Normalize(v)
+	if got := Norm(v); math.Abs(got-1) > 1e-12 {
+		t.Errorf("norm after Normalize = %v", got)
+	}
+}
+
+func TestNormalizeZeroVector(t *testing.T) {
+	v := Vec{0, 0, 0}
+	Normalize(v)
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("zero vector changed by Normalize")
+		}
+	}
+}
+
+func TestEuclideanTriangle(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		if anyNaN(ax, ay, bx, by, cx, cy) {
+			return true
+		}
+		a, b, c := Vec{ax, ay}, Vec{bx, by}, Vec{cx, cy}
+		return Euclidean(a, c) <= Euclidean(a, b)+Euclidean(b, c)+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 300, Values: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func anyNaN(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestUnitNormRelation(t *testing.T) {
+	// For unit vectors, |p-q|² = 2 - 2<p,q> (used throughout Section 5).
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		p := RandomUnit(r, 16)
+		q := RandomUnit(r, 16)
+		lhs := Euclidean(p, q) * Euclidean(p, q)
+		rhs := 2 - 2*Dot(p, q)
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("identity violated: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestRandomUnitIsUnit(t *testing.T) {
+	r := rng.New(2)
+	for i := 0; i < 200; i++ {
+		if n := Norm(RandomUnit(r, 8)); math.Abs(n-1) > 1e-9 {
+			t.Fatalf("norm = %v", n)
+		}
+	}
+}
+
+func TestUnitWithInnerProduct(t *testing.T) {
+	r := rng.New(3)
+	q := RandomUnit(r, 24)
+	for _, alpha := range []float64{-0.9, -0.5, 0, 0.3, 0.7, 0.9, 0.99} {
+		p := UnitWithInnerProduct(r, q, alpha)
+		if n := Norm(p); math.Abs(n-1) > 1e-9 {
+			t.Errorf("alpha %v: norm %v", alpha, n)
+		}
+		if ip := Dot(p, q); math.Abs(ip-alpha) > 1e-9 {
+			t.Errorf("alpha %v: inner product %v", alpha, ip)
+		}
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := Vec{1, 0}
+	b := Vec{0, 2}
+	if got := Cosine(a, b); math.Abs(got) > 1e-12 {
+		t.Errorf("Cosine orthogonal = %v", got)
+	}
+	if got := Cosine(a, Vec{3, 0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Cosine parallel = %v", got)
+	}
+	if got := Cosine(a, Vec{0, 0}); got != 0 {
+		t.Errorf("Cosine with zero vector = %v", got)
+	}
+}
+
+func TestAddScaleClone(t *testing.T) {
+	a := Vec{1, 2}
+	b := Vec{3, 5}
+	sum := Add(a, b)
+	if sum[0] != 4 || sum[1] != 7 {
+		t.Errorf("Add = %v", sum)
+	}
+	sc := Scale(a, 2)
+	if sc[0] != 2 || sc[1] != 4 {
+		t.Errorf("Scale = %v", sc)
+	}
+	c := Clone(a)
+	c[0] = 100
+	if a[0] == 100 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := rng.New(5)
+	const d = 64
+	const n = 2000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := Gaussian(r, d)
+		for _, x := range v {
+			sum += x
+			sumsq += x * x
+		}
+	}
+	total := float64(n * d)
+	mean := sum / total
+	variance := sumsq/total - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance %v", variance)
+	}
+}
