@@ -251,6 +251,41 @@ func BenchmarkQueryIndependentNNIS(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryIndependentNNISParallel drives the Section 4 sampler from
+// all available goroutines against one shared structure — the concurrent
+// query contract introduced with the signature engine.
+func BenchmarkQueryIndependentNNISParallel(b *testing.B) {
+	fix := benchSets()
+	d, err := fairnn.NewSetIndependent(fix.sets, benchRadius, fairnn.IndependentOptions{}, benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := fix.sets[fix.queries[i%len(fix.queries)]]
+			d.Sample(q, nil)
+			i++
+		}
+	})
+}
+
+// BenchmarkQueryIndependentSampleK100 amortizes one resolve+estimate over
+// 100 independent draws (the Section 4 plan-reuse path).
+func BenchmarkQueryIndependentSampleK100(b *testing.B) {
+	fix := benchSets()
+	d, err := fairnn.NewSetIndependent(fix.sets, benchRadius, fairnn.IndependentOptions{}, benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fix.sets[fix.queries[i%len(fix.queries)]]
+		d.SampleK(q, 100, nil)
+	}
+}
+
 func BenchmarkQueryExactScan(b *testing.B) {
 	fix := benchSets()
 	e := fairnn.NewSetExact(fix.sets, benchRadius, 7)

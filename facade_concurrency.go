@@ -1,0 +1,109 @@
+package fairnn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the concurrency surface of the façade. Since the
+// single-pass signature engine rework, every sampler's query methods are
+// safe for concurrent use (SetSampler.SampleRepeated, which perturbs
+// ranks, is the one exception), so callers can simply share one structure
+// across goroutines. The helpers below add a convenient fan-out for bulk
+// query workloads.
+
+// QuerySampler is the single-sample query interface shared by the fair
+// samplers (SetSampler, SetIndependent, VecIndependent, SetExact, ...).
+type QuerySampler[P any] interface {
+	Sample(q P, st *QueryStats) (id int32, ok bool)
+}
+
+// BatchResult is the outcome of one query in a batch.
+type BatchResult struct {
+	// ID is the sampled point id (valid only when OK).
+	ID int32
+	// OK reports whether a near point was found.
+	OK bool
+}
+
+// SampleBatch answers all queries against one shared sampler, fanning the
+// work out over min(workers, len(queries)) goroutines; workers <= 0 uses
+// GOMAXPROCS. Results are positionally aligned with queries. The sampler's
+// per-query randomness streams keep the outputs independent regardless of
+// how the queries interleave across goroutines.
+func SampleBatch[P any](s QuerySampler[P], queries []P, workers int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers == 1 {
+		for i, q := range queries {
+			id, ok := s.Sample(q, nil)
+			out[i] = BatchResult{ID: id, OK: ok}
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				id, ok := s.Sample(queries[i], nil)
+				out[i] = BatchResult{ID: id, OK: ok}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// KSampler is the k-sample query interface (with- or without-replacement
+// depending on the structure).
+type KSampler[P any] interface {
+	SampleK(q P, k int, st *QueryStats) []int32
+}
+
+// SampleKBatch draws k samples per query against one shared sampler,
+// fanned out like SampleBatch. Result i holds the samples for queries[i].
+func SampleKBatch[P any](s KSampler[P], queries []P, k, workers int) [][]int32 {
+	out := make([][]int32, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				out[i] = s.SampleK(queries[i], k, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

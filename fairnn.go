@@ -26,8 +26,25 @@
 // vectors (inner product; type Vec). The underlying generic implementations
 // in internal/core work for any metric with an LSH family.
 //
-// All structures are deterministic given their seed and are not safe for
-// concurrent use (queries consume per-structure randomness).
+// # Concurrency
+//
+// All indexes are immutable after construction and their query methods are
+// safe for concurrent use: per-query scratch (bucket keys, candidate
+// buffers, sketch accumulators) is pooled, and each query draws its
+// randomness from a dedicated stream split off the seed by an atomic query
+// counter, so concurrent queries remain uniform and mutually independent.
+// Steady-state queries on the Section 3 and Section 4 structures perform
+// zero heap allocations. Two exceptions mutate the index and must not run
+// concurrently with any other call: SetSampler.SampleRepeated (Appendix A
+// rank perturbation) and SetDynamic's Insert/Delete. Hashing is served by
+// a batched signature engine that computes all L·K hash values of a point
+// in a single pass over its elements; see SampleBatch/SampleKBatch for a
+// ready-made bulk-query fan-out.
+//
+// All structures are deterministic given their seed: a fixed sequence of
+// single-goroutine queries is reproducible, while concurrent queries are
+// deterministic up to scheduling (each query's stream is fixed by its
+// arrival index).
 package fairnn
 
 import (

@@ -1,0 +1,3 @@
+module fairnn
+
+go 1.24

@@ -2,10 +2,14 @@ package core
 
 import (
 	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"fairnn/internal/lsh"
 	"fairnn/internal/rank"
 	"fairnn/internal/rng"
+	"fairnn/internal/sketch"
 )
 
 // rankedTable is one LSH table whose buckets are kept sorted by rank — the
@@ -15,16 +19,40 @@ type rankedTable struct {
 }
 
 // rankedBase holds everything the rank-permutation data structures share:
-// the indexed points, the space, the LSH functions g_1..g_L, the rank
-// assignment and the rank-sorted buckets.
+// the indexed points, the space, the batched LSH signer covering g_1..g_L,
+// the rank assignment and the rank-sorted buckets. After construction the
+// base is read-only (except for the rank swaps of Appendix A, which are the
+// caller's concurrency responsibility) and safe for concurrent queries:
+// per-query mutable state lives in pooled queriers and per-query RNG
+// streams are split from the seed via an atomic query counter.
 type rankedBase[P any] struct {
 	space  Space[P]
 	points []P
 	radius float64
 	params lsh.Params
-	gs     []lsh.Func[P]
+	signer *lsh.Signer[P]
 	tables []rankedTable
 	asg    *rank.Assignment
+
+	qseed uint64
+	qctr  atomic.Uint64
+	pool  sync.Pool // *querier
+}
+
+// querier is the reusable per-query scratch: the L·K raw signature, the L
+// bucket keys and bucket pointers, a candidate buffer, the k-way-merge
+// cursors, an optional count-distinct counter (Section 4), and a dedicated
+// RNG stream reseeded per query. Steady-state queries touch only this
+// struct and therefore allocate nothing.
+type querier struct {
+	sig     []uint64
+	keys    []uint64
+	keys2   []uint64
+	buckets []*rank.Bucket
+	cand    []int32
+	cursors []bucketCursor
+	counter sketch.Counter
+	rng     rng.Source
 }
 
 func newRankedBase[P any](space Space[P], family lsh.Family[P], params lsh.Params, points []P, radius float64, r *rng.Source) (*rankedBase[P], error) {
@@ -42,24 +70,115 @@ func newRankedBase[P any](space Space[P], family lsh.Family[P], params lsh.Param
 		points: points,
 		radius: radius,
 		params: params,
-		gs:     make([]lsh.Func[P], params.L),
-		tables: make([]rankedTable, params.L),
-		asg:    rank.NewAssignment(len(points), r),
 	}
-	for i := 0; i < params.L; i++ {
-		b.gs[i] = lsh.Concat(family, params.K, r)
-		groups := make(map[uint64][]int32)
-		for id := range points {
-			key := b.gs[i](points[id])
-			groups[key] = append(groups[key], int32(id))
+	// Draw order matters for seed-compatibility: the rank permutation comes
+	// first (as in the original per-closure construction), then the hash
+	// functions, then the per-query stream seed.
+	b.asg = rank.NewAssignment(len(points), r)
+	b.signer = lsh.NewSigner(family, params.L*params.K, r)
+	b.qseed = r.Uint64()
+
+	n := len(points)
+	L, K := params.L, params.K
+	// Pass 1 (parallel over points): one single-pass signature per point,
+	// reduced to its L bucket keys. This replaces n·L·K full-point scans
+	// with n scans.
+	allKeys := make([]uint64, n*L)
+	parallelRange(n, func(lo, hi int) {
+		sig := make([]uint64, L*K)
+		for p := lo; p < hi; p++ {
+			b.signer.Sign(points[p], sig)
+			lsh.CombineKeys(sig, K, allKeys[p*L:(p+1)*L])
 		}
-		buckets := make(map[uint64]*rank.Bucket, len(groups))
-		for key, ids := range groups {
-			buckets[key] = rank.NewBucket(ids, b.asg)
+	})
+	// Pass 2 (parallel over tables): group ids by key and sort each bucket
+	// by rank. Tables are independent, so this parallelizes cleanly.
+	b.tables = make([]rankedTable, L)
+	parallelRange(L, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			groups := make(map[uint64][]int32)
+			for p := 0; p < n; p++ {
+				key := allKeys[p*L+i]
+				groups[key] = append(groups[key], int32(p))
+			}
+			buckets := make(map[uint64]*rank.Bucket, len(groups))
+			for key, ids := range groups {
+				buckets[key] = rank.NewBucket(ids, b.asg)
+			}
+			b.tables[i] = rankedTable{buckets: buckets}
 		}
-		b.tables[i] = rankedTable{buckets: buckets}
-	}
+	})
 	return b, nil
+}
+
+// parallelRange splits [0, n) into contiguous chunks executed by up to
+// GOMAXPROCS workers. fn must be safe to call concurrently on disjoint
+// ranges. Small inputs run inline.
+func parallelRange(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// getQuerier checks a querier out of the pool (allocating buffers only on
+// first use) and reseeds its RNG with a fresh per-query stream derived from
+// the atomic query counter — concurrent queries therefore consume disjoint,
+// deterministic randomness.
+func (b *rankedBase[P]) getQuerier() *querier {
+	qr, _ := b.pool.Get().(*querier)
+	if qr == nil {
+		qr = &querier{
+			sig:     make([]uint64, b.params.L*b.params.K),
+			keys:    make([]uint64, b.params.L),
+			keys2:   make([]uint64, b.params.L),
+			buckets: make([]*rank.Bucket, b.params.L),
+			cand:    make([]int32, 0, 64),
+		}
+	}
+	qr.rng.Seed(b.qseed ^ rng.Mix64(b.qctr.Add(1)))
+	return qr
+}
+
+func (b *rankedBase[P]) putQuerier(qr *querier) { b.pool.Put(qr) }
+
+// resolve hashes q once — one single-pass signature reduced to L bucket
+// keys — and fills qr.keys and qr.buckets, charging one bucket lookup per
+// table. Query paths that probe the same buckets many times (the Section 4
+// rejection loop) or need the keys again (sketch lookup, Appendix A swaps)
+// read them from the querier instead of re-hashing.
+func (b *rankedBase[P]) resolve(q P, qr *querier, st *QueryStats) {
+	b.signer.Sign(q, qr.sig)
+	lsh.CombineKeys(qr.sig, b.params.K, qr.keys)
+	for i := range qr.buckets {
+		st.bucket()
+		qr.buckets[i] = b.tables[i].buckets[qr.keys[i]]
+	}
+}
+
+// keysInto writes the L bucket keys of p into keys without touching
+// qr.keys (used when two points' keys are needed at once).
+func (b *rankedBase[P]) keysInto(p P, qr *querier, keys []uint64) {
+	b.signer.Sign(p, qr.sig)
+	lsh.CombineKeys(qr.sig, b.params.K, keys)
 }
 
 // N returns the number of indexed points.
@@ -79,12 +198,6 @@ func (b *rankedBase[P]) Point(id int32) P { return b.points[id] }
 func (b *rankedBase[P]) near(q P, id int32, st *QueryStats) bool {
 	st.score()
 	return b.space.Near(b.space.Score(q, b.points[id]), b.radius)
-}
-
-// bucketOf returns the rank-sorted bucket of q in table i (nil if empty).
-func (b *rankedBase[P]) bucketOf(i int, q P, st *QueryStats) *rank.Bucket {
-	st.bucket()
-	return b.tables[i].buckets[b.gs[i](q)]
 }
 
 // TotalBucketEntries returns L·n, the table space in point references.

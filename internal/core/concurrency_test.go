@@ -1,0 +1,201 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"fairnn/internal/lsh"
+	"fairnn/internal/stats"
+)
+
+// TestIndependentOneBucketChargePerTable pins the fix for the redundant
+// re-hash in estimateCandidates: a query must charge exactly one bucket
+// lookup per table — the keys resolved up front are threaded through to
+// the sketch lookup instead of hashing q again.
+func TestIndependentOneBucketChargePerTable(t *testing.T) {
+	const L = 7
+	d, err := NewIndependent[int](intSpace(), allCollide{}, lsh.Params{K: 2, L: L}, lineDataset(64), 9, IndependentOptions{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st QueryStats
+	if _, ok := d.Sample(0, &st); !ok {
+		t.Fatal("query failed with perfect recall")
+	}
+	if st.BucketsScanned != L {
+		t.Errorf("BucketsScanned = %d, want exactly one per table = %d", st.BucketsScanned, L)
+	}
+}
+
+// TestIndependentConcurrentSampleUniform runs Sample from many goroutines
+// against one structure and checks that (a) under -race no data race is
+// reported and (b) the pooled per-query state does not distort the output
+// distribution: the union of all goroutines' samples stays uniform on the
+// ball.
+func TestIndependentConcurrentSampleUniform(t *testing.T) {
+	const ballSize = 8
+	d := newLineIndependent(t, 64, float64(ballSize-1), 47)
+	const goroutines = 8
+	const repsPer = 3000
+	freqs := make([]*stats.Frequency, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		freqs[g] = stats.NewFrequency()
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < repsPer; i++ {
+				id, ok := d.Sample(0, nil)
+				if !ok {
+					t.Error("query failed with perfect recall")
+					return
+				}
+				freqs[g].Observe(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	merged := stats.NewFrequency()
+	for _, f := range freqs {
+		for _, id := range domainInts(ballSize) {
+			for c := f.Count(id); c > 0; c-- {
+				merged.Observe(id)
+			}
+		}
+	}
+	domain := domainInts(ballSize)
+	if tv := tvUniform(merged, domain); tv > 0.03 {
+		t.Errorf("concurrent TV = %v, want < 0.03", tv)
+	}
+	if _, p := merged.ChiSquareUniform(domain); p < 1e-4 {
+		t.Errorf("chi-square rejects uniformity: p = %v", p)
+	}
+}
+
+// TestIndependentConcurrentSampleK exercises the batched query path from
+// multiple goroutines (race coverage for the shared querier pool).
+func TestIndependentConcurrentSampleK(t *testing.T) {
+	const ballSize = 6
+	d := newLineIndependent(t, 48, float64(ballSize-1), 53)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				out := d.SampleK(0, 5, nil)
+				for _, id := range out {
+					if d.Point(id) > ballSize-1 {
+						t.Errorf("far point %d returned", d.Point(id))
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSamplerConcurrentSample checks the Section 3 sampler's read-only
+// query path under concurrency: Sample is deterministic per build, so all
+// goroutines must agree on the answer, and -race must stay silent.
+func TestSamplerConcurrentSample(t *testing.T) {
+	s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 3}, lineDataset(64), 9, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, ok := s.Sample(0, nil)
+	if !ok {
+		t.Fatal("query failed")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				got, ok := s.Sample(0, nil)
+				if !ok || got != want {
+					t.Errorf("concurrent Sample = (%d, %v), want (%d, true)", got, ok, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSampleZeroAllocs asserts the headline perf property of the pooled
+// query path: after warm-up, Sample on both the Section 3 and Section 4
+// structures performs zero heap allocations per query.
+func TestSampleZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; alloc counts are not meaningful")
+	}
+	d := newLineIndependent(t, 64, 7, 59)
+	s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 2, L: 4}, lineDataset(64), 7, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		d.Sample(0, nil)
+		s.Sample(0, nil)
+	}
+	if n := testing.AllocsPerRun(200, func() { d.Sample(0, nil) }); n != 0 {
+		t.Errorf("Independent.Sample allocs/op = %v, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { s.Sample(0, nil) }); n != 0 {
+		t.Errorf("Sampler.Sample allocs/op = %v, want 0", n)
+	}
+}
+
+// TestStandardConcurrentQuery covers the baseline structure's pooled
+// querier under -race.
+func TestStandardConcurrentQuery(t *testing.T) {
+	s, err := NewStandard[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 2}, lineDataset(64), 9, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				if _, ok := s.Query(0, nil); !ok {
+					t.Error("Query failed with perfect recall")
+					return
+				}
+				s.QueryRandomTableOrder(0, nil)
+				s.NaiveFairSample(0, nil)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDynamicConcurrentSample covers the insert/delete-capable sampler's
+// read path under -race: Samples may run concurrently with each other.
+func TestDynamicConcurrentSample(t *testing.T) {
+	d, err := NewDynamic[int](intSpace(), allCollide{}, lsh.Params{K: 2, L: 3}, 9, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range lineDataset(64) {
+		d.Insert(p)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				if id, ok := d.Sample(0, nil); !ok || d.Point(id) > 9 {
+					t.Errorf("Sample = (%d, %v), want a near point", id, ok)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sort"
+	"sync"
 
 	"fairnn/internal/lsh"
 	"fairnn/internal/rng"
@@ -20,12 +21,18 @@ import (
 //
 // Query semantics match Sampler.Sample: deterministic per structure state
 // (Definition 1; rebuild or use Independent for independence guarantees).
-// Deletions tombstone the slot; buckets drop the id eagerly.
+// Deletions tombstone the slot; buckets drop the id eagerly. Concurrent
+// Samples are safe (per-call pooled scratch); Insert and Delete mutate the
+// tables and must not run concurrently with any other call.
 type Dynamic[P any] struct {
 	space  Space[P]
 	radius float64
 	params lsh.Params
-	gs     []lsh.Func[P]
+	signer *lsh.Signer[P]
+	// pool holds *dynScratch hashing buffers; Sample may run concurrently
+	// with other Samples (but not with Insert/Delete, which mutate the
+	// tables), so per-call scratch comes from here.
+	pool   sync.Pool
 	points []P
 	alive  []bool
 	prio   []float64
@@ -33,6 +40,12 @@ type Dynamic[P any] struct {
 	tables []map[uint64][]int32
 	src    *rng.Source
 	live   int
+}
+
+// dynScratch is the single-pass hashing buffer of one Dynamic operation.
+type dynScratch struct {
+	sig  []uint64
+	keys []uint64
 }
 
 // NewDynamic builds an empty dynamic sampler; add points with Insert.
@@ -48,12 +61,11 @@ func NewDynamic[P any](space Space[P], family lsh.Family[P], params lsh.Params, 
 		space:  space,
 		radius: radius,
 		params: params,
-		gs:     make([]lsh.Func[P], params.L),
+		signer: lsh.NewSigner(family, params.L*params.K, src),
 		tables: make([]map[uint64][]int32, params.L),
 		src:    src,
 	}
 	for i := 0; i < params.L; i++ {
-		d.gs[i] = lsh.Concat(family, params.K, src)
 		d.tables[i] = make(map[uint64][]int32)
 	}
 	return d, nil
@@ -76,13 +88,32 @@ func (d *Dynamic[P]) Insert(p P) int32 {
 	d.points = append(d.points, p)
 	d.alive = append(d.alive, true)
 	d.prio = append(d.prio, d.src.Float64())
+	sc := d.resolveKeys(p)
+	defer d.putScratch(sc)
 	for i := 0; i < d.params.L; i++ {
-		key := d.gs[i](p)
+		key := sc.keys[i]
 		d.tables[i][key] = d.bucketInsert(d.tables[i][key], id)
 	}
 	d.live++
 	return id
 }
+
+// resolveKeys computes all L bucket keys of p in one pass over p, using
+// pooled scratch; callers must putScratch the result when done.
+func (d *Dynamic[P]) resolveKeys(p P) *dynScratch {
+	sc, _ := d.pool.Get().(*dynScratch)
+	if sc == nil {
+		sc = &dynScratch{
+			sig:  make([]uint64, d.params.L*d.params.K),
+			keys: make([]uint64, d.params.L),
+		}
+	}
+	d.signer.Sign(p, sc.sig)
+	lsh.CombineKeys(sc.sig, d.params.K, sc.keys)
+	return sc
+}
+
+func (d *Dynamic[P]) putScratch(sc *dynScratch) { d.pool.Put(sc) }
 
 // bucketInsert places id into ids keeping ascending priority order.
 func (d *Dynamic[P]) bucketInsert(ids []int32, id int32) []int32 {
@@ -100,8 +131,10 @@ func (d *Dynamic[P]) Delete(id int32) bool {
 		return false
 	}
 	p := d.points[id]
+	sc := d.resolveKeys(p)
+	defer d.putScratch(sc)
 	for i := 0; i < d.params.L; i++ {
-		key := d.gs[i](p)
+		key := sc.keys[i]
 		ids := d.tables[i][key]
 		pr := d.prio[id]
 		pos := sort.Search(len(ids), func(j int) bool { return d.prio[ids[j]] >= pr })
@@ -123,9 +156,11 @@ func (d *Dynamic[P]) Delete(id int32) bool {
 func (d *Dynamic[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 	best := int32(-1)
 	bestPrio := 2.0
+	sc := d.resolveKeys(q)
+	defer d.putScratch(sc)
 	for i := 0; i < d.params.L; i++ {
 		st.bucket()
-		for _, cand := range d.tables[i][d.gs[i](q)] {
+		for _, cand := range d.tables[i][sc.keys[i]] {
 			st.point()
 			if d.prio[cand] >= bestPrio {
 				break // sorted by priority: nothing better in this bucket

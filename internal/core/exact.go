@@ -1,21 +1,27 @@
 package core
 
-import "fairnn/internal/rng"
+import (
+	"sync/atomic"
+
+	"fairnn/internal/rng"
+)
 
 // Exact is the linear-scan ground truth: it computes B_S(q, r) exactly and
 // samples from it uniformly. It exists to validate the fairness of the
 // sub-linear structures and to provide the trivial baseline whose query
-// time the paper's constructions beat.
+// time the paper's constructions beat. Queries are safe for concurrent use
+// (per-query randomness streams).
 type Exact[P any] struct {
 	space  Space[P]
 	points []P
 	radius float64
-	qrng   *rng.Source
+	qseed  uint64
+	qctr   atomic.Uint64
 }
 
 // NewExact builds the ground-truth scanner.
 func NewExact[P any](space Space[P], points []P, radius float64, seed uint64) *Exact[P] {
-	return &Exact[P]{space: space, points: points, radius: radius, qrng: rng.New(seed)}
+	return &Exact[P]{space: space, points: points, radius: radius, qseed: seed}
 }
 
 // Ball returns the ids of all points within radius of q.
@@ -53,8 +59,10 @@ func (e *Exact[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 		st.found(false)
 		return 0, false
 	}
+	var qsrc rng.Source
+	qsrc.Seed(e.qseed ^ rng.Mix64(e.qctr.Add(1)))
 	st.found(true)
-	return ball[e.qrng.Intn(len(ball))], true
+	return ball[qsrc.Intn(len(ball))], true
 }
 
 // Point returns the indexed point with the given id.

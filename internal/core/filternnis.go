@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math"
+	"sync/atomic"
 
 	"fairnn/internal/filter"
 	"fairnn/internal/rng"
@@ -46,13 +47,17 @@ func (o FilterIndependentOptions) withDefaults(n int) FilterIndependentOptions {
 // buckets containing p. The multiplicity correction makes every near point
 // equally likely per round, hence the output is uniform on B_S(q, α)
 // (Theorem 4), and fresh per-query randomness makes outputs independent.
+// Queries are safe for concurrent use: banks are read-only after
+// construction, every query builds its own plan, and sampling randomness
+// comes from per-query streams split off the seed by an atomic counter.
 type FilterIndependent struct {
 	points []vector.Vec
 	alpha  float64
 	beta   float64
 	opts   FilterIndependentOptions
 	banks  []*filter.Bank
-	qrng   *rng.Source
+	qseed  uint64
+	qctr   atomic.Uint64
 }
 
 // NewFilterIndependent indexes unit vectors for inner-product threshold
@@ -81,7 +86,7 @@ func NewFilterIndependent(points []vector.Vec, alpha, beta float64, opts FilterI
 		beta:   beta,
 		opts:   opts,
 		banks:  banks,
-		qrng:   src.Split(),
+		qseed:  src.Uint64(),
 	}, nil
 }
 
@@ -190,19 +195,21 @@ func (f *FilterIndependent) Sample(q vector.Vec, st *QueryStats) (id int32, ok b
 }
 
 // sampleFromPlan runs one existence check plus rejection loop against a
-// prepared plan. Each call uses fresh randomness, so repeated calls on the
-// same plan produce independent samples — the plan itself carries no
-// randomness.
+// prepared plan. Each call uses a fresh per-query randomness stream, so
+// repeated calls on the same plan produce independent samples — the plan
+// itself carries no randomness.
 func (f *FilterIndependent) sampleFromPlan(q vector.Vec, plan *fiPlan, st *QueryStats) (int32, bool) {
 	if plan.total == 0 {
 		st.found(false)
 		return 0, false
 	}
+	var qsrc rng.Source
+	qsrc.Seed(f.qseed ^ rng.Mix64(f.qctr.Add(1)))
 	// Existence check (the paper runs the standard query first): scan
 	// buckets in random order, stop at the first near point. Similarities
 	// are memoized in the plan — the rejection loop revisits them.
 	exists := false
-	order := f.qrng.Perm(len(plan.refs))
+	order := qsrc.Perm(len(plan.refs))
 	for _, bi := range order {
 		for _, cand := range plan.master[bi] {
 			st.point()
@@ -238,7 +245,7 @@ func (f *FilterIndependent) sampleFromPlan(q vector.Vec, plan *fiPlan, st *Query
 		if total == 0 {
 			break // only far points remained and all were deleted
 		}
-		pos := f.qrng.Intn(total)
+		pos := qsrc.Intn(total)
 		bi, off := fw.find(pos)
 		cand := contents[bi][off]
 		sim := plan.simOf(f, q, cand, st)
@@ -248,7 +255,7 @@ func (f *FilterIndependent) sampleFromPlan(q vector.Vec, plan *fiPlan, st *Query
 			if cp < 1 {
 				cp = 1 // the bucket we drew from always counts
 			}
-			if f.qrng.Bernoulli(1 / float64(cp)) {
+			if qsrc.Bernoulli(1 / float64(cp)) {
 				st.found(true)
 				return cand, true
 			}

@@ -101,9 +101,11 @@ func (m *MultiRadius[P]) SampleAtLeast(q P, minBall int, st *QueryStats) (id int
 // recalledBallSize counts distinct near candidates of q, stopping early
 // once cap is reached.
 func (d *Independent[P]) recalledBallSize(q P, cap int) int {
+	qr := d.base.getQuerier()
+	defer d.base.putQuerier(qr)
+	d.base.resolve(q, qr, nil)
 	seen := make(map[int32]struct{})
-	for i := 0; i < d.base.params.L; i++ {
-		bucket := d.base.bucketOf(i, q, nil)
+	for _, bucket := range qr.buckets {
 		if bucket == nil {
 			continue
 		}

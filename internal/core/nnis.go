@@ -2,10 +2,9 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"fairnn/internal/lsh"
-	"fairnn/internal/rank"
 	"fairnn/internal/rng"
 	"fairnn/internal/sketch"
 )
@@ -80,6 +79,11 @@ func (o IndependentOptions) withDefaults(n int) IndependentOptions {
 // Every accepted point is uniform on B_S(q, r), and because all query
 // randomness is drawn fresh per query, outputs of consecutive queries are
 // independent (Theorem 2).
+//
+// Sample and SampleK are safe for concurrent use: the index is read-only
+// after construction, per-query scratch comes from a pool, and each query
+// draws its randomness from a dedicated stream split off the seed by an
+// atomic counter. Steady-state queries perform zero heap allocations.
 type Independent[P any] struct {
 	base     *rankedBase[P]
 	opts     IndependentOptions
@@ -87,7 +91,6 @@ type Independent[P any] struct {
 	// sketches[i][key] is the stored sketch of bucket key in table i; small
 	// buckets have no entry and are sketched on demand.
 	sketches []map[uint64]sketch.Counter
-	qrng     *rng.Source
 	maxK     int
 }
 
@@ -109,7 +112,6 @@ func NewIndependent[P any](space Space[P], family lsh.Family[P], params lsh.Para
 		opts:     opts,
 		skFamily: skFamily,
 		sketches: make([]map[uint64]sketch.Counter, params.L),
-		qrng:     src.Split(),
 		maxK:     nextPow2(n),
 	}
 	for i := range d.sketches {
@@ -147,32 +149,26 @@ func (d *Independent[P]) Options() IndependentOptions { return d.opts }
 // Point returns the indexed point with the given id.
 func (d *Independent[P]) Point(id int32) P { return d.base.Point(id) }
 
-// resolveBuckets hashes q once per table and returns its L buckets (nil
-// entries for empty buckets). The rejection loop performs many rank-range
-// probes against the same buckets, so hashing once per query rather than
-// once per round removes the dominant cost (L·K hash evaluations per
-// round).
-func (d *Independent[P]) resolveBuckets(q P, st *QueryStats) []*rank.Bucket {
-	buckets := make([]*rank.Bucket, d.base.params.L)
-	for i := range buckets {
-		st.bucket()
-		buckets[i] = d.base.tables[i].buckets[d.base.gs[i](q)]
-	}
-	return buckets
-}
-
 // estimateCandidates merges the count-distinct sketches of q's buckets and
-// returns ŝ_q (step 1 of the query). Small buckets contribute their ids
-// directly — equivalent to merging their on-demand sketches.
-func (d *Independent[P]) estimateCandidates(q P, buckets []*rank.Bucket, st *QueryStats) float64 {
-	acc := d.skFamily.NewCounter()
+// returns ŝ_q (step 1 of the query). The bucket keys resolved by
+// rankedBase.resolve are threaded through the querier, so no table
+// re-hashes the query; the querier's counter is reset and reused, so the
+// merge allocates nothing in steady state. Small buckets contribute their
+// ids directly — equivalent to merging their on-demand sketches.
+func (d *Independent[P]) estimateCandidates(qr *querier, st *QueryStats) float64 {
+	if qr.counter == nil {
+		qr.counter = d.skFamily.NewCounter()
+	} else {
+		qr.counter.Reset()
+	}
+	acc := qr.counter
 	empty := true
-	for i, bucket := range buckets {
+	for i, bucket := range qr.buckets {
 		if bucket == nil || bucket.Len() == 0 {
 			continue
 		}
 		empty = false
-		if sk := d.sketches[i][d.base.gs[i](q)]; sk != nil {
+		if sk := d.sketches[i][qr.keys[i]]; sk != nil {
 			// Stored sketch: merge (cost linear in sketch size).
 			if err := d.skFamily.MergeInto(acc, sk); err != nil {
 				panic("core: sketch family mismatch (internal invariant)")
@@ -195,10 +191,11 @@ func (d *Independent[P]) estimateCandidates(q P, buckets []*rank.Bucket, st *Que
 }
 
 // segmentNear collects the distinct near points of q whose rank lies in
-// [lo, hi), using the per-bucket rank indices (step 3.b).
-func (d *Independent[P]) segmentNear(q P, buckets []*rank.Bucket, lo, hi int32, scratch []int32, st *QueryStats) []int32 {
-	cands := scratch[:0]
-	for _, bucket := range buckets {
+// [lo, hi), using the per-bucket rank indices (step 3.b). The candidate
+// buffer lives in the querier and is recycled across rounds.
+func (d *Independent[P]) segmentNear(q P, qr *querier, lo, hi int32, st *QueryStats) []int32 {
+	cands := qr.cand[:0]
+	for _, bucket := range qr.buckets {
 		if bucket == nil {
 			continue
 		}
@@ -206,19 +203,13 @@ func (d *Independent[P]) segmentNear(q P, buckets []*rank.Bucket, lo, hi int32, 
 		cands = bucket.RangeReport(d.base.asg, lo, hi, cands)
 		st.points(len(cands) - before)
 	}
+	qr.cand = cands[:0]
 	if len(cands) == 0 {
 		return cands
 	}
 	// Deduplicate ids that occur in several buckets.
-	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
-	w := 1
-	for i := 1; i < len(cands); i++ {
-		if cands[i] != cands[w-1] {
-			cands[w] = cands[i]
-			w++
-		}
-	}
-	cands = cands[:w]
+	slices.Sort(cands)
+	cands = slices.Compact(cands)
 	// Keep the near ones.
 	kept := cands[:0]
 	for _, id := range cands {
@@ -233,8 +224,17 @@ func (d *Independent[P]) segmentNear(q P, buckets []*rank.Bucket, lo, hi int32, 
 // when no near point collides with q (or the rejection budget is exhausted,
 // a probability-≤δ event under the paper's constants).
 func (d *Independent[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
-	buckets := d.resolveBuckets(q, st)
-	est := d.estimateCandidates(q, buckets, st)
+	qr := d.base.getQuerier()
+	defer d.base.putQuerier(qr)
+	d.base.resolve(q, qr, st)
+	est := d.estimateCandidates(qr, st)
+	return d.sampleResolved(q, qr, est, st)
+}
+
+// sampleResolved runs steps 2–4 of the query (segment search + rejection)
+// against an already-resolved querier. Each call draws fresh randomness
+// from the querier's stream, so repeated calls yield independent samples.
+func (d *Independent[P]) sampleResolved(q P, qr *querier, est float64, st *QueryStats) (id int32, ok bool) {
 	if est <= 0 {
 		st.found(false)
 		return 0, false
@@ -246,13 +246,12 @@ func (d *Independent[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 	}
 	lambda := float64(d.opts.Lambda)
 	sigmaFail := 0
-	scratch := make([]int32, 0, 64)
 	for k >= 1 {
 		st.round()
-		h := int64(d.qrng.Intn(k))
+		h := int64(qr.rng.Intn(k))
 		lo := int32(h * n / int64(k))
 		hi := int32((h + 1) * n / int64(k))
-		nearIDs := d.segmentNear(q, buckets, lo, hi, scratch, st)
+		nearIDs := d.segmentNear(q, qr, lo, hi, st)
 		lqh := len(nearIDs)
 		sigmaFail++
 		if sigmaFail >= d.opts.SigmaBudget {
@@ -267,12 +266,12 @@ func (d *Independent[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 			st.clamp()
 			p = 1
 		}
-		if d.qrng.Bernoulli(p) {
+		if qr.rng.Bernoulli(p) {
 			if st != nil {
 				st.FinalK = k
 			}
 			st.found(true)
-			return nearIDs[d.qrng.Intn(lqh)], true
+			return nearIDs[qr.rng.Intn(lqh)], true
 		}
 	}
 	st.found(false)
@@ -280,11 +279,21 @@ func (d *Independent[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 }
 
 // SampleK returns k independent with-replacement samples from B_S(q, r)
-// (repeated independent queries; Definition 2 makes them independent).
+// (repeated independent queries; Definition 2 makes them independent). The
+// query is resolved and the candidate count estimated once — both are
+// deterministic given (structure, query) — and the k rejection loops share
+// the resolved buckets, so the L·K hashing cost is paid once, not k times.
 func (d *Independent[P]) SampleK(q P, k int, st *QueryStats) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	qr := d.base.getQuerier()
+	defer d.base.putQuerier(qr)
+	d.base.resolve(q, qr, st)
+	est := d.estimateCandidates(qr, st)
 	out := make([]int32, 0, k)
 	for i := 0; i < k; i++ {
-		if id, ok := d.Sample(q, st); ok {
+		if id, ok := d.sampleResolved(q, qr, est, st); ok {
 			out = append(out, id)
 		}
 	}

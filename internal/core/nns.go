@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"fairnn/internal/lsh"
 	"fairnn/internal/rng"
 )
@@ -21,11 +19,11 @@ import (
 // the Appendix A rank-perturbation scheme that makes repetitions of a single
 // query independent (Theorem 5).
 //
-// A Sampler is not safe for concurrent use: SampleRepeated mutates ranks,
-// and the internal RNG used by sampling is shared.
+// Sample and SampleK are safe for concurrent use: they read the immutable
+// index through pooled per-query scratch. SampleRepeated mutates ranks and
+// must not run concurrently with any other query.
 type Sampler[P any] struct {
 	base *rankedBase[P]
-	qrng *rng.Source
 }
 
 // NewSampler builds the Section 3 structure over points with the given LSH
@@ -37,7 +35,7 @@ func NewSampler[P any](space Space[P], family lsh.Family[P], params lsh.Params, 
 	if err != nil {
 		return nil, err
 	}
-	return &Sampler[P]{base: base, qrng: src.Split()}, nil
+	return &Sampler[P]{base: base}, nil
 }
 
 // N returns the number of indexed points.
@@ -57,19 +55,24 @@ func (s *Sampler[P]) Point(id int32) P { return s.base.Point(id) }
 // given the data structure (Definition 1 does not require independence);
 // use Independent or SampleRepeated for independent outputs.
 func (s *Sampler[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
+	qr := s.base.getQuerier()
+	defer s.base.putQuerier(qr)
+	s.base.resolve(q, qr, st)
 	minRank := int32(-1)
 	var minID int32
-	for i := 0; i < s.base.params.L; i++ {
-		bucket := s.base.bucketOf(i, q, st)
+	for _, bucket := range qr.buckets {
 		if bucket == nil {
 			continue
 		}
 		// Scan in ascending rank order until the first near point; an
 		// earlier-discovered global minimum lets us stop the scan as soon
-		// as ranks exceed it.
-		for _, cand := range bucket.IDs() {
+		// as ranks exceed it. Ranks are read from the bucket's inline rank
+		// array — no Assignment indirection.
+		ids := bucket.IDs()
+		ranks := bucket.Ranks()
+		for i, cand := range ids {
 			st.point()
-			r := s.base.asg.Of(cand)
+			r := ranks[i]
 			if minRank >= 0 && r >= minRank {
 				break
 			}
@@ -89,25 +92,32 @@ func (s *Sampler[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 }
 
 // bucketCursor is a position inside one rank-sorted bucket, ordered by the
-// rank of the current id; used for the k-way merge in SampleK.
+// rank of the current id; used for the k-way merge in SampleK. The merge
+// uses a hand-rolled binary heap over a pooled slice rather than
+// container/heap, whose interface{} boxing allocates per operation.
 type bucketCursor struct {
-	ids []int32
-	pos int
-	r   int32
+	ids   []int32
+	ranks []int32
+	pos   int
+	r     int32
 }
 
-type cursorHeap []bucketCursor
-
-func (h cursorHeap) Len() int            { return len(h) }
-func (h cursorHeap) Less(i, j int) bool  { return h[i].r < h[j].r }
-func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(bucketCursor)) }
-func (h *cursorHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func cursorSiftDown(h []bucketCursor, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h[r].r < h[l].r {
+			m = r
+		}
+		if h[i].r <= h[m].r {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // SampleK returns up to k ids sampled uniformly without replacement from
@@ -118,29 +128,40 @@ func (s *Sampler[P]) SampleK(q P, k int, st *QueryStats) []int32 {
 	if k <= 0 {
 		return nil
 	}
-	h := make(cursorHeap, 0, s.base.params.L)
-	for i := 0; i < s.base.params.L; i++ {
-		bucket := s.base.bucketOf(i, q, st)
+	qr := s.base.getQuerier()
+	defer s.base.putQuerier(qr)
+	s.base.resolve(q, qr, st)
+	h := qr.cursors[:0]
+	for _, bucket := range qr.buckets {
 		if bucket == nil || bucket.Len() == 0 {
 			continue
 		}
-		ids := bucket.IDs()
-		h = append(h, bucketCursor{ids: ids, pos: 0, r: s.base.asg.Of(ids[0])})
+		h = append(h, bucketCursor{
+			ids:   bucket.IDs(),
+			ranks: bucket.Ranks(),
+			pos:   0,
+			r:     bucket.RankAt(0),
+		})
 	}
-	heap.Init(&h)
+	qr.cursors = h[:0]
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		cursorSiftDown(h, i)
+	}
 	out := make([]int32, 0, k)
 	lastID := int32(-1)
-	for h.Len() > 0 && len(out) < k {
-		cur := h[0]
+	for len(h) > 0 && len(out) < k {
+		cur := &h[0]
 		id := cur.ids[cur.pos]
 		st.point()
 		// Advance this cursor.
 		if cur.pos+1 < len(cur.ids) {
-			h[0].pos = cur.pos + 1
-			h[0].r = s.base.asg.Of(cur.ids[cur.pos+1])
-			heap.Fix(&h, 0)
+			cur.pos++
+			cur.r = cur.ranks[cur.pos]
+			cursorSiftDown(h, 0)
 		} else {
-			heap.Pop(&h)
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			cursorSiftDown(h, 0)
 		}
 		if id == lastID {
 			continue // duplicate across tables (equal ranks are adjacent)
@@ -160,47 +181,43 @@ func (s *Sampler[P]) SampleK(q P, k int, st *QueryStats) []int32 {
 // updating every affected bucket. Repetitions of the *same* query are then
 // mutually independent (Theorem 5). Note the paper's caveat: this does not
 // solve the general r-NNIS problem across different queries — use
-// Independent for that.
+// Independent for that. SampleRepeated mutates the rank permutation and is
+// therefore NOT safe for concurrent use with any other query.
 func (s *Sampler[P]) SampleRepeated(q P, st *QueryStats) (id int32, ok bool) {
 	id, ok = s.Sample(q, st)
 	if !ok {
 		return 0, false
 	}
+	qr := s.base.getQuerier()
+	defer s.base.putQuerier(qr)
 	rx := s.base.asg.Of(id)
 	n := int32(s.base.N())
-	target := rx + int32(s.qrng.Intn(int(n-rx)))
+	target := rx + int32(qr.rng.Intn(int(n-rx)))
 	other := s.base.asg.IDAt(target)
-	s.swapRanks(id, other)
+	s.swapRanks(id, other, qr)
 	return id, true
 }
 
 // swapRanks exchanges the ranks of two points and restores the rank-order
 // invariant of every bucket containing either point. Buckets are located by
-// re-hashing the points (the same g_i functions used at build time).
-func (s *Sampler[P]) swapRanks(x, y int32) {
+// re-hashing the points (one single-pass signature each).
+func (s *Sampler[P]) swapRanks(x, y int32, qr *querier) {
 	if x == y {
 		return
 	}
 	px, py := s.base.points[x], s.base.points[y]
-	type loc struct {
-		i       int
-		keyX    uint64
-		keyY    uint64
-		sameBkt bool
-	}
-	locs := make([]loc, s.base.params.L)
+	s.base.keysInto(px, qr, qr.keys)
+	s.base.keysInto(py, qr, qr.keys2)
 	// Remove both points from their buckets while the old ranks are live.
 	for i := 0; i < s.base.params.L; i++ {
-		kx, ky := s.base.gs[i](px), s.base.gs[i](py)
-		locs[i] = loc{i: i, keyX: kx, keyY: ky, sameBkt: kx == ky}
-		s.base.tables[i].buckets[kx].Remove(s.base.asg, x)
-		s.base.tables[i].buckets[ky].Remove(s.base.asg, y)
+		s.base.tables[i].buckets[qr.keys[i]].Remove(s.base.asg, x)
+		s.base.tables[i].buckets[qr.keys2[i]].Remove(s.base.asg, y)
 	}
 	s.base.asg.Swap(x, y)
 	// Re-insert under the new ranks.
-	for _, l := range locs {
-		s.base.tables[l.i].buckets[l.keyX].Insert(s.base.asg, x)
-		s.base.tables[l.i].buckets[l.keyY].Insert(s.base.asg, y)
+	for i := 0; i < s.base.params.L; i++ {
+		s.base.tables[i].buckets[qr.keys[i]].Insert(s.base.asg, x)
+		s.base.tables[i].buckets[qr.keys2[i]].Insert(s.base.asg, y)
 	}
 }
 

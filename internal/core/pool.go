@@ -6,11 +6,12 @@ import (
 	"fairnn/internal/lsh"
 )
 
-// IndependentPool makes the Section 4 sampler usable from concurrent
-// goroutines. The underlying structures consume per-query randomness and
-// are deliberately not synchronized (queries are hot paths); the pool owns
-// R independent replicas — each built with its own seed, so recall events
-// are independent too — and checks one out per query, channel-style.
+// IndependentPool replicates the Section 4 sampler. A single Independent
+// is already safe for concurrent queries (pooled per-query scratch and
+// per-query RNG streams), so the pool is no longer needed for thread
+// safety; it remains useful because each replica is built with its own
+// seed — LSH recall failures are then independent across replicas, which
+// tightens the recall guarantee beyond what one table set provides.
 //
 // Every replica individually satisfies Theorem 2, so any interleaving of
 // Sample calls across goroutines yields uniform, independent outputs

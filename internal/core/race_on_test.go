@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; under -race
+// sync.Pool deliberately drops items to widen race coverage, which makes
+// allocation counts meaningless.
+const raceEnabled = true

@@ -2,6 +2,8 @@ package core
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 
 	"fairnn/internal/lsh"
 	"fairnn/internal/rng"
@@ -22,14 +24,32 @@ import (
 //   - ApproxFairSample (Section 6.2): same, but keep every point with
 //     similarity at least the *approximate* threshold (cr), reproducing the
 //     approximate-neighborhood semantics of Har-Peled and Mahabadi.
+//
+// All query methods are safe for concurrent use: the index is read-only
+// after construction and query randomness comes from per-query streams
+// split off the seed by an atomic counter. The early-exit scans (Query,
+// QueryANN) hash one table at a time — a single pass over the query per
+// table via the signature engine — so an exit after table i pays only
+// (i+1)·K hash evaluations.
 type Standard[P any] struct {
 	space  Space[P]
 	points []P
 	radius float64
 	params lsh.Params
-	gs     []lsh.Func[P]
+	signer *lsh.Signer[P]
 	tables []map[uint64][]int32
-	qrng   *rng.Source
+
+	qseed uint64
+	qctr  atomic.Uint64
+	pool  sync.Pool // *stdQuerier
+}
+
+// stdQuerier is the reusable per-query scratch of the baseline structure:
+// a K-wide raw-signature buffer for lazy per-table keys and a per-query
+// RNG stream.
+type stdQuerier struct {
+	sig []uint64
+	rng rng.Source
 }
 
 // NewStandard builds the baseline structure. Bucket contents are shuffled
@@ -48,24 +68,50 @@ func NewStandard[P any](space Space[P], family lsh.Family[P], params lsh.Params,
 		points: points,
 		radius: radius,
 		params: params,
-		gs:     make([]lsh.Func[P], params.L),
+		signer: lsh.NewSigner(family, params.L*params.K, src),
 		tables: make([]map[uint64][]int32, params.L),
-		qrng:   nil,
 	}
-	for i := 0; i < params.L; i++ {
-		s.gs[i] = lsh.Concat(family, params.K, src)
+	n := len(points)
+	L, K := params.L, params.K
+	allKeys := make([]uint64, n*L)
+	parallelRange(n, func(lo, hi int) {
+		sig := make([]uint64, L*K)
+		for p := lo; p < hi; p++ {
+			s.signer.Sign(points[p], sig)
+			lsh.CombineKeys(sig, K, allKeys[p*L:(p+1)*L])
+		}
+	})
+	for i := 0; i < L; i++ {
 		b := make(map[uint64][]int32)
-		for id := range points {
-			key := s.gs[i](points[id])
-			b[key] = append(b[key], int32(id))
+		for p := 0; p < n; p++ {
+			key := allKeys[p*L+i]
+			b[key] = append(b[key], int32(p))
 		}
 		for _, ids := range b {
 			src.ShuffleInt32(ids)
 		}
 		s.tables[i] = b
 	}
-	s.qrng = src.Split()
+	s.qseed = src.Uint64()
 	return s, nil
+}
+
+func (s *Standard[P]) getQuerier() *stdQuerier {
+	qr, _ := s.pool.Get().(*stdQuerier)
+	if qr == nil {
+		qr = &stdQuerier{sig: make([]uint64, s.params.K)}
+	}
+	qr.rng.Seed(s.qseed ^ rng.Mix64(s.qctr.Add(1)))
+	return qr
+}
+
+func (s *Standard[P]) putQuerier(qr *stdQuerier) { s.pool.Put(qr) }
+
+// keyOf computes the bucket key of q in table i: one pass over q's
+// elements for that table's K functions.
+func (s *Standard[P]) keyOf(i int, q P, qr *stdQuerier) uint64 {
+	s.signer.SignRange(q, i*s.params.K, (i+1)*s.params.K, qr.sig)
+	return lsh.TableKey(qr.sig)
 }
 
 // N returns the number of indexed points.
@@ -88,9 +134,11 @@ func (s *Standard[P]) near(q P, id int32, thr float64, st *QueryStats) bool {
 // Query returns the first r-near point found while scanning the query's
 // buckets table by table — the standard, biased LSH query.
 func (s *Standard[P]) Query(q P, st *QueryStats) (id int32, ok bool) {
+	qr := s.getQuerier()
+	defer s.putQuerier(qr)
 	for i := 0; i < s.params.L; i++ {
 		st.bucket()
-		for _, cand := range s.tables[i][s.gs[i](q)] {
+		for _, cand := range s.tables[i][s.keyOf(i, q, qr)] {
 			st.point()
 			if s.near(q, cand, s.radius, st) {
 				st.found(true)
@@ -106,10 +154,12 @@ func (s *Standard[P]) Query(q P, st *QueryStats) (id int32, ok bool) {
 // notes (Section 2.2) that the output remains biased even under such
 // randomization; the experiments use this to demonstrate exactly that.
 func (s *Standard[P]) QueryRandomTableOrder(q P, st *QueryStats) (id int32, ok bool) {
-	order := s.qrng.Perm(s.params.L)
+	qr := s.getQuerier()
+	defer s.putQuerier(qr)
+	order := qr.rng.Perm(s.params.L)
 	for _, i := range order {
 		st.bucket()
-		for _, cand := range s.tables[i][s.gs[i](q)] {
+		for _, cand := range s.tables[i][s.keyOf(int(i), q, qr)] {
 			st.point()
 			if s.near(q, cand, s.radius, st) {
 				st.found(true)
@@ -126,10 +176,12 @@ func (s *Standard[P]) QueryRandomTableOrder(q P, st *QueryStats) (id int32, ok b
 // 3L far points (Section 2.2, following Indyk–Motwani). crRadius is the
 // relaxed threshold (c·r for distances, c·r with c<1 for similarities).
 func (s *Standard[P]) QueryANN(q P, crRadius float64, st *QueryStats) (id int32, ok bool) {
+	qr := s.getQuerier()
+	defer s.putQuerier(qr)
 	farBudget := 3 * s.params.L
 	for i := 0; i < s.params.L; i++ {
 		st.bucket()
-		for _, cand := range s.tables[i][s.gs[i](q)] {
+		for _, cand := range s.tables[i][s.keyOf(i, q, qr)] {
 			st.point()
 			if s.near(q, cand, crRadius, st) {
 				st.found(true)
@@ -149,11 +201,17 @@ func (s *Standard[P]) QueryANN(q P, crRadius float64, st *QueryStats) (id int32,
 // Candidates returns the deduplicated union of q's buckets (the set S_q),
 // in unspecified order, charging the scan to st.
 func (s *Standard[P]) Candidates(q P, st *QueryStats) []int32 {
+	qr := s.getQuerier()
+	defer s.putQuerier(qr)
+	return s.candidates(q, qr, st)
+}
+
+func (s *Standard[P]) candidates(q P, qr *stdQuerier, st *QueryStats) []int32 {
 	seen := make(map[int32]struct{})
 	var out []int32
 	for i := 0; i < s.params.L; i++ {
 		st.bucket()
-		for _, cand := range s.tables[i][s.gs[i](q)] {
+		for _, cand := range s.tables[i][s.keyOf(i, q, qr)] {
 			st.point()
 			if _, ok := seen[cand]; ok {
 				continue
@@ -182,7 +240,9 @@ func (s *Standard[P]) ApproxFairSample(q P, crRadius float64, st *QueryStats) (i
 }
 
 func (s *Standard[P]) uniformAmong(q P, thr float64, st *QueryStats) (int32, bool) {
-	cands := s.Candidates(q, st)
+	qr := s.getQuerier()
+	defer s.putQuerier(qr)
+	cands := s.candidates(q, qr, st)
 	kept := cands[:0]
 	for _, cand := range cands {
 		if s.near(q, cand, thr, st) {
@@ -194,7 +254,7 @@ func (s *Standard[P]) uniformAmong(q P, thr float64, st *QueryStats) (int32, boo
 		return 0, false
 	}
 	st.found(true)
-	return kept[s.qrng.Intn(len(kept))], true
+	return kept[qr.rng.Intn(len(kept))], true
 }
 
 // RecalledBall returns the r-near candidates of q (deduplicated), i.e. the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"fairnn/internal/lsh"
 	"fairnn/internal/rng"
@@ -28,7 +29,8 @@ type Weighted[P any] struct {
 	inner  *Independent[P]
 	weight WeightFunc
 	wMax   float64
-	qrng   *rng.Source
+	qseed  uint64
+	qctr   atomic.Uint64
 	// MaxDraws caps rejection rounds per sample (default 64·wMax/wMin
 	// heuristic replaced by a flat 10 000; the cap only triggers for
 	// pathological weight functions).
@@ -54,7 +56,7 @@ func NewWeighted[P any](space Space[P], family lsh.Family[P], params lsh.Params,
 		inner:    inner,
 		weight:   weight,
 		wMax:     wMax,
-		qrng:     rng.New(seed ^ 0x5eed5eed5eed5eed),
+		qseed:    seed ^ 0x5eed5eed5eed5eed,
 		maxDraws: 10000,
 	}, nil
 }
@@ -71,6 +73,11 @@ func (w *Weighted[P]) Independent() *Independent[P] { return w.inner }
 // Sample returns a point p from B_S(q, r) with probability proportional to
 // weight(score(q, p)), independently across calls.
 func (w *Weighted[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
+	// Per-query acceptance randomness: a stack-local stream split off the
+	// seed by the atomic query counter, so concurrent Samples are safe and
+	// independent.
+	var qsrc rng.Source
+	qsrc.Seed(w.qseed ^ rng.Mix64(w.qctr.Add(1)))
 	for draw := 0; draw < w.maxDraws; draw++ {
 		cand, found := w.inner.Sample(q, st)
 		if !found {
@@ -87,7 +94,7 @@ func (w *Weighted[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 			st.clamp()
 			p = 1
 		}
-		if w.qrng.Bernoulli(p) {
+		if qsrc.Bernoulli(p) {
 			st.found(true)
 			return cand, true
 		}

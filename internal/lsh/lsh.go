@@ -82,7 +82,7 @@ func (p Params) Validate() error {
 // in internal/core layer rank-sorted buckets on top instead.
 type Tables[P any] struct {
 	params Params
-	gs     []Func[P]
+	signer *Signer[P]
 	// buckets[i] maps g_i(p) to the indices of the points in that bucket.
 	buckets []map[uint64][]int32
 	n       int
@@ -91,25 +91,29 @@ type Tables[P any] struct {
 // Build constructs the L tables over points. The same drawn functions g_i
 // are applied to every point — collisions across points within one table
 // are therefore correlated, which is essential to the phenomena studied in
-// Section 6.2.
+// Section 6.2. All L·K hash values of a point are computed by the batched
+// signature engine in one pass over the point.
 func Build[P any](family Family[P], params Params, points []P, r *rng.Source) (*Tables[P], error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
 	t := &Tables[P]{
 		params:  params,
-		gs:      make([]Func[P], params.L),
+		signer:  NewSigner(family, params.L*params.K, r),
 		buckets: make([]map[uint64][]int32, params.L),
 		n:       len(points),
 	}
-	for i := 0; i < params.L; i++ {
-		t.gs[i] = Concat(family, params.K, r)
-		b := make(map[uint64][]int32)
-		for id, p := range points {
-			key := t.gs[i](p)
-			b[key] = append(b[key], int32(id))
+	for i := range t.buckets {
+		t.buckets[i] = make(map[uint64][]int32)
+	}
+	sig := make([]uint64, params.L*params.K)
+	keys := make([]uint64, params.L)
+	for id, p := range points {
+		t.signer.Sign(p, sig)
+		CombineKeys(sig, params.K, keys)
+		for i, key := range keys {
+			t.buckets[i][key] = append(t.buckets[i][key], int32(id))
 		}
-		t.buckets[i] = b
 	}
 	return t, nil
 }
@@ -120,13 +124,26 @@ func (t *Tables[P]) Params() Params { return t.params }
 // N returns the number of indexed points.
 func (t *Tables[P]) N() int { return t.n }
 
+// Keys appends the L bucket keys of p (one per table) and returns them.
+func (t *Tables[P]) Keys(p P) []uint64 {
+	sig := make([]uint64, t.params.L*t.params.K)
+	t.signer.Sign(p, sig)
+	keys := make([]uint64, t.params.L)
+	CombineKeys(sig, t.params.K, keys)
+	return keys
+}
+
 // Key returns g_i(p), the bucket key of p in table i.
-func (t *Tables[P]) Key(i int, p P) uint64 { return t.gs[i](p) }
+func (t *Tables[P]) Key(i int, p P) uint64 {
+	sig := make([]uint64, t.params.K)
+	t.signer.SignRange(p, i*t.params.K, (i+1)*t.params.K, sig)
+	return TableKey(sig)
+}
 
 // Bucket returns the ids colliding with q in table i (nil when empty).
 // The returned slice is owned by the table and must not be modified.
 func (t *Tables[P]) Bucket(i int, q P) []int32 {
-	return t.buckets[i][t.gs[i](q)]
+	return t.buckets[i][t.Key(i, q)]
 }
 
 // BucketByKey returns the ids stored under key in table i.
@@ -140,8 +157,8 @@ func (t *Tables[P]) BucketByKey(i int, key uint64) []int32 {
 func (t *Tables[P]) CandidateSet(q P, scratch []int32) []int32 {
 	seen := make(map[int32]struct{})
 	out := scratch[:0]
-	for i := 0; i < t.params.L; i++ {
-		for _, id := range t.Bucket(i, q) {
+	for i, key := range t.Keys(q) {
+		for _, id := range t.buckets[i][key] {
 			if _, ok := seen[id]; ok {
 				continue
 			}

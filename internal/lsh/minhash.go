@@ -20,6 +20,12 @@ func (MinHash) New(r *rng.Source) Func[set.Set] {
 	return func(s set.Set) uint64 { return minHashValue(s, seed) }
 }
 
+// NewBatch draws m min-wise functions with contiguously stored seeds; the
+// batch computes all m minima in one pass over the set.
+func (MinHash) NewBatch(m int, r *rng.Source) Batch[set.Set] {
+	return newMinHashBatch(m, r, false)
+}
+
 // CollisionProb returns Pr[h(x)=h(y)] = J(x,y).
 func (MinHash) CollisionProb(jaccard float64) float64 { return clamp01(jaccard) }
 
@@ -45,9 +51,82 @@ func (OneBitMinHash) New(r *rng.Source) Func[set.Set] {
 	return func(s set.Set) uint64 { return minHashValue(s, seed) & 1 }
 }
 
+// NewBatch draws m 1-bit min-wise functions evaluated in one pass over the
+// set.
+func (OneBitMinHash) NewBatch(m int, r *rng.Source) Batch[set.Set] {
+	return newMinHashBatch(m, r, true)
+}
+
 // CollisionProb returns (1+J)/2.
 func (OneBitMinHash) CollisionProb(jaccard float64) float64 {
 	return (1 + clamp01(jaccard)) / 2
+}
+
+// minHashBatch evaluates m min-wise functions in a single pass: the outer
+// loop visits each set element once, the inner loop updates the m running
+// minima against the contiguously stored seeds. The per-element work is
+// identical to m separate evaluations, but the set is scanned once instead
+// of m times and there is no per-function closure dispatch.
+type minHashBatch struct {
+	seeds  []uint64
+	oneBit bool
+}
+
+func newMinHashBatch(m int, r *rng.Source, oneBit bool) *minHashBatch {
+	seeds := make([]uint64, m)
+	for i := range seeds {
+		seeds[i] = r.Uint64()
+	}
+	return &minHashBatch{seeds: seeds, oneBit: oneBit}
+}
+
+func (b *minHashBatch) Size() int { return len(b.seeds) }
+
+// smallSetLen bounds the "set fits comfortably in L1" regime: below it a
+// per-seed scan keeps the running minimum in a register and re-reads the
+// cache-resident set; above it the set is streamed once per 16-seed tile
+// so large sets are not re-fetched from memory m times.
+const smallSetLen = 1024
+
+func (b *minHashBatch) Hash(s set.Set, lo, hi int, out []uint64) {
+	out = out[:hi-lo]
+	seeds := b.seeds[lo:hi]
+	if len(s) <= smallSetLen {
+		for i, seed := range seeds {
+			min := ^uint64(0)
+			for _, e := range s {
+				if v := rng.Mix64(seed ^ uint64(e)); v < min {
+					min = v
+				}
+			}
+			out[i] = min
+		}
+	} else {
+		var mins [16]uint64
+		for base := 0; base < len(seeds); base += len(mins) {
+			blk := seeds[base:]
+			if len(blk) > len(mins) {
+				blk = blk[:len(mins)]
+			}
+			for j := range blk {
+				mins[j] = ^uint64(0)
+			}
+			for _, e := range s {
+				x := uint64(e)
+				for j, seed := range blk {
+					if v := rng.Mix64(seed ^ x); v < mins[j] {
+						mins[j] = v
+					}
+				}
+			}
+			copy(out[base:], mins[:len(blk)])
+		}
+	}
+	if b.oneBit {
+		for i := range out {
+			out[i] &= 1
+		}
+	}
 }
 
 func clamp01(v float64) float64 {

@@ -1,0 +1,109 @@
+package lsh
+
+import "fairnn/internal/rng"
+
+// This file is the batched signature engine: instead of evaluating L·K
+// independently drawn hash closures — each rescanning the point — a whole
+// table set's worth of functions is drawn at once and evaluated in a single
+// pass over the point's elements. Families opt in via BatchFamily; families
+// without a batch implementation fall back to per-function evaluation with
+// identical output (the draw order matches sequential Family.New calls, so
+// bucket keys are bit-for-bit the same either way).
+
+// Batch is a block of hash functions drawn together from one family. A
+// batch evaluates any contiguous sub-range of its functions on a point in
+// one pass over the point's elements, writing the raw (pre-concatenation)
+// hash values.
+type Batch[P any] interface {
+	// Size returns the number of functions in the batch.
+	Size() int
+	// Hash writes the raw values of functions [lo, hi) for p into
+	// out[0 : hi-lo].
+	Hash(p P, lo, hi int, out []uint64)
+}
+
+// BatchFamily is an optional capability of a Family: drawing m functions
+// at once, with seeds/projections stored contiguously so that evaluating
+// all of them is cache-friendly and scans the point once. Implementations
+// must consume randomness from r exactly as m sequential New calls would,
+// so batched and unbatched builds of the same seed are identical.
+type BatchFamily[P any] interface {
+	Family[P]
+	// NewBatch draws m functions using randomness from r.
+	NewBatch(m int, r *rng.Source) Batch[P]
+}
+
+// Signer computes whole LSH signatures — the raw values of all m = L·K
+// concatenated functions of a table set — for one point at a time. It uses
+// the family's batch path when available and falls back to m independent
+// draws otherwise. A Signer is immutable after construction and safe for
+// concurrent use (callers supply the output buffer).
+type Signer[P any] struct {
+	batch Batch[P]
+	funcs []Func[P]
+}
+
+// NewSigner draws m hash functions from family. The functions are ordered
+// table-major: function j of table i is index i*K + j when m = L·K.
+func NewSigner[P any](family Family[P], m int, r *rng.Source) *Signer[P] {
+	if m < 1 {
+		panic("lsh: NewSigner with m < 1")
+	}
+	if bf, ok := family.(BatchFamily[P]); ok {
+		return &Signer[P]{batch: bf.NewBatch(m, r)}
+	}
+	fns := make([]Func[P], m)
+	for i := range fns {
+		fns[i] = family.New(r)
+	}
+	return &Signer[P]{funcs: fns}
+}
+
+// Size returns the number of functions m.
+func (s *Signer[P]) Size() int {
+	if s.batch != nil {
+		return s.batch.Size()
+	}
+	return len(s.funcs)
+}
+
+// Sign writes the full signature of p into out (len(out) must be Size()).
+func (s *Signer[P]) Sign(p P, out []uint64) {
+	s.SignRange(p, 0, s.Size(), out)
+}
+
+// SignRange writes the raw values of functions [lo, hi) into
+// out[0 : hi-lo]. Sub-range signing lets early-exit query paths (for
+// example the classic biased LSH scan) hash one table at a time while
+// still scanning the point only once per table.
+func (s *Signer[P]) SignRange(p P, lo, hi int, out []uint64) {
+	if s.batch != nil {
+		s.batch.Hash(p, lo, hi, out)
+		return
+	}
+	for i := lo; i < hi; i++ {
+		out[i-lo] = s.funcs[i](p)
+	}
+}
+
+// TableKey reduces the K raw values of one table to its bucket key,
+// producing exactly the key Concat would: Mix64 of the single value for
+// K = 1 and the Combine fold otherwise.
+func TableKey(raw []uint64) uint64 {
+	if len(raw) == 1 {
+		return rng.Mix64(raw[0])
+	}
+	acc := uint64(0x51ef23a8a1b7c94d)
+	for _, v := range raw {
+		acc = rng.Combine(acc, v)
+	}
+	return acc
+}
+
+// CombineKeys reduces an L·K signature (table-major) to the L bucket keys,
+// writing them into keys (len(keys) = len(sig)/k).
+func CombineKeys(sig []uint64, k int, keys []uint64) {
+	for i := range keys {
+		keys[i] = TableKey(sig[i*k : (i+1)*k])
+	}
+}

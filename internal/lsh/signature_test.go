@@ -1,0 +1,109 @@
+package lsh
+
+import (
+	"testing"
+
+	"fairnn/internal/rng"
+	"fairnn/internal/set"
+	"fairnn/internal/vector"
+)
+
+// noBatch hides a family's NewBatch capability so NewSigner takes the
+// per-function fallback path.
+type noBatch[P any] struct{ f Family[P] }
+
+func (n noBatch[P]) New(r *rng.Source) Func[P]       { return n.f.New(r) }
+func (n noBatch[P]) CollisionProb(s float64) float64 { return n.f.CollisionProb(s) }
+
+// TestBatchMatchesSequentialDraws pins the seed-compatibility contract of
+// the signature engine: a batched signer must consume randomness exactly
+// like m sequential Family.New calls and produce identical raw values, so
+// batched and unbatched builds of the same seed yield the same index.
+func TestBatchMatchesSequentialDraws(t *testing.T) {
+	const m = 24
+	sets := []set.Set{
+		nil,
+		set.FromSlice([]uint32{5}),
+		set.FromSlice([]uint32{1, 2, 3, 10, 99, 1000}),
+		set.Range(0, 200),
+	}
+	for _, fam := range []Family[set.Set]{MinHash{}, OneBitMinHash{}} {
+		batched := NewSigner[set.Set](fam, m, rng.New(7))
+		fallback := NewSigner[set.Set](noBatch[set.Set]{fam}, m, rng.New(7))
+		got := make([]uint64, m)
+		want := make([]uint64, m)
+		for _, s := range sets {
+			batched.Sign(s, got)
+			fallback.Sign(s, want)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%T: function %d differs on set of size %d: batch %x, sequential %x", fam, i, s.Len(), got[i], want[i])
+				}
+			}
+		}
+	}
+
+	vecs := []vector.Vec{
+		vector.Gaussian(rng.New(3), 16),
+		vector.Gaussian(rng.New(4), 16),
+	}
+	for _, fam := range []Family[vector.Vec]{SimHash{Dim: 16}, Euclidean{Dim: 16, W: 2}, BitSampling{Dim: 16}} {
+		batched := NewSigner[vector.Vec](fam, m, rng.New(9))
+		fallback := NewSigner[vector.Vec](noBatch[vector.Vec]{fam}, m, rng.New(9))
+		got := make([]uint64, m)
+		want := make([]uint64, m)
+		for _, v := range vecs {
+			batched.Sign(v, got)
+			fallback.Sign(v, want)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%T: function %d differs: batch %x, sequential %x", fam, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSignRangeMatchesFullSign checks that sub-range signing (the lazy
+// per-table path of the classic LSH scan) agrees with the full signature.
+func TestSignRangeMatchesFullSign(t *testing.T) {
+	const m = 20
+	s := NewSigner[set.Set](MinHash{}, m, rng.New(5))
+	p := set.Range(10, 80)
+	full := make([]uint64, m)
+	s.Sign(p, full)
+	for lo := 0; lo < m; lo += 4 {
+		hi := lo + 4
+		part := make([]uint64, hi-lo)
+		s.SignRange(p, lo, hi, part)
+		for i, v := range part {
+			if v != full[lo+i] {
+				t.Fatalf("SignRange(%d,%d)[%d] = %x, want %x", lo, hi, i, v, full[lo+i])
+			}
+		}
+	}
+}
+
+// TestCombineKeysMatchesConcat pins that the signature reduction produces
+// exactly the bucket keys of the closure-based Concat composition.
+func TestCombineKeysMatchesConcat(t *testing.T) {
+	for _, k := range []int{1, 2, 5} {
+		const L = 4
+		concat := make([]Func[set.Set], L)
+		r := rng.New(13)
+		for i := range concat {
+			concat[i] = Concat[set.Set](MinHash{}, k, r)
+		}
+		signer := NewSigner[set.Set](MinHash{}, L*k, rng.New(13))
+		p := set.FromSlice([]uint32{3, 14, 15, 92, 65})
+		sig := make([]uint64, L*k)
+		keys := make([]uint64, L)
+		signer.Sign(p, sig)
+		CombineKeys(sig, k, keys)
+		for i := range keys {
+			if want := concat[i](p); keys[i] != want {
+				t.Fatalf("K=%d table %d: CombineKeys %x, Concat %x", k, i, keys[i], want)
+			}
+		}
+	}
+}

@@ -26,6 +26,38 @@ func (f SimHash) New(r *rng.Source) Func[vector.Vec] {
 	}
 }
 
+// NewBatch draws m hyperplanes stored as one contiguous m×Dim matrix; a
+// signature is m sign bits of one matrix-vector product.
+func (f SimHash) NewBatch(m int, r *rng.Source) Batch[vector.Vec] {
+	b := &simHashBatch{dim: f.Dim, rows: make([]float64, m*f.Dim)}
+	for i := 0; i < m; i++ {
+		copy(b.rows[i*f.Dim:(i+1)*f.Dim], vector.Gaussian(r, f.Dim))
+	}
+	return b
+}
+
+type simHashBatch struct {
+	dim  int
+	rows []float64
+}
+
+func (b *simHashBatch) Size() int { return len(b.rows) / b.dim }
+
+func (b *simHashBatch) Hash(v vector.Vec, lo, hi int, out []uint64) {
+	for i := lo; i < hi; i++ {
+		row := b.rows[i*b.dim : (i+1)*b.dim]
+		dot := 0.0
+		for j, x := range v {
+			dot += row[j] * x
+		}
+		if dot >= 0 {
+			out[i-lo] = 1
+		} else {
+			out[i-lo] = 0
+		}
+	}
+}
+
 // CollisionProb returns 1 - arccos(s)/π for inner-product similarity s of
 // unit vectors.
 func (SimHash) CollisionProb(s float64) float64 {
@@ -55,6 +87,37 @@ func (f Euclidean) New(r *rng.Source) Func[vector.Vec] {
 	b := r.Float64() * f.W
 	return func(v vector.Vec) uint64 {
 		return uint64(int64(math.Floor((vector.Dot(a, v) + b) / f.W)))
+	}
+}
+
+// NewBatch draws m p-stable functions with projections stored as one
+// contiguous m×Dim matrix plus an offset vector.
+func (f Euclidean) NewBatch(m int, r *rng.Source) Batch[vector.Vec] {
+	b := &euclideanBatch{dim: f.Dim, w: f.W, rows: make([]float64, m*f.Dim), bs: make([]float64, m)}
+	for i := 0; i < m; i++ {
+		copy(b.rows[i*f.Dim:(i+1)*f.Dim], vector.Gaussian(r, f.Dim))
+		b.bs[i] = r.Float64() * f.W
+	}
+	return b
+}
+
+type euclideanBatch struct {
+	dim  int
+	w    float64
+	rows []float64
+	bs   []float64
+}
+
+func (b *euclideanBatch) Size() int { return len(b.bs) }
+
+func (b *euclideanBatch) Hash(v vector.Vec, lo, hi int, out []uint64) {
+	for i := lo; i < hi; i++ {
+		row := b.rows[i*b.dim : (i+1)*b.dim]
+		dot := 0.0
+		for j, x := range v {
+			dot += row[j] * x
+		}
+		out[i-lo] = uint64(int64(math.Floor((dot + b.bs[i]) / b.w)))
 	}
 }
 
@@ -94,6 +157,31 @@ func (f BitSampling) New(r *rng.Source) Func[vector.Vec] {
 			return 1
 		}
 		return 0
+	}
+}
+
+// NewBatch draws m sampled coordinates stored contiguously.
+func (f BitSampling) NewBatch(m int, r *rng.Source) Batch[vector.Vec] {
+	coords := make([]int, m)
+	for i := range coords {
+		coords[i] = r.Intn(f.Dim)
+	}
+	return &bitSamplingBatch{coords: coords}
+}
+
+type bitSamplingBatch struct {
+	coords []int
+}
+
+func (b *bitSamplingBatch) Size() int { return len(b.coords) }
+
+func (b *bitSamplingBatch) Hash(v vector.Vec, lo, hi int, out []uint64) {
+	for i := lo; i < hi; i++ {
+		if v[b.coords[i]] != 0 {
+			out[i-lo] = 1
+		} else {
+			out[i-lo] = 0
+		}
 	}
 }
 

@@ -6,7 +6,7 @@
 // rank swaps of Appendix A.
 package rank
 
-import "sort"
+import "slices"
 
 import "fairnn/internal/rng"
 
@@ -72,18 +72,49 @@ func (a *Assignment) Valid() bool {
 // Bucket is a list of point ids kept sorted by ascending rank under a fixed
 // Assignment. It is the bucket representation of both Section 3 (scan in
 // rank order, stop at first near point) and Section 4 (rank-range
-// reporting). The Assignment is passed to each operation rather than stored
-// so that rank swaps (Appendix A) can relocate ids across many buckets
-// without back-pointers.
+// reporting). Ranks are stored inline next to the ids (struct-of-arrays),
+// so range queries binary-search a local contiguous slice instead of
+// chasing Assignment.Of per probe. Mutating operations that follow an
+// Assignment.Swap must bracket the swap with Remove (before) and Insert
+// (after) so the cached ranks stay consistent — exactly the discipline the
+// Appendix A perturbation uses.
 type Bucket struct {
-	ids []int32
+	ids   []int32
+	ranks []int32 // ranks[i] = rank of ids[i], strictly ascending
 }
 
-// NewBucket builds a bucket over ids, sorting them by rank. The slice is
+// NewBucket builds a bucket over ids, sorting them by rank. The id slice is
 // taken over by the bucket.
 func NewBucket(ids []int32, a *Assignment) *Bucket {
-	sort.Slice(ids, func(i, j int) bool { return a.Of(ids[i]) < a.Of(ids[j]) })
-	return &Bucket{ids: ids}
+	ranks := make([]int32, len(ids))
+	for i, id := range ids {
+		ranks[i] = a.Of(id)
+	}
+	if len(ids) <= 32 {
+		// LSH buckets are typically tiny; insertion sort on the pair of
+		// arrays avoids any temporary.
+		for i := 1; i < len(ids); i++ {
+			r, id := ranks[i], ids[i]
+			j := i - 1
+			for ; j >= 0 && ranks[j] > r; j-- {
+				ranks[j+1], ids[j+1] = ranks[j], ids[j]
+			}
+			ranks[j+1], ids[j+1] = r, id
+		}
+		return &Bucket{ids: ids, ranks: ranks}
+	}
+	// Pack (rank, id) pairs into single words so one flat sort orders both
+	// arrays; ranks and ids are both non-negative int32s.
+	packed := make([]uint64, len(ids))
+	for i, id := range ids {
+		packed[i] = uint64(uint32(ranks[i]))<<32 | uint64(uint32(id))
+	}
+	slices.Sort(packed)
+	for i, pk := range packed {
+		ranks[i] = int32(uint32(pk >> 32))
+		ids[i] = int32(uint32(pk))
+	}
+	return &Bucket{ids: ids, ranks: ranks}
 }
 
 // Len returns the number of ids in the bucket.
@@ -93,62 +124,85 @@ func (b *Bucket) Len() int { return len(b.ids) }
 // bucket and must not be modified.
 func (b *Bucket) IDs() []int32 { return b.ids }
 
+// Ranks returns the ranks aligned with IDs(). The slice is owned by the
+// bucket and must not be modified.
+func (b *Bucket) Ranks() []int32 { return b.ranks }
+
 // At returns the i-th id in rank order.
 func (b *Bucket) At(i int) int32 { return b.ids[i] }
 
+// RankAt returns the rank of the i-th id in rank order.
+func (b *Bucket) RankAt(i int) int32 { return b.ranks[i] }
+
+// searchRanks returns the first index whose rank is >= target. Manual
+// binary search over the local rank slice: no closure, no Assignment
+// indirection, no allocation.
+func searchRanks(ranks []int32, target int32) int {
+	lo, hi := 0, len(ranks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ranks[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // RangeReport appends to out every id whose rank lies in [loRank, hiRank),
 // in ascending rank order, using binary search: O(log |bucket| + output).
-func (b *Bucket) RangeReport(a *Assignment, loRank, hiRank int32, out []int32) []int32 {
-	i := sort.Search(len(b.ids), func(i int) bool { return a.Of(b.ids[i]) >= loRank })
-	for ; i < len(b.ids); i++ {
-		if a.Of(b.ids[i]) >= hiRank {
-			break
-		}
+func (b *Bucket) RangeReport(_ *Assignment, loRank, hiRank int32, out []int32) []int32 {
+	i := searchRanks(b.ranks, loRank)
+	for ; i < len(b.ranks) && b.ranks[i] < hiRank; i++ {
 		out = append(out, b.ids[i])
 	}
 	return out
 }
 
 // CountRange returns the number of ids with rank in [loRank, hiRank).
-func (b *Bucket) CountRange(a *Assignment, loRank, hiRank int32) int {
-	lo := sort.Search(len(b.ids), func(i int) bool { return a.Of(b.ids[i]) >= loRank })
-	hi := sort.Search(len(b.ids), func(i int) bool { return a.Of(b.ids[i]) >= hiRank })
-	return hi - lo
+func (b *Bucket) CountRange(_ *Assignment, loRank, hiRank int32) int {
+	return searchRanks(b.ranks, hiRank) - searchRanks(b.ranks, loRank)
 }
 
 // Remove deletes id from the bucket (identified by its current rank).
 // It reports whether the id was present.
 func (b *Bucket) Remove(a *Assignment, id int32) bool {
-	r := a.Of(id)
-	i := sort.Search(len(b.ids), func(i int) bool { return a.Of(b.ids[i]) >= r })
+	i := searchRanks(b.ranks, a.Of(id))
 	if i >= len(b.ids) || b.ids[i] != id {
 		return false
 	}
 	b.ids = append(b.ids[:i], b.ids[i+1:]...)
+	b.ranks = append(b.ranks[:i], b.ranks[i+1:]...)
 	return true
 }
 
 // Insert adds id at the position given by its current rank.
 func (b *Bucket) Insert(a *Assignment, id int32) {
 	r := a.Of(id)
-	i := sort.Search(len(b.ids), func(i int) bool { return a.Of(b.ids[i]) >= r })
+	i := searchRanks(b.ranks, r)
 	b.ids = append(b.ids, 0)
 	copy(b.ids[i+1:], b.ids[i:])
 	b.ids[i] = id
+	b.ranks = append(b.ranks, 0)
+	copy(b.ranks[i+1:], b.ranks[i:])
+	b.ranks[i] = r
 }
 
 // Contains reports whether id is present (by rank lookup).
 func (b *Bucket) Contains(a *Assignment, id int32) bool {
-	r := a.Of(id)
-	i := sort.Search(len(b.ids), func(i int) bool { return a.Of(b.ids[i]) >= r })
+	i := searchRanks(b.ranks, a.Of(id))
 	return i < len(b.ids) && b.ids[i] == id
 }
 
-// Sorted reports whether the bucket is sorted by rank (invariant check for
-// property tests).
+// Sorted reports whether the bucket is sorted by rank and its cached ranks
+// agree with the assignment (invariant check for property tests).
 func (b *Bucket) Sorted(a *Assignment) bool {
-	for i := 1; i < len(b.ids); i++ {
-		if a.Of(b.ids[i-1]) >= a.Of(b.ids[i]) {
+	for i := range b.ids {
+		if b.ranks[i] != a.Of(b.ids[i]) {
+			return false
+		}
+		if i > 0 && b.ranks[i-1] >= b.ranks[i] {
 			return false
 		}
 	}

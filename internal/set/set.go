@@ -5,7 +5,10 @@
 // scans cache-friendly.
 package set
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Set is a set of item identifiers stored in strictly increasing order.
 // The zero value is the empty set.
@@ -19,16 +22,8 @@ func FromSlice(items []uint32) Set {
 	}
 	s := make(Set, len(items))
 	copy(s, items)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	// Deduplicate in place.
-	w := 1
-	for i := 1; i < len(s); i++ {
-		if s[i] != s[w-1] {
-			s[w] = s[i]
-			w++
-		}
-	}
-	return s[:w]
+	slices.Sort(s)
+	return slices.Compact(s)
 }
 
 // Range builds the set {lo, lo+1, ..., hi} (inclusive). It panics if hi < lo.

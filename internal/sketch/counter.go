@@ -17,6 +17,9 @@ type Counter interface {
 	Estimate() float64
 	// MemoryWords returns the sketch size in 64-bit words.
 	MemoryWords() int
+	// Reset empties the counter while keeping its internal capacity, so
+	// hot query paths can reuse one counter without allocating.
+	Reset()
 }
 
 // CounterFamily creates mergeable counters that share hash functions.

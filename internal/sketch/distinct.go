@@ -101,6 +101,9 @@ type Distinct struct {
 	// rows[w] holds the at most t smallest distinct hash values seen by ψ_w,
 	// kept as a sorted ascending slice (t is small, insertion is a memmove).
 	rows [][]uint64
+	// estScratch backs Estimate's per-row medians so repeated estimates on
+	// a reused sketch do not allocate.
+	estScratch []float64
 }
 
 // NewSketch returns an empty sketch bound to the family.
@@ -145,6 +148,13 @@ func (s *Distinct) insert(w int, v uint64) {
 	s.rows[w] = row
 }
 
+// Reset empties the sketch, keeping each row's capacity for reuse.
+func (s *Distinct) Reset() {
+	for w := range s.rows {
+		s.rows[w] = s.rows[w][:0]
+	}
+}
+
 // Merge folds other into s. Both sketches must come from the same Family.
 // Merging sketches of stream segments yields exactly the sketch of the
 // concatenated stream (the property Section 4 relies on).
@@ -177,7 +187,10 @@ func (s *Distinct) Clone() *Distinct {
 // values (then the row has seen every distinct element).
 func (s *Distinct) Estimate() float64 {
 	f := s.family
-	ests := make([]float64, 0, len(s.rows))
+	if cap(s.estScratch) < len(s.rows) {
+		s.estScratch = make([]float64, 0, len(s.rows))
+	}
+	ests := s.estScratch[:0]
 	for w, row := range s.rows {
 		if len(row) < f.t {
 			// Fewer than t distinct hashed values: exact distinct count

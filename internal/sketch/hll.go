@@ -101,6 +101,11 @@ func (s *HLL) Add(x uint64) {
 	}
 }
 
+// Reset zeroes all registers for reuse.
+func (s *HLL) Reset() {
+	clear(s.registers)
+}
+
 // Merge folds other into s (register-wise max). Both sketches must come
 // from the same family.
 func (s *HLL) Merge(other *HLL) error {

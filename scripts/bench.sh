@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench.sh — run the query/build benchmark suite and emit a JSON snapshot
+# for the performance trajectory (BENCH_PR<N>.json at the repo root).
+#
+# Usage: scripts/bench.sh [output.json] [benchtime]
+#   output.json  defaults to BENCH_PR1.json
+#   benchtime    defaults to 1s (passed to -benchtime)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR1.json}"
+BENCHTIME="${2:-1s}"
+PATTERN='BenchmarkQuerySamplerNNS|BenchmarkQuerySampleRepeated|BenchmarkQueryIndependentNNIS$|BenchmarkQueryIndependentNNISParallel|BenchmarkQueryIndependentSampleK100|BenchmarkQueryStandardLSH|BenchmarkQueryNaiveFair|BenchmarkQueryFilterIndependent|BenchmarkBuildSampler|BenchmarkBuildIndependent|BenchmarkBuildFilterIndependent'
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk -v out="$OUT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns != "") {
+        line = sprintf("    {\"name\": \"%s\", \"ns_op\": %s", name, ns)
+        if (bytes != "")  line = line sprintf(", \"bytes_op\": %s", bytes)
+        if (allocs != "") line = line sprintf(", \"allocs_op\": %s", allocs)
+        line = line "}"
+        lines[n++] = line
+    }
+}
+END {
+    printf "{\n  \"benchtime\": \"ENV\",\n  \"benchmarks\": [\n" > out
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "") >> out
+    printf "  ]\n}\n" >> out
+}
+' "$RAW"
+
+# Record the benchtime actually used.
+sed -i "s/\"ENV\"/\"$BENCHTIME\"/" "$OUT"
+echo "wrote $OUT"
