@@ -286,6 +286,23 @@ func BenchmarkQueryIndependentSampleK100(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryIndependentSampleK100Into is the zero-allocation bulk
+// variant: the output buffer is recycled across iterations, so the
+// steady state allocates nothing at all.
+func BenchmarkQueryIndependentSampleK100Into(b *testing.B) {
+	fix := benchSets()
+	d, err := fairnn.NewSetIndependent(fix.sets, benchRadius, fairnn.IndependentOptions{}, benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]int32, 0, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fix.sets[fix.queries[i%len(fix.queries)]]
+		dst = d.SampleKInto(q, 100, dst, nil)
+	}
+}
+
 func BenchmarkQueryExactScan(b *testing.B) {
 	fix := benchSets()
 	e := fairnn.NewSetExact(fix.sets, benchRadius, 7)

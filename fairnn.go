@@ -30,16 +30,26 @@
 //
 // All indexes are immutable after construction and their query methods are
 // safe for concurrent use: per-query scratch (bucket keys, candidate
-// buffers, sketch accumulators) is pooled, and each query draws its
-// randomness from a dedicated stream split off the seed by an atomic query
-// counter, so concurrent queries remain uniform and mutually independent.
-// Steady-state queries on the Section 3 and Section 4 structures perform
-// zero heap allocations. Two exceptions mutate the index and must not run
-// concurrently with any other call: SetSampler.SampleRepeated (Appendix A
-// rank perturbation) and SetDynamic's Insert/Delete. Hashing is served by
-// a batched signature engine that computes all L·K hash values of a point
-// in a single pass over its elements; see SampleBatch/SampleKBatch for a
-// ready-made bulk-query fan-out.
+// buffers, sketch accumulators, memo tables) is pooled, and each query
+// draws its randomness from a dedicated stream split off the seed by an
+// atomic query counter, so concurrent queries remain uniform and mutually
+// independent. Steady-state queries on the Section 3, Section 4 and
+// Section 5 structures perform zero heap allocations. Two exceptions
+// mutate the index and must not run concurrently with any other call:
+// SetSampler.SampleRepeated (Appendix A rank perturbation) and
+// SetDynamic's Insert/Delete. Hashing is served by a batched signature
+// engine that computes all L·K hash values of a point in a single pass
+// over its elements; see SampleBatch/SampleKBatch for a ready-made
+// bulk-query fan-out.
+//
+// The rejection-sampling queries are memoized per query: each distinct
+// candidate is distance-scored at most once per Sample (and once across
+// an entire SampleK — the paper's independence guarantees need fresh
+// randomness per sample, not fresh distance evaluations, so results are
+// exact), and long rejection loops adaptively merge their LSH buckets
+// into one deduplicated rank-sorted cursor. Every SampleK has a
+// SampleKInto(q, k, dst, st) variant that recycles the caller's output
+// buffer for a zero-allocation steady state.
 //
 // All structures are deterministic given their seed: a fixed sequence of
 // single-goroutine queries is reproducible, while concurrent queries are

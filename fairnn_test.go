@@ -245,3 +245,48 @@ func TestFacadeDynamic(t *testing.T) {
 		t.Fatalf("after deletions expected the surviving copy, got %d (%v)", id, ok)
 	}
 }
+
+// TestFacadeSampleKInto exercises the zero-allocation bulk variant
+// through the façade type aliases on every sampler that offers it.
+func TestFacadeSampleKInto(t *testing.T) {
+	sets, q := smallSets()
+	d, err := fairnn.NewSetIndependent(sets, 0.6, fairnn.IndependentOptions{}, fairnn.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int32, 0, 8)
+	dst = d.SampleKInto(q, 8, dst, nil)
+	if len(dst) == 0 {
+		t.Fatal("SetIndependent.SampleKInto found nothing")
+	}
+	for _, id := range dst {
+		if sim := fairnn.Jaccard(q, d.Point(id)); sim < 0.6 {
+			t.Fatalf("similarity %v below radius", sim)
+		}
+	}
+
+	s, err := fairnn.NewSetSampler(sets, 0.6, fairnn.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SampleKInto(q, 3, dst, nil); len(got) != 3 {
+		t.Fatalf("SetSampler.SampleKInto returned %d, want 3", len(got))
+	}
+
+	w := dataset.NewPlantedBall(dataset.PlantedBallConfig{
+		N: 200, Dim: 16, Alpha: 0.8, Beta: 0.5, BallSize: 8, MidSize: 20, Seed: 11,
+	})
+	fi, err := fairnn.NewVecIndependent(w.Points, 0.8, 0.5, fairnn.VecOptions{}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdst := fi.SampleKInto(w.Query, 8, nil, nil)
+	if len(vdst) == 0 {
+		t.Fatal("VecIndependent.SampleKInto found nothing")
+	}
+	for _, id := range vdst {
+		if ip := fairnn.Dot(w.Query, fi.Point(id)); ip < 0.8 {
+			t.Fatalf("inner product %v below alpha", ip)
+		}
+	}
+}

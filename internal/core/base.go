@@ -33,6 +33,10 @@ type rankedBase[P any] struct {
 	signer *lsh.Signer[P]
 	tables []rankedTable
 	asg    *rank.Assignment
+	// nearFn is the resolved near predicate of the space at the build
+	// radius; Distance spaces with a ScoreSq kernel compare squared
+	// scores against r², skipping one math.Sqrt per candidate.
+	nearFn func(a, b P) bool
 
 	qseed uint64
 	qctr  atomic.Uint64
@@ -41,18 +45,48 @@ type rankedBase[P any] struct {
 
 // querier is the reusable per-query scratch: the L·K raw signature, the L
 // bucket keys and bucket pointers, a candidate buffer, the k-way-merge
-// cursors, an optional count-distinct counter (Section 4), and a dedicated
+// heap, an optional count-distinct counter (Section 4), and a dedicated
 // RNG stream reseeded per query. Steady-state queries touch only this
 // struct and therefore allocate nothing.
+//
+// Two memo structures make the Section 4 rejection loop cheap to repeat:
+//
+//   - near-cache: nearState[id] holds epoch<<1 | nearBit. The epoch is
+//     bumped once per checkout (one logical Sample or SampleK), so an
+//     entry is valid iff nearState[id]>>1 == epoch; anything else reads
+//     as "unknown" without clearing the table. Each distinct candidate
+//     is therefore distance-scored at most once per Sample and at most
+//     once across an entire SampleK, and stale entries from earlier
+//     queries can never leak into the current one. The table is sized n
+//     (8 bytes per indexed point), a deliberate space-for-time trade:
+//     steady-state scratch memory is O(concurrent queriers · n), bought
+//     back by O(1) lookups with no hashing and no per-query clearing.
+//   - merged cursor: mergedIDs/mergedRanks hold the deduplicated k-way
+//     merge of all L resolved buckets, in ascending rank order. It is
+//     materialized lazily — only once the rejection loop's cumulative
+//     range-report work (rangeWork) exceeds the one-time merge cost
+//     (mergeCost ≈ total bucket entries), so short queries keep the
+//     cheap per-bucket path. resolve() invalidates it.
 type querier struct {
 	sig     []uint64
 	keys    []uint64
 	keys2   []uint64
 	buckets []*rank.Bucket
 	cand    []int32
-	cursors []bucketCursor
+	merger  rank.Merger
 	counter sketch.Counter
 	rng     rng.Source
+
+	// near-cache (epoch-stamped tri-state: unknown / near / far).
+	epoch     uint64
+	nearState []uint64
+
+	// merged candidate cursor + adaptive-merge accounting.
+	mergedIDs   []int32
+	mergedRanks []int32
+	isMerged    bool
+	rangeWork   int
+	mergeCost   int
 }
 
 func newRankedBase[P any](space Space[P], family lsh.Family[P], params lsh.Params, points []P, radius float64, r *rng.Source) (*rankedBase[P], error) {
@@ -70,6 +104,7 @@ func newRankedBase[P any](space Space[P], family lsh.Family[P], params lsh.Param
 		points: points,
 		radius: radius,
 		params: params,
+		nearFn: space.Nearness(radius),
 	}
 	// Draw order matters for seed-compatibility: the rank permutation comes
 	// first (as in the original per-closure construction), then the hash
@@ -142,18 +177,22 @@ func parallelRange(n int, fn func(lo, hi int)) {
 // getQuerier checks a querier out of the pool (allocating buffers only on
 // first use) and reseeds its RNG with a fresh per-query stream derived from
 // the atomic query counter — concurrent queries therefore consume disjoint,
-// deterministic randomness.
+// deterministic randomness. Each checkout advances the near-cache epoch,
+// so memoized near/far verdicts are scoped to exactly one logical query
+// (a Sample, or all k loops of one SampleK).
 func (b *rankedBase[P]) getQuerier() *querier {
 	qr, _ := b.pool.Get().(*querier)
 	if qr == nil {
 		qr = &querier{
-			sig:     make([]uint64, b.params.L*b.params.K),
-			keys:    make([]uint64, b.params.L),
-			keys2:   make([]uint64, b.params.L),
-			buckets: make([]*rank.Bucket, b.params.L),
-			cand:    make([]int32, 0, 64),
+			sig:       make([]uint64, b.params.L*b.params.K),
+			keys:      make([]uint64, b.params.L),
+			keys2:     make([]uint64, b.params.L),
+			buckets:   make([]*rank.Bucket, b.params.L),
+			cand:      make([]int32, 0, 64),
+			nearState: make([]uint64, len(b.points)),
 		}
 	}
+	qr.epoch++
 	qr.rng.Seed(b.qseed ^ rng.Mix64(b.qctr.Add(1)))
 	return qr
 }
@@ -168,10 +207,30 @@ func (b *rankedBase[P]) putQuerier(qr *querier) { b.pool.Put(qr) }
 func (b *rankedBase[P]) resolve(q P, qr *querier, st *QueryStats) {
 	b.signer.Sign(q, qr.sig)
 	lsh.CombineKeys(qr.sig, b.params.K, qr.keys)
+	total := 0
 	for i := range qr.buckets {
 		st.bucket()
-		qr.buckets[i] = b.tables[i].buckets[qr.keys[i]]
+		bucket := b.tables[i].buckets[qr.keys[i]]
+		qr.buckets[i] = bucket
+		if bucket != nil {
+			total += bucket.Len()
+		}
 	}
+	// Invalidate the merged cursor and restart the adaptive-merge meter:
+	// the one-time merge cost is proportional to the total (multiplicity-
+	// counted) bucket size.
+	qr.isMerged = false
+	qr.rangeWork = 0
+	qr.mergeCost = total
+}
+
+// materializeMerged k-way-merges the resolved buckets into the querier's
+// deduplicated (rank, id) arrays. Buffers are recycled across queries, so
+// steady-state materialization allocates nothing.
+func (b *rankedBase[P]) materializeMerged(qr *querier, st *QueryStats) {
+	qr.mergedIDs, qr.mergedRanks = rank.MergeDedup(&qr.merger, qr.buckets, qr.mergedIDs[:0], qr.mergedRanks[:0])
+	qr.isMerged = true
+	st.merged()
 }
 
 // keysInto writes the L bucket keys of p into keys without touching
@@ -197,7 +256,26 @@ func (b *rankedBase[P]) Point(id int32) P { return b.points[id] }
 // score evaluation to st.
 func (b *rankedBase[P]) near(q P, id int32, st *QueryStats) bool {
 	st.score()
-	return b.space.Near(b.space.Score(q, b.points[id]), b.radius)
+	return b.nearFn(q, b.points[id])
+}
+
+// nearCached is near routed through the querier's epoch-stamped memo
+// table: each distinct id is scored at most once per epoch (one logical
+// query); repeat lookups are answered from the cache and charged to
+// st.ScoreCacheHits. Distances are deterministic, so memoization cannot
+// change any query's output distribution — only its cost.
+func (b *rankedBase[P]) nearCached(q P, qr *querier, id int32, st *QueryStats) bool {
+	if s := qr.nearState[id]; s>>1 == qr.epoch {
+		st.cacheHit()
+		return s&1 == 1
+	}
+	isNear := b.near(q, id, st)
+	s := qr.epoch << 1
+	if isNear {
+		s |= 1
+	}
+	qr.nearState[id] = s
+	return isNear
 }
 
 // TotalBucketEntries returns L·n, the table space in point references.

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"fairnn/internal/filter"
@@ -48,8 +49,10 @@ func (o FilterIndependentOptions) withDefaults(n int) FilterIndependentOptions {
 // equally likely per round, hence the output is uniform on B_S(q, α)
 // (Theorem 4), and fresh per-query randomness makes outputs independent.
 // Queries are safe for concurrent use: banks are read-only after
-// construction, every query builds its own plan, and sampling randomness
-// comes from per-query streams split off the seed by an atomic counter.
+// construction, per-query scratch (the plan, the similarity memo, the
+// rejection-loop working set) comes from a sync.Pool, and sampling
+// randomness comes from per-query streams split off the seed by an atomic
+// counter. Steady-state queries perform zero heap allocations.
 type FilterIndependent struct {
 	points []vector.Vec
 	alpha  float64
@@ -58,6 +61,7 @@ type FilterIndependent struct {
 	banks  []*filter.Bank
 	qseed  uint64
 	qctr   atomic.Uint64
+	pool   sync.Pool // *fiQuerier
 }
 
 // NewFilterIndependent indexes unit vectors for inner-product threshold
@@ -107,56 +111,99 @@ func (f *FilterIndependent) Point(id int32) vector.Vec { return f.points[id] }
 
 // bucketRef identifies one selected bucket: bank index and packed key.
 type bucketRef struct {
-	bank int
+	bank int32
 	key  uint64
 }
 
-// fiPlan gathers the selected buckets of all banks for one query. The plan
-// is deterministic given (structure, query): all sampling randomness lives
-// in the rejection loop, so one plan can serve many independent samples.
-type fiPlan struct {
-	refs     []bucketRef
-	selected map[bucketRef]struct{}
-	// master[i] references the stored ids of refs[i] (never mutated).
-	master [][]int32
-	total  int
-	// sims memoizes ⟨q, p⟩ per candidate across samples of the same plan.
-	sims map[int32]float64
+// fiQuerier is the pooled per-query scratch of the Section 5 sampler,
+// mirroring the rankedBase querier pattern: the deterministic query plan
+// (selected bucket refs and their stored id slices), an epoch-stamped
+// similarity memo so ⟨q, p⟩ is computed at most once per query across the
+// existence check and every rejection round (and across all k loops of a
+// SampleK), and the rejection loop's mutable working set (flat candidate
+// copy, Fenwick tree, shuffle order). Steady-state queries touch only
+// this struct and therefore allocate nothing.
+type fiQuerier struct {
+	refs    []bucketRef
+	master  [][]int32
+	total   int
+	scratch filter.QueryScratch
+
+	// similarity memo: simStamp[id] == epoch means simVal[id] is ⟨q, p_id⟩
+	// for the current query; the epoch bump on checkout invalidates
+	// everything at once. Sized n (16 bytes per indexed point) — the same
+	// space-for-time trade as the rankedBase near-cache.
+	epoch    uint64
+	simStamp []uint64
+	simVal   []float64
+
+	// rejection-loop working set.
+	flat     []int32
+	contents [][]int32
+	fw       fenwick
+	order    []int32
+	rng      rng.Source
 }
 
-func (f *FilterIndependent) buildPlan(q vector.Vec, st *QueryStats) *fiPlan {
-	p := &fiPlan{selected: make(map[bucketRef]struct{}), sims: make(map[int32]float64)}
+// getQuerier checks scratch out of the pool and advances the similarity-
+// memo epoch (one checkout = one logical query).
+func (f *FilterIndependent) getQuerier() *fiQuerier {
+	qr, _ := f.pool.Get().(*fiQuerier)
+	if qr == nil {
+		qr = &fiQuerier{
+			simStamp: make([]uint64, len(f.points)),
+			simVal:   make([]float64, len(f.points)),
+		}
+	}
+	qr.epoch++
+	return qr
+}
+
+func (f *FilterIndependent) putQuerier(qr *fiQuerier) { f.pool.Put(qr) }
+
+// buildPlan gathers the selected buckets of all banks for one query into
+// the querier. The plan is deterministic given (structure, query): all
+// sampling randomness lives in the rejection loop, so one plan can serve
+// many independent samples.
+func (f *FilterIndependent) buildPlan(q vector.Vec, qr *fiQuerier, st *QueryStats) {
+	qr.refs = qr.refs[:0]
+	qr.master = qr.master[:0]
+	qr.total = 0
 	for l, bank := range f.banks {
-		bp := bank.Query(q)
+		bp := bank.QueryInto(q, &qr.scratch)
 		st.filters(bp.FilterEvals)
 		for _, key := range bp.Keys {
 			st.bucket()
-			ref := bucketRef{bank: l, key: key}
-			p.refs = append(p.refs, ref)
-			p.selected[ref] = struct{}{}
+			qr.refs = append(qr.refs, bucketRef{bank: int32(l), key: key})
 			ids := bank.Bucket(key)
-			p.master = append(p.master, ids)
-			p.total += len(ids)
+			qr.master = append(qr.master, ids)
+			qr.total += len(ids)
 		}
 	}
-	return p
 }
 
-func (p *fiPlan) simOf(f *FilterIndependent, q vector.Vec, id int32, st *QueryStats) float64 {
-	if s, ok := p.sims[id]; ok {
-		return s
+// simOf returns ⟨q, p_id⟩ through the epoch-stamped memo: each candidate
+// is scored at most once per query; repeats are charged to
+// st.ScoreCacheHits.
+func (f *FilterIndependent) simOf(qr *fiQuerier, q vector.Vec, id int32, st *QueryStats) float64 {
+	if qr.simStamp[id] == qr.epoch {
+		st.cacheHit()
+		return qr.simVal[id]
 	}
 	st.score()
 	s := vector.Dot(q, f.points[id])
-	p.sims[id] = s
+	qr.simStamp[id] = qr.epoch
+	qr.simVal[id] = s
 	return s
 }
 
 // multiplicity returns c_p: in how many selected buckets point id occurs.
-func (f *FilterIndependent) multiplicity(p *fiPlan, id int32) int {
+// Each bank stores a point exactly once (under KeyOf), so one pass over
+// the selected refs suffices — no per-query set structure needed.
+func (f *FilterIndependent) multiplicity(qr *fiQuerier, id int32) int {
 	c := 0
-	for l, bank := range f.banks {
-		if _, ok := p.selected[bucketRef{bank: l, key: bank.KeyOf(id)}]; ok {
+	for _, ref := range qr.refs {
+		if f.banks[ref.bank].KeyOf(id) == ref.key {
 			c++
 		}
 	}
@@ -168,8 +215,10 @@ func (f *FilterIndependent) multiplicity(p *fiPlan, id int32) int {
 // the selected buckets (in stored order). ok=false when no such point is in
 // any candidate bucket.
 func (f *FilterIndependent) QueryNN(q vector.Vec, st *QueryStats) (id int32, ok bool) {
+	qr := f.getQuerier()
+	defer f.putQuerier(qr)
 	for _, bank := range f.banks {
-		bp := bank.Query(q)
+		bp := bank.QueryInto(q, &qr.scratch)
 		st.filters(bp.FilterEvals)
 		for _, key := range bp.Keys {
 			st.bucket()
@@ -190,30 +239,36 @@ func (f *FilterIndependent) QueryNN(q vector.Vec, st *QueryStats) (id int32, ok 
 // Sample returns a uniform, independent sample from B_S(q, α) = {p : ⟨p,q⟩ ≥ α},
 // or ok=false when no near point appears in the selected buckets.
 func (f *FilterIndependent) Sample(q vector.Vec, st *QueryStats) (id int32, ok bool) {
-	plan := f.buildPlan(q, st)
-	return f.sampleFromPlan(q, plan, st)
+	qr := f.getQuerier()
+	defer f.putQuerier(qr)
+	f.buildPlan(q, qr, st)
+	return f.sampleFromPlan(q, qr, st)
 }
 
-// sampleFromPlan runs one existence check plus rejection loop against a
-// prepared plan. Each call uses a fresh per-query randomness stream, so
-// repeated calls on the same plan produce independent samples — the plan
-// itself carries no randomness.
-func (f *FilterIndependent) sampleFromPlan(q vector.Vec, plan *fiPlan, st *QueryStats) (int32, bool) {
-	if plan.total == 0 {
+// sampleFromPlan runs one existence check plus rejection loop against the
+// querier's prepared plan. Each call seeds a fresh per-query randomness
+// stream, so repeated calls on the same plan produce independent samples —
+// the plan itself carries no randomness.
+func (f *FilterIndependent) sampleFromPlan(q vector.Vec, qr *fiQuerier, st *QueryStats) (int32, bool) {
+	if qr.total == 0 {
 		st.found(false)
 		return 0, false
 	}
-	var qsrc rng.Source
-	qsrc.Seed(f.qseed ^ rng.Mix64(f.qctr.Add(1)))
+	qr.rng.Seed(f.qseed ^ rng.Mix64(f.qctr.Add(1)))
 	// Existence check (the paper runs the standard query first): scan
 	// buckets in random order, stop at the first near point. Similarities
-	// are memoized in the plan — the rejection loop revisits them.
+	// are memoized in the querier — the rejection loop revisits them.
+	order := qr.order[:0]
+	for i := range qr.refs {
+		order = append(order, int32(i))
+	}
+	qr.order = order
+	qr.rng.ShuffleInt32(order)
 	exists := false
-	order := qsrc.Perm(len(plan.refs))
 	for _, bi := range order {
-		for _, cand := range plan.master[bi] {
+		for _, cand := range qr.master[bi] {
 			st.point()
-			if plan.simOf(f, q, cand, st) >= f.alpha {
+			if f.simOf(qr, q, cand, st) >= f.alpha {
 				exists = true
 				break
 			}
@@ -229,33 +284,42 @@ func (f *FilterIndependent) sampleFromPlan(q vector.Vec, plan *fiPlan, st *Query
 	// Rejection loop with lazy far-point deletion (steps A–D), run on a
 	// per-call mutable copy so the structure itself stays untouched (the
 	// paper restores removed far points after reporting; copying achieves
-	// the same at the same asymptotic cost as the existence scan).
-	contents := make([][]int32, len(plan.master))
-	for i, ids := range plan.master {
-		contents[i] = append([]int32(nil), ids...)
+	// the same at the same asymptotic cost as the existence scan). The
+	// copy lives in one flat recycled buffer sub-sliced per bucket.
+	if cap(qr.flat) < qr.total {
+		qr.flat = make([]int32, qr.total)
 	}
-	fw := newFenwick(contents)
+	flat := qr.flat[:qr.total]
+	contents := qr.contents[:0]
+	off := 0
+	for _, ids := range qr.master {
+		n := copy(flat[off:off+len(ids)], ids)
+		contents = append(contents, flat[off:off+n:off+n])
+		off += n
+	}
+	qr.contents = contents[:0]
+	qr.fw.init(contents)
 	maxRounds := f.opts.MaxRounds
 	if maxRounds <= 0 {
-		maxRounds = 200 * (len(f.banks) + 1) * (plan.total + 1)
+		maxRounds = 200 * (len(f.banks) + 1) * (qr.total + 1)
 	}
 	for round := 0; round < maxRounds; round++ {
 		st.round()
-		total := fw.total()
+		total := qr.fw.total()
 		if total == 0 {
 			break // only far points remained and all were deleted
 		}
-		pos := qsrc.Intn(total)
-		bi, off := fw.find(pos)
-		cand := contents[bi][off]
-		sim := plan.simOf(f, q, cand, st)
+		pos := qr.rng.Intn(total)
+		bi, o := qr.fw.find(pos)
+		cand := contents[bi][o]
+		sim := f.simOf(qr, q, cand, st)
 		switch {
 		case sim >= f.alpha:
-			cp := f.multiplicity(plan, cand)
+			cp := f.multiplicity(qr, cand)
 			if cp < 1 {
 				cp = 1 // the bucket we drew from always counts
 			}
-			if qsrc.Bernoulli(1 / float64(cp)) {
+			if qr.rng.Bernoulli(1 / float64(cp)) {
 				st.found(true)
 				return cand, true
 			}
@@ -263,9 +327,9 @@ func (f *FilterIndependent) sampleFromPlan(q vector.Vec, plan *fiPlan, st *Query
 			// Far point: delete lazily from this bucket copy.
 			ids := contents[bi]
 			last := len(ids) - 1
-			ids[off] = ids[last]
+			ids[o] = ids[last]
 			contents[bi] = ids[:last]
-			fw.add(bi, -1)
+			qr.fw.add(bi, -1)
 		default:
 			// (β, α)-point: stays, costs a round (accounted by Theorem 4's
 			// b_β/b_α factor).
@@ -280,16 +344,18 @@ func (f *FilterIndependent) sampleFromPlan(q vector.Vec, plan *fiPlan, st *Query
 // can sample from. The plan is deterministic per (structure, query), so
 // this is the exact support of Sample's output distribution.
 func (f *FilterIndependent) RecalledBall(q vector.Vec, st *QueryStats) []int32 {
-	plan := f.buildPlan(q, st)
+	qr := f.getQuerier()
+	defer f.putQuerier(qr)
+	f.buildPlan(q, qr, st)
 	seen := make(map[int32]struct{})
 	var out []int32
-	for _, ids := range plan.master {
+	for _, ids := range qr.master {
 		for _, id := range ids {
 			if _, ok := seen[id]; ok {
 				continue
 			}
 			seen[id] = struct{}{}
-			if plan.simOf(f, q, id, st) >= f.alpha {
+			if f.simOf(qr, q, id, st) >= f.alpha {
 				out = append(out, id)
 			}
 		}
@@ -298,34 +364,58 @@ func (f *FilterIndependent) RecalledBall(q vector.Vec, st *QueryStats) []int32 {
 }
 
 // SampleK returns k independent with-replacement samples from B_S(q, α).
-// The deterministic query plan is built once and reused; each draw uses
-// fresh randomness, so the samples remain mutually independent.
+// The deterministic query plan is built once and reused, and the
+// similarity memo carries over between draws; each draw uses fresh
+// randomness, so the samples remain mutually independent.
 func (f *FilterIndependent) SampleK(q vector.Vec, k int, st *QueryStats) []int32 {
-	plan := f.buildPlan(q, st)
-	out := make([]int32, 0, k)
+	if k <= 0 {
+		return nil
+	}
+	return f.SampleKInto(q, k, make([]int32, 0, k), st)
+}
+
+// SampleKInto is SampleK writing into dst (reset to length zero and grown
+// as needed), the zero-allocation bulk variant.
+func (f *FilterIndependent) SampleKInto(q vector.Vec, k int, dst []int32, st *QueryStats) []int32 {
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
+	}
+	qr := f.getQuerier()
+	defer f.putQuerier(qr)
+	f.buildPlan(q, qr, st)
 	for i := 0; i < k; i++ {
-		if id, ok := f.sampleFromPlan(q, plan, st); ok {
-			out = append(out, id)
+		if id, ok := f.sampleFromPlan(q, qr, st); ok {
+			dst = append(dst, id)
 		}
 	}
-	return out
+	return dst
 }
 
 // fenwick is a binary-indexed tree over bucket sizes supporting weighted
-// uniform selection of a (bucket, offset) pair and point deletions.
+// uniform selection of a (bucket, offset) pair and point deletions. init
+// recycles the tree slice, so a pooled fenwick allocates only on growth.
 type fenwick struct {
 	tree []int
 	n    int
 	sum  int
 }
 
-func newFenwick(contents [][]int32) *fenwick {
+// init (re)builds the tree over the bucket sizes of contents, reusing the
+// backing array when capacity allows.
+func (f *fenwick) init(contents [][]int32) {
 	n := len(contents)
-	f := &fenwick{tree: make([]int, n+1), n: n}
+	if cap(f.tree) < n+1 {
+		f.tree = make([]int, n+1)
+	} else {
+		f.tree = f.tree[:n+1]
+		clear(f.tree)
+	}
+	f.n = n
+	f.sum = 0
 	for i, c := range contents {
 		f.add(i, len(c))
 	}
-	return f
 }
 
 // add adds delta to the size of bucket i.

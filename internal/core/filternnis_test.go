@@ -147,7 +147,8 @@ func TestFilterIndependentRejectsBadParams(t *testing.T) {
 
 func TestFenwick(t *testing.T) {
 	contents := [][]int32{{1, 2, 3}, {4}, {}, {5, 6}}
-	f := newFenwick(contents)
+	var f fenwick
+	f.init(contents)
 	if f.total() != 6 {
 		t.Fatalf("total = %d", f.total())
 	}
@@ -172,7 +173,8 @@ func TestFenwick(t *testing.T) {
 
 func TestFenwickWeightedSelectionUniform(t *testing.T) {
 	contents := [][]int32{{0, 0}, {0, 0, 0, 0}, {0, 0}}
-	f := newFenwick(contents)
+	var f fenwick
+	f.init(contents)
 	counts := make([]int, 3)
 	src := newTestRNG()
 	const trials = 40000
@@ -183,5 +185,53 @@ func TestFenwickWeightedSelectionUniform(t *testing.T) {
 	// Bucket 1 holds half the mass.
 	if frac := float64(counts[1]) / trials; frac < 0.47 || frac > 0.53 {
 		t.Errorf("bucket 1 fraction %v, want ≈ 0.5", frac)
+	}
+}
+
+// TestFilterSampleZeroAllocs pins the PR2 satellite fix: the Section 5
+// query path routes all scratch (plan, similarity memo, rejection working
+// set, bank-query buffers) through a pooled querier, so steady-state
+// Sample and SampleKInto allocate nothing.
+func TestFilterSampleZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; alloc counts are not meaningful")
+	}
+	w := plantedWorkload(t, 400, 12, 40, 0.8, 0.5, 211)
+	fi, err := NewFilterIndependent(w.Points, 0.8, 0.5, FilterIndependentOptions{}, 213)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int32, 0, 16)
+	for i := 0; i < 30; i++ {
+		fi.Sample(w.Query, nil)
+		dst = fi.SampleKInto(w.Query, 8, dst, nil)
+	}
+	if n := testing.AllocsPerRun(100, func() { fi.Sample(w.Query, nil) }); n != 0 {
+		t.Errorf("FilterIndependent.Sample allocs/op = %v, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { dst = fi.SampleKInto(w.Query, 8, dst, nil) }); n != 0 {
+		t.Errorf("FilterIndependent.SampleKInto allocs/op = %v, want 0", n)
+	}
+}
+
+// TestFilterSimMemoSharedAcrossDraws checks the similarity memo contract:
+// across one SampleK, each candidate's inner product is computed at most
+// once, so ScoreEvals is bounded by n while cache hits grow with k.
+func TestFilterSimMemoSharedAcrossDraws(t *testing.T) {
+	w := plantedWorkload(t, 300, 10, 40, 0.8, 0.5, 223)
+	fi, err := NewFilterIndependent(w.Points, 0.8, 0.5, FilterIndependentOptions{}, 227)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st QueryStats
+	out := fi.SampleK(w.Query, 50, &st)
+	if len(out) == 0 {
+		t.Fatal("SampleK found nothing")
+	}
+	if st.ScoreEvals > fi.N() {
+		t.Errorf("SampleK(50) computed %d inner products, want <= n = %d", st.ScoreEvals, fi.N())
+	}
+	if st.ScoreCacheHits == 0 {
+		t.Error("similarity memo recorded no hits across 50 draws")
 	}
 }

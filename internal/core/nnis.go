@@ -2,9 +2,11 @@ package core
 
 import (
 	"math"
+	"math/bits"
 	"slices"
 
 	"fairnn/internal/lsh"
+	"fairnn/internal/rank"
 	"fairnn/internal/rng"
 	"fairnn/internal/sketch"
 )
@@ -126,12 +128,13 @@ func NewIndependent[P any](space Space[P], family lsh.Family[P], params lsh.Para
 	return d, nil
 }
 
+// nextPow2 returns the smallest power of two >= n (and 1 for n <= 1),
+// via the bit length of n-1 instead of a doubling loop.
 func nextPow2(n int) int {
-	k := 1
-	for k < n {
-		k <<= 1
+	if n <= 1 {
+		return 1
 	}
-	return k
+	return 1 << bits.Len(uint(n-1))
 }
 
 // N returns the number of indexed points.
@@ -191,18 +194,47 @@ func (d *Independent[P]) estimateCandidates(qr *querier, st *QueryStats) float64
 }
 
 // segmentNear collects the distinct near points of q whose rank lies in
-// [lo, hi), using the per-bucket rank indices (step 3.b). The candidate
-// buffer lives in the querier and is recycled across rounds.
+// [lo, hi) (step 3.b). The candidate buffer lives in the querier and is
+// recycled across rounds; candidates are distance-tested through the
+// epoch-stamped near-cache, so a point revisited by a later round (or a
+// later loop of SampleK) is never re-scored.
+//
+// Two segment-report strategies, chosen adaptively: initially each round
+// issues L per-bucket rank-range reports and deduplicates by sorting
+// (cheap for the handful of rounds a lucky query needs). Every round's
+// cost is metered into qr.rangeWork; once the cumulative total exceeds
+// the one-time merge cost, the L buckets are k-way-merged into one
+// deduplicated (rank, id) array and every subsequent round becomes a
+// single binary search plus a contiguous scan. The merged view survives
+// until the next resolve, so all k loops of a SampleK share it.
 func (d *Independent[P]) segmentNear(q P, qr *querier, lo, hi int32, st *QueryStats) []int32 {
+	if !qr.isMerged && qr.rangeWork >= qr.mergeCost {
+		d.base.materializeMerged(qr, st)
+	}
+	if qr.isMerged {
+		ranks := qr.mergedRanks
+		kept := qr.cand[:0]
+		for i := rank.SearchRanks(ranks, lo); i < len(ranks) && ranks[i] < hi; i++ {
+			st.point()
+			if id := qr.mergedIDs[i]; d.base.nearCached(q, qr, id, st) {
+				kept = append(kept, id)
+			}
+		}
+		qr.cand = kept[:0]
+		return kept
+	}
 	cands := qr.cand[:0]
+	work := 0
 	for _, bucket := range qr.buckets {
 		if bucket == nil {
 			continue
 		}
+		work++ // one binary search per bucket
 		before := len(cands)
 		cands = bucket.RangeReport(d.base.asg, lo, hi, cands)
 		st.points(len(cands) - before)
 	}
+	qr.rangeWork += work + len(cands)
 	qr.cand = cands[:0]
 	if len(cands) == 0 {
 		return cands
@@ -213,7 +245,7 @@ func (d *Independent[P]) segmentNear(q P, qr *querier, lo, hi int32, st *QuerySt
 	// Keep the near ones.
 	kept := cands[:0]
 	for _, id := range cands {
-		if d.base.near(q, id, st) {
+		if d.base.nearCached(q, qr, id, st) {
 			kept = append(kept, id)
 		}
 	}
@@ -282,22 +314,35 @@ func (d *Independent[P]) sampleResolved(q P, qr *querier, est float64, st *Query
 // (repeated independent queries; Definition 2 makes them independent). The
 // query is resolved and the candidate count estimated once — both are
 // deterministic given (structure, query) — and the k rejection loops share
-// the resolved buckets, so the L·K hashing cost is paid once, not k times.
+// the resolved buckets, the merged candidate cursor, and the near-cache,
+// so hashing, merging, and every distinct distance evaluation are paid
+// once, not k times.
 func (d *Independent[P]) SampleK(q P, k int, st *QueryStats) []int32 {
 	if k <= 0 {
 		return nil
+	}
+	return d.SampleKInto(q, k, make([]int32, 0, k), st)
+}
+
+// SampleKInto is SampleK writing into dst (reset to length zero and grown
+// as needed): callers drawing many batches amortize the output buffer and
+// reach a zero-allocation steady state. The returned slice must be
+// consumed (or copied) before dst is reused.
+func (d *Independent[P]) SampleKInto(q P, k int, dst []int32, st *QueryStats) []int32 {
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
 	}
 	qr := d.base.getQuerier()
 	defer d.base.putQuerier(qr)
 	d.base.resolve(q, qr, st)
 	est := d.estimateCandidates(qr, st)
-	out := make([]int32, 0, k)
 	for i := 0; i < k; i++ {
 		if id, ok := d.sampleResolved(q, qr, est, st); ok {
-			out = append(out, id)
+			dst = append(dst, id)
 		}
 	}
-	return out
+	return dst
 }
 
 // StoredSketches returns how many buckets carry a precomputed sketch;

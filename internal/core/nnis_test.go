@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"testing"
 
 	"fairnn/internal/lsh"
@@ -249,7 +250,24 @@ func TestIndependentStoredSketches(t *testing.T) {
 }
 
 func TestNextPow2(t *testing.T) {
-	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024}
+	cases := map[int]int{
+		// Degenerate inputs clamp to 1 (the loop-based original returned
+		// 1 for n <= 1 because k started at 1).
+		0: 1, -5: 1, 1: 1,
+		// Small values and exact powers of two.
+		2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024,
+		1 << 10: 1 << 10, 1<<10 + 1: 1 << 11,
+	}
+	if bits.UintSize == 64 {
+		// MaxInt32-adjacent: the id space is int32, n never exceeds it.
+		// 2^31 only fits in a 64-bit int, so build it at runtime to keep
+		// the package compiling on 32-bit platforms.
+		shift := 31
+		big := 1 << shift
+		cases[big-2] = big // 2^31 - 2 rounds up
+		cases[big-1] = big // MaxInt32
+		cases[big] = big   // exact power of two
+	}
 	for in, want := range cases {
 		if got := nextPow2(in); got != want {
 			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)

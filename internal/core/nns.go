@@ -91,35 +91,6 @@ func (s *Sampler[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 	return minID, true
 }
 
-// bucketCursor is a position inside one rank-sorted bucket, ordered by the
-// rank of the current id; used for the k-way merge in SampleK. The merge
-// uses a hand-rolled binary heap over a pooled slice rather than
-// container/heap, whose interface{} boxing allocates per operation.
-type bucketCursor struct {
-	ids   []int32
-	ranks []int32
-	pos   int
-	r     int32
-}
-
-func cursorSiftDown(h []bucketCursor, i int) {
-	for {
-		l := 2*i + 1
-		if l >= len(h) {
-			return
-		}
-		m := l
-		if r := l + 1; r < len(h) && h[r].r < h[l].r {
-			m = r
-		}
-		if h[i].r <= h[m].r {
-			return
-		}
-		h[i], h[m] = h[m], h[i]
-		i = m
-	}
-}
-
 // SampleK returns up to k ids sampled uniformly without replacement from
 // B_S(q, r): the k near points with the smallest ranks among the candidates
 // (Section 3.1). Fewer than k ids are returned when the recalled ball is
@@ -128,51 +99,39 @@ func (s *Sampler[P]) SampleK(q P, k int, st *QueryStats) []int32 {
 	if k <= 0 {
 		return nil
 	}
+	return s.SampleKInto(q, k, make([]int32, 0, k), st)
+}
+
+// SampleKInto is SampleK writing into dst (reset to length zero and grown
+// as needed), for callers amortizing the output buffer across queries.
+// The k-way merge over the L rank-sorted buckets streams through the
+// querier's pooled rank.Merger, so the steady state allocates nothing.
+func (s *Sampler[P]) SampleKInto(q P, k int, dst []int32, st *QueryStats) []int32 {
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
+	}
 	qr := s.base.getQuerier()
 	defer s.base.putQuerier(qr)
 	s.base.resolve(q, qr, st)
-	h := qr.cursors[:0]
-	for _, bucket := range qr.buckets {
-		if bucket == nil || bucket.Len() == 0 {
-			continue
-		}
-		h = append(h, bucketCursor{
-			ids:   bucket.IDs(),
-			ranks: bucket.Ranks(),
-			pos:   0,
-			r:     bucket.RankAt(0),
-		})
-	}
-	qr.cursors = h[:0]
-	for i := len(h)/2 - 1; i >= 0; i-- {
-		cursorSiftDown(h, i)
-	}
-	out := make([]int32, 0, k)
+	qr.merger.Reset(qr.buckets)
 	lastID := int32(-1)
-	for len(h) > 0 && len(out) < k {
-		cur := &h[0]
-		id := cur.ids[cur.pos]
-		st.point()
-		// Advance this cursor.
-		if cur.pos+1 < len(cur.ids) {
-			cur.pos++
-			cur.r = cur.ranks[cur.pos]
-			cursorSiftDown(h, 0)
-		} else {
-			h[0] = h[len(h)-1]
-			h = h[:len(h)-1]
-			cursorSiftDown(h, 0)
+	for len(dst) < k {
+		id, _, ok := qr.merger.Next()
+		if !ok {
+			break
 		}
+		st.point()
 		if id == lastID {
 			continue // duplicate across tables (equal ranks are adjacent)
 		}
 		lastID = id
 		if s.base.near(q, id, st) {
-			out = append(out, id)
+			dst = append(dst, id)
 		}
 	}
-	st.found(len(out) > 0)
-	return out
+	st.found(len(dst) > 0)
+	return dst
 }
 
 // SampleRepeated implements Appendix A: it returns a uniform sample from

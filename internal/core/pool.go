@@ -59,3 +59,11 @@ func (p *IndependentPool[P]) SampleK(q P, k int, st *QueryStats) []int32 {
 	defer func() { p.replicas <- d }()
 	return d.SampleK(q, k, st)
 }
+
+// SampleKInto draws k independent samples on a single checked-out replica
+// into dst (the zero-allocation bulk variant).
+func (p *IndependentPool[P]) SampleKInto(q P, k int, dst []int32, st *QueryStats) []int32 {
+	d := <-p.replicas
+	defer func() { p.replicas <- d }()
+	return d.SampleKInto(q, k, dst, st)
+}

@@ -38,6 +38,11 @@ const (
 type Space[P any] struct {
 	Kind  Kind
 	Score func(a, b P) float64
+	// ScoreSq, when non-nil on a Distance space, returns Score squared
+	// (e.g. the squared Euclidean distance) — a monotone surrogate that
+	// skips the final square root. Near tests then compare against r²
+	// instead of evaluating math.Sqrt per candidate.
+	ScoreSq func(a, b P) float64
 }
 
 // Near reports whether a score meets the threshold r under the space's
@@ -47,6 +52,24 @@ func (s Space[P]) Near(score, r float64) bool {
 		return score <= r
 	}
 	return score >= r
+}
+
+// Nearness returns a predicate reporting whether b lies in the radius-r
+// ball of a, equivalent to Near(Score(a, b), r) but routed through the
+// sqrt-free ScoreSq kernel when one is available (Distance spaces with
+// r ≥ 0 compare ScoreSq against r²). Hot query loops resolve the
+// predicate once per structure instead of re-branching per candidate.
+func (s Space[P]) Nearness(r float64) func(a, b P) bool {
+	if s.Kind == Distance {
+		if s.ScoreSq != nil && r >= 0 {
+			sq, r2 := s.ScoreSq, r*r
+			return func(a, b P) bool { return sq(a, b) <= r2 }
+		}
+		score := s.Score
+		return func(a, b P) bool { return score(a, b) <= r }
+	}
+	score := s.Score
+	return func(a, b P) bool { return score(a, b) >= r }
 }
 
 // Jaccard is the similarity space over item sets used by the Section 6
@@ -61,9 +84,10 @@ func InnerProduct() Space[vector.Vec] {
 	return Space[vector.Vec]{Kind: Similarity, Score: vector.Dot}
 }
 
-// Euclidean is the ℓ2 distance space.
+// Euclidean is the ℓ2 distance space. Its ScoreSq kernel lets near tests
+// compare squared distances against r², skipping the square root.
 func Euclidean() Space[vector.Vec] {
-	return Space[vector.Vec]{Kind: Distance, Score: vector.Euclidean}
+	return Space[vector.Vec]{Kind: Distance, Score: vector.Euclidean, ScoreSq: vector.SquaredEuclidean}
 }
 
 // QueryStats accumulates per-query cost counters; every query method
@@ -76,6 +100,13 @@ type QueryStats struct {
 	PointsInspected int
 	// ScoreEvals counts distance/similarity evaluations.
 	ScoreEvals int
+	// ScoreCacheHits counts near/similarity tests answered from the
+	// per-query memo table (the epoch-stamped near-cache) instead of
+	// re-evaluating the score.
+	ScoreCacheHits int
+	// CursorMerged reports that the query materialized the merged
+	// candidate cursor (the adaptive k-way merge of all L buckets).
+	CursorMerged bool
 	// Rounds counts rejection-sampling rounds (Sections 4 and 5).
 	Rounds int
 	// SketchEstimate records the merged count-distinct estimate ŝ_q
@@ -102,9 +133,11 @@ func (s *QueryStats) add(o QueryStats) {
 	s.BucketsScanned += o.BucketsScanned
 	s.PointsInspected += o.PointsInspected
 	s.ScoreEvals += o.ScoreEvals
+	s.ScoreCacheHits += o.ScoreCacheHits
 	s.Rounds += o.Rounds
 	s.FilterEvals += o.FilterEvals
 	s.Clamped = s.Clamped || o.Clamped
+	s.CursorMerged = s.CursorMerged || o.CursorMerged
 }
 
 // bump* helpers tolerate nil receivers so query code stays uncluttered.
@@ -130,6 +163,18 @@ func (s *QueryStats) points(n int) {
 func (s *QueryStats) score() {
 	if s != nil {
 		s.ScoreEvals++
+	}
+}
+
+func (s *QueryStats) cacheHit() {
+	if s != nil {
+		s.ScoreCacheHits++
+	}
+}
+
+func (s *QueryStats) merged() {
+	if s != nil {
+		s.CursorMerged = true
 	}
 }
 

@@ -105,11 +105,20 @@ func (w *Weighted[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 
 // SampleK returns k independent weighted samples (with replacement).
 func (w *Weighted[P]) SampleK(q P, k int, st *QueryStats) []int32 {
-	out := make([]int32, 0, k)
+	if k <= 0 {
+		return nil
+	}
+	return w.SampleKInto(q, k, make([]int32, 0, k), st)
+}
+
+// SampleKInto is SampleK writing into dst (reset to length zero), for
+// callers amortizing the output buffer.
+func (w *Weighted[P]) SampleKInto(q P, k int, dst []int32, st *QueryStats) []int32 {
+	dst = dst[:0]
 	for i := 0; i < k; i++ {
 		if id, ok := w.Sample(q, st); ok {
-			out = append(out, id)
+			dst = append(dst, id)
 		}
 	}
-	return out
+	return dst
 }

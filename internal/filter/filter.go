@@ -181,15 +181,40 @@ type QueryPlan struct {
 	Combos int
 }
 
-// Query evaluates all filters against q and enumerates candidate buckets:
-// sub-structure i admits filters with ⟨a_{i,j}, q⟩ ≥ α·Δ_{q,i} − f(α, ε).
-// Only non-empty buckets are returned.
+// QueryScratch holds the reusable buffers of Bank.QueryInto: filter dot
+// products, per-sub-structure admitted index sets, the odometer counters,
+// and the output key list. A zero value is ready to use; after warm-up a
+// retained scratch makes bank queries allocation-free.
+type QueryScratch struct {
+	dots     []float64
+	idxSets  [][]int32
+	counters []int
+	keys     []uint64
+}
+
+// Query evaluates all filters against q and enumerates candidate buckets
+// with throwaway scratch. See QueryInto for the allocation-free variant.
 func (b *Bank) Query(q vector.Vec) QueryPlan {
+	var s QueryScratch
+	return b.QueryInto(q, &s)
+}
+
+// QueryInto evaluates all filters against q and enumerates candidate
+// buckets: sub-structure i admits filters with ⟨a_{i,j}, q⟩ ≥ α·Δ_{q,i} −
+// f(α, ε). Only non-empty buckets are returned. The returned plan's Keys
+// slice aliases the scratch and is valid until the scratch's next use.
+func (b *Bank) QueryInto(q vector.Vec, s *QueryScratch) QueryPlan {
 	params := b.params
 	f := F(params.Alpha, params.Eps)
-	idxSets := make([][]int, params.T)
+	if cap(s.dots) < params.M1T {
+		s.dots = make([]float64, params.M1T)
+	}
+	dots := s.dots[:params.M1T]
+	for len(s.idxSets) < params.T {
+		s.idxSets = append(s.idxSets, nil)
+	}
+	idxSets := s.idxSets[:params.T]
 	for i := 0; i < params.T; i++ {
-		dots := make([]float64, params.M1T)
 		maxDot := math.Inf(-1)
 		for j, a := range b.vecs[i] {
 			dots[j] = vector.Dot(a, q)
@@ -198,30 +223,39 @@ func (b *Bank) Query(q vector.Vec) QueryPlan {
 			}
 		}
 		thr := params.Alpha*maxDot - f
+		idx := idxSets[i][:0]
 		for j, d := range dots {
 			if d >= thr {
-				idxSets[i] = append(idxSets[i], j)
+				idx = append(idx, int32(j))
 			}
 		}
+		idxSets[i] = idx
 	}
 	plan := QueryPlan{FilterEvals: params.T * params.M1T}
 	// Enumerate the cartesian product I_1 × ... × I_t iteratively.
 	combos := 1
-	for _, s := range idxSets {
-		combos *= len(s)
+	for _, set := range idxSets {
+		combos *= len(set)
 	}
 	plan.Combos = combos
 	if combos == 0 {
 		return plan
 	}
-	counters := make([]int, params.T)
+	if cap(s.counters) < params.T {
+		s.counters = make([]int, params.T)
+	}
+	counters := s.counters[:params.T]
+	for i := range counters {
+		counters[i] = 0
+	}
+	s.keys = s.keys[:0]
 	for {
 		key := uint64(0)
 		for i := 0; i < params.T; i++ {
 			key = key*uint64(params.M1T) + uint64(idxSets[i][counters[i]])
 		}
 		if ids := b.buckets[key]; len(ids) > 0 {
-			plan.Keys = append(plan.Keys, key)
+			s.keys = append(s.keys, key)
 			plan.Candidates += len(ids)
 		}
 		// Advance the odometer.
@@ -237,5 +271,6 @@ func (b *Bank) Query(q vector.Vec) QueryPlan {
 			break
 		}
 	}
+	plan.Keys = s.keys
 	return plan
 }

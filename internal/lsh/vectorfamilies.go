@@ -45,12 +45,9 @@ func (b *simHashBatch) Size() int { return len(b.rows) / b.dim }
 
 func (b *simHashBatch) Hash(v vector.Vec, lo, hi int, out []uint64) {
 	for i := lo; i < hi; i++ {
-		row := b.rows[i*b.dim : (i+1)*b.dim]
-		dot := 0.0
-		for j, x := range v {
-			dot += row[j] * x
-		}
-		if dot >= 0 {
+		// vector.Dot is the same unrolled kernel the per-function path
+		// uses, so batched and sequential signatures stay bit-equal.
+		if vector.Dot(b.rows[i*b.dim:(i+1)*b.dim], v) >= 0 {
 			out[i-lo] = 1
 		} else {
 			out[i-lo] = 0
@@ -112,11 +109,7 @@ func (b *euclideanBatch) Size() int { return len(b.bs) }
 
 func (b *euclideanBatch) Hash(v vector.Vec, lo, hi int, out []uint64) {
 	for i := lo; i < hi; i++ {
-		row := b.rows[i*b.dim : (i+1)*b.dim]
-		dot := 0.0
-		for j, x := range v {
-			dot += row[j] * x
-		}
+		dot := vector.Dot(b.rows[i*b.dim:(i+1)*b.dim], v)
 		out[i-lo] = uint64(int64(math.Floor((dot + b.bs[i]) / b.w)))
 	}
 }

@@ -1,0 +1,111 @@
+package rank
+
+// This file implements the allocation-free k-way merge over rank-sorted
+// buckets shared by the Section 3 k-sample query (streaming consumption)
+// and the Section 4 merged candidate cursor (full materialization). The
+// merge is a hand-rolled binary heap over a reusable cursor slice rather
+// than container/heap, whose interface{} boxing allocates per operation.
+
+// mergeCursor is a position inside one rank-sorted bucket, ordered by the
+// rank of the current id.
+type mergeCursor struct {
+	ids   []int32
+	ranks []int32
+	pos   int
+	r     int32
+}
+
+func cursorSiftDown(h []mergeCursor, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h[r].r < h[l].r {
+			m = r
+		}
+		if h[i].r <= h[m].r {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// Merger streams the union of several rank-sorted buckets in ascending
+// rank order. The cursor slice is retained across Reset calls, so a
+// pooled Merger performs zero allocations in steady state. Duplicate ids
+// (the same point stored in several buckets) are emitted once per bucket
+// but are always adjacent, because a point's rank is the same everywhere —
+// callers deduplicate by comparing against the previously emitted id.
+type Merger struct {
+	h []mergeCursor
+}
+
+// Reset points the merger at a new set of buckets (nil/empty entries are
+// skipped) and rebuilds the heap.
+func (m *Merger) Reset(buckets []*Bucket) {
+	h := m.h[:0]
+	for _, b := range buckets {
+		if b == nil || len(b.ids) == 0 {
+			continue
+		}
+		h = append(h, mergeCursor{ids: b.ids, ranks: b.ranks, r: b.ranks[0]})
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		cursorSiftDown(h, i)
+	}
+	m.h = h
+}
+
+// Next pops the minimum-rank (id, rank) pair among the remaining entries.
+// ok is false once all buckets are exhausted.
+func (m *Merger) Next() (id, rank int32, ok bool) {
+	h := m.h
+	if len(h) == 0 {
+		return 0, 0, false
+	}
+	cur := &h[0]
+	id, rank = cur.ids[cur.pos], cur.r
+	if cur.pos+1 < len(cur.ids) {
+		cur.pos++
+		cur.r = cur.ranks[cur.pos]
+		cursorSiftDown(h, 0)
+	} else {
+		h[0] = h[len(h)-1]
+		h = h[:len(h)-1]
+		cursorSiftDown(h, 0)
+		m.h = h
+	}
+	return id, rank, true
+}
+
+// MergeDedup appends the deduplicated union of the buckets to ids and
+// ranks, in ascending rank order, and returns the extended slices. Both
+// output slices grow in lockstep; pass recycled buffers (sliced to length
+// zero) for an allocation-free steady state. The merger m provides the
+// reusable heap.
+func MergeDedup(m *Merger, buckets []*Bucket, ids, ranks []int32) ([]int32, []int32) {
+	m.Reset(buckets)
+	last := int32(-1)
+	for {
+		id, r, ok := m.Next()
+		if !ok {
+			break
+		}
+		if id == last {
+			continue // duplicate across buckets (equal ranks are adjacent)
+		}
+		last = id
+		ids = append(ids, id)
+		ranks = append(ranks, r)
+	}
+	return ids, ranks
+}
+
+// SearchRanks returns the first index of ranks holding a value >= target;
+// ranks must be ascending. Exported for the merged-cursor segment scan.
+func SearchRanks(ranks []int32, target int32) int {
+	return searchRanks(ranks, target)
+}

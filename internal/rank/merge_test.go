@@ -1,0 +1,95 @@
+package rank
+
+import (
+	"slices"
+	"testing"
+
+	"fairnn/internal/rng"
+)
+
+// buildBuckets makes buckets over overlapping id sets under one shared
+// assignment, so the merge sees genuine duplicates.
+func buildBuckets(t *testing.T, n int, groups [][]int32) (*Assignment, []*Bucket) {
+	t.Helper()
+	a := NewAssignment(n, rng.New(19))
+	buckets := make([]*Bucket, len(groups))
+	for i, g := range groups {
+		buckets[i] = NewBucket(slices.Clone(g), a)
+	}
+	return a, buckets
+}
+
+func TestMergerStreamsInRankOrder(t *testing.T) {
+	a, buckets := buildBuckets(t, 32, [][]int32{
+		{0, 1, 2, 3, 4, 5},
+		{3, 4, 5, 6, 7},
+		{},
+		{7, 8, 9, 0},
+	})
+	var m Merger
+	m.Reset(buckets)
+	prev := int32(-1)
+	count := 0
+	for {
+		id, r, ok := m.Next()
+		if !ok {
+			break
+		}
+		count++
+		if r != a.Of(id) {
+			t.Fatalf("emitted rank %d for id %d, want %d", r, id, a.Of(id))
+		}
+		if r < prev {
+			t.Fatalf("ranks not non-decreasing: %d after %d", r, prev)
+		}
+		prev = r
+	}
+	// Total emissions = total multiplicity (duplicates are emitted once
+	// per containing bucket).
+	if want := 6 + 5 + 0 + 4; count != want {
+		t.Fatalf("emitted %d entries, want %d", count, want)
+	}
+}
+
+func TestMergeDedup(t *testing.T) {
+	_, buckets := buildBuckets(t, 64, [][]int32{
+		{10, 11, 12, 13},
+		{12, 13, 14},
+		{10, 14, 15, 16},
+	})
+	var m Merger
+	ids, ranks := MergeDedup(&m, buckets, nil, nil)
+	if len(ids) != len(ranks) {
+		t.Fatalf("ids/ranks length mismatch: %d vs %d", len(ids), len(ranks))
+	}
+	want := []int32{10, 11, 12, 13, 14, 15, 16}
+	got := slices.Clone(ids)
+	slices.Sort(got)
+	if !slices.Equal(got, want) {
+		t.Fatalf("deduplicated ids = %v, want %v", got, want)
+	}
+	for i := 1; i < len(ranks); i++ {
+		if ranks[i-1] >= ranks[i] {
+			t.Fatalf("ranks not strictly ascending at %d: %v", i, ranks)
+		}
+	}
+	// Reuse with recycled buffers: same result, nil buckets skipped.
+	ids2, ranks2 := MergeDedup(&m, append(buckets, nil), ids[:0], ranks[:0])
+	if !slices.Equal(ids2, ids[:len(ids2)]) || len(ids2) != len(want) {
+		t.Fatalf("recycled merge differs: %v", ids2)
+	}
+	_ = ranks2
+}
+
+func TestSearchRanksBoundaries(t *testing.T) {
+	ranks := []int32{2, 5, 5, 9}
+	cases := map[int32]int{0: 0, 2: 0, 3: 1, 5: 1, 6: 3, 9: 3, 10: 4}
+	for target, want := range cases {
+		if got := SearchRanks(ranks, target); got != want {
+			t.Errorf("SearchRanks(%v, %d) = %d, want %d", ranks, target, got, want)
+		}
+	}
+	if got := SearchRanks(nil, 3); got != 0 {
+		t.Errorf("SearchRanks(nil) = %d, want 0", got)
+	}
+}

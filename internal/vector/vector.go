@@ -14,13 +14,26 @@ import (
 type Vec []float64
 
 // Dot returns the inner product <a, b>. It panics if the dimensions differ.
+// The loop runs four independent accumulators so the additions pipeline
+// instead of serializing on one FP dependency chain; every Dot caller
+// (Section 5 filters, SimHash/E2LSH signing) therefore shares one
+// summation order, which keeps batched and per-function hashing bit-equal.
 func Dot(a, b Vec) float64 {
 	if len(a) != len(b) {
 		panic("vector: dimension mismatch")
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }
@@ -28,17 +41,38 @@ func Dot(a, b Vec) float64 {
 // Norm returns the Euclidean norm of v.
 func Norm(v Vec) float64 { return math.Sqrt(Dot(v, v)) }
 
-// Euclidean returns the Euclidean distance between a and b.
-func Euclidean(a, b Vec) float64 {
+// SquaredEuclidean returns the squared Euclidean distance between a and b —
+// the sqrt-free kernel behind the Euclidean space's near test, which
+// compares against r² instead of taking a square root per candidate.
+// Unrolled like Dot.
+func SquaredEuclidean(a, b Vec) float64 {
 	if len(a) != len(b) {
 		panic("vector: dimension mismatch")
 	}
-	var s float64
-	for i, v := range a {
-		d := v - b[i]
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
 		s += d * d
 	}
-	return math.Sqrt(s)
+	return s
+}
+
+// Euclidean returns the Euclidean distance between a and b.
+func Euclidean(a, b Vec) float64 {
+	return math.Sqrt(SquaredEuclidean(a, b))
 }
 
 // Cosine returns <a,b> / (|a||b|), i.e. the cosine of the angle between a

@@ -1,24 +1,55 @@
 #!/usr/bin/env bash
-# bench.sh — run the query/build benchmark suite and emit a JSON snapshot
-# for the performance trajectory (BENCH_PR<N>.json at the repo root).
+# bench.sh — run the query/build benchmark suite plus the kernel
+# microbenchmarks and emit a JSON snapshot for the performance trajectory
+# (BENCH_PR<N>.json at the repo root). The snapshot includes a three-way
+# seed / PR1 / PR2 comparison table: seed and PR1 numbers are read from
+# the checked-in BENCH_PR1.json, PR2 numbers from the current run.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
-#   output.json  defaults to BENCH_PR1.json
+#   output.json  defaults to BENCH_PR2.json
 #   benchtime    defaults to 1s (passed to -benchtime)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR1.json}"
+OUT="${1:-BENCH_PR2.json}"
 BENCHTIME="${2:-1s}"
-PATTERN='BenchmarkQuerySamplerNNS|BenchmarkQuerySampleRepeated|BenchmarkQueryIndependentNNIS$|BenchmarkQueryIndependentNNISParallel|BenchmarkQueryIndependentSampleK100|BenchmarkQueryStandardLSH|BenchmarkQueryNaiveFair|BenchmarkQueryFilterIndependent|BenchmarkBuildSampler|BenchmarkBuildIndependent|BenchmarkBuildFilterIndependent'
+
+# End-to-end query/build benches (root package).
+ROOT_PATTERN='BenchmarkQuerySamplerNNS|BenchmarkQuerySampleRepeated|BenchmarkQueryIndependentNNIS$|BenchmarkQueryIndependentNNISParallel|BenchmarkQueryIndependentSampleK100|BenchmarkQueryStandardLSH|BenchmarkQueryNaiveFair|BenchmarkQueryFilterIndependent$|BenchmarkQueryFilterSampleK100|BenchmarkBuildSampler|BenchmarkBuildIndependent|BenchmarkBuildFilterIndependent'
+# Kernel microbenches (internal packages): the segment report that the
+# merged cursor accelerates and the sqrt-free distance kernels.
+MICRO_PATTERN='BenchmarkSegmentNear|BenchmarkSquaredEuclidean|BenchmarkDot$|BenchmarkEuclideanSqrt'
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+go test -run '^$' -bench "$ROOT_PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+go test -run '^$' -bench "$MICRO_PATTERN" -benchmem -benchtime "$BENCHTIME" \
+	./internal/core ./internal/vector | tee -a "$RAW"
 
-awk -v out="$OUT" '
+awk -v out="$OUT" -v benchtime="$BENCHTIME" -v pr1json="BENCH_PR1.json" '
+BEGIN {
+    # Historical columns: seed numbers live in BENCH_PR1.json'\''s
+    # "comparison" table (seed_ns_op), PR1 numbers in its "comparison"
+    # (pr1_ns_op) and "benchmarks" (ns_op) entries.
+    while ((getline line < pr1json) > 0) {
+        if (line !~ /"name":/) continue
+        name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+        if (line ~ /"seed_ns_op":/) {
+            v = line; sub(/.*"seed_ns_op": /, "", v); sub(/[,}].*/, "", v)
+            seed_ns[name] = v
+        }
+        if (line ~ /"pr1_ns_op":/) {
+            v = line; sub(/.*"pr1_ns_op": /, "", v); sub(/[,}].*/, "", v)
+            pr1_ns[name] = v
+        } else if (line ~ /"ns_op":/) {
+            v = line; sub(/.*"ns_op": /, "", v); sub(/[,}].*/, "", v)
+            if (!(name in pr1_ns)) pr1_ns[name] = v
+        }
+    }
+    close(pr1json)
+}
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -29,20 +60,38 @@ awk -v out="$OUT" '
         if ($(i+1) == "allocs/op") allocs = $i
     }
     if (ns != "") {
-        line = sprintf("    {\"name\": \"%s\", \"ns_op\": %s", name, ns)
-        if (bytes != "")  line = line sprintf(", \"bytes_op\": %s", bytes)
-        if (allocs != "") line = line sprintf(", \"allocs_op\": %s", allocs)
-        line = line "}"
-        lines[n++] = line
+        cur_ns[name] = ns
+        row = sprintf("    {\"name\": \"%s\", \"ns_op\": %s", name, ns)
+        if (bytes != "")  row = row sprintf(", \"bytes_op\": %s", bytes)
+        if (allocs != "") row = row sprintf(", \"allocs_op\": %s", allocs)
+        row = row "}"
+        lines[n++] = row
     }
 }
 END {
-    printf "{\n  \"benchtime\": \"ENV\",\n  \"benchmarks\": [\n" > out
+    printf "{\n  \"pr\": 2,\n  \"benchtime\": \"%s\",\n", benchtime > out
+    printf "  \"note\": \"seed/pr1 columns are historical (from BENCH_PR1.json); pr2 columns are this run. SampleK100 draws 100 independent samples per op. Regenerate with scripts/bench.sh.\",\n" >> out
+    printf "  \"comparison\": [\n" >> out
+    m = split("BenchmarkBuildSampler BenchmarkBuildIndependent BenchmarkQuerySamplerNNS BenchmarkQueryIndependentNNIS BenchmarkQueryIndependentSampleK100 BenchmarkQueryFilterIndependent", keys, " ")
+    first = 1
+    for (i = 1; i <= m; i++) {
+        k = keys[i]
+        if (!(k in cur_ns)) continue
+        row = sprintf("    {\"name\": \"%s\"", k)
+        if (k in seed_ns) row = row sprintf(", \"seed_ns_op\": %s", seed_ns[k])
+        if (k in pr1_ns)  row = row sprintf(", \"pr1_ns_op\": %s", pr1_ns[k])
+        row = row sprintf(", \"pr2_ns_op\": %s", cur_ns[k])
+        if (k in pr1_ns && cur_ns[k]+0 > 0)
+            row = row sprintf(", \"speedup_vs_pr1\": %.2f", pr1_ns[k] / cur_ns[k])
+        row = row "}"
+        if (!first) printf ",\n" >> out
+        printf "%s", row >> out
+        first = 0
+    }
+    printf "\n  ],\n  \"benchmarks\": [\n" >> out
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "") >> out
     printf "  ]\n}\n" >> out
 }
 ' "$RAW"
 
-# Record the benchtime actually used.
-sed -i "s/\"ENV\"/\"$BENCHTIME\"/" "$OUT"
 echo "wrote $OUT"
