@@ -49,6 +49,10 @@ type VecConfig struct {
 	CrossPolytope bool
 	// Seed drives all randomness (default 1).
 	Seed uint64
+	// Memo is the per-query memory discipline (memo backend threshold,
+	// querier retention cap, scratch budget); an explicitly set
+	// opts.Memo wins over this field.
+	Memo MemoOptions
 }
 
 func (c VecConfig) resolve(n int, alpha float64) (lsh.Family[vector.Vec], lsh.Params, uint64) {
@@ -81,7 +85,7 @@ func NewVecSampler(points []Vec, alpha float64, cfg VecConfig) (*VecSampler, err
 		cfg.Dim = len(points[0])
 	}
 	fam, params, seed := cfg.resolve(len(points), alpha)
-	return core.NewSampler[vector.Vec](core.InnerProduct(), fam, params, points, alpha, seed)
+	return core.NewSamplerMemo[vector.Vec](core.InnerProduct(), fam, params, points, alpha, cfg.Memo, seed)
 }
 
 // NewVecSamplerIndependent indexes unit vectors for independent uniform
@@ -91,6 +95,7 @@ func NewVecSamplerIndependent(points []Vec, alpha float64, opts IndependentOptio
 		cfg.Dim = len(points[0])
 	}
 	fam, params, seed := cfg.resolve(len(points), alpha)
+	opts.Memo = memoOr(opts.Memo, cfg.Memo)
 	return core.NewIndependent[vector.Vec](core.InnerProduct(), fam, params, points, alpha, opts, seed)
 }
 
@@ -99,6 +104,7 @@ func NewVecSamplerIndependent(points []Vec, alpha float64, opts IndependentOptio
 // weight(Jaccard(q, p)). wMax must upper-bound the weight over [radius, 1].
 func NewSetWeighted(sets []Set, radius float64, weight WeightFunc, wMax float64, opts IndependentOptions, cfg Config) (*SetWeighted, error) {
 	fam, params, seed := cfg.resolve(len(sets), radius)
+	opts.Memo = memoOr(opts.Memo, cfg.Memo)
 	return core.NewWeighted[set.Set](core.Jaccard(), fam, params, sets, radius, weight, wMax, opts, seed)
 }
 
@@ -106,6 +112,7 @@ func NewSetWeighted(sets []Set, radius float64, weight WeightFunc, wMax float64,
 // radii; queries sample from the tightest non-empty ball.
 func NewSetMultiRadius(sets []Set, radii []float64, opts IndependentOptions, cfg Config) (*SetMultiRadius, error) {
 	fam, _, seed := cfg.resolve(len(sets), 0.5)
+	opts.Memo = memoOr(opts.Memo, cfg.Memo)
 	paramsFor := func(r float64) lsh.Params {
 		if cfg.K > 0 && cfg.L > 0 {
 			return lsh.Params{K: cfg.K, L: cfg.L}

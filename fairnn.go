@@ -51,6 +51,29 @@
 // SampleKInto(q, k, dst, st) variant that recycles the caller's output
 // buffer for a zero-allocation steady state.
 //
+// # Memory budget
+//
+// Pooled per-query scratch is bounded. The memo tables backing the
+// rejection-loop caches come in two interchangeable flavors, selected by
+// MemoOptions (the Memo field of Config, VecConfig, IndependentOptions
+// and VecOptions): below MemoOptions.DenseThreshold indexed points
+// (default 2²⁰) each pooled querier carries dense epoch-stamped arrays —
+// the fastest lookups, at 8–16 bytes per indexed point — and above it a
+// compact open-addressing table sized to the query's live candidate set,
+// which is o(n) by construction. Operators can force either backend via
+// MemoOptions.Backend (MemoDense / MemoCompact). Independently, each
+// index retains at most MemoOptions.MaxRetainedQueriers queriers across
+// checkouts and frees scratch past MemoOptions.ScratchBudget bytes on
+// release, so a one-time burst of G concurrent queries no longer pins
+// O(G·n) memory for the process lifetime. (When the resolved backend is
+// dense, the effective budget is raised to cover the dense arrays —
+// freeing them every release would turn pooling into a per-query O(n)
+// allocation; pick MemoCompact to bound scratch below that.) The backend choice affects
+// only cost, never any sampler's output distribution;
+// QueryStats.MemoProbes and ScoreCacheHits make the memo behavior
+// observable per query, and each structure's RetainedScratchBytes
+// reports what its pool currently pins.
+//
 // All structures are deterministic given their seed: a fixed sequence of
 // single-goroutine queries is reproducible, while concurrent queries are
 // deterministic up to scheduling (each query's stream is fixed by its
@@ -100,6 +123,25 @@ type IndependentOptions = core.IndependentOptions
 // VecOptions tunes VecIndependent; the zero value follows the paper.
 type VecOptions = core.FilterIndependentOptions
 
+// MemoOptions is the per-query memory discipline shared by all samplers:
+// the dense→compact memo threshold, the querier-pool retention cap, and
+// the per-querier scratch budget (see the package's "Memory budget"
+// section). The zero value keeps the dense fast path at small n and
+// bounds pooled memory at large n.
+type MemoOptions = core.MemoOptions
+
+// MemoBackend selects the per-query memo implementation.
+type MemoBackend = core.MemoBackend
+
+// Memo backend choices: MemoAuto picks dense below
+// MemoOptions.DenseThreshold points and compact above it; MemoDense and
+// MemoCompact force one side.
+const (
+	MemoAuto    = core.MemoAuto
+	MemoDense   = core.MemoDense
+	MemoCompact = core.MemoCompact
+)
+
 // Config controls LSH parameter selection for the set-based structures.
 // The zero value reproduces the paper's experimental setup: 1-bit MinHash,
 // K chosen so that at most FarBudget points at similarity FarSim are
@@ -119,6 +161,11 @@ type Config struct {
 	Recall float64
 	// Seed drives all randomness (default 1).
 	Seed uint64
+	// Memo is the per-query memory discipline (memo backend threshold,
+	// querier retention cap, scratch budget). For structures that also
+	// take an IndependentOptions/VecOptions, an explicitly set
+	// opts.Memo wins over this field.
+	Memo MemoOptions
 }
 
 func (c Config) family() lsh.Family[set.Set] {
@@ -151,17 +198,27 @@ func (c Config) resolve(n int, radius float64) (lsh.Family[set.Set], lsh.Params,
 	return fam, params, c.Seed
 }
 
+// memoOr resolves the memo precedence: an explicitly set opts-level memo
+// wins; otherwise the config-level default applies.
+func memoOr(opts, cfg MemoOptions) MemoOptions {
+	if opts == (MemoOptions{}) {
+		return cfg
+	}
+	return opts
+}
+
 // NewSetSampler indexes the sets for uniform r-near neighbor sampling under
 // Jaccard similarity (radius is the minimum similarity r).
 func NewSetSampler(sets []Set, radius float64, cfg Config) (*SetSampler, error) {
 	fam, params, seed := cfg.resolve(len(sets), radius)
-	return core.NewSampler[set.Set](core.Jaccard(), fam, params, sets, radius, seed)
+	return core.NewSamplerMemo[set.Set](core.Jaccard(), fam, params, sets, radius, cfg.Memo, seed)
 }
 
 // NewSetIndependent indexes the sets for independent uniform r-near
 // neighbor sampling (the r-NNIS problem) under Jaccard similarity.
 func NewSetIndependent(sets []Set, radius float64, opts IndependentOptions, cfg Config) (*SetIndependent, error) {
 	fam, params, seed := cfg.resolve(len(sets), radius)
+	opts.Memo = memoOr(opts.Memo, cfg.Memo)
 	return core.NewIndependent[set.Set](core.Jaccard(), fam, params, sets, radius, opts, seed)
 }
 

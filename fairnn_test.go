@@ -225,7 +225,10 @@ func TestFacadeDynamic(t *testing.T) {
 	sets, q := smallSets()
 	ids := make([]int32, len(sets))
 	for i, s := range sets {
-		ids[i] = d.Insert(s)
+		ids[i], err = d.Insert(s)
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 	id, ok := d.Sample(q, nil)
 	if !ok {

@@ -37,10 +37,14 @@ type rankedBase[P any] struct {
 	// radius; Distance spaces with a ScoreSq kernel compare squared
 	// scores against r², skipping one math.Sqrt per candidate.
 	nearFn func(a, b P) bool
+	// memo is the resolved memory discipline: which near-cache backend
+	// queriers carry (dense below the threshold, compact above) and how
+	// much scratch the pool may retain across checkouts.
+	memo MemoOptions
 
 	qseed uint64
 	qctr  atomic.Uint64
-	pool  sync.Pool // *querier
+	pool  boundedPool[querier]
 }
 
 // querier is the reusable per-query scratch: the L·K raw signature, the L
@@ -51,16 +55,17 @@ type rankedBase[P any] struct {
 //
 // Two memo structures make the Section 4 rejection loop cheap to repeat:
 //
-//   - near-cache: nearState[id] holds epoch<<1 | nearBit. The epoch is
-//     bumped once per checkout (one logical Sample or SampleK), so an
-//     entry is valid iff nearState[id]>>1 == epoch; anything else reads
-//     as "unknown" without clearing the table. Each distinct candidate
-//     is therefore distance-scored at most once per Sample and at most
-//     once across an entire SampleK, and stale entries from earlier
-//     queries can never leak into the current one. The table is sized n
-//     (8 bytes per indexed point), a deliberate space-for-time trade:
-//     steady-state scratch memory is O(concurrent queriers · n), bought
-//     back by O(1) lookups with no hashing and no per-query clearing.
+//   - near-cache: a pluggable memoTable of tri-state verdicts
+//     (unknown / near / far). Its epoch is bumped once per checkout (one
+//     logical Sample or SampleK), so entries from earlier queries read as
+//     "unknown" without any clearing. Each distinct candidate is
+//     therefore distance-scored at most once per Sample and at most once
+//     across an entire SampleK, and stale entries can never leak into the
+//     current query. The backend is chosen per structure by MemoOptions:
+//     an epoch-stamped dense array (8 B/indexed point, O(1) unhashed
+//     lookups, allocated lazily on first use) below the point-count
+//     threshold, or a compact open-addressing stamped table sized to the
+//     query's live candidate count — o(n) by construction — above it.
 //   - merged cursor: mergedIDs/mergedRanks hold the deduplicated k-way
 //     merge of all L resolved buckets, in ascending rank order. It is
 //     materialized lazily — only once the rejection loop's cumulative
@@ -77,9 +82,8 @@ type querier struct {
 	counter sketch.Counter
 	rng     rng.Source
 
-	// near-cache (epoch-stamped tri-state: unknown / near / far).
-	epoch     uint64
-	nearState []uint64
+	// near-cache backend (see memo.go).
+	near memoTable
 
 	// merged candidate cursor + adaptive-merge accounting.
 	mergedIDs   []int32
@@ -89,7 +93,30 @@ type querier struct {
 	mergeCost   int
 }
 
-func newRankedBase[P any](space Space[P], family lsh.Family[P], params lsh.Params, points []P, radius float64, r *rng.Source) (*rankedBase[P], error) {
+// scratchBytes reports the querier's retained backing-array footprint:
+// the memo table plus the candidate-sized buffers that can grow with the
+// query (the fixed L-sized key/bucket slices are negligible).
+func (qr *querier) scratchBytes() int {
+	return qr.near.retainedBytes() +
+		4*(cap(qr.cand)+cap(qr.mergedIDs)+cap(qr.mergedRanks))
+}
+
+// trim enforces the pool's scratch budget — on the querier's summed
+// footprint, so one retained querier can never pin a multiple of the
+// budget — before it is retained. The candidate buffers are freed first
+// (they regrow lazily and cheaply); the memo survives whenever it fits
+// the budget on its own, and frees itself otherwise.
+func (qr *querier) trim(budget int) {
+	if qr.scratchBytes() <= budget {
+		return
+	}
+	qr.cand = nil
+	qr.mergedIDs, qr.mergedRanks = nil, nil
+	qr.isMerged = false
+	qr.near.shrink(budget)
+}
+
+func newRankedBase[P any](space Space[P], family lsh.Family[P], params lsh.Params, points []P, radius float64, memo MemoOptions, r *rng.Source) (*rankedBase[P], error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -105,7 +132,9 @@ func newRankedBase[P any](space Space[P], family lsh.Family[P], params lsh.Param
 		radius: radius,
 		params: params,
 		nearFn: space.Nearness(radius),
+		memo:   memo.withDefaults().withDenseFloor(len(points), 8*len(points)),
 	}
+	b.pool.setCap(b.memo.MaxRetainedQueriers)
 	// Draw order matters for seed-compatibility: the rank permutation comes
 	// first (as in the original per-closure construction), then the hash
 	// functions, then the per-query stream seed.
@@ -181,23 +210,47 @@ func parallelRange(n int, fn func(lo, hi int)) {
 // so memoized near/far verdicts are scoped to exactly one logical query
 // (a Sample, or all k loops of one SampleK).
 func (b *rankedBase[P]) getQuerier() *querier {
-	qr, _ := b.pool.Get().(*querier)
+	qr := b.pool.get()
 	if qr == nil {
 		qr = &querier{
-			sig:       make([]uint64, b.params.L*b.params.K),
-			keys:      make([]uint64, b.params.L),
-			keys2:     make([]uint64, b.params.L),
-			buckets:   make([]*rank.Bucket, b.params.L),
-			cand:      make([]int32, 0, 64),
-			nearState: make([]uint64, len(b.points)),
+			sig:     make([]uint64, b.params.L*b.params.K),
+			keys:    make([]uint64, b.params.L),
+			keys2:   make([]uint64, b.params.L),
+			buckets: make([]*rank.Bucket, b.params.L),
+			cand:    make([]int32, 0, 64),
+			near:    newMemoTable(b.memo, len(b.points), false),
 		}
 	}
-	qr.epoch++
+	qr.near.reset()
 	qr.rng.Seed(b.qseed ^ rng.Mix64(b.qctr.Add(1)))
 	return qr
 }
 
-func (b *rankedBase[P]) putQuerier(qr *querier) { b.pool.Put(qr) }
+// putQuerier returns scratch to the bounded pool: oversized scratch is
+// trimmed to the budget first, and queriers beyond the retention cap are
+// dropped entirely — a one-time concurrency burst therefore cannot pin
+// O(burst·n) memory for the process lifetime.
+func (b *rankedBase[P]) putQuerier(qr *querier) {
+	qr.trim(b.memo.ScratchBudget)
+	b.pool.put(qr)
+}
+
+// RetainedScratchBytes reports the total backing-array footprint of the
+// currently pooled queriers — the steady-state scratch memory this
+// structure pins between queries (the bench footprint gauge).
+func (b *rankedBase[P]) RetainedScratchBytes() int {
+	total := 0
+	b.pool.fold(func(qr *querier) { total += qr.scratchBytes() })
+	return total
+}
+
+// RetainedQueriers reports how many queriers the pool currently holds.
+func (b *rankedBase[P]) RetainedQueriers() int { return b.pool.retained() }
+
+// MemoBackendInUse reports the resolved near-cache backend.
+func (b *rankedBase[P]) MemoBackendInUse() MemoBackend {
+	return b.memo.resolveBackend(len(b.points))
+}
 
 // resolve hashes q once — one single-pass signature reduced to L bucket
 // keys — and fills qr.keys and qr.buckets, charging one bucket lookup per
@@ -263,18 +316,39 @@ func (b *rankedBase[P]) near(q P, id int32, st *QueryStats) bool {
 // table: each distinct id is scored at most once per epoch (one logical
 // query); repeat lookups are answered from the cache and charged to
 // st.ScoreCacheHits. Distances are deterministic, so memoization cannot
-// change any query's output distribution — only its cost.
+// change any query's output distribution — only its cost. The dense
+// backend is special-cased so its hot path stays the PR 2 single array
+// load; other backends (the compact table) go through the memoTable
+// interface and charge st.MemoProbes.
 func (b *rankedBase[P]) nearCached(q P, qr *querier, id int32, st *QueryStats) bool {
-	if s := qr.nearState[id]; s>>1 == qr.epoch {
+	if d, ok := qr.near.(*denseBitMemo); ok {
+		w := d.words
+		if w == nil {
+			w = d.ensure()
+		}
+		if s := w[id]; s>>1 == d.epoch {
+			st.cacheHit()
+			return s&1 == 1
+		}
+		isNear := b.near(q, id, st)
+		s := d.epoch << 1
+		if isNear {
+			s |= 1
+		}
+		w[id] = s
+		return isNear
+	}
+	st.memoProbe()
+	if v, ok := qr.near.get(id); ok {
 		st.cacheHit()
-		return s&1 == 1
+		return v == 1
 	}
 	isNear := b.near(q, id, st)
-	s := qr.epoch << 1
+	var v uint64
 	if isNear {
-		s |= 1
+		v = 1
 	}
-	qr.nearState[id] = s
+	qr.near.put(id, v)
 	return isNear
 }
 

@@ -2,12 +2,17 @@ package core
 
 import (
 	"errors"
+	"math"
 	"sort"
 	"sync"
 
 	"fairnn/internal/lsh"
 	"fairnn/internal/rng"
 )
+
+// ErrCapacity is returned by Dynamic.Insert once the structure has
+// assigned every representable int32 id.
+var ErrCapacity = errors.New("core: dynamic index full (2³¹−1 ids assigned)")
 
 // Dynamic is an insert/delete-capable variant of the Section 3 sampler.
 // The original IRS line of work (Hu–Qiao–Tao, discussed in Section 1.2)
@@ -83,7 +88,13 @@ func (d *Dynamic[P]) Alive(id int32) bool {
 }
 
 // Insert adds a point and returns its id. Cost: L bucket insertions.
-func (d *Dynamic[P]) Insert(p P) int32 {
+// Ids are int32, so the structure holds at most 2³¹−1 slots (live or
+// tombstoned); further inserts return ErrCapacity instead of silently
+// wrapping the id past 2³¹ into already-assigned (or negative) territory.
+func (d *Dynamic[P]) Insert(p P) (int32, error) {
+	if len(d.points) >= math.MaxInt32 {
+		return 0, ErrCapacity
+	}
 	id := int32(len(d.points))
 	d.points = append(d.points, p)
 	d.alive = append(d.alive, true)
@@ -95,7 +106,7 @@ func (d *Dynamic[P]) Insert(p P) int32 {
 		d.tables[i][key] = d.bucketInsert(d.tables[i][key], id)
 	}
 	d.live++
-	return id
+	return id, nil
 }
 
 // resolveKeys computes all L bucket keys of p in one pass over p, using

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
+	"math"
 	"testing"
 	"testing/quick"
 
 	"fairnn/internal/lsh"
+	"fairnn/internal/rng"
 	"fairnn/internal/stats"
 )
 
@@ -58,7 +61,7 @@ func TestDynamicDelete(t *testing.T) {
 	d := newLineDynamic(t, 3)
 	ids := make([]int32, 10)
 	for i := 0; i < 10; i++ {
-		ids[i] = d.Insert(i)
+		ids[i], _ = d.Insert(i)
 	}
 	if !d.Delete(ids[0]) {
 		t.Fatal("delete failed")
@@ -89,7 +92,7 @@ func TestDynamicDeleteShrinksBall(t *testing.T) {
 	d := newLineDynamic(t, 5)
 	ids := make([]int32, 25)
 	for i := 0; i < 25; i++ {
-		ids[i] = d.Insert(i)
+		ids[i], _ = d.Insert(i)
 	}
 	for i := 1; i <= 5; i++ { // ball of query 0 is {0..5}
 		d.Delete(ids[i])
@@ -128,7 +131,10 @@ func TestDynamicChurnInvariantQuick(t *testing.T) {
 		var live []int32
 		for _, op := range ops {
 			if op%3 != 0 || len(live) == 0 {
-				id := d.Insert(int(op % 50))
+				id, err := d.Insert(int(op % 50))
+				if err != nil {
+					return false
+				}
 				live = append(live, id)
 			} else {
 				idx := int(op/3) % len(live)
@@ -158,7 +164,7 @@ func TestDynamicWithRealLSH(t *testing.T) {
 	freq := stats.NewFrequency()
 	for b := 0; b < 1000; b++ {
 		// Churn: delete and reinsert a far point to exercise updates.
-		id := d.Insert(999)
+		id, _ := d.Insert(999)
 		d.Delete(id)
 		if got, ok := d.Sample(1, nil); ok {
 			freq.Observe(got)
@@ -170,5 +176,39 @@ func TestDynamicWithRealLSH(t *testing.T) {
 		if d.Point(id) > 4 {
 			t.Fatalf("far point %d", d.Point(id))
 		}
+	}
+}
+
+// unitFamily is a trivial LSH family over the empty struct, for tests
+// that never hash (the capacity guard fires before any hashing).
+type unitFamily struct{}
+
+func (unitFamily) New(r *rng.Source) lsh.Func[struct{}] {
+	return func(struct{}) uint64 { return 0 }
+}
+
+func (unitFamily) CollisionProb(float64) float64 { return 1 }
+
+// TestDynamicInsertOverflowGuard pins the id-space boundary: once 2³¹−1
+// slots are assigned, Insert must refuse with ErrCapacity instead of
+// silently wrapping int32(len(points)) into already-assigned (or
+// negative) id territory. The point type is struct{}, so the simulated
+// full slice costs no memory.
+func TestDynamicInsertOverflowGuard(t *testing.T) {
+	sp := Space[struct{}]{Kind: Distance, Score: func(a, b struct{}) float64 { return 0 }}
+	d, err := NewDynamic[struct{}](sp, unitFamily{}, lsh.Params{K: 1, L: 1}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Insert(struct{}{}); err != nil {
+		t.Fatalf("first insert failed: %v", err)
+	}
+	before := d.N()
+	d.points = make([]struct{}, math.MaxInt32) // zero-sized elements: len only
+	if _, err := d.Insert(struct{}{}); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("Insert at 2³¹−1 slots returned %v, want ErrCapacity", err)
+	}
+	if len(d.points) != math.MaxInt32 || d.N() != before {
+		t.Error("failed Insert mutated the structure")
 	}
 }

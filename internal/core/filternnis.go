@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"fairnn/internal/filter"
@@ -24,6 +23,11 @@ type FilterIndependentOptions struct {
 	// Default 0 means 200·(L+1)·(K+1) rounds, far beyond the expected
 	// O((b_β/b_α)·log n).
 	MaxRounds int
+	// Memo is the per-query memory discipline: which similarity-memo
+	// backend pooled queriers carry (dense 16 B/point arrays below
+	// Memo.DenseThreshold points, a compact o(n) table above) and how
+	// much scratch the querier pool may retain across checkouts.
+	Memo MemoOptions
 }
 
 func (o FilterIndependentOptions) withDefaults(n int) FilterIndependentOptions {
@@ -50,18 +54,21 @@ func (o FilterIndependentOptions) withDefaults(n int) FilterIndependentOptions {
 // (Theorem 4), and fresh per-query randomness makes outputs independent.
 // Queries are safe for concurrent use: banks are read-only after
 // construction, per-query scratch (the plan, the similarity memo, the
-// rejection-loop working set) comes from a sync.Pool, and sampling
-// randomness comes from per-query streams split off the seed by an atomic
-// counter. Steady-state queries perform zero heap allocations.
+// rejection-loop working set) comes from a capped pool — at most
+// opts.Memo.MaxRetainedQueriers queriers are retained across checkouts,
+// trimmed to opts.Memo.ScratchBudget bytes each — and sampling
+// randomness comes from per-query streams split off the seed by an
+// atomic counter. Steady-state queries perform zero heap allocations.
 type FilterIndependent struct {
 	points []vector.Vec
 	alpha  float64
 	beta   float64
 	opts   FilterIndependentOptions
+	memo   MemoOptions
 	banks  []*filter.Bank
 	qseed  uint64
 	qctr   atomic.Uint64
-	pool   sync.Pool // *fiQuerier
+	pool   boundedPool[fiQuerier]
 }
 
 // NewFilterIndependent indexes unit vectors for inner-product threshold
@@ -84,14 +91,17 @@ func NewFilterIndependent(points []vector.Vec, alpha, beta float64, opts FilterI
 		}
 		banks[i] = b
 	}
-	return &FilterIndependent{
+	f := &FilterIndependent{
 		points: points,
 		alpha:  alpha,
 		beta:   beta,
 		opts:   opts,
+		memo:   opts.Memo.withDefaults().withDenseFloor(len(points), 16*len(points)),
 		banks:  banks,
 		qseed:  src.Uint64(),
-	}, nil
+	}
+	f.pool.setCap(f.memo.MaxRetainedQueriers)
+	return f, nil
 }
 
 // N returns the number of indexed points.
@@ -122,20 +132,17 @@ type bucketRef struct {
 // existence check and every rejection round (and across all k loops of a
 // SampleK), and the rejection loop's mutable working set (flat candidate
 // copy, Fenwick tree, shuffle order). Steady-state queries touch only
-// this struct and therefore allocate nothing.
+// this struct and therefore allocate nothing. The memo is a pluggable
+// backend (see memo.go): dense 16 B/point arrays below the point-count
+// threshold, a compact o(n) stamped hash table above it.
 type fiQuerier struct {
 	refs    []bucketRef
 	master  [][]int32
 	total   int
 	scratch filter.QueryScratch
 
-	// similarity memo: simStamp[id] == epoch means simVal[id] is ⟨q, p_id⟩
-	// for the current query; the epoch bump on checkout invalidates
-	// everything at once. Sized n (16 bytes per indexed point) — the same
-	// space-for-time trade as the rankedBase near-cache.
-	epoch    uint64
-	simStamp []uint64
-	simVal   []float64
+	// similarity memo backend; values are math.Float64bits(⟨q, p_id⟩).
+	sim memoTable
 
 	// rejection-loop working set.
 	flat     []int32
@@ -145,21 +152,66 @@ type fiQuerier struct {
 	rng      rng.Source
 }
 
+// scratchBytes reports the querier's retained backing-array footprint:
+// the memo plus the candidate-sized rejection working set and the filter
+// evaluation scratch.
+func (qr *fiQuerier) scratchBytes() int {
+	return qr.sim.retainedBytes() +
+		4*(cap(qr.flat)+cap(qr.order)) +
+		16*cap(qr.refs) + 24*(cap(qr.master)+cap(qr.contents)) +
+		8*cap(qr.fw.tree) + qr.scratch.RetainedBytes()
+}
+
+// trim enforces the pool's scratch budget — on the querier's summed
+// footprint, so one retained querier can never pin a multiple of the
+// budget — before it is retained. The working-set buffers are freed
+// first (they regrow lazily); the similarity memo survives whenever it
+// fits the budget on its own, and frees itself otherwise.
+func (qr *fiQuerier) trim(budget int) {
+	if qr.scratchBytes() <= budget {
+		return
+	}
+	qr.flat, qr.order = nil, nil
+	qr.refs, qr.master, qr.contents = nil, nil, nil
+	qr.fw = fenwick{}
+	qr.scratch.Trim(0)
+	qr.sim.shrink(budget)
+}
+
 // getQuerier checks scratch out of the pool and advances the similarity-
 // memo epoch (one checkout = one logical query).
 func (f *FilterIndependent) getQuerier() *fiQuerier {
-	qr, _ := f.pool.Get().(*fiQuerier)
+	qr := f.pool.get()
 	if qr == nil {
-		qr = &fiQuerier{
-			simStamp: make([]uint64, len(f.points)),
-			simVal:   make([]float64, len(f.points)),
-		}
+		qr = &fiQuerier{sim: newMemoTable(f.memo, len(f.points), true)}
 	}
-	qr.epoch++
+	qr.sim.reset()
 	return qr
 }
 
-func (f *FilterIndependent) putQuerier(qr *fiQuerier) { f.pool.Put(qr) }
+// putQuerier returns scratch to the bounded pool, trimming oversized
+// buffers first and dropping queriers beyond the retention cap (the same
+// burst-memory discipline as rankedBase.putQuerier).
+func (f *FilterIndependent) putQuerier(qr *fiQuerier) {
+	qr.trim(f.memo.ScratchBudget)
+	f.pool.put(qr)
+}
+
+// MemoBackendInUse reports the resolved similarity-memo backend.
+func (f *FilterIndependent) MemoBackendInUse() MemoBackend {
+	return f.memo.resolveBackend(len(f.points))
+}
+
+// RetainedScratchBytes reports the backing-array footprint of the pooled
+// per-query scratch this structure currently pins between queries.
+func (f *FilterIndependent) RetainedScratchBytes() int {
+	total := 0
+	f.pool.fold(func(qr *fiQuerier) { total += qr.scratchBytes() })
+	return total
+}
+
+// RetainedQueriers reports how many queriers the pool currently holds.
+func (f *FilterIndependent) RetainedQueriers() int { return f.pool.retained() }
 
 // buildPlan gathers the selected buckets of all banks for one query into
 // the querier. The plan is deterministic given (structure, query): all
@@ -184,16 +236,30 @@ func (f *FilterIndependent) buildPlan(q vector.Vec, qr *fiQuerier, st *QueryStat
 
 // simOf returns ⟨q, p_id⟩ through the epoch-stamped memo: each candidate
 // is scored at most once per query; repeats are charged to
-// st.ScoreCacheHits.
+// st.ScoreCacheHits. The dense backend is special-cased so its hot path
+// stays two array loads; the compact backend goes through the memoTable
+// interface and charges st.MemoProbes.
 func (f *FilterIndependent) simOf(qr *fiQuerier, q vector.Vec, id int32, st *QueryStats) float64 {
-	if qr.simStamp[id] == qr.epoch {
+	if d, ok := qr.sim.(*denseWordMemo); ok {
+		d.ensure()
+		if d.stamp[id] == d.epoch {
+			st.cacheHit()
+			return math.Float64frombits(d.vals[id])
+		}
+		st.score()
+		s := vector.Dot(q, f.points[id])
+		d.stamp[id] = d.epoch
+		d.vals[id] = math.Float64bits(s)
+		return s
+	}
+	st.memoProbe()
+	if v, ok := qr.sim.get(id); ok {
 		st.cacheHit()
-		return qr.simVal[id]
+		return math.Float64frombits(v)
 	}
 	st.score()
 	s := vector.Dot(q, f.points[id])
-	qr.simStamp[id] = qr.epoch
-	qr.simVal[id] = s
+	qr.sim.put(id, math.Float64bits(s))
 	return s
 }
 

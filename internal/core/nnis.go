@@ -33,6 +33,12 @@ type IndependentOptions struct {
 	// (~10x smaller at comparable practical accuracy; see the
 	// BenchmarkAblationSketchKind comparison).
 	SketchKind sketch.Kind
+	// Memo is the per-query memory discipline: which near-cache backend
+	// pooled queriers carry (dense arrays below Memo.DenseThreshold
+	// points, a compact o(n) table above) and how much scratch the
+	// querier pool may retain across checkouts. The zero value keeps the
+	// dense fast path at small n and bounds pooled memory at large n.
+	Memo MemoOptions
 }
 
 func (o IndependentOptions) withDefaults(n int) IndependentOptions {
@@ -99,7 +105,7 @@ type Independent[P any] struct {
 // NewIndependent builds the Section 4 structure.
 func NewIndependent[P any](space Space[P], family lsh.Family[P], params lsh.Params, points []P, radius float64, opts IndependentOptions, seed uint64) (*Independent[P], error) {
 	src := rng.New(seed)
-	base, err := newRankedBase(space, family, params, points, radius, src)
+	base, err := newRankedBase(space, family, params, points, radius, opts.Memo, src)
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +157,17 @@ func (d *Independent[P]) Options() IndependentOptions { return d.opts }
 
 // Point returns the indexed point with the given id.
 func (d *Independent[P]) Point(id int32) P { return d.base.Point(id) }
+
+// MemoBackendInUse reports the resolved near-cache backend (dense or
+// compact after MemoAuto's threshold decision).
+func (d *Independent[P]) MemoBackendInUse() MemoBackend { return d.base.MemoBackendInUse() }
+
+// RetainedScratchBytes reports the backing-array footprint of the pooled
+// per-query scratch this structure currently pins between queries.
+func (d *Independent[P]) RetainedScratchBytes() int { return d.base.RetainedScratchBytes() }
+
+// RetainedQueriers reports how many queriers the pool currently holds.
+func (d *Independent[P]) RetainedQueriers() int { return d.base.RetainedQueriers() }
 
 // estimateCandidates merges the count-distinct sketches of q's buckets and
 // returns ŝ_q (step 1 of the query). The bucket keys resolved by

@@ -30,8 +30,17 @@ type Sampler[P any] struct {
 // family and (K, L) parameters. radius is the threshold r (a distance or a
 // similarity depending on space.Kind). All randomness derives from seed.
 func NewSampler[P any](space Space[P], family lsh.Family[P], params lsh.Params, points []P, radius float64, seed uint64) (*Sampler[P], error) {
+	return NewSamplerMemo(space, family, params, points, radius, MemoOptions{}, seed)
+}
+
+// NewSamplerMemo is NewSampler with an explicit per-query memory
+// discipline (querier-pool retention cap and scratch budget; the Section 3
+// query path never consults the near-cache, whose dense array is allocated
+// lazily, so the backend choice only matters for structures layered on the
+// same base).
+func NewSamplerMemo[P any](space Space[P], family lsh.Family[P], params lsh.Params, points []P, radius float64, memo MemoOptions, seed uint64) (*Sampler[P], error) {
 	src := rng.New(seed)
-	base, err := newRankedBase(space, family, params, points, radius, src)
+	base, err := newRankedBase(space, family, params, points, radius, memo, src)
 	if err != nil {
 		return nil, err
 	}
@@ -49,6 +58,10 @@ func (s *Sampler[P]) Params() lsh.Params { return s.base.Params() }
 
 // Point returns the indexed point with the given id.
 func (s *Sampler[P]) Point(id int32) P { return s.base.Point(id) }
+
+// RetainedScratchBytes reports the backing-array footprint of the pooled
+// per-query scratch this structure currently pins between queries.
+func (s *Sampler[P]) RetainedScratchBytes() int { return s.base.RetainedScratchBytes() }
 
 // Sample returns the id of a uniform sample from B_S(q, r), or ok=false if
 // no near point collides with q in any table. The query is deterministic

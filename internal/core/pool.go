@@ -18,7 +18,10 @@ import (
 // (conditioned on the per-replica high-probability recall event).
 type IndependentPool[P any] struct {
 	replicas chan *Independent[P]
-	size     int
+	// all references every replica regardless of checkout state, for
+	// memory accounting (the channel cannot be inspected non-destructively).
+	all  []*Independent[P]
+	size int
 }
 
 // NewIndependentPool builds replicas independent Section 4 structures over
@@ -37,6 +40,7 @@ func NewIndependentPool[P any](space Space[P], family lsh.Family[P], params lsh.
 		if err != nil {
 			return nil, err
 		}
+		p.all = append(p.all, d)
 		p.replicas <- d
 	}
 	return p, nil
@@ -44,6 +48,17 @@ func NewIndependentPool[P any](space Space[P], family lsh.Family[P], params lsh.
 
 // Size returns the number of replicas.
 func (p *IndependentPool[P]) Size() int { return p.size }
+
+// RetainedScratchBytes sums the pooled per-query scratch across all
+// replicas — the steady-state memory the whole pool pins between queries
+// (each replica's querier pool is individually capped by opts.Memo).
+func (p *IndependentPool[P]) RetainedScratchBytes() int {
+	total := 0
+	for _, d := range p.all {
+		total += d.RetainedScratchBytes()
+	}
+	return total
+}
 
 // Sample checks out a replica, samples, and returns the replica to the
 // pool. Safe for concurrent use; blocks while all replicas are busy.

@@ -104,6 +104,10 @@ type QueryStats struct {
 	// per-query memo table (the epoch-stamped near-cache) instead of
 	// re-evaluating the score.
 	ScoreCacheHits int
+	// MemoProbes counts lookups served by the compact (bounded) memo
+	// backend — zero on the dense fast path, so the counter makes the
+	// dense→compact threshold observable per query.
+	MemoProbes int
 	// CursorMerged reports that the query materialized the merged
 	// candidate cursor (the adaptive k-way merge of all L buckets).
 	CursorMerged bool
@@ -134,6 +138,7 @@ func (s *QueryStats) add(o QueryStats) {
 	s.PointsInspected += o.PointsInspected
 	s.ScoreEvals += o.ScoreEvals
 	s.ScoreCacheHits += o.ScoreCacheHits
+	s.MemoProbes += o.MemoProbes
 	s.Rounds += o.Rounds
 	s.FilterEvals += o.FilterEvals
 	s.Clamped = s.Clamped || o.Clamped
@@ -169,6 +174,12 @@ func (s *QueryStats) score() {
 func (s *QueryStats) cacheHit() {
 	if s != nil {
 		s.ScoreCacheHits++
+	}
+}
+
+func (s *QueryStats) memoProbe() {
+	if s != nil {
+		s.MemoProbes++
 	}
 }
 

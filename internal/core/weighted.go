@@ -70,6 +70,12 @@ func (w *Weighted[P]) Point(id int32) P { return w.inner.Point(id) }
 // Independent exposes the wrapped uniform sampler.
 func (w *Weighted[P]) Independent() *Independent[P] { return w.inner }
 
+// RetainedScratchBytes reports the pooled per-query scratch of the
+// wrapped sampler (the weighted layer itself keeps no pooled state — its
+// acceptance randomness lives on the stack), so the opts.Memo discipline
+// passed at construction bounds this structure's burst memory too.
+func (w *Weighted[P]) RetainedScratchBytes() int { return w.inner.RetainedScratchBytes() }
+
 // Sample returns a point p from B_S(q, r) with probability proportional to
 // weight(score(q, p)), independently across calls.
 func (w *Weighted[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {

@@ -192,6 +192,24 @@ type QueryScratch struct {
 	keys     []uint64
 }
 
+// RetainedBytes reports the backing-array footprint of the scratch, for
+// callers that pool scratch under a memory budget.
+func (s *QueryScratch) RetainedBytes() int {
+	total := 8*cap(s.dots) + 24*cap(s.idxSets) + 8*cap(s.counters) + 8*cap(s.keys)
+	for _, idx := range s.idxSets {
+		total += 4 * cap(idx)
+	}
+	return total
+}
+
+// Trim frees the backing arrays when RetainedBytes exceeds maxBytes; the
+// scratch stays usable and regrows lazily on the next QueryInto.
+func (s *QueryScratch) Trim(maxBytes int) {
+	if s.RetainedBytes() > maxBytes {
+		*s = QueryScratch{}
+	}
+}
+
 // Query evaluates all filters against q and enumerates candidate buckets
 // with throwaway scratch. See QueryInto for the allocation-free variant.
 func (b *Bank) Query(q vector.Vec) QueryPlan {

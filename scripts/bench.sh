@@ -1,39 +1,55 @@
 #!/usr/bin/env bash
 # bench.sh — run the query/build benchmark suite plus the kernel
-# microbenchmarks and emit a JSON snapshot for the performance trajectory
-# (BENCH_PR<N>.json at the repo root). The snapshot includes a three-way
-# seed / PR1 / PR2 comparison table: seed and PR1 numbers are read from
-# the checked-in BENCH_PR1.json, PR2 numbers from the current run.
+# microbenchmarks and the pooled-scratch footprint gauge, and emit a JSON
+# snapshot for the performance trajectory (BENCH_PR<N>.json at the repo
+# root). The snapshot includes a four-way seed / PR1 / PR2 / PR3
+# comparison table (historical columns are read from the checked-in
+# BENCH_PR2.json; PR3 numbers are this run) and a "footprint" section:
+# bytes of pooled per-query scratch retained after a 64-querier burst,
+# dense vs compact memo backend (the PR 3 acceptance gate requires
+# compact ≤ 1/10 of dense).
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
-#   output.json  defaults to BENCH_PR2.json
+#   output.json  defaults to BENCH_PR3.json
 #   benchtime    defaults to 1s (passed to -benchtime)
+# Env:
+#   FAIRNN_FOOTPRINT_N         points for the footprint gauge (default 1000000)
+#   FAIRNN_FOOTPRINT_QUERIERS  burst width for the gauge (default 64)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR2.json}"
+OUT="${1:-BENCH_PR3.json}"
 BENCHTIME="${2:-1s}"
+FOOTPRINT_N="${FAIRNN_FOOTPRINT_N:-1000000}"
+FOOTPRINT_QUERIERS="${FAIRNN_FOOTPRINT_QUERIERS:-64}"
 
 # End-to-end query/build benches (root package).
 ROOT_PATTERN='BenchmarkQuerySamplerNNS|BenchmarkQuerySampleRepeated|BenchmarkQueryIndependentNNIS$|BenchmarkQueryIndependentNNISParallel|BenchmarkQueryIndependentSampleK100|BenchmarkQueryStandardLSH|BenchmarkQueryNaiveFair|BenchmarkQueryFilterIndependent$|BenchmarkQueryFilterSampleK100|BenchmarkBuildSampler|BenchmarkBuildIndependent|BenchmarkBuildFilterIndependent'
 # Kernel microbenches (internal packages): the segment report that the
-# merged cursor accelerates and the sqrt-free distance kernels.
-MICRO_PATTERN='BenchmarkSegmentNear|BenchmarkSquaredEuclidean|BenchmarkDot$|BenchmarkEuclideanSqrt'
+# merged cursor accelerates, the sqrt-free distance kernels, and the
+# dense-vs-compact memo lookup.
+MICRO_PATTERN='BenchmarkSegmentNear|BenchmarkSquaredEuclidean|BenchmarkDot$|BenchmarkEuclideanSqrt|BenchmarkNearCached'
 
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+FOOT="$(mktemp)"
+trap 'rm -f "$RAW" "$FOOT"' EXIT
 
 go test -run '^$' -bench "$ROOT_PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 go test -run '^$' -bench "$MICRO_PATTERN" -benchmem -benchtime "$BENCHTIME" \
 	./internal/core ./internal/vector | tee -a "$RAW"
 
-awk -v out="$OUT" -v benchtime="$BENCHTIME" -v pr1json="BENCH_PR1.json" '
+# Pooled-scratch footprint gauge: dense vs compact retained bytes after a
+# burst of FOOTPRINT_QUERIERS concurrent checkouts at FOOTPRINT_N points.
+FAIRNN_FOOTPRINT_N="$FOOTPRINT_N" FAIRNN_FOOTPRINT_QUERIERS="$FOOTPRINT_QUERIERS" \
+	go test -run 'TestPooledScratchFootprintGauge' -count=1 -v ./internal/core | tee "$FOOT"
+
+awk -v out="$OUT" -v benchtime="$BENCHTIME" -v pr2json="BENCH_PR2.json" -v footfile="$FOOT" '
 BEGIN {
-    # Historical columns: seed numbers live in BENCH_PR1.json'\''s
-    # "comparison" table (seed_ns_op), PR1 numbers in its "comparison"
-    # (pr1_ns_op) and "benchmarks" (ns_op) entries.
-    while ((getline line < pr1json) > 0) {
+    # Historical columns from BENCH_PR2.json: seed/pr1 live in its
+    # "comparison" table (seed_ns_op / pr1_ns_op), pr2 in pr2_ns_op and
+    # the "benchmarks" ns_op entries.
+    while ((getline line < pr2json) > 0) {
         if (line !~ /"name":/) continue
         name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
         if (line ~ /"seed_ns_op":/) {
@@ -43,12 +59,38 @@ BEGIN {
         if (line ~ /"pr1_ns_op":/) {
             v = line; sub(/.*"pr1_ns_op": /, "", v); sub(/[,}].*/, "", v)
             pr1_ns[name] = v
+        }
+        if (line ~ /"pr2_ns_op":/) {
+            v = line; sub(/.*"pr2_ns_op": /, "", v); sub(/[,}].*/, "", v)
+            pr2_ns[name] = v
         } else if (line ~ /"ns_op":/) {
             v = line; sub(/.*"ns_op": /, "", v); sub(/[,}].*/, "", v)
-            if (!(name in pr1_ns)) pr1_ns[name] = v
+            if (!(name in pr2_ns)) pr2_ns[name] = v
         }
     }
-    close(pr1json)
+    close(pr2json)
+    # Footprint gauge lines: FOOTPRINT backend=dense n=... queriers=...
+    # retained_bytes=... per_querier_bytes=...
+    nf = 0
+    while ((getline line < footfile) > 0) {
+        if (line !~ /^FOOTPRINT /) continue
+        np = split(line, parts, " ")
+        row = "    {"
+        first_kv = 1
+        for (i = 2; i <= np; i++) {
+            split(parts[i], kv, "=")
+            if (kv[1] == "backend")
+                pair = sprintf("\"backend\": \"%s\"", kv[2])
+            else
+                pair = sprintf("\"%s\": %s", kv[1], kv[2])
+            row = row (first_kv ? "" : ", ") pair
+            first_kv = 0
+            if (kv[1] == "backend") fb = kv[2]
+            if (kv[1] == "retained_bytes") foot_bytes[fb] = kv[2]
+        }
+        foot[nf++] = row "}"
+    }
+    close(footfile)
 }
 /^Benchmark/ {
     name = $1
@@ -69,8 +111,8 @@ BEGIN {
     }
 }
 END {
-    printf "{\n  \"pr\": 2,\n  \"benchtime\": \"%s\",\n", benchtime > out
-    printf "  \"note\": \"seed/pr1 columns are historical (from BENCH_PR1.json); pr2 columns are this run. SampleK100 draws 100 independent samples per op. Regenerate with scripts/bench.sh.\",\n" >> out
+    printf "{\n  \"pr\": 3,\n  \"benchtime\": \"%s\",\n", benchtime > out
+    printf "  \"note\": \"seed/pr1/pr2 columns are historical (from BENCH_PR2.json); pr3 columns are this run. SampleK100 draws 100 independent samples per op. footprint = pooled scratch retained after a concurrent-checkout burst, dense vs compact memo backend. Regenerate with scripts/bench.sh.\",\n" >> out
     printf "  \"comparison\": [\n" >> out
     m = split("BenchmarkBuildSampler BenchmarkBuildIndependent BenchmarkQuerySamplerNNS BenchmarkQueryIndependentNNIS BenchmarkQueryIndependentSampleK100 BenchmarkQueryFilterIndependent", keys, " ")
     first = 1
@@ -80,15 +122,21 @@ END {
         row = sprintf("    {\"name\": \"%s\"", k)
         if (k in seed_ns) row = row sprintf(", \"seed_ns_op\": %s", seed_ns[k])
         if (k in pr1_ns)  row = row sprintf(", \"pr1_ns_op\": %s", pr1_ns[k])
-        row = row sprintf(", \"pr2_ns_op\": %s", cur_ns[k])
-        if (k in pr1_ns && cur_ns[k]+0 > 0)
-            row = row sprintf(", \"speedup_vs_pr1\": %.2f", pr1_ns[k] / cur_ns[k])
+        if (k in pr2_ns)  row = row sprintf(", \"pr2_ns_op\": %s", pr2_ns[k])
+        row = row sprintf(", \"pr3_ns_op\": %s", cur_ns[k])
+        if (k in pr2_ns && cur_ns[k]+0 > 0)
+            row = row sprintf(", \"speedup_vs_pr2\": %.2f", pr2_ns[k] / cur_ns[k])
         row = row "}"
         if (!first) printf ",\n" >> out
         printf "%s", row >> out
         first = 0
     }
-    printf "\n  ],\n  \"benchmarks\": [\n" >> out
+    printf "\n  ],\n  \"footprint\": [\n" >> out
+    for (i = 0; i < nf; i++) printf "%s%s\n", foot[i], (i < nf-1 ? "," : "") >> out
+    printf "  ]" >> out
+    if (("dense" in foot_bytes) && ("compact" in foot_bytes) && foot_bytes["dense"]+0 > 0)
+        printf ",\n  \"footprint_compact_over_dense\": %.4f", foot_bytes["compact"] / foot_bytes["dense"] >> out
+    printf ",\n  \"benchmarks\": [\n" >> out
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "") >> out
     printf "  ]\n}\n" >> out
 }
