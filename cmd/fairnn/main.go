@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fairnn -exp fig1|fig2|fig3|q3|all [-scale small|paper] [-csv dir] [-seed n]
+//	fairnn -exp fig1|fig2|fig3|q3|all [-scale small|paper] [-csv dir] [-seed n] [-memo auto|dense|compact]
 //
 // The "paper" scale matches the publication protocol (50 queries, 26 000
 // repetitions, full-size datasets) and takes minutes; "small" (default)
@@ -18,8 +18,23 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"fairnn"
 	"fairnn/internal/experiments"
 )
+
+// parseMemo maps the -memo flag to the per-query memory discipline of the
+// pooled samplers (the PR 3 backend knob).
+func parseMemo(s string) (fairnn.MemoOptions, error) {
+	switch s {
+	case "", "auto":
+		return fairnn.MemoOptions{Backend: fairnn.MemoAuto}, nil
+	case "dense":
+		return fairnn.MemoOptions{Backend: fairnn.MemoDense}, nil
+	case "compact":
+		return fairnn.MemoOptions{Backend: fairnn.MemoCompact}, nil
+	}
+	return fairnn.MemoOptions{}, fmt.Errorf("unknown -memo value %q (want auto, dense or compact)", s)
+}
 
 func main() {
 	var (
@@ -27,9 +42,14 @@ func main() {
 		scale  = flag.String("scale", "small", "small (fast, same shapes) or paper (full protocol)")
 		csvDir = flag.String("csv", "", "directory to also write CSV files into (optional)")
 		seed   = flag.Uint64("seed", 0, "override the experiment seed (0 keeps defaults)")
+		memoF  = flag.String("memo", "auto", "per-query memo backend: auto | dense | compact")
 	)
 	flag.Parse()
 
+	memo, err := parseMemo(*memoF)
+	if err != nil {
+		fatal(err)
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fatal(err)
@@ -44,18 +64,18 @@ func main() {
 	case "fig3":
 		runFig3(paper, *csvDir, *seed)
 	case "q3":
-		runQ3(paper, *csvDir, *seed)
+		runQ3(paper, *csvDir, *seed, memo)
 	case "validate":
-		runValidate(paper, *seed)
+		runValidate(paper, *seed, memo)
 	case "scaling":
-		runScaling(paper, *seed)
+		runScaling(paper, *seed, memo)
 	case "all":
 		runFig1(paper, *csvDir, *seed)
 		runFig2(paper, *csvDir, *seed)
 		runFig3(paper, *csvDir, *seed)
-		runQ3(paper, *csvDir, *seed)
-		runValidate(paper, *seed)
-		runScaling(paper, *seed)
+		runQ3(paper, *csvDir, *seed, memo)
+		runValidate(paper, *seed, memo)
+		runScaling(paper, *seed, memo)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
@@ -184,8 +204,9 @@ func runFig3(paper bool, csvDir string, seed uint64) {
 	}
 }
 
-func runQ3(paper bool, csvDir string, seed uint64) {
+func runQ3(paper bool, csvDir string, seed uint64, memo fairnn.MemoOptions) {
 	cfg := experiments.DefaultCost()
+	cfg.Memo = memo
 	if !paper {
 		cfg.Queries = 10
 		cfg.RepsPerQuery = 20
@@ -212,8 +233,9 @@ func runQ3(paper bool, csvDir string, seed uint64) {
 	}
 }
 
-func runValidate(paper bool, seed uint64) {
+func runValidate(paper bool, seed uint64, memo fairnn.MemoOptions) {
 	cfg := experiments.DefaultValidate()
+	cfg.Memo = memo
 	if !paper {
 		cfg.Users = 400
 		cfg.Samples = 6000
@@ -230,8 +252,9 @@ func runValidate(paper bool, seed uint64) {
 	}
 }
 
-func runScaling(paper bool, seed uint64) {
+func runScaling(paper bool, seed uint64, memo fairnn.MemoOptions) {
 	cfg := experiments.DefaultScaling()
+	cfg.Memo = memo
 	if !paper {
 		cfg.Ns = []int{500, 1000, 2000}
 		cfg.QueriesPerN = 15

@@ -60,7 +60,7 @@ func main() {
 		probes = append(probes, sparse)
 	}
 	for _, u := range probes {
-		id, r, ok := m.Sample(users[u], nil)
+		id, r, ok := m.SampleTightest(users[u], nil)
 		if !ok {
 			fmt.Printf("user %4d: no neighbors at any indexed radius\n", u)
 			continue

@@ -62,7 +62,7 @@ func main() {
 
 	// The exact-neighborhood fair sampler has no such failure mode: the
 	// 0.9-ball contains only Z, and Z is returned every time.
-	fair, err := fairnn.NewSetIndependent(inst.Points, r, fairnn.IndependentOptions{}, fairnn.Config{Seed: 5})
+	fair, err := fairnn.NewSet(inst.Points, fairnn.Radius(r), fairnn.Algorithm(fairnn.NNIS), fairnn.WithSeed(5))
 	if err != nil {
 		log.Fatal(err)
 	}

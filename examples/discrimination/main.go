@@ -14,8 +14,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"fairnn"
 	"fairnn/internal/rng"
@@ -37,7 +39,11 @@ func main() {
 		points[i] = a.features
 	}
 	const radius = 0.4 // neighborhood: Jaccard similarity of admissible features
-	sampler, err := fairnn.NewSetIndependent(points, radius, fairnn.IndependentOptions{}, fairnn.Config{Seed: 11})
+	sampler, err := fairnn.NewSet(points,
+		fairnn.Radius(radius),
+		fairnn.Algorithm(fairnn.NNIS),
+		fairnn.WithSeed(11),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,20 +60,32 @@ func main() {
 		log.Fatal("no denied protected applicant in synthetic data")
 	}
 
-	// Draw independent samples from the probe's neighborhood and compare
-	// approval rates across groups among *similar* applicants.
+	// Stream independent samples from the probe's neighborhood and compare
+	// approval rates across groups among *similar* applicants. The Samples
+	// iterator is the natural shape for an online audit: one unbounded
+	// independent stream, consumed until the evidence budget (here a count
+	// and a deadline) is met — no output buffer, and the deadline also
+	// cuts short any pathologically slow rejection loop.
 	const samples = 3000
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 	var ap [2]int
 	var tot [2]int
-	for i := 0; i < samples; i++ {
-		id, ok := sampler.Sample(points[probe], nil)
-		if !ok {
-			continue
+	drawn := 0
+	for id, err := range sampler.Samples(ctx, points[probe]) {
+		if err != nil {
+			// Deadline hit or a δ-probability draw failure: the stream is
+			// over, so conclude the audit with the evidence collected.
+			fmt.Printf("(audit stream ended after %d draws: %v)\n", drawn, err)
+			break
 		}
 		a := applicants[id]
 		tot[a.group]++
 		if a.approved {
 			ap[a.group]++
+		}
+		if drawn++; drawn == samples {
+			break
 		}
 	}
 	if tot[0] == 0 || tot[1] == 0 {

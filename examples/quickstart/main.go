@@ -2,6 +2,10 @@
 // (uniform) near-neighbor samples, contrasting them with the biased output
 // of standard LSH.
 //
+// Construction uses the functional-options builder — one constructor
+// shape for every algorithm — and querying goes through the Sampler
+// interface, so swapping constructions is a one-option change.
+//
 // Run with: go run ./examples/quickstart
 package main
 
@@ -24,19 +28,28 @@ func main() {
 		fairnn.SetFromSlice([]uint32{200, 201, 202, 203, 204, 205, 206, 207}), // far
 	}
 	query := users[0]
-	const radius = 0.5 // "near" means Jaccard similarity at least 0.5
 
-	// The fair sampler (Section 4 of the paper): every near neighbor is
-	// equally likely, and repeated queries are independent.
-	fair, err := fairnn.NewSetIndependent(users, radius, fairnn.IndependentOptions{}, fairnn.Config{Seed: 42})
+	// The fair sampler (Section 4 of the paper, the default algorithm):
+	// every near neighbor is equally likely, and repeated queries are
+	// independent. "Near" means Jaccard similarity at least 0.5.
+	fair, err := fairnn.NewSet(users,
+		fairnn.Radius(0.5),
+		fairnn.Algorithm(fairnn.NNIS),
+		fairnn.WithSeed(42),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The classic biased baseline.
-	std, err := fairnn.NewSetStandard(users, radius, fairnn.Config{Seed: 42})
+	// The classic biased baseline — same builder, one option changed.
+	std, err := fairnn.NewSet(users,
+		fairnn.Radius(0.5),
+		fairnn.Algorithm(fairnn.Standard),
+		fairnn.WithSeed(42),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	biased := std.(*fairnn.SetStandard) // the biased first-hit query is baseline-specific
 
 	const trials = 10000
 	fairCounts := map[int32]int{}
@@ -45,7 +58,7 @@ func main() {
 		if id, ok := fair.Sample(query, nil); ok {
 			fairCounts[id]++
 		}
-		if id, ok := std.QueryRandomTableOrder(query, nil); ok {
+		if id, ok := biased.QueryRandomTableOrder(query, nil); ok {
 			stdCounts[id]++
 		}
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -34,7 +35,14 @@ func main() {
 	const alpha = 0.70 // relevance threshold: recommendable articles
 	const beta = 0.45  // irrelevance threshold for the filter structure
 
-	rec, err := fairnn.NewVecIndependent(emb.Items, alpha, beta, fairnn.VecOptions{}, 7)
+	// The Section 5 filter structure via the options builder: nearly
+	// linear space, independent uniform draws from the α-ball.
+	rec, err := fairnn.NewVec(emb.Items,
+		fairnn.Radius(alpha),
+		fairnn.Algorithm(fairnn.Filter),
+		fairnn.WithBeta(beta),
+		fairnn.WithSeed(7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,12 +77,22 @@ func main() {
 			id, fairnn.Dot(user, emb.Items[id]), emb.TopicOf[id])
 	}
 
-	// Exposure comparison over many sessions.
+	// Exposure comparison over many sessions, consumed as one unbounded
+	// independent sample stream (the query plan is built once and shared
+	// across all draws).
 	const sessions = 4000
 	exposure := map[int32]int{}
-	for s := 0; s < sessions; s++ {
-		if id, ok := rec.Sample(user, nil); ok {
-			exposure[id]++
+	served := 0
+	for id, err := range rec.Samples(context.Background(), user) {
+		if err != nil {
+			// A draw fails with probability ≤ δ and ends the stream; keep
+			// whatever exposure evidence was collected.
+			fmt.Printf("(sample stream ended after %d sessions: %v)\n", served, err)
+			break
+		}
+		exposure[id]++
+		if served++; served == sessions {
+			break
 		}
 	}
 	maxExp, minExp := 0, sessions
@@ -88,7 +106,7 @@ func main() {
 		}
 	}
 	fmt.Printf("\nover %d sessions, every relevant article was recommended between %d and %d times\n",
-		sessions, minExp, maxExp)
+		served, minExp, maxExp)
 	fmt.Printf("(uniform target = %.0f each; top-1 policy would give one article %d and the rest 0)\n",
-		float64(sessions)/float64(len(relevant)), sessions)
+		float64(served)/float64(len(relevant)), served)
 }

@@ -1,6 +1,8 @@
 package fairnn
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -70,6 +72,81 @@ func SampleBatch[P any](s QuerySampler[P], queries []P, workers int) []BatchResu
 	return out
 }
 
+// ContextSampler is the context-aware single-sample interface (a subset
+// of Sampler, satisfied by every structure in the library).
+type ContextSampler[P any] interface {
+	SampleContext(ctx context.Context, q P, st *QueryStats) (int32, error)
+}
+
+// SampleBatchContext is SampleBatch under a context: every worker runs
+// SampleContext, so cancellation propagates into the per-query rejection
+// loops, and workers stop picking up new queries once ctx is done.
+// Results stay positionally aligned with queries; queries that found no
+// near point (ErrNoSample) and queries abandoned to an error report
+// OK=false. The error is ctx.Err() when the batch was cut short by
+// cancellation, or the first foreign error a custom ContextSampler
+// returned (which also aborts the batch) — nil only when every query ran
+// to completion.
+func SampleBatchContext[P any](ctx context.Context, s ContextSampler[P], queries []P, workers int) ([]BatchResult, error) {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var abort atomic.Bool
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		abort.Store(true)
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil && !abort.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				id, err := s.SampleContext(ctx, queries[i], nil)
+				switch {
+				case err == nil:
+					out[i] = BatchResult{ID: id, OK: true}
+				case errors.Is(err, ErrNoSample):
+					// Leave the zero BatchResult: ran, found nothing.
+				case ctx.Err() != nil:
+					return // the batch context is done; ctx.Err() reports it
+				default:
+					// A custom ContextSampler failed for its own reason —
+					// including a context error of its own (e.g. a per-query
+					// timeout) while the batch context is still live: abort
+					// the batch and surface the error instead of returning a
+					// silently incomplete result set.
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, firstErr
+}
+
 // KSampler is the k-sample query interface (with- or without-replacement
 // depending on the structure).
 type KSampler[P any] interface {
@@ -79,9 +156,23 @@ type KSampler[P any] interface {
 // SampleKBatch draws k samples per query against one shared sampler,
 // fanned out like SampleBatch. Result i holds the samples for queries[i].
 func SampleKBatch[P any](s KSampler[P], queries []P, k, workers int) [][]int32 {
+	out, _ := sampleKBatch(context.Background(), s, queries, k, workers)
+	return out
+}
+
+// SampleKBatchContext is SampleKBatch under a context: cancellation
+// propagates to the workers, which stop picking up queries once ctx is
+// done (already-started SampleK calls run to completion — per-draw
+// cancellation needs SampleContext/Samples). Result slots for abandoned
+// queries stay nil; the error is ctx.Err() when the batch was cut short.
+func SampleKBatchContext[P any](ctx context.Context, s KSampler[P], queries []P, k, workers int) ([][]int32, error) {
+	return sampleKBatch(ctx, s, queries, k, workers)
+}
+
+func sampleKBatch[P any](ctx context.Context, s KSampler[P], queries []P, k, workers int) ([][]int32, error) {
 	out := make([][]int32, len(queries))
 	if len(queries) == 0 {
-		return out
+		return out, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -95,7 +186,7 @@ func SampleKBatch[P any](s KSampler[P], queries []P, k, workers int) [][]int32 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(queries) {
 					return
@@ -105,5 +196,5 @@ func SampleKBatch[P any](s KSampler[P], queries []P, k, workers int) [][]int32 {
 		}()
 	}
 	wg.Wait()
-	return out
+	return out, ctx.Err()
 }

@@ -55,20 +55,28 @@ type VecConfig struct {
 	Memo MemoOptions
 }
 
-func (c VecConfig) resolve(n int, alpha float64) (lsh.Family[vector.Vec], lsh.Params, uint64) {
-	if c.FarBudget <= 0 {
-		c.FarBudget = 5
-	}
-	if c.Recall <= 0 {
-		c.Recall = 0.99
-	}
+// withDefaults resolves the zero-value fields to their documented
+// defaults (the vector twin of Config.withDefaults; FarSim's default
+// inner product is 0, so it needs no resolution).
+func (c VecConfig) withDefaults() VecConfig {
+	c.FarBudget = orDefault(c.FarBudget, 5)
+	c.Recall = orDefault(c.Recall, 0.99)
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	var fam lsh.Family[vector.Vec] = lsh.SimHash{Dim: c.Dim}
+	return c
+}
+
+func (c VecConfig) family() lsh.Family[vector.Vec] {
 	if c.CrossPolytope {
-		fam = lsh.CrossPolytope{Dim: c.Dim}
+		return lsh.CrossPolytope{Dim: c.Dim}
 	}
+	return lsh.SimHash{Dim: c.Dim}
+}
+
+func (c VecConfig) resolve(n int, alpha float64) (lsh.Family[vector.Vec], lsh.Params, uint64) {
+	c = c.withDefaults()
+	fam := c.family()
 	params := lsh.Params{K: c.K, L: c.L}
 	if c.K <= 0 || c.L <= 0 {
 		k := lsh.ChooseK[vector.Vec](fam, n, c.FarSim, c.FarBudget)
@@ -109,26 +117,25 @@ func NewSetWeighted(sets []Set, radius float64, weight WeightFunc, wMax float64,
 }
 
 // NewSetMultiRadius indexes the sets at every similarity threshold in
-// radii; queries sample from the tightest non-empty ball.
+// radii; queries sample from the tightest non-empty ball. The family and
+// seed come straight from the resolved Config (no placeholder radius is
+// involved) and each grid radius picks its own (K, L) through the same
+// shared default resolution as the single-radius constructors.
 func NewSetMultiRadius(sets []Set, radii []float64, opts IndependentOptions, cfg Config) (*SetMultiRadius, error) {
-	fam, _, seed := cfg.resolve(len(sets), 0.5)
+	cfg = cfg.withDefaults()
 	opts.Memo = memoOr(opts.Memo, cfg.Memo)
-	paramsFor := func(r float64) lsh.Params {
-		if cfg.K > 0 && cfg.L > 0 {
-			return lsh.Params{K: cfg.K, L: cfg.L}
-		}
-		k := lsh.ChooseK[set.Set](fam, len(sets), orDefault(cfg.FarSim, 0.1), orDefault(cfg.FarBudget, 5))
-		l := lsh.ChooseL[set.Set](fam, k, r, orDefault(cfg.Recall, 0.99))
-		return lsh.Params{K: k, L: l}
-	}
-	return core.NewMultiRadius[set.Set](core.Jaccard(), fam, paramsFor, sets, radii, opts, seed)
+	paramsFor := func(r float64) lsh.Params { return cfg.paramsAt(len(sets), r) }
+	return core.NewMultiRadius[set.Set](core.Jaccard(), cfg.family(), paramsFor, sets, radii, opts, cfg.Seed)
 }
 
-func orDefault(v, def float64) float64 {
-	if v <= 0 {
-		return def
-	}
-	return v
+// VecExact is the linear-scan ground truth for inner-product similarity
+// (the vector twin of SetExact).
+type VecExact = core.Exact[vector.Vec]
+
+// NewVecExact builds the linear-scan ground truth over unit vectors
+// (alpha is the minimum inner product).
+func NewVecExact(points []Vec, alpha float64, seed uint64) *VecExact {
+	return core.NewExact[vector.Vec](core.InnerProduct(), points, alpha, seed)
 }
 
 // SetDynamic is the insert/delete-capable fair sampler over item sets

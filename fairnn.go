@@ -26,6 +26,55 @@
 // vectors (inner product; type Vec). The underlying generic implementations
 // in internal/core work for any metric with an LSH family.
 //
+// # One contract, many constructions
+//
+// Every structure in the library answers the same question — draw samples
+// from B_S(q, r) — so they all satisfy the generic Sampler interface:
+// Sample / SampleK / SampleKInto, the context-aware SampleContext and
+// streaming Samples, plus Size and RetainedScratchBytes introspection.
+// Middleware (metrics, tracing, sharded fan-out, reservoir consumers) is
+// written once against Sampler[Set] or Sampler[Vec] and works with any
+// construction.
+//
+// Construction goes through one functional-options builder per point
+// type:
+//
+//	s, err := fairnn.NewSet(points,
+//	    fairnn.Radius(0.5),
+//	    fairnn.Algorithm(fairnn.NNIS), // the default
+//	    fairnn.WithSeed(7),
+//	)
+//	v, err := fairnn.NewVec(vecs,
+//	    fairnn.Radius(0.8),                 // alpha
+//	    fairnn.Algorithm(fairnn.Filter),    // Section 5
+//	    fairnn.WithBeta(0.5),
+//	)
+//
+// Option validation returns typed errors (ErrBadRadius, ErrNoPoints,
+// ErrDimMismatch, ErrBadOption) matched with errors.Is. The legacy
+// constructors (NewSetSampler, NewSetIndependent, ...) remain fully
+// supported — the builder delegates to them, so a builder-made sampler
+// produces bit-identical same-seed sample streams to its legacy twin.
+//
+// # Cancellation and streaming
+//
+// SampleContext runs one draw under a context: the Section 4/5 rejection
+// loops poll ctx.Err() every few dozen rounds (amortized — the
+// zero-allocation steady state is preserved), so a query spinning under
+// an adversarial workload returns context.Canceled or
+// context.DeadlineExceeded within one check interval; a failed but
+// uncanceled query returns ErrNoSample. Samples returns an unbounded
+// independent sample stream as a Go iterator with no output buffer:
+//
+//	for id, err := range s.Samples(ctx, q) {
+//	    if err != nil { break } // ctx done, or ErrNoSample
+//	    consume(id)
+//	}
+//
+// The stream shares one query plan (and one memo epoch) across all its
+// draws, exactly like SampleK. SampleBatchContext and SampleKBatchContext
+// are the cancellation-aware bulk fan-outs.
+//
 // # Concurrency
 //
 // All indexes are immutable after construction and their query methods are
@@ -73,6 +122,17 @@
 // QueryStats.MemoProbes and ScoreCacheHits make the memo behavior
 // observable per query, and each structure's RetainedScratchBytes
 // reports what its pool currently pins.
+//
+// Memo precedence gotcha: structures that take both a Config/VecConfig
+// and an IndependentOptions/VecOptions read the memo discipline from both
+// (opts.Memo wins over cfg.Memo). "Wins" is decided by comparison against
+// the MemoOptions zero value, so a zeroed opts.Memo does NOT override a
+// non-zero cfg.Memo — it defers to it. This is harmless (the zero value
+// is the default discipline) but means an explicit
+// "opts.Memo = MemoOptions{}" cannot reset a Config-level choice; set the
+// desired values explicitly instead. The options builder has the same
+// rule between WithMemo and the Memo field of
+// WithIndependentOptions/WithVecOptions.
 //
 // All structures are deterministic given their seed: a fixed sequence of
 // single-goroutine queries is reproducible, while concurrent queries are
@@ -175,31 +235,54 @@ func (c Config) family() lsh.Family[set.Set] {
 	return lsh.OneBitMinHash{}
 }
 
-func (c Config) resolve(n int, radius float64) (lsh.Family[set.Set], lsh.Params, uint64) {
-	if c.FarSim <= 0 {
-		c.FarSim = 0.1
-	}
-	if c.FarBudget <= 0 {
-		c.FarBudget = 5
-	}
-	if c.Recall <= 0 {
-		c.Recall = 0.99
-	}
+// withDefaults resolves the zero-value fields to their documented
+// defaults — the one place the set-side defaults live (NewSetMultiRadius
+// reuses the resolved copy for its per-radius parameter choice).
+func (c Config) withDefaults() Config {
+	c.FarSim = orDefault(c.FarSim, 0.1)
+	c.FarBudget = orDefault(c.FarBudget, 5)
+	c.Recall = orDefault(c.Recall, 0.99)
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	fam := c.family()
-	params := lsh.Params{K: c.K, L: c.L}
-	if c.K <= 0 || c.L <= 0 {
-		k := lsh.ChooseK[set.Set](fam, n, c.FarSim, c.FarBudget)
-		l := lsh.ChooseL[set.Set](fam, k, radius, c.Recall)
-		params = lsh.Params{K: k, L: l}
+	return c
+}
+
+// paramsAt picks (K, L) for one radius: the explicit override when both
+// are set, automatic ChooseK/ChooseL otherwise. c must already carry its
+// defaults.
+func (c Config) paramsAt(n int, radius float64) lsh.Params {
+	if c.K > 0 && c.L > 0 {
+		return lsh.Params{K: c.K, L: c.L}
 	}
-	return fam, params, c.Seed
+	fam := c.family()
+	k := lsh.ChooseK[set.Set](fam, n, c.FarSim, c.FarBudget)
+	l := lsh.ChooseL[set.Set](fam, k, radius, c.Recall)
+	return lsh.Params{K: k, L: l}
+}
+
+func (c Config) resolve(n int, radius float64) (lsh.Family[set.Set], lsh.Params, uint64) {
+	c = c.withDefaults()
+	return c.family(), c.paramsAt(n, radius), c.Seed
+}
+
+// orDefault substitutes def for an unset (≤ 0) numeric config field — the
+// one shared default-resolution helper behind Config.withDefaults and
+// VecConfig.withDefaults.
+func orDefault(v, def float64) float64 {
+	if v <= 0 {
+		return def
+	}
+	return v
 }
 
 // memoOr resolves the memo precedence: an explicitly set opts-level memo
-// wins; otherwise the config-level default applies.
+// wins; otherwise the config-level default applies. Note the zero-value
+// gotcha this implies: opts.Memo counts as "explicitly set" only when it
+// differs from the MemoOptions zero value, so passing a zeroed
+// MemoOptions in opts defers to the Config-level Memo rather than
+// overriding it (the two have identical semantics anyway — the zero
+// value is the default discipline).
 func memoOr(opts, cfg MemoOptions) MemoOptions {
 	if opts == (MemoOptions{}) {
 		return cfg

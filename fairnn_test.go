@@ -191,7 +191,7 @@ func TestFacadeMultiRadius(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, r, ok := m.Sample(q, nil)
+	id, r, ok := m.SampleTightest(q, nil)
 	if !ok {
 		t.Fatal("no sample")
 	}

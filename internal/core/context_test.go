@@ -1,0 +1,295 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"fairnn/internal/lsh"
+	"fairnn/internal/vector"
+)
+
+// newSpinningIndependent builds a Section 4 structure whose rejection loop
+// is adversarially long: Lambda is huge, so every segment's acceptance
+// probability λ_q,h/λ is ≈ 2⁻²⁷ per round, and SigmaBudget is huge, so the
+// segment count is never halved — the loop would spin for (practically)
+// ever without external cancellation.
+func newSpinningIndependent(t *testing.T, seed uint64) *Independent[int] {
+	t.Helper()
+	d, err := NewIndependent[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, lineDataset(64), 7,
+		IndependentOptions{Lambda: 1 << 30, SigmaBudget: 1 << 30}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestSampleContextBackgroundMatchesSample pins the bit-compatibility
+// contract: SampleContext under context.Background() consumes the seed's
+// randomness stream exactly like Sample, so two same-seed structures
+// queried through the two entry points emit identical ids.
+func TestSampleContextBackgroundMatchesSample(t *testing.T) {
+	a := newLineIndependent(t, 64, 7, 101)
+	b := newLineIndependent(t, 64, 7, 101)
+	for i := 0; i < 200; i++ {
+		idA, okA := a.Sample(0, nil)
+		idB, err := b.SampleContext(context.Background(), 0, nil)
+		if err != nil || !okA {
+			t.Fatalf("draw %d: Sample ok=%v, SampleContext err=%v", i, okA, err)
+		}
+		if idA != idB {
+			t.Fatalf("draw %d: Sample = %d, SampleContext = %d — streams diverged", i, idA, idB)
+		}
+	}
+}
+
+// TestSampleContextNoSample pins the failure mapping: a query whose ball
+// is empty returns ErrNoSample (not a nil-error zero id).
+func TestSampleContextNoSample(t *testing.T) {
+	d := newLineIndependent(t, 64, 3, 7)
+	if _, err := d.SampleContext(context.Background(), 1000, nil); !errors.Is(err, ErrNoSample) {
+		t.Fatalf("far query err = %v, want ErrNoSample", err)
+	}
+}
+
+// TestSampleContextCanceledStopsSpinningLoop is the headline cancellation
+// property: a rejection loop that would otherwise spin indefinitely must
+// notice a pre-canceled context within one check interval and return its
+// error.
+func TestSampleContextCanceledStopsSpinningLoop(t *testing.T) {
+	d := newSpinningIndependent(t, 131)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.SampleContext(ctx, 0, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SampleContext did not return on a canceled context")
+	}
+}
+
+// TestSampleContextCancelMidQuery cancels while the loop is spinning and
+// checks both the prompt return and the returned error.
+func TestSampleContextCancelMidQuery(t *testing.T) {
+	d := newSpinningIndependent(t, 137)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.SampleContext(ctx, 0, nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SampleContext did not return after cancel")
+	}
+}
+
+// TestSampleContextDeadline checks the deadline path end to end: the
+// spinning query must come back with DeadlineExceeded shortly after its
+// budget, not burn the full rejection schedule.
+func TestSampleContextDeadline(t *testing.T) {
+	d := newSpinningIndependent(t, 139)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := d.SampleContext(ctx, 0, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("deadline honored only after %v", el)
+	}
+}
+
+// TestFilterSampleContextCanceled covers the Section 5 rejection loop: a
+// mid-point-heavy plan (one near point among thousands of (β, α) points)
+// makes the loop long, and a canceled context must stop it within one
+// check interval.
+func TestFilterSampleContextCanceled(t *testing.T) {
+	pts := filterMidHeavyInstance(4000)
+	f, err := NewFilterIndependent(pts, 0.9, 0.2, FilterIndependentOptions{}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vector.Vec{1, 0}
+	// Sanity: the query must find its near point eventually (the loop is
+	// long but terminating).
+	if _, ok := f.Sample(q, nil); !ok {
+		t.Skip("filter plan lost the near point at this seed; cancellation target not exercised")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = f.SampleContext(ctx, q, nil)
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, ErrNoSample) {
+		t.Fatalf("err = %v, want context.Canceled (or ErrNoSample if the plan emptied)", err)
+	}
+	if errors.Is(err, ErrNoSample) {
+		t.Fatalf("plan found a near point for Sample but SampleContext reported ErrNoSample")
+	}
+}
+
+// filterMidHeavyInstance builds 2-D unit vectors: one point at the query
+// (inner product 1 ≥ α) and n mid points at inner product ≈ 0.5, between
+// β = 0.2 and α = 0.9 — never deleted, never accepted.
+func filterMidHeavyInstance(n int) []vector.Vec {
+	pts := make([]vector.Vec, 0, n+1)
+	pts = append(pts, vector.Vec{1, 0})
+	for i := 0; i < n; i++ {
+		pts = append(pts, vector.Vec{0.5, 0.8660254037844386})
+	}
+	return pts
+}
+
+// TestSamplesStreamIndependentUniform drives the Section 4 streaming
+// iterator: a bounded prefix of the unbounded stream is all-near and the
+// stream honors an early break.
+func TestSamplesStreamIndependentUniform(t *testing.T) {
+	d := newLineIndependent(t, 64, 7, 149)
+	got := 0
+	for id, err := range d.Samples(context.Background(), 0) {
+		if err != nil {
+			t.Fatalf("stream error: %v", err)
+		}
+		if d.Point(id) > 7 {
+			t.Fatalf("stream yielded far point %d", d.Point(id))
+		}
+		got++
+		if got == 500 {
+			break
+		}
+	}
+	if got != 500 {
+		t.Fatalf("stream ended early after %d samples", got)
+	}
+}
+
+// TestSamplesStreamCanceled checks that a canceled context terminates the
+// stream with its error as the final yield.
+func TestSamplesStreamCanceled(t *testing.T) {
+	d := newLineIndependent(t, 64, 7, 151)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	var final error
+	for _, err := range d.Samples(ctx, 0) {
+		if err != nil {
+			final = err
+			break
+		}
+		seen++
+		if seen == 10 {
+			cancel()
+		}
+	}
+	if !errors.Is(final, context.Canceled) {
+		t.Fatalf("final stream error = %v, want context.Canceled", final)
+	}
+	if seen < 10 {
+		t.Fatalf("stream delivered only %d samples before cancel", seen)
+	}
+}
+
+// TestSamplesStreamNoNear: an empty ball yields ErrNoSample once and ends.
+func TestSamplesStreamNoNear(t *testing.T) {
+	d := newLineIndependent(t, 64, 3, 157)
+	yields := 0
+	var final error
+	for _, err := range d.Samples(context.Background(), 1000) {
+		yields++
+		final = err
+	}
+	if yields != 1 || !errors.Is(final, ErrNoSample) {
+		t.Fatalf("empty-ball stream: %d yields, final err %v; want 1 yield of ErrNoSample", yields, final)
+	}
+}
+
+// TestSampleContextZeroAllocs extends the zero-allocation contract to the
+// context path: steady-state SampleContext with context.Background() must
+// allocate nothing on the Section 3 and Section 4 structures.
+func TestSampleContextZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	ctx := context.Background()
+	d := newLineIndependent(t, 64, 7, 163)
+	s, err := NewSampler[int](intSpace(), allCollide{}, lsh.Params{K: 2, L: 4}, lineDataset(64), 7, 163)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		d.SampleContext(ctx, 0, nil)
+		s.SampleContext(ctx, 0, nil)
+	}
+	if n := testing.AllocsPerRun(200, func() { d.SampleContext(ctx, 0, nil) }); n != 0 {
+		t.Errorf("Independent.SampleContext allocs/op = %v, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { s.SampleContext(ctx, 0, nil) }); n != 0 {
+		t.Errorf("Sampler.SampleContext allocs/op = %v, want 0", n)
+	}
+}
+
+// TestMultiRadiusSampleContext exercises the ladder: cancellation
+// propagates and failures map to ErrNoSample.
+func TestMultiRadiusSampleContext(t *testing.T) {
+	m := newLineMulti(t, 64, []float64{3, 9, 27}, 167)
+	id, err := m.SampleContext(context.Background(), 0, nil)
+	if err != nil || m.At(0).Point(id) > 3 {
+		t.Fatalf("SampleContext = (%v, %v), want a point in the tightest ball", id, err)
+	}
+	if _, err := m.SampleContext(context.Background(), 10000, nil); !errors.Is(err, ErrNoSample) {
+		t.Fatalf("far query err = %v, want ErrNoSample", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.SampleContext(ctx, 0, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ladder err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDynamicAndWeightedContext smoke-tests the remaining adapters'
+// SampleContext mapping.
+func TestDynamicAndWeightedContext(t *testing.T) {
+	dyn, err := NewDynamic[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 2}, 9, 171)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range lineDataset(32) {
+		if _, err := dyn.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if id, err := dyn.SampleContext(context.Background(), 0, nil); err != nil || dyn.Point(id) > 9 {
+		t.Fatalf("Dynamic.SampleContext = (%v, %v)", id, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := dyn.SampleContext(ctx, 0, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Dynamic canceled err = %v", err)
+	}
+
+	w, err := NewWeighted[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, lineDataset(32), 9,
+		func(float64) float64 { return 1 }, 1, IndependentOptions{}, 173)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, err := w.SampleContext(context.Background(), 0, nil); err != nil || w.Point(id) > 9 {
+		t.Fatalf("Weighted.SampleContext = (%v, %v)", id, err)
+	}
+	if _, err := w.SampleContext(ctx, 0, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Weighted canceled err = %v", err)
+	}
+}

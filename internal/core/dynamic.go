@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"iter"
 	"math"
 	"sort"
 	"sync"
@@ -78,6 +80,15 @@ func NewDynamic[P any](space Space[P], family lsh.Family[P], params lsh.Params, 
 
 // N returns the number of live points.
 func (d *Dynamic[P]) N() int { return d.live }
+
+// Size returns the number of live points (the Sampler contract).
+func (d *Dynamic[P]) Size() int { return d.live }
+
+// RetainedScratchBytes reports the pooled per-query scratch this
+// structure pins between queries. The dynamic sampler keeps only
+// fixed-size hashing buffers per querier in an uninspectable sync.Pool,
+// so it reports 0.
+func (d *Dynamic[P]) RetainedScratchBytes() int { return 0 }
 
 // Point returns the point with the given id; the id must be live.
 func (d *Dynamic[P]) Point(id int32) P { return d.points[id] }
@@ -190,6 +201,96 @@ func (d *Dynamic[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 	}
 	st.found(true)
 	return best, true
+}
+
+// SampleK returns up to k distinct near points with the smallest
+// priorities across q's buckets — the without-replacement analogue of
+// Sampler.SampleK with priorities playing the role of ranks. Fewer than k
+// ids are returned when the recalled ball is smaller. The result is in
+// ascending priority order.
+func (d *Dynamic[P]) SampleK(q P, k int, st *QueryStats) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	return d.SampleKInto(q, k, make([]int32, 0, k), st)
+}
+
+// SampleKInto is SampleK writing into dst (reset to length zero and grown
+// as needed), for callers amortizing the output buffer.
+func (d *Dynamic[P]) SampleKInto(q P, k int, dst []int32, st *QueryStats) []int32 {
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
+	}
+	sc := d.resolveKeys(q)
+	defer d.putScratch(sc)
+	// Collect the distinct near candidates across buckets, then keep the
+	// k smallest priorities. Buckets are priority-sorted, so each bucket
+	// contributes at most its first k near points.
+	for i := 0; i < d.params.L; i++ {
+		st.bucket()
+		nearSeen := 0
+		for _, cand := range d.tables[i][sc.keys[i]] {
+			if nearSeen >= k {
+				break
+			}
+			st.point()
+			st.score()
+			if d.space.Near(d.space.Score(q, d.points[cand]), d.radius) {
+				nearSeen++
+				dst = append(dst, cand)
+			}
+		}
+	}
+	// Sort by (priority, id): the id tie-break keeps duplicates of one
+	// point adjacent even when two distinct points drew equal float64
+	// priorities (measure-zero per pair, but likely somewhere at large n —
+	// the same tie Delete handles explicitly).
+	sort.Slice(dst, func(a, b int) bool {
+		pa, pb := d.prio[dst[a]], d.prio[dst[b]]
+		if pa != pb {
+			return pa < pb
+		}
+		return dst[a] < dst[b]
+	})
+	// Deduplicate (a point appears in up to L buckets) and truncate to k.
+	kept := dst[:0]
+	var last int32 = -1
+	for _, id := range dst {
+		if id == last {
+			continue
+		}
+		last = id
+		kept = append(kept, id)
+		if len(kept) == k {
+			break
+		}
+	}
+	st.found(len(kept) > 0)
+	return kept
+}
+
+// SampleContext is Sample under a context. The dynamic query is a bounded
+// priority scan with no rejection loop, so cancellation is checked once
+// up front; a failed (but uncanceled) query returns ErrNoSample.
+func (d *Dynamic[P]) SampleContext(ctx context.Context, q P, st *QueryStats) (int32, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	id, ok := d.Sample(q, st)
+	return sampleCtxResult(ctx, id, ok)
+}
+
+// Samples returns a stream of samples from the recalled ball. Like the
+// Section 3 sampler, Dynamic is deterministic per structure state, so the
+// stream repeats the same minimum-priority point until the index mutates;
+// it ends when the consumer breaks, ctx is done, or the query fails
+// (ErrNoSample). The stream must not be consumed concurrently with
+// Insert/Delete.
+func (d *Dynamic[P]) Samples(ctx context.Context, q P) iter.Seq2[int32, error] {
+	return streamOf(ctx, func(ctx context.Context) (int32, error) {
+		return d.SampleContext(ctx, q, nil)
+	})
 }
 
 // invariantOK verifies bucket priority-ordering and liveness bookkeeping

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"iter"
 	"sync/atomic"
 
 	"fairnn/internal/rng"
@@ -65,8 +67,67 @@ func (e *Exact[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 	return ball[qsrc.Intn(len(ball))], true
 }
 
+// SampleK returns k independent with-replacement uniform samples from the
+// exact ball. The ball is computed with one linear scan and the k draws
+// come from one per-query randomness stream, so the cost is O(n + k)
+// rather than k rescans.
+func (e *Exact[P]) SampleK(q P, k int, st *QueryStats) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	return e.SampleKInto(q, k, make([]int32, 0, k), st)
+}
+
+// SampleKInto is SampleK writing into dst (reset to length zero), for
+// callers amortizing the output buffer.
+func (e *Exact[P]) SampleKInto(q P, k int, dst []int32, st *QueryStats) []int32 {
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
+	}
+	ball := e.Ball(q, st)
+	if len(ball) == 0 {
+		st.found(false)
+		return dst
+	}
+	var qsrc rng.Source
+	qsrc.Seed(e.qseed ^ rng.Mix64(e.qctr.Add(1)))
+	for i := 0; i < k; i++ {
+		dst = append(dst, ball[qsrc.Intn(len(ball))])
+	}
+	st.found(true)
+	return dst
+}
+
+// SampleContext is Sample under a context. The exact scan is a single
+// bounded pass over the points, so cancellation is checked once up front;
+// an empty ball returns ErrNoSample.
+func (e *Exact[P]) SampleContext(ctx context.Context, q P, st *QueryStats) (int32, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	id, ok := e.Sample(q, st)
+	return sampleCtxResult(ctx, id, ok)
+}
+
+// Samples returns an unbounded stream of independent uniform samples from
+// the exact ball; it ends when the consumer breaks, ctx is done, or the
+// ball is empty (ErrNoSample).
+func (e *Exact[P]) Samples(ctx context.Context, q P) iter.Seq2[int32, error] {
+	return streamOf(ctx, func(ctx context.Context) (int32, error) {
+		return e.SampleContext(ctx, q, nil)
+	})
+}
+
+// RetainedScratchBytes reports the pooled per-query scratch this
+// structure pins between queries: the exact scanner keeps none.
+func (e *Exact[P]) RetainedScratchBytes() int { return 0 }
+
 // Point returns the indexed point with the given id.
 func (e *Exact[P]) Point(id int32) P { return e.points[id] }
 
 // N returns the number of indexed points.
 func (e *Exact[P]) N() int { return len(e.points) }
+
+// Size returns the number of indexed points (the Sampler contract).
+func (e *Exact[P]) Size() int { return len(e.points) }

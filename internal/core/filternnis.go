@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"iter"
 	"math"
 	"sync/atomic"
 
@@ -106,6 +108,9 @@ func NewFilterIndependent(points []vector.Vec, alpha, beta float64, opts FilterI
 
 // N returns the number of indexed points.
 func (f *FilterIndependent) N() int { return len(f.points) }
+
+// Size returns the number of indexed points (the Sampler contract).
+func (f *FilterIndependent) Size() int { return len(f.points) }
 
 // Alpha returns the near threshold.
 func (f *FilterIndependent) Alpha() float64 { return f.alpha }
@@ -305,17 +310,59 @@ func (f *FilterIndependent) QueryNN(q vector.Vec, st *QueryStats) (id int32, ok 
 // Sample returns a uniform, independent sample from B_S(q, α) = {p : ⟨p,q⟩ ≥ α},
 // or ok=false when no near point appears in the selected buckets.
 func (f *FilterIndependent) Sample(q vector.Vec, st *QueryStats) (id int32, ok bool) {
+	id, err := f.SampleContext(context.Background(), q, st)
+	return id, err == nil
+}
+
+// SampleContext is the one query entry sequence (Sample delegates here
+// with context.Background(), so the two entry points cannot diverge):
+// the rejection loop polls ctx.Err() every ctxCheckRounds rounds, so a
+// query spinning on a mid-heavy (β, α) workload returns ctx's error
+// within one check interval instead of burning its MaxRounds budget. A
+// failed (but uncanceled) query returns ErrNoSample. The poll draws no
+// randomness and the Background path allocates nothing, so Sample's draw
+// order, output and zero-allocation steady state are unchanged.
+func (f *FilterIndependent) SampleContext(ctx context.Context, q vector.Vec, st *QueryStats) (int32, error) {
 	qr := f.getQuerier()
 	defer f.putQuerier(qr)
 	f.buildPlan(q, qr, st)
-	return f.sampleFromPlan(q, qr, st)
+	id, ok := f.sampleFromPlan(ctx, q, qr, st)
+	return sampleCtxResult(ctx, id, ok)
+}
+
+// Samples returns an unbounded stream of independent uniform samples from
+// B_S(q, α). The deterministic query plan is built once per stream and
+// the similarity memo carries across draws (the SampleK amortization,
+// without a bounded output buffer). The stream ends when the consumer
+// breaks, when ctx is done (yielding ctx.Err() once), or when a draw
+// fails (yielding ErrNoSample).
+func (f *FilterIndependent) Samples(ctx context.Context, q vector.Vec) iter.Seq2[int32, error] {
+	return func(yield func(int32, error) bool) {
+		qr := f.getQuerier()
+		defer f.putQuerier(qr)
+		f.buildPlan(q, qr, nil)
+		for {
+			id, ok := f.sampleFromPlan(ctx, q, qr, nil)
+			id, err := sampleCtxResult(ctx, id, ok)
+			if err != nil {
+				yield(0, err)
+				return
+			}
+			if !yield(id, nil) {
+				return
+			}
+		}
+	}
 }
 
 // sampleFromPlan runs one existence check plus rejection loop against the
 // querier's prepared plan. Each call seeds a fresh per-query randomness
 // stream, so repeated calls on the same plan produce independent samples —
-// the plan itself carries no randomness.
-func (f *FilterIndependent) sampleFromPlan(q vector.Vec, qr *fiQuerier, st *QueryStats) (int32, bool) {
+// the plan itself carries no randomness. The rejection loop polls
+// ctx.Err() every ctxCheckRounds rounds and exits with ok=false when the
+// context is done; the poll draws no randomness, so the output stream
+// under an uncanceled context is unchanged.
+func (f *FilterIndependent) sampleFromPlan(ctx context.Context, q vector.Vec, qr *fiQuerier, st *QueryStats) (int32, bool) {
 	if qr.total == 0 {
 		st.found(false)
 		return 0, false
@@ -371,6 +418,10 @@ func (f *FilterIndependent) sampleFromPlan(q vector.Vec, qr *fiQuerier, st *Quer
 	}
 	for round := 0; round < maxRounds; round++ {
 		st.round()
+		if round%ctxCheckRounds == ctxCheckRounds-1 && ctx.Err() != nil {
+			st.found(false)
+			return 0, false
+		}
 		total := qr.fw.total()
 		if total == 0 {
 			break // only far points remained and all were deleted
@@ -451,7 +502,7 @@ func (f *FilterIndependent) SampleKInto(q vector.Vec, k int, dst []int32, st *Qu
 	defer f.putQuerier(qr)
 	f.buildPlan(q, qr, st)
 	for i := 0; i < k; i++ {
-		if id, ok := f.sampleFromPlan(q, qr, st); ok {
+		if id, ok := f.sampleFromPlan(context.Background(), q, qr, st); ok {
 			dst = append(dst, id)
 		}
 	}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"iter"
 	"sort"
 
 	"fairnn/internal/lsh"
@@ -56,16 +58,87 @@ func (m *MultiRadius[P]) Radii() []float64 { return m.radii }
 // At returns the sampler for the i-th radius (tightest first).
 func (m *MultiRadius[P]) At(i int) *Independent[P] { return m.samplers[i] }
 
-// Sample returns a uniform independent sample from the ball of the
-// tightest radius that is non-empty around q, together with that radius.
-// ok=false means even the loosest ball had no recalled point.
-func (m *MultiRadius[P]) Sample(q P, st *QueryStats) (id int32, radius float64, ok bool) {
+// N returns the number of indexed points.
+func (m *MultiRadius[P]) N() int { return m.samplers[0].N() }
+
+// Size returns the number of indexed points (the Sampler contract).
+func (m *MultiRadius[P]) Size() int { return m.samplers[0].N() }
+
+// RetainedScratchBytes sums the pooled per-query scratch across the
+// per-radius samplers (each individually bounded by its Memo options).
+func (m *MultiRadius[P]) RetainedScratchBytes() int {
+	total := 0
+	for _, s := range m.samplers {
+		total += s.RetainedScratchBytes()
+	}
+	return total
+}
+
+// SampleTightest returns a uniform independent sample from the ball of
+// the tightest radius that is non-empty around q, together with that
+// radius. ok=false means even the loosest ball had no recalled point.
+func (m *MultiRadius[P]) SampleTightest(q P, st *QueryStats) (id int32, radius float64, ok bool) {
 	for i, s := range m.samplers {
 		if cand, found := s.Sample(q, st); found {
 			return cand, m.radii[i], true
 		}
 	}
 	return 0, 0, false
+}
+
+// Sample is SampleTightest without the radius report (the Sampler
+// contract): a uniform independent sample from the tightest non-empty
+// ball around q.
+func (m *MultiRadius[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
+	id, _, ok = m.SampleTightest(q, st)
+	return id, ok
+}
+
+// SampleK returns k independent with-replacement samples, each drawn from
+// the tightest non-empty ball around q (the grid is re-probed per draw,
+// so each output is independent like repeated Sample calls).
+func (m *MultiRadius[P]) SampleK(q P, k int, st *QueryStats) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	return m.SampleKInto(q, k, make([]int32, 0, k), st)
+}
+
+// SampleKInto is SampleK writing into dst (reset to length zero), for
+// callers amortizing the output buffer.
+func (m *MultiRadius[P]) SampleKInto(q P, k int, dst []int32, st *QueryStats) []int32 {
+	dst = dst[:0]
+	for i := 0; i < k; i++ {
+		if id, ok := m.Sample(q, st); ok {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// SampleContext is Sample under a context: cancellation propagates into
+// each per-radius rejection loop, so a grid probe under deadline pressure
+// stops mid-ladder. A failed (but uncanceled) query returns ErrNoSample.
+func (m *MultiRadius[P]) SampleContext(ctx context.Context, q P, st *QueryStats) (int32, error) {
+	for _, s := range m.samplers {
+		id, err := s.SampleContext(ctx, q, st)
+		if err == nil {
+			return id, nil
+		}
+		if !errors.Is(err, ErrNoSample) {
+			return 0, err
+		}
+	}
+	return 0, ErrNoSample
+}
+
+// Samples returns an unbounded stream of independent samples from the
+// tightest non-empty ball around q; it ends when the consumer breaks,
+// ctx is done, or a draw fails everywhere (ErrNoSample).
+func (m *MultiRadius[P]) Samples(ctx context.Context, q P) iter.Seq2[int32, error] {
+	return streamOf(ctx, func(ctx context.Context) (int32, error) {
+		return m.SampleContext(ctx, q, nil)
+	})
 }
 
 // SampleAtLeast returns a sample from the tightest non-empty ball whose

@@ -26,7 +26,7 @@ func TestMultiRadiusPicksTightestNonEmpty(t *testing.T) {
 	if got[0] != 1 || got[1] != 4 || got[2] != 16 {
 		t.Fatalf("radii not sorted tightest-first: %v", got)
 	}
-	id, r, ok := m.Sample(25, nil)
+	id, r, ok := m.SampleTightest(25, nil)
 	if !ok {
 		t.Fatal("sample failed")
 	}
@@ -42,7 +42,7 @@ func TestMultiRadiusFallsBack(t *testing.T) {
 	// Query 40 is at distance 11 from the nearest point (29): radius 1 and
 	// 4 are empty, 16 succeeds.
 	m := newLineMulti(t, 30, []float64{1, 4, 16}, 307)
-	id, r, ok := m.Sample(40, nil)
+	id, r, ok := m.SampleTightest(40, nil)
 	if !ok {
 		t.Fatal("sample failed")
 	}
@@ -56,7 +56,7 @@ func TestMultiRadiusFallsBack(t *testing.T) {
 
 func TestMultiRadiusEmptyEverywhere(t *testing.T) {
 	m := newLineMulti(t, 10, []float64{1, 2}, 311)
-	if _, _, ok := m.Sample(1000, nil); ok {
+	if _, _, ok := m.SampleTightest(1000, nil); ok {
 		t.Fatal("sampled from universally empty balls")
 	}
 }
@@ -65,7 +65,7 @@ func TestMultiRadiusUniformAtChosenRadius(t *testing.T) {
 	m := newLineMulti(t, 40, []float64{3, 9}, 313)
 	freq := stats.NewFrequency()
 	for i := 0; i < 10000; i++ {
-		id, r, ok := m.Sample(0, nil)
+		id, r, ok := m.SampleTightest(0, nil)
 		if !ok {
 			t.Fatal("sample failed")
 		}
@@ -116,7 +116,7 @@ func TestMultiRadiusSimilarityOrientation(t *testing.T) {
 	if radii[0] != 0.9 || radii[2] != 0.2 {
 		t.Fatalf("similarity radii not sorted highest-first: %v", radii)
 	}
-	_, r, ok := m.Sample(5, nil)
+	_, r, ok := m.SampleTightest(5, nil)
 	if !ok {
 		t.Fatal("sample failed")
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"iter"
 	"math"
 	"math/bits"
 	"slices"
@@ -146,6 +148,9 @@ func nextPow2(n int) int {
 // N returns the number of indexed points.
 func (d *Independent[P]) N() int { return d.base.N() }
 
+// Size returns the number of indexed points (the Sampler contract).
+func (d *Independent[P]) Size() int { return d.base.N() }
+
 // Radius returns the threshold r.
 func (d *Independent[P]) Radius() float64 { return d.base.Radius() }
 
@@ -273,17 +278,61 @@ func (d *Independent[P]) segmentNear(q P, qr *querier, lo, hi int32, st *QuerySt
 // when no near point collides with q (or the rejection budget is exhausted,
 // a probability-≤δ event under the paper's constants).
 func (d *Independent[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
+	id, err := d.SampleContext(context.Background(), q, st)
+	return id, err == nil
+}
+
+// SampleContext is the one query entry sequence (Sample delegates here
+// with context.Background(), so the two entry points cannot diverge):
+// the rejection loop polls ctx.Err() every ctxCheckRounds rounds, so a
+// query spinning under deadline pressure returns ctx's error within one
+// check interval. A failed (but uncanceled) query returns ErrNoSample.
+// The poll draws no randomness and the Background path allocates
+// nothing, so Sample's draw order, output and zero-allocation steady
+// state are unchanged.
+func (d *Independent[P]) SampleContext(ctx context.Context, q P, st *QueryStats) (int32, error) {
 	qr := d.base.getQuerier()
 	defer d.base.putQuerier(qr)
 	d.base.resolve(q, qr, st)
 	est := d.estimateCandidates(qr, st)
-	return d.sampleResolved(q, qr, est, st)
+	id, ok := d.sampleResolved(ctx, q, qr, est, st)
+	return sampleCtxResult(ctx, id, ok)
+}
+
+// Samples returns an unbounded stream of independent uniform samples from
+// B_S(q, r). The query is resolved and its candidate count estimated once
+// per stream; every yielded id costs one rejection loop on the shared
+// plan (exactly the SampleK amortization, without a bounded output
+// buffer). The stream ends when the consumer breaks, when ctx is done
+// (yielding ctx.Err() once), or when a draw fails (yielding ErrNoSample).
+func (d *Independent[P]) Samples(ctx context.Context, q P) iter.Seq2[int32, error] {
+	return func(yield func(int32, error) bool) {
+		qr := d.base.getQuerier()
+		defer d.base.putQuerier(qr)
+		d.base.resolve(q, qr, nil)
+		est := d.estimateCandidates(qr, nil)
+		for {
+			id, ok := d.sampleResolved(ctx, q, qr, est, nil)
+			id, err := sampleCtxResult(ctx, id, ok)
+			if err != nil {
+				yield(0, err)
+				return
+			}
+			if !yield(id, nil) {
+				return
+			}
+		}
+	}
 }
 
 // sampleResolved runs steps 2–4 of the query (segment search + rejection)
 // against an already-resolved querier. Each call draws fresh randomness
 // from the querier's stream, so repeated calls yield independent samples.
-func (d *Independent[P]) sampleResolved(q P, qr *querier, est float64, st *QueryStats) (id int32, ok bool) {
+// The loop polls ctx.Err() every ctxCheckRounds rounds and exits with
+// ok=false when the context is done (callers that care distinguish the
+// two via sampleCtxResult); the poll draws no randomness, so the output
+// stream under an uncanceled context is unchanged.
+func (d *Independent[P]) sampleResolved(ctx context.Context, q P, qr *querier, est float64, st *QueryStats) (id int32, ok bool) {
 	if est <= 0 {
 		st.found(false)
 		return 0, false
@@ -295,8 +344,13 @@ func (d *Independent[P]) sampleResolved(q P, qr *querier, est float64, st *Query
 	}
 	lambda := float64(d.opts.Lambda)
 	sigmaFail := 0
-	for k >= 1 {
+	for rounds := 0; k >= 1; {
 		st.round()
+		rounds++
+		if rounds%ctxCheckRounds == 0 && ctx.Err() != nil {
+			st.found(false)
+			return 0, false
+		}
 		h := int64(qr.rng.Intn(k))
 		lo := int32(h * n / int64(k))
 		hi := int32((h + 1) * n / int64(k))
@@ -355,7 +409,7 @@ func (d *Independent[P]) SampleKInto(q P, k int, dst []int32, st *QueryStats) []
 	d.base.resolve(q, qr, st)
 	est := d.estimateCandidates(qr, st)
 	for i := 0; i < k; i++ {
-		if id, ok := d.sampleResolved(q, qr, est, st); ok {
+		if id, ok := d.sampleResolved(context.Background(), q, qr, est, st); ok {
 			dst = append(dst, id)
 		}
 	}

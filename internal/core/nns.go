@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"iter"
+
 	"fairnn/internal/lsh"
 	"fairnn/internal/rng"
 )
@@ -49,6 +52,9 @@ func NewSamplerMemo[P any](space Space[P], family lsh.Family[P], params lsh.Para
 
 // N returns the number of indexed points.
 func (s *Sampler[P]) N() int { return s.base.N() }
+
+// Size returns the number of indexed points (the Sampler contract).
+func (s *Sampler[P]) Size() int { return s.base.N() }
 
 // Radius returns the threshold r.
 func (s *Sampler[P]) Radius() float64 { return s.base.Radius() }
@@ -102,6 +108,30 @@ func (s *Sampler[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 	}
 	st.found(true)
 	return minID, true
+}
+
+// SampleContext is Sample under a context. The Section 3 query is a
+// bounded bucket scan with no rejection loop, so cancellation is checked
+// once up front; a failed (but uncanceled) query returns ErrNoSample.
+// With context.Background() the output is identical to Sample.
+func (s *Sampler[P]) SampleContext(ctx context.Context, q P, st *QueryStats) (int32, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	id, ok := s.Sample(q, st)
+	return sampleCtxResult(ctx, id, ok)
+}
+
+// Samples returns a stream of samples from B_S(q, r). The Section 3
+// structure is deterministic per build (Definition 1 does not require
+// independence), so the stream repeats the same minimum-rank point — use
+// Independent (or SampleRepeated, which mutates the index) for
+// independent streams. The stream ends when the consumer breaks, ctx is
+// done, or the query fails (ErrNoSample).
+func (s *Sampler[P]) Samples(ctx context.Context, q P) iter.Seq2[int32, error] {
+	return streamOf(ctx, func(ctx context.Context) (int32, error) {
+		return s.SampleContext(ctx, q, nil)
+	})
 }
 
 // SampleK returns up to k ids sampled uniformly without replacement from

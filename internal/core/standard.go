@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"iter"
 	"sync"
 	"sync/atomic"
 
@@ -117,6 +119,9 @@ func (s *Standard[P]) keyOf(i int, q P, qr *stdQuerier) uint64 {
 // N returns the number of indexed points.
 func (s *Standard[P]) N() int { return len(s.points) }
 
+// Size returns the number of indexed points (the Sampler contract).
+func (s *Standard[P]) Size() int { return len(s.points) }
+
 // Radius returns the threshold r.
 func (s *Standard[P]) Radius() float64 { return s.radius }
 
@@ -222,6 +227,79 @@ func (s *Standard[P]) candidates(q P, qr *stdQuerier, st *QueryStats) []int32 {
 	}
 	return out
 }
+
+// Sample fulfills the Sampler contract with the structure's fair-by-
+// postprocessing baseline: it is NaiveFairSample (uniform over the
+// recalled r-near candidates). The biased first-hit scan stays available
+// as Query/QueryRandomTableOrder.
+func (s *Standard[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
+	return s.NaiveFairSample(q, st)
+}
+
+// SampleK returns k independent with-replacement draws of Sample. The
+// recalled near candidates are deterministic per (structure, query), so
+// they are collected once and the k uniform draws share one per-query
+// randomness stream — O(candidates + k) instead of k bucket rescans,
+// with the same output distribution as repeated NaiveFairSample.
+func (s *Standard[P]) SampleK(q P, k int, st *QueryStats) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	return s.SampleKInto(q, k, make([]int32, 0, k), st)
+}
+
+// SampleKInto is SampleK writing into dst (reset to length zero), for
+// callers amortizing the output buffer.
+func (s *Standard[P]) SampleKInto(q P, k int, dst []int32, st *QueryStats) []int32 {
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
+	}
+	qr := s.getQuerier()
+	defer s.putQuerier(qr)
+	cands := s.candidates(q, qr, st)
+	kept := cands[:0]
+	for _, cand := range cands {
+		if s.near(q, cand, s.radius, st) {
+			kept = append(kept, cand)
+		}
+	}
+	if len(kept) == 0 {
+		st.found(false)
+		return dst
+	}
+	st.found(true)
+	for i := 0; i < k; i++ {
+		dst = append(dst, kept[qr.rng.Intn(len(kept))])
+	}
+	return dst
+}
+
+// SampleContext is Sample under a context. The naive fair scan is a
+// bounded pass over the query's buckets, so cancellation is checked once
+// up front; a failed (but uncanceled) query returns ErrNoSample.
+func (s *Standard[P]) SampleContext(ctx context.Context, q P, st *QueryStats) (int32, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	id, ok := s.Sample(q, st)
+	return sampleCtxResult(ctx, id, ok)
+}
+
+// Samples returns a stream of independent naive fair samples; it ends
+// when the consumer breaks, ctx is done, or a draw fails (ErrNoSample).
+func (s *Standard[P]) Samples(ctx context.Context, q P) iter.Seq2[int32, error] {
+	return streamOf(ctx, func(ctx context.Context) (int32, error) {
+		return s.SampleContext(ctx, q, nil)
+	})
+}
+
+// RetainedScratchBytes reports the pooled per-query scratch this
+// structure pins between queries. The baseline keeps only a fixed K-word
+// signature buffer per querier in an uninspectable sync.Pool, so it
+// reports 0 — the candidate collections of the fair baselines are
+// allocated per call and never retained.
+func (s *Standard[P]) RetainedScratchBytes() int { return 0 }
 
 // NaiveFairSample collects all candidates, keeps those within radius, and
 // returns one uniformly at random — the "fair LSH" reference implementation

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"iter"
 	"sync/atomic"
 
 	"fairnn/internal/lsh"
@@ -64,6 +66,9 @@ func NewWeighted[P any](space Space[P], family lsh.Family[P], params lsh.Params,
 // N returns the number of indexed points.
 func (w *Weighted[P]) N() int { return w.inner.N() }
 
+// Size returns the number of indexed points (the Sampler contract).
+func (w *Weighted[P]) Size() int { return w.inner.N() }
+
 // Point returns the indexed point with the given id.
 func (w *Weighted[P]) Point(id int32) P { return w.inner.Point(id) }
 
@@ -79,15 +84,23 @@ func (w *Weighted[P]) RetainedScratchBytes() int { return w.inner.RetainedScratc
 // Sample returns a point p from B_S(q, r) with probability proportional to
 // weight(score(q, p)), independently across calls.
 func (w *Weighted[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
-	// Per-query acceptance randomness: a stack-local stream split off the
-	// seed by the atomic query counter, so concurrent Samples are safe and
-	// independent.
+	id, err := w.SampleContext(context.Background(), q, st)
+	return id, err == nil
+}
+
+// SampleContext is the one acceptance-loop body (Sample delegates here
+// with context.Background(), so the two entry points cannot diverge):
+// cancellation propagates into the wrapped sampler's rejection loop on
+// every draw, and a failed (but uncanceled) query returns ErrNoSample.
+// The acceptance randomness is a stack-local stream split off the seed by
+// the atomic query counter, so concurrent calls are safe and independent.
+func (w *Weighted[P]) SampleContext(ctx context.Context, q P, st *QueryStats) (int32, error) {
 	var qsrc rng.Source
 	qsrc.Seed(w.qseed ^ rng.Mix64(w.qctr.Add(1)))
 	for draw := 0; draw < w.maxDraws; draw++ {
-		cand, found := w.inner.Sample(q, st)
-		if !found {
-			return 0, false
+		cand, err := w.inner.SampleContext(ctx, q, st)
+		if err != nil {
+			return 0, err
 		}
 		st.score()
 		score := w.inner.base.space.Score(q, w.inner.base.points[cand])
@@ -102,11 +115,20 @@ func (w *Weighted[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 		}
 		if qsrc.Bernoulli(p) {
 			st.found(true)
-			return cand, true
+			return cand, nil
 		}
 	}
 	st.found(false)
-	return 0, false
+	return sampleCtxResult(ctx, 0, false)
+}
+
+// Samples returns an unbounded stream of independent weighted samples; it
+// ends when the consumer breaks, ctx is done, or a draw fails
+// (ErrNoSample).
+func (w *Weighted[P]) Samples(ctx context.Context, q P) iter.Seq2[int32, error] {
+	return streamOf(ctx, func(ctx context.Context) (int32, error) {
+		return w.SampleContext(ctx, q, nil)
+	})
 }
 
 // SampleK returns k independent weighted samples (with replacement).

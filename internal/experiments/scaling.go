@@ -31,6 +31,10 @@ type ScalingConfig struct {
 	// QueriesPerN is the number of measured queries per size.
 	QueriesPerN int
 	Seed        uint64
+	// Memo is the per-query memory discipline passed to the filter
+	// structure; the zero value keeps the defaults (the CLI's -memo
+	// flag lands here).
+	Memo core.MemoOptions
 }
 
 // DefaultScaling uses α=0.8, β=0.5 (ρ ≈ 0.75) over n = 1k..8k.
@@ -86,7 +90,7 @@ func RunScaling(cfg ScalingConfig) (*ScalingResult, error) {
 			BallSize: cfg.BallSize, MidSize: cfg.MidSize,
 			Seed: cfg.Seed + uint64(n),
 		})
-		fi, err := core.NewFilterIndependent(w.Points, cfg.Alpha, cfg.Beta, core.FilterIndependentOptions{}, cfg.Seed+uint64(n)*7)
+		fi, err := core.NewFilterIndependent(w.Points, cfg.Alpha, cfg.Beta, core.FilterIndependentOptions{Memo: cfg.Memo}, cfg.Seed+uint64(n)*7)
 		if err != nil {
 			return nil, err
 		}

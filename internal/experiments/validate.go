@@ -26,6 +26,10 @@ type ValidateConfig struct {
 	// Samples per structure.
 	Samples int
 	Seed    uint64
+	// Memo is the per-query memory discipline passed to the pooled
+	// samplers; the zero value keeps the defaults (the CLI's -memo flag
+	// lands here).
+	Memo core.MemoOptions
 }
 
 // DefaultValidate returns a configuration that runs in a few seconds.
@@ -133,7 +137,7 @@ func RunValidate(cfg ValidateConfig) (*ValidateResult, error) {
 	}
 
 	// Theorem 5: Appendix A rank-perturbation on a single repeated query.
-	smp, err := core.NewSampler[set.Set](space, lsh.OneBitMinHash{}, params, sets, cfg.Radius, cfg.Seed+1)
+	smp, err := core.NewSamplerMemo[set.Set](space, lsh.OneBitMinHash{}, params, sets, cfg.Radius, cfg.Memo, cfg.Seed+1)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +146,7 @@ func RunValidate(cfg ValidateConfig) (*ValidateResult, error) {
 	})
 
 	// Theorem 2: the Section 4 NNIS structure.
-	ind, err := core.NewIndependent[set.Set](space, lsh.OneBitMinHash{}, params, sets, cfg.Radius, core.IndependentOptions{}, cfg.Seed+2)
+	ind, err := core.NewIndependent[set.Set](space, lsh.OneBitMinHash{}, params, sets, cfg.Radius, core.IndependentOptions{Memo: cfg.Memo}, cfg.Seed+2)
 	if err != nil {
 		return nil, err
 	}

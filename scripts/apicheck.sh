@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# apicheck.sh — the façade API-surface gate.
+#
+# The public surface of package fairnn (as rendered by `go doc -all`) is
+# snapshotted in api.txt at the repo root. CI diffs the live surface
+# against the snapshot, so any façade change — new method, renamed
+# option, changed doc contract — shows up as a reviewable diff instead of
+# slipping through.
+#
+# To update the snapshot after an intentional API change:
+#
+#   scripts/apicheck.sh -update
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+snapshot=api.txt
+
+if [[ "${1:-}" == "-update" ]]; then
+  go doc -all . > "$snapshot"
+  echo "apicheck: wrote $snapshot"
+  exit 0
+fi
+
+if [[ ! -f "$snapshot" ]]; then
+  echo "apicheck: missing $snapshot (run scripts/apicheck.sh -update)" >&2
+  exit 1
+fi
+
+if ! diff -u "$snapshot" <(go doc -all .); then
+  echo >&2
+  echo "apicheck: public API surface differs from api.txt." >&2
+  echo "If the change is intentional, run: scripts/apicheck.sh -update" >&2
+  exit 1
+fi
+echo "apicheck: API surface matches api.txt"
