@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fairnn -exp fig1|fig2|fig3|q3|all [-scale small|paper] [-csv dir] [-seed n] [-memo auto|dense|compact]
+//	fairnn -exp fig1|fig2|fig3|q3|all [-scale small|paper] [-csv dir] [-seed n] [-memo auto|dense|compact] [-shards s]
 //
 // The "paper" scale matches the publication protocol (50 queries, 26 000
 // repetitions, full-size datasets) and takes minutes; "small" (default)
@@ -43,12 +43,16 @@ func main() {
 		csvDir = flag.String("csv", "", "directory to also write CSV files into (optional)")
 		seed   = flag.Uint64("seed", 0, "override the experiment seed (0 keeps defaults)")
 		memoF  = flag.String("memo", "auto", "per-query memo backend: auto | dense | compact")
+		shards = flag.Int("shards", 0, "shard count for the validate/scaling experiments (0 = unsharded only)")
 	)
 	flag.Parse()
 
 	memo, err := parseMemo(*memoF)
 	if err != nil {
 		fatal(err)
+	}
+	if *shards < 0 {
+		fatal(fmt.Errorf("-shards %d must be >= 0", *shards))
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -66,16 +70,16 @@ func main() {
 	case "q3":
 		runQ3(paper, *csvDir, *seed, memo)
 	case "validate":
-		runValidate(paper, *seed, memo)
+		runValidate(paper, *seed, memo, *shards)
 	case "scaling":
-		runScaling(paper, *seed, memo)
+		runScaling(paper, *seed, memo, *shards)
 	case "all":
 		runFig1(paper, *csvDir, *seed)
 		runFig2(paper, *csvDir, *seed)
 		runFig3(paper, *csvDir, *seed)
 		runQ3(paper, *csvDir, *seed, memo)
-		runValidate(paper, *seed, memo)
-		runScaling(paper, *seed, memo)
+		runValidate(paper, *seed, memo, *shards)
+		runScaling(paper, *seed, memo, *shards)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
@@ -233,9 +237,10 @@ func runQ3(paper bool, csvDir string, seed uint64, memo fairnn.MemoOptions) {
 	}
 }
 
-func runValidate(paper bool, seed uint64, memo fairnn.MemoOptions) {
+func runValidate(paper bool, seed uint64, memo fairnn.MemoOptions, shards int) {
 	cfg := experiments.DefaultValidate()
 	cfg.Memo = memo
+	cfg.Shards = shards
 	if !paper {
 		cfg.Users = 400
 		cfg.Samples = 6000
@@ -252,9 +257,10 @@ func runValidate(paper bool, seed uint64, memo fairnn.MemoOptions) {
 	}
 }
 
-func runScaling(paper bool, seed uint64, memo fairnn.MemoOptions) {
+func runScaling(paper bool, seed uint64, memo fairnn.MemoOptions, shards int) {
 	cfg := experiments.DefaultScaling()
 	cfg.Memo = memo
+	cfg.Shards = shards
 	if !paper {
 		cfg.Ns = []int{500, 1000, 2000}
 		cfg.QueriesPerN = 15

@@ -74,16 +74,23 @@ func (c VecConfig) family() lsh.Family[vector.Vec] {
 	return lsh.SimHash{Dim: c.Dim}
 }
 
+// paramsAt picks (K, L) for one point count at the threshold alpha: the
+// explicit override when both are set, automatic ChooseK/ChooseL
+// otherwise (the vector twin of Config.paramsAt — the sharded builder
+// calls it once per shard size). c must already carry its defaults.
+func (c VecConfig) paramsAt(n int, alpha float64) lsh.Params {
+	if c.K > 0 && c.L > 0 {
+		return lsh.Params{K: c.K, L: c.L}
+	}
+	fam := c.family()
+	k := lsh.ChooseK[vector.Vec](fam, n, c.FarSim, c.FarBudget)
+	l := lsh.ChooseL[vector.Vec](fam, k, alpha, c.Recall)
+	return lsh.Params{K: k, L: l}
+}
+
 func (c VecConfig) resolve(n int, alpha float64) (lsh.Family[vector.Vec], lsh.Params, uint64) {
 	c = c.withDefaults()
-	fam := c.family()
-	params := lsh.Params{K: c.K, L: c.L}
-	if c.K <= 0 || c.L <= 0 {
-		k := lsh.ChooseK[vector.Vec](fam, n, c.FarSim, c.FarBudget)
-		l := lsh.ChooseL[vector.Vec](fam, k, alpha, c.Recall)
-		params = lsh.Params{K: k, L: l}
-	}
-	return fam, params, c.Seed
+	return c.family(), c.paramsAt(n, alpha), c.Seed
 }
 
 // NewVecSampler indexes unit vectors for uniform sampling from

@@ -1,0 +1,78 @@
+package fairnn
+
+import (
+	"fairnn/internal/core"
+	"fairnn/internal/lsh"
+	"fairnn/internal/set"
+	"fairnn/internal/shard"
+	"fairnn/internal/vector"
+)
+
+// This file is the sharding surface of the façade: the Sharded sampler
+// (internal/shard) partitions the point set across S shards, builds one
+// Section 4 structure per shard in parallel, and answers queries with the
+// uniformity-preserving two-stage draw — shard chosen with probability
+// proportional to its per-query near-count estimate, estimate error
+// corrected by the same rejection step the paper uses to sample uniformly
+// from a union of buckets. Construct through NewSet/NewVec with
+// WithShards (optionally WithPartitioner), or the explicit constructors
+// below.
+
+// Sharded is a fair sampler over a point set partitioned across S shards.
+// It satisfies the full Sampler contract: every Sample is exactly uniform
+// over the union ball B_S(q, r) and consecutive draws are independent
+// (Theorem 2 lifted to the partitioned index), with returned ids in the
+// global index space of the original point slice. With one shard the
+// sampler is bit-identical — same-seed streams and all — to the unsharded
+// SetIndependent/VecSamplerIndependent it wraps. Query methods are safe
+// for concurrent use and steady-state Sample allocates nothing;
+// QueryStats gains per-shard counters (ShardRounds, ShardEstimates,
+// ShardChosen) on sharded queries.
+//
+// Sharded wraps read-only samplers only: the per-shard structures are
+// immutable after construction (Algorithm(Dynamic) combined with
+// WithShards returns ErrShardedDynamic instead of misbehaving).
+type Sharded[P any] = shard.Sharded[P]
+
+// Partitioner assigns each global point index to a shard (see
+// RoundRobinPartitioner and HashPartitioner for the built-in schemes).
+// Assign must be deterministic and return a value in [0, shards).
+type Partitioner = shard.Partitioner
+
+// RoundRobinPartitioner stripes points across shards in index order —
+// shard sizes differ by at most one. The default.
+func RoundRobinPartitioner() Partitioner { return shard.RoundRobin{} }
+
+// HashPartitioner assigns each point by a seeded hash of its index, so
+// shard loads stay balanced in expectation regardless of input order
+// (round-robin can stripe adversarially ordered input into correlated
+// shards). The seed keys the hash; 0 is a valid fixed key.
+func HashPartitioner(seed uint64) Partitioner { return shard.Hash{Seed: seed} }
+
+// NewSetSharded partitions the sets across shards and indexes each shard
+// for independent uniform r-near neighbor sampling (the sharded form of
+// NewSetIndependent; part == nil defaults to round-robin). LSH parameters
+// are chosen per shard from its point count; λ and the Σ budget are
+// resolved once globally so the acceptance test is identical across
+// shards — the uniformity of the union draw depends on it. shards == 1
+// reproduces NewSetIndependent bit for bit.
+func NewSetSharded(sets []Set, radius float64, shards int, part Partitioner, opts IndependentOptions, cfg Config) (*Sharded[Set], error) {
+	cfg = cfg.withDefaults()
+	opts.Memo = memoOr(opts.Memo, cfg.Memo)
+	paramsFor := func(n int) lsh.Params { return cfg.paramsAt(n, radius) }
+	return shard.Build[set.Set](core.Jaccard(), cfg.family(), paramsFor, sets, radius, opts, shards, part, cfg.Seed)
+}
+
+// NewVecSharded partitions unit vectors across shards for independent
+// uniform sampling from {p : ⟨p, q⟩ ≥ alpha} (the sharded form of
+// NewVecSamplerIndependent; part == nil defaults to round-robin).
+// shards == 1 reproduces NewVecSamplerIndependent bit for bit.
+func NewVecSharded(points []Vec, alpha float64, shards int, part Partitioner, opts IndependentOptions, cfg VecConfig) (*Sharded[Vec], error) {
+	if cfg.Dim == 0 && len(points) > 0 {
+		cfg.Dim = len(points[0])
+	}
+	cfg = cfg.withDefaults()
+	opts.Memo = memoOr(opts.Memo, cfg.Memo)
+	paramsFor := func(n int) lsh.Params { return cfg.paramsAt(n, alpha) }
+	return shard.Build[vector.Vec](core.InnerProduct(), cfg.family(), paramsFor, points, alpha, opts, shards, part, cfg.Seed)
+}

@@ -1,0 +1,207 @@
+package fairnn_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fairnn"
+	"fairnn/internal/dataset"
+)
+
+// TestShardedBuilderS1BitIdentical pins the façade half of the
+// single-shard contract: NewSet with WithShards(1) must replay the
+// unsharded NNIS sampler's exact same-seed sample streams (the builder
+// threads identical parameters, seeds and options into the one shard).
+func TestShardedBuilderS1BitIdentical(t *testing.T) {
+	sets, q := smallSets()
+	un, err := fairnn.NewSet(sets, fairnn.Radius(0.6), fairnn.WithSeed(97))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := fairnn.NewSet(sets, fairnn.Radius(0.6), fairnn.WithSeed(97), fairnn.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sh.(*fairnn.Sharded[fairnn.Set]); !ok {
+		t.Fatalf("WithShards(1) built %T, want *Sharded[Set]", sh)
+	}
+	got, want := drawN(sh, q, 60), drawN(un, q, 60)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d: sharded = %d, unsharded = %d — streams diverged", i, got[i], want[i])
+		}
+	}
+	gotK := sh.SampleK(q, 20, nil)
+	wantK := un.SampleK(q, 20, nil)
+	if len(gotK) != len(wantK) {
+		t.Fatalf("SampleK lengths: sharded %d, unsharded %d", len(gotK), len(wantK))
+	}
+	for i := range wantK {
+		if gotK[i] != wantK[i] {
+			t.Fatalf("SampleK draw %d: sharded = %d, unsharded = %d", i, gotK[i], wantK[i])
+		}
+	}
+}
+
+// TestShardedBuilderSetUniform checks the sharded set sampler end to end
+// through the builder: every sample is a near global id, per-shard stats
+// are populated, and all cluster members show up (uniform coverage of the
+// recalled ball).
+func TestShardedBuilderSetUniform(t *testing.T) {
+	sets, q := smallSets()
+	for _, part := range []fairnn.Partitioner{nil, fairnn.RoundRobinPartitioner(), fairnn.HashPartitioner(7)} {
+		opts := []fairnn.Option{fairnn.Radius(0.6), fairnn.WithSeed(101), fairnn.WithShards(3)}
+		if part != nil {
+			opts = append(opts, fairnn.WithPartitioner(part))
+		}
+		s, err := fairnn.NewSet(sets, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st fairnn.QueryStats
+		seen := map[int32]int{}
+		for i := 0; i < 2000; i++ {
+			id, ok := s.Sample(q, &st)
+			if !ok {
+				t.Fatal("sharded sample found nothing")
+			}
+			sh := s.(*fairnn.Sharded[fairnn.Set])
+			if sim := fairnn.Jaccard(q, sh.Point(id)); sim < 0.6 {
+				t.Fatalf("sampled far point %d (sim %v)", id, sim)
+			}
+			seen[id]++
+		}
+		if len(st.ShardRounds) != 3 || len(st.ShardEstimates) != 3 {
+			t.Fatalf("per-shard stats lengths = (%d, %d), want (3, 3)", len(st.ShardRounds), len(st.ShardEstimates))
+		}
+		// smallSets has a 6-member near cluster; a uniform sampler visits
+		// every member many times in 2000 draws.
+		if len(seen) < 6 {
+			t.Fatalf("only %d distinct near points sampled, want the full cluster of 6", len(seen))
+		}
+		for id, c := range seen {
+			if c < 150 {
+				t.Errorf("point %d sampled %d/2000 times — far from uniform", id, c)
+			}
+		}
+	}
+}
+
+// TestShardedBuilderVec covers the vector twin: NewVec + WithShards over
+// a planted ball returns only ball members, and S=1 matches the
+// unsharded vector NNIS stream.
+func TestShardedBuilderVec(t *testing.T) {
+	w := dataset.NewPlantedBall(dataset.PlantedBallConfig{
+		N: 400, Dim: 24, Alpha: 0.8, Beta: 0.4, BallSize: 12, MidSize: 40, Seed: 11,
+	})
+	un, err := fairnn.NewVec(w.Points, fairnn.Radius(0.8), fairnn.WithSeed(103))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := fairnn.NewVec(w.Points, fairnn.Radius(0.8), fairnn.WithSeed(103), fairnn.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := drawN[fairnn.Vec](s1, w.Query, 40), drawN[fairnn.Vec](un, w.Query, 40)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vec draw %d: sharded = %d, unsharded = %d", i, got[i], want[i])
+		}
+	}
+	s4, err := fairnn.NewVec(w.Points, fairnn.Radius(0.8), fairnn.WithSeed(103), fairnn.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		id, ok := s4.Sample(w.Query, nil)
+		if !ok {
+			continue // LSH recall is probabilistic per shard
+		}
+		if ip := fairnn.Dot(w.Query, w.Points[id]); ip < 0.8 {
+			t.Fatalf("sampled far vector %d (ip %v)", id, ip)
+		}
+	}
+}
+
+// TestShardedOptionErrors pins the sharding validation surface, including
+// the typed Dynamic interplay error.
+func TestShardedOptionErrors(t *testing.T) {
+	sets, _ := smallSets()
+	if _, err := fairnn.NewSet(sets, fairnn.Radius(0.6), fairnn.WithShards(0)); !errors.Is(err, fairnn.ErrBadOption) {
+		t.Errorf("WithShards(0) err = %v, want ErrBadOption", err)
+	}
+	if _, err := fairnn.NewSet(sets, fairnn.Radius(0.6), fairnn.WithShards(len(sets)+1)); !errors.Is(err, fairnn.ErrBadOption) {
+		t.Errorf("too many shards err = %v, want ErrBadOption", err)
+	}
+	if _, err := fairnn.NewSet(sets, fairnn.Radius(0.6), fairnn.WithPartitioner(fairnn.RoundRobinPartitioner())); !errors.Is(err, fairnn.ErrBadOption) {
+		t.Errorf("WithPartitioner without WithShards err = %v, want ErrBadOption", err)
+	}
+	if _, err := fairnn.NewSet(sets, fairnn.Radius(0.6), fairnn.WithShards(2), fairnn.WithPartitioner(nil)); !errors.Is(err, fairnn.ErrBadOption) {
+		t.Errorf("WithPartitioner(nil) err = %v, want ErrBadOption", err)
+	}
+	if _, err := fairnn.NewSet(sets, fairnn.Radius(0.6), fairnn.Algorithm(fairnn.NNS), fairnn.WithShards(2)); !errors.Is(err, fairnn.ErrBadOption) {
+		t.Errorf("NNS + shards err = %v, want ErrBadOption", err)
+	}
+	if _, err := fairnn.NewVec([]fairnn.Vec{{1, 0}, {0, 1}}, fairnn.Radius(0.5), fairnn.Algorithm(fairnn.Filter), fairnn.WithBeta(0.2), fairnn.WithShards(2)); !errors.Is(err, fairnn.ErrBadOption) {
+		t.Errorf("Filter + shards err = %v, want ErrBadOption", err)
+	}
+
+	// The Dynamic interplay: Sharded wraps read-only samplers only, so the
+	// combination must fail with the dedicated typed error (which is also
+	// an ErrBadOption-independent sentinel callers can match).
+	_, err := fairnn.NewSet(sets, fairnn.Radius(0.6), fairnn.Algorithm(fairnn.Dynamic), fairnn.WithShards(2))
+	if !errors.Is(err, fairnn.ErrShardedDynamic) {
+		t.Errorf("Dynamic + shards err = %v, want ErrShardedDynamic", err)
+	}
+	// The vector builder honors the same documented contract even though
+	// Dynamic is set-only there.
+	_, err = fairnn.NewVec([]fairnn.Vec{{1, 0}, {0, 1}}, fairnn.Radius(0.5), fairnn.Algorithm(fairnn.Dynamic), fairnn.WithShards(2))
+	if !errors.Is(err, fairnn.ErrShardedDynamic) {
+		t.Errorf("vec Dynamic + shards err = %v, want ErrShardedDynamic", err)
+	}
+}
+
+// TestShardedInterfaceMiddleware runs the polymorphic audit over the
+// sharded construction: the Sampler contract — context draws, streams,
+// bulk draws, introspection — must hold unchanged.
+func TestShardedInterfaceMiddleware(t *testing.T) {
+	sets, q := smallSets()
+	s, err := fairnn.NewSet(sets, fairnn.Radius(0.6), fairnn.WithSeed(107), fairnn.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != len(sets) {
+		t.Errorf("Size = %d, want %d", s.Size(), len(sets))
+	}
+	if _, err := s.SampleContext(context.Background(), q, nil); err != nil {
+		t.Errorf("SampleContext: %v", err)
+	}
+	n := 0
+	for id, err := range s.Samples(context.Background(), q) {
+		if err != nil {
+			t.Errorf("stream error: %v", err)
+			break
+		}
+		sh := s.(*fairnn.Sharded[fairnn.Set])
+		if fairnn.Jaccard(q, sh.Point(id)) < 0.6 {
+			t.Errorf("streamed far point %d", id)
+		}
+		if n++; n >= 5 {
+			break
+		}
+	}
+	if dst := s.SampleKInto(q, 4, nil, nil); len(dst) == 0 {
+		t.Error("SampleKInto returned nothing")
+	}
+	if s.RetainedScratchBytes() <= 0 {
+		t.Error("RetainedScratchBytes = 0 after queries")
+	}
+	// Batch fan-out middleware works against the sharded sampler too.
+	queries := []fairnn.Set{q, q, q, q}
+	for i, r := range fairnn.SampleBatch[fairnn.Set](s, queries, 2) {
+		if !r.OK {
+			t.Errorf("batch query %d found nothing", i)
+		}
+	}
+}

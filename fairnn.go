@@ -75,6 +75,43 @@
 // draws, exactly like SampleK. SampleBatchContext and SampleKBatchContext
 // are the cancellation-aware bulk fan-outs.
 //
+// # Sharding
+//
+// WithShards(s) partitions the point set across s shards — round-robin by
+// default, or by a seeded index hash via
+// WithPartitioner(HashPartitioner(seed)) — and builds one Section 4
+// structure per shard, in parallel. The resulting Sharded sampler answers
+// the full Sampler contract with ids in the global index space of the
+// original point slice (the shard→global translation tables are built
+// once at construction).
+//
+// Uniformity over the union is not free: shards hold different numbers of
+// near neighbors of q, so picking a shard uniformly and sampling inside
+// it would be biased toward points in sparse shards. Sharded instead uses
+// the paper's union-of-buckets machinery: each query estimates every
+// shard's near count from its count-distinct sketches, picks a shard with
+// probability proportional to the estimate (concretely, a segment
+// uniformly at random from the union of all shards' rank-segment pools),
+// counts the segment's near points exactly, and accepts with probability
+// λ_q,h/λ under one λ shared by all shards. Per round, the probability of
+// emitting any particular near point is 1/(λ·Σk) — independent of which
+// shard holds it and of all the estimates — so every accepted draw is
+// exactly uniform over the union ball and successive draws are
+// independent (Theorem 2 lifted to the partitioned index); the rejection
+// step absorbs all sketch-estimate error. All randomness of one logical
+// query flows from a single stream split off the seed, so outputs are
+// deterministic per query index no matter how the per-shard work is
+// scheduled; with WithShards(1) the sharded sampler is bit-identical —
+// same-seed streams and all — to the unsharded sampler it wraps.
+//
+// On sharded queries, QueryStats reports per-shard rejection rounds
+// (ShardRounds), per-shard estimates (ShardEstimates) and the shard that
+// produced the sample (ShardChosen). Sharding wraps read-only samplers
+// only: combining WithShards with Algorithm(Dynamic) returns
+// ErrShardedDynamic (a mutable shard would silently skew the union
+// distribution); keep one unsharded SetDynamic for a mutable working set
+// and rebuild the sharded index offline.
+//
 // # Concurrency
 //
 // All indexes are immutable after construction and their query methods are

@@ -69,8 +69,10 @@ var (
 	_ Sampler[Set] = (*SetWeighted)(nil)
 	_ Sampler[Set] = (*SetMultiRadius)(nil)
 	_ Sampler[Set] = (*SetDynamic)(nil)
+	_ Sampler[Set] = (*Sharded[Set])(nil)
 	_ Sampler[Vec] = (*VecSampler)(nil)
 	_ Sampler[Vec] = (*VecSamplerIndependent)(nil)
 	_ Sampler[Vec] = (*VecIndependent)(nil)
 	_ Sampler[Vec] = (*VecExact)(nil)
+	_ Sampler[Vec] = (*Sharded[Vec])(nil)
 )

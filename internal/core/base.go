@@ -44,7 +44,7 @@ type rankedBase[P any] struct {
 
 	qseed uint64
 	qctr  atomic.Uint64
-	pool  boundedPool[querier]
+	pool  BoundedPool[querier]
 }
 
 // querier is the reusable per-query scratch: the L·K raw signature, the L
@@ -134,7 +134,7 @@ func newRankedBase[P any](space Space[P], family lsh.Family[P], params lsh.Param
 		nearFn: space.Nearness(radius),
 		memo:   memo.withDefaults().withDenseFloor(len(points), 8*len(points)),
 	}
-	b.pool.setCap(b.memo.MaxRetainedQueriers)
+	b.pool.SetCap(b.memo.MaxRetainedQueriers)
 	// Draw order matters for seed-compatibility: the rank permutation comes
 	// first (as in the original per-closure construction), then the hash
 	// functions, then the per-query stream seed.
@@ -175,6 +175,12 @@ func newRankedBase[P any](space Space[P], family lsh.Family[P], params lsh.Param
 	return b, nil
 }
 
+// ParallelRange is the exported form of parallelRange, for sibling
+// internal packages that fan work out the same way (internal/shard's
+// build and per-shard arm loops) instead of growing their own copy of
+// the worker pattern.
+func ParallelRange(n int, fn func(lo, hi int)) { parallelRange(n, fn) }
+
 // parallelRange splits [0, n) into contiguous chunks executed by up to
 // GOMAXPROCS workers. fn must be safe to call concurrently on disjoint
 // ranges. Small inputs run inline.
@@ -210,7 +216,7 @@ func parallelRange(n int, fn func(lo, hi int)) {
 // so memoized near/far verdicts are scoped to exactly one logical query
 // (a Sample, or all k loops of one SampleK).
 func (b *rankedBase[P]) getQuerier() *querier {
-	qr := b.pool.get()
+	qr := b.pool.Get()
 	if qr == nil {
 		qr = &querier{
 			sig:     make([]uint64, b.params.L*b.params.K),
@@ -232,7 +238,7 @@ func (b *rankedBase[P]) getQuerier() *querier {
 // O(burst·n) memory for the process lifetime.
 func (b *rankedBase[P]) putQuerier(qr *querier) {
 	qr.trim(b.memo.ScratchBudget)
-	b.pool.put(qr)
+	b.pool.Put(qr)
 }
 
 // RetainedScratchBytes reports the total backing-array footprint of the
@@ -240,12 +246,12 @@ func (b *rankedBase[P]) putQuerier(qr *querier) {
 // structure pins between queries (the bench footprint gauge).
 func (b *rankedBase[P]) RetainedScratchBytes() int {
 	total := 0
-	b.pool.fold(func(qr *querier) { total += qr.scratchBytes() })
+	b.pool.Fold(func(qr *querier) { total += qr.scratchBytes() })
 	return total
 }
 
 // RetainedQueriers reports how many queriers the pool currently holds.
-func (b *rankedBase[P]) RetainedQueriers() int { return b.pool.retained() }
+func (b *rankedBase[P]) RetainedQueriers() int { return b.pool.Retained() }
 
 // MemoBackendInUse reports the resolved near-cache backend.
 func (b *rankedBase[P]) MemoBackendInUse() MemoBackend {

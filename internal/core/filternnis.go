@@ -70,7 +70,7 @@ type FilterIndependent struct {
 	banks  []*filter.Bank
 	qseed  uint64
 	qctr   atomic.Uint64
-	pool   boundedPool[fiQuerier]
+	pool   BoundedPool[fiQuerier]
 }
 
 // NewFilterIndependent indexes unit vectors for inner-product threshold
@@ -102,7 +102,7 @@ func NewFilterIndependent(points []vector.Vec, alpha, beta float64, opts FilterI
 		banks:  banks,
 		qseed:  src.Uint64(),
 	}
-	f.pool.setCap(f.memo.MaxRetainedQueriers)
+	f.pool.SetCap(f.memo.MaxRetainedQueriers)
 	return f, nil
 }
 
@@ -186,7 +186,7 @@ func (qr *fiQuerier) trim(budget int) {
 // getQuerier checks scratch out of the pool and advances the similarity-
 // memo epoch (one checkout = one logical query).
 func (f *FilterIndependent) getQuerier() *fiQuerier {
-	qr := f.pool.get()
+	qr := f.pool.Get()
 	if qr == nil {
 		qr = &fiQuerier{sim: newMemoTable(f.memo, len(f.points), true)}
 	}
@@ -199,7 +199,7 @@ func (f *FilterIndependent) getQuerier() *fiQuerier {
 // burst-memory discipline as rankedBase.putQuerier).
 func (f *FilterIndependent) putQuerier(qr *fiQuerier) {
 	qr.trim(f.memo.ScratchBudget)
-	f.pool.put(qr)
+	f.pool.Put(qr)
 }
 
 // MemoBackendInUse reports the resolved similarity-memo backend.
@@ -211,12 +211,12 @@ func (f *FilterIndependent) MemoBackendInUse() MemoBackend {
 // per-query scratch this structure currently pins between queries.
 func (f *FilterIndependent) RetainedScratchBytes() int {
 	total := 0
-	f.pool.fold(func(qr *fiQuerier) { total += qr.scratchBytes() })
+	f.pool.Fold(func(qr *fiQuerier) { total += qr.scratchBytes() })
 	return total
 }
 
 // RetainedQueriers reports how many queriers the pool currently holds.
-func (f *FilterIndependent) RetainedQueriers() int { return f.pool.retained() }
+func (f *FilterIndependent) RetainedQueriers() int { return f.pool.Retained() }
 
 // buildPlan gathers the selected buckets of all banks for one query into
 // the querier. The plan is deterministic given (structure, query): all

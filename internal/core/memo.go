@@ -26,7 +26,7 @@ import (
 //     choice can change cost but never any sampler's output distribution
 //     (Theorem 2 needs fresh randomness per sample, not fresh distance
 //     evaluations).
-//   - boundedPool: a capped free list replacing the unbounded sync.Pool.
+//   - BoundedPool: a capped free list replacing the unbounded sync.Pool.
 //     Get beyond the retained set allocates as before, but Put drops
 //     queriers past MaxRetainedQueriers and frees oversized scratch past
 //     ScratchBudget, so a one-time concurrency burst no longer pins
@@ -96,6 +96,13 @@ func (o MemoOptions) withDenseFloor(n, denseBytes int) MemoOptions {
 	return o
 }
 
+// Resolved returns o with zero fields resolved to their documented
+// defaults — the knob values a structure built from o actually runs
+// with. The sharded sampler sizes its session pool from the resolved
+// MaxRetainedQueriers, so one retention knob governs both pooling
+// layers.
+func (o MemoOptions) Resolved() MemoOptions { return o.withDefaults() }
+
 // withDefaults resolves zero fields to their documented defaults.
 func (o MemoOptions) withDefaults() MemoOptions {
 	if o.DenseThreshold <= 0 {
@@ -148,13 +155,13 @@ type memoTable interface {
 }
 
 // newMemoTable builds the backend selected by opts for n points. wordVals
-// distinguishes the two dense layouts: false packs the verdict bit into
-// the stamp word (8 B/point, the near-cache), true keeps a separate value
-// array (16 B/point, the similarity memo). The compact backend stores full
-// words either way.
+// distinguishes the two value layouts: false packs the verdict bit into
+// the stamp word (8 B/point dense, 8 B/slot compact — the near-cache),
+// true keeps a separate value array (16 B/point dense, 16 B/slot compact
+// — the similarity memo).
 func newMemoTable(opts MemoOptions, n int, wordVals bool) memoTable {
 	if opts.resolveBackend(n) == MemoCompact {
-		return &compactMemo{}
+		return &compactMemo{wordVals: wordVals}
 	}
 	if wordVals {
 		return &denseWordMemo{n: n}
@@ -248,9 +255,20 @@ func (m *denseWordMemo) shrink(maxBytes int) {
 // compact table; 64 slots cover most rejection loops without growth.
 const compactMemoMinCap = 64
 
-// compactMemoSlotBytes is the per-slot footprint: 4 B key + 8 B stamp +
-// 8 B value.
-const compactMemoSlotBytes = 20
+// Per-slot footprint after packing: one uint64 holds key, stamp and the
+// verdict bit, so the bit-mode table (the near-cache) is 8 B/slot and the
+// word-mode table (the similarity memo) adds an 8 B value array for
+// 16 B/slot — down from the 20 B/slot of the unpacked
+// (int32 key + uint64 stamp + uint64 value) layout.
+const (
+	compactMemoBitSlotBytes  = 8
+	compactMemoWordSlotBytes = 16
+)
+
+// compactMemoEpochMax bounds the packed 31-bit stamp; reset clears the
+// table and restarts at 1 when the epoch would reach it, so a wrapped
+// stamp can never resurrect a stale entry.
+const compactMemoEpochMax = 1 << 31
 
 // compactMemo is the bounded backend: an open-addressing (linear-probing)
 // hash table over ids whose slots are epoch-stamped — a slot is live iff
@@ -259,13 +277,25 @@ const compactMemoSlotBytes = 20
 // probe chains stay intact. Capacity is a power of two, grown geometrically
 // at ¾ load and recycled across checkouts; a query touching C distinct
 // candidates retains Θ(C) slots, independent of n.
+//
+// Each slot packs (key, stamp) — and, in bit mode, the verdict — into one
+// word:
+//
+//	stamp(31 bits) << 33 | verdict(1 bit) << 32 | key(32 bits)
+//
+// In bit mode (the near-cache, wordVals=false) that one word is the whole
+// slot; in word mode (the similarity memo, wordVals=true) a parallel vals
+// array carries the full 64-bit value and the packed verdict bit is
+// unused. A slot word of 0 is empty: the epoch lives in [1, 2^31) (reset
+// bumps it before first use and wraps it by clearing), so stamp 0 is
+// never current.
 type compactMemo struct {
-	keys   []int32
-	stamps []uint64
-	vals   []uint64
-	mask   uint64
-	live   int
-	epoch  uint64
+	slots    []uint64
+	vals     []uint64 // nil in bit mode
+	wordVals bool
+	mask     uint64
+	live     int
+	epoch    uint64
 }
 
 // memoHash spreads an id over the table (Fibonacci multiplicative hash;
@@ -276,33 +306,45 @@ func memoHash(id int32) uint64 {
 }
 
 func (m *compactMemo) get(id int32) (uint64, bool) {
-	if m.keys == nil {
+	if m.slots == nil {
 		return 0, false
 	}
+	key := uint64(uint32(id))
 	for i := memoHash(id) & m.mask; ; i = (i + 1) & m.mask {
-		if m.stamps[i] != m.epoch {
+		s := m.slots[i]
+		if s>>33 != m.epoch {
 			return 0, false
 		}
-		if m.keys[i] == id {
-			return m.vals[i], true
+		if s&0xffffffff == key {
+			if m.wordVals {
+				return m.vals[i], true
+			}
+			return s >> 32 & 1, true
 		}
 	}
 }
 
 func (m *compactMemo) put(id int32, val uint64) {
-	if m.keys == nil || 4*(m.live+1) > 3*len(m.keys) {
+	if m.slots == nil || 4*(m.live+1) > 3*len(m.slots) {
 		m.grow()
 	}
+	key := uint64(uint32(id))
+	packed := m.epoch<<33 | (val&1)<<32 | key
 	for i := memoHash(id) & m.mask; ; i = (i + 1) & m.mask {
-		if m.stamps[i] != m.epoch {
-			m.keys[i] = id
-			m.stamps[i] = m.epoch
-			m.vals[i] = val
+		s := m.slots[i]
+		if s>>33 != m.epoch {
+			m.slots[i] = packed
+			if m.wordVals {
+				m.vals[i] = val
+			}
 			m.live++
 			return
 		}
-		if m.keys[i] == id {
-			m.vals[i] = val
+		if s&0xffffffff == key {
+			m.slots[i] = packed
+			if m.wordVals {
+				m.vals[i] = val
+			}
 			return
 		}
 	}
@@ -313,57 +355,68 @@ func (m *compactMemo) put(id int32, val uint64) {
 // current query's candidate count rather than its historical maximum.
 func (m *compactMemo) grow() {
 	newCap := compactMemoMinCap
-	if len(m.keys) > 0 {
-		newCap = 2 * len(m.keys)
+	if len(m.slots) > 0 {
+		newCap = 2 * len(m.slots)
 	}
-	oldKeys, oldStamps, oldVals := m.keys, m.stamps, m.vals
-	m.keys = make([]int32, newCap)
-	m.stamps = make([]uint64, newCap)
-	m.vals = make([]uint64, newCap)
+	oldSlots, oldVals := m.slots, m.vals
+	m.slots = make([]uint64, newCap)
+	if m.wordVals {
+		m.vals = make([]uint64, newCap)
+	}
 	m.mask = uint64(newCap - 1)
 	m.live = 0
-	for i, s := range oldStamps {
-		if s == m.epoch {
-			m.put(oldKeys[i], oldVals[i])
+	for i, s := range oldSlots {
+		if s>>33 == m.epoch {
+			val := s >> 32 & 1
+			if m.wordVals {
+				val = oldVals[i]
+			}
+			m.put(int32(uint32(s)), val)
 		}
 	}
 }
 
 // reset starts a new epoch; the epoch starts at 0 and is bumped before
 // first use (every checkout resets), so zeroed slots can never read as
-// live.
+// live. The packed stamp is 31 bits: when the epoch would reach the
+// packing limit the table is cleared outright and the epoch restarts at 1
+// — one O(capacity) clear per 2³¹ checkouts, never a stale hit.
 func (m *compactMemo) reset() {
 	m.epoch++
+	if m.epoch >= compactMemoEpochMax {
+		clear(m.slots)
+		m.epoch = 1
+	}
 	m.live = 0
 }
 
-func (m *compactMemo) retainedBytes() int { return compactMemoSlotBytes * len(m.keys) }
+func (m *compactMemo) retainedBytes() int { return 8 * (len(m.slots) + len(m.vals)) }
 
 func (m *compactMemo) shrink(maxBytes int) {
 	if m.retainedBytes() > maxBytes {
-		m.keys, m.stamps, m.vals = nil, nil, nil
+		m.slots, m.vals = nil, nil
 		m.mask, m.live = 0, 0
 	}
 }
 
-// boundedPool is the capped querier free list: a mutex-guarded stack that
+// BoundedPool is the capped querier free list: a mutex-guarded stack that
 // retains at most cap items. Get returns nil when empty (the caller
 // allocates); Put beyond the cap drops the item for the garbage collector.
 // The lock is held for a few instructions per query — negligible against
 // the ms-scale queries it brackets — and, unlike sync.Pool, the retained
 // set is inspectable (fold), which backs RetainedScratchBytes and the
 // bench footprint gauge.
-type boundedPool[T any] struct {
+type BoundedPool[T any] struct {
 	mu    sync.Mutex
 	items []*T
 	cap   int
 }
 
 // setCap fixes the retention cap (called once at construction).
-func (p *boundedPool[T]) setCap(c int) { p.cap = c }
+func (p *BoundedPool[T]) SetCap(c int) { p.cap = c }
 
 // get pops a retained item, or returns nil when none is available.
-func (p *boundedPool[T]) get() *T {
+func (p *BoundedPool[T]) Get() *T {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if n := len(p.items); n > 0 {
@@ -377,7 +430,7 @@ func (p *boundedPool[T]) get() *T {
 
 // put retains the item unless the cap is reached; it reports whether the
 // item was kept.
-func (p *boundedPool[T]) put(it *T) bool {
+func (p *BoundedPool[T]) Put(it *T) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.items) >= p.cap {
@@ -388,7 +441,7 @@ func (p *boundedPool[T]) put(it *T) bool {
 }
 
 // retained returns how many items the pool currently holds.
-func (p *boundedPool[T]) retained() int {
+func (p *BoundedPool[T]) Retained() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.items)
@@ -396,7 +449,7 @@ func (p *boundedPool[T]) retained() int {
 
 // fold calls fn on every retained item under the pool lock (accounting
 // only; fn must not check items out).
-func (p *boundedPool[T]) fold(fn func(*T)) {
+func (p *BoundedPool[T]) Fold(fn func(*T)) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, it := range p.items {

@@ -28,12 +28,13 @@ func backendName(b MemoBackend) string {
 	}
 }
 
-// TestCompactMemoTable unit-tests the open-addressing stamped table:
-// lookups within an epoch, invisibility across epochs, overwrite
-// semantics, and geometric growth well past the seed capacity (forcing
-// collision chains and reinsertion).
+// TestCompactMemoTable unit-tests the open-addressing stamped table in
+// word mode (the similarity-memo layout, with the packed key+stamp slot
+// word and a parallel value array): lookups within an epoch, invisibility
+// across epochs, overwrite semantics, and geometric growth well past the
+// seed capacity (forcing collision chains and reinsertion).
 func TestCompactMemoTable(t *testing.T) {
-	m := &compactMemo{}
+	m := &compactMemo{wordVals: true}
 	m.reset()
 	if _, ok := m.get(7); ok {
 		t.Fatal("empty table reported a hit")
@@ -77,11 +78,11 @@ func TestCompactMemoTable(t *testing.T) {
 
 	// shrink obeys the budget in both directions.
 	m.shrink(1 << 30)
-	if m.keys == nil {
+	if m.slots == nil {
 		t.Fatal("shrink freed a table within budget")
 	}
 	m.shrink(0)
-	if m.keys != nil {
+	if m.slots != nil {
 		t.Fatal("shrink kept a table past the budget")
 	}
 	m.reset()
@@ -91,11 +92,76 @@ func TestCompactMemoTable(t *testing.T) {
 	}
 }
 
+// TestCompactMemoBitMode covers the packed near-cache layout: the verdict
+// bit rides inside the slot word (no value array at all), so the table is
+// 8 B/slot while keeping the full get/put/overwrite/epoch semantics.
+func TestCompactMemoBitMode(t *testing.T) {
+	m := &compactMemo{}
+	m.reset()
+	for i := int32(0); i < 3*compactMemoMinCap; i++ {
+		m.put(i, uint64(i)&1)
+	}
+	if m.vals != nil {
+		t.Fatal("bit mode allocated a value array")
+	}
+	for i := int32(0); i < 3*compactMemoMinCap; i++ {
+		if v, ok := m.get(i); !ok || v != uint64(i)&1 {
+			t.Fatalf("get(%d) = (%d, %v), want (%d, true)", i, v, ok, uint64(i)&1)
+		}
+	}
+	m.put(7, 0) // overwrite flips the packed bit
+	if v, ok := m.get(7); !ok || v != 0 {
+		t.Fatalf("overwrite get(7) = (%d, %v), want (0, true)", v, ok)
+	}
+	if got := m.retainedBytes(); got != compactMemoBitSlotBytes*len(m.slots) {
+		t.Fatalf("retainedBytes = %d, want %d per slot", got, compactMemoBitSlotBytes)
+	}
+	m.reset()
+	if _, ok := m.get(3); ok {
+		t.Fatal("stale bit-mode entry visible after reset")
+	}
+	// Negative-looking ids (high bit set) must round-trip through the
+	// 32-bit packed key.
+	m.put(-2, 1)
+	if v, ok := m.get(-2); !ok || v != 1 {
+		t.Fatalf("get(-2) = (%d, %v), want (1, true)", v, ok)
+	}
+	if _, ok := m.get(2); ok {
+		t.Fatal("id 2 aliased id -2 in the packed key")
+	}
+}
+
+// TestCompactMemoEpochWrap pins the 31-bit packed stamp's wrap handling:
+// when the epoch reaches the packing limit, reset must clear the table
+// and restart at 1 so no pre-wrap entry can ever read as live again.
+func TestCompactMemoEpochWrap(t *testing.T) {
+	for _, wordVals := range []bool{false, true} {
+		m := &compactMemo{wordVals: wordVals}
+		m.epoch = compactMemoEpochMax - 2
+		m.reset() // epoch = max-1, the last representable stamp
+		m.put(11, 1)
+		if v, ok := m.get(11); !ok || v != 1 {
+			t.Fatalf("wordVals=%v: pre-wrap get = (%d, %v)", wordVals, v, ok)
+		}
+		m.reset() // would be max: must clear and restart at 1
+		if m.epoch != 1 {
+			t.Fatalf("wordVals=%v: post-wrap epoch = %d, want 1", wordVals, m.epoch)
+		}
+		if _, ok := m.get(11); ok {
+			t.Fatalf("wordVals=%v: pre-wrap entry visible after wrap", wordVals)
+		}
+		m.put(13, 1)
+		if v, ok := m.get(13); !ok || v != 1 {
+			t.Fatalf("wordVals=%v: post-wrap put/get = (%d, %v)", wordVals, v, ok)
+		}
+	}
+}
+
 // TestCompactMemoAdversarialCollisions drives ids that all hash to nearby
 // slots (multiples of the capacity stride collide under the mask) to
 // exercise long linear-probe chains.
 func TestCompactMemoAdversarialCollisions(t *testing.T) {
-	m := &compactMemo{}
+	m := &compactMemo{wordVals: true}
 	m.reset()
 	ids := make([]int32, 48)
 	for i := range ids {
@@ -299,7 +365,7 @@ func TestPutQuerierTrimsOversizedScratch(t *testing.T) {
 	opts := IndependentOptions{Memo: MemoOptions{
 		Backend:             MemoCompact,
 		MaxRetainedQueriers: 4,
-		ScratchBudget:       compactMemoSlotBytes * compactMemoMinCap, // one seed table exactly
+		ScratchBudget:       compactMemoBitSlotBytes * compactMemoMinCap, // one seed near-cache table exactly
 	}}
 	d, err := NewIndependent[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 2}, lineDataset(4096), 4000, opts, 257)
 	if err != nil {
@@ -455,7 +521,7 @@ func burstScratch[P any](d *Independent[P], queriers int) (bytes, retained int) 
 	for _, qr := range held {
 		d.base.putQuerier(qr)
 	}
-	return d.RetainedScratchBytes(), d.base.pool.retained()
+	return d.RetainedScratchBytes(), d.base.pool.Retained()
 }
 
 // chunkFamily buckets the integer line into fixed-width chunks — a

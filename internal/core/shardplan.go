@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+
+	"fairnn/internal/rng"
+)
+
+// This file is the shard-support surface of the Section 4 structure: the
+// hooks internal/shard composes into a uniformity-preserving fan-out
+// across partitioned indexes. The sharded sampler cannot simply pick a
+// shard uniformly and sample inside it — shards hold different numbers of
+// near neighbors of q, so that two-stage draw is biased toward points in
+// sparse shards. The fix is the same weighted-choice-plus-rejection
+// machinery the paper uses to sample uniformly from a union of buckets:
+// treat the union of all shards' rank segments as one segment pool, pick
+// a segment uniformly across the pool (equivalently: pick shard j with
+// probability proportional to its segment count k_j — itself proportional
+// to the per-query near-count estimate ŝ_j — then a uniform segment
+// inside j), accept the segment with probability λ_q,h/λ, and return a
+// uniform near point of the accepted segment. Per round the probability
+// of outputting a specific near point x of shard j is
+//
+//	(k_j/Σk) · (1/k_j) · (λ_q,h/λ) · (1/λ_q,h) = 1/(λ·Σk),
+//
+// independent of j, of the segment, and of the segment counts — so every
+// accepted draw is exactly uniform over the union ball and the estimate
+// error in ŝ_j (hence in k_j) is fully corrected by the rejection step,
+// for any k_j evolution. The only cross-shard requirement is a shared λ
+// (and a shared Σ halving budget), which the sharded builder pins by
+// resolving IndependentOptions once against the global point count.
+//
+// A ShardPlan is the per-shard slice of one logical sharded query: a
+// checked-out pooled querier holding the shard's resolved buckets,
+// sketch estimate, near-cache epoch and merged-cursor state. All
+// acceptance randomness is drawn from the caller's single stream — the
+// shard's own per-query RNG is never consulted — so a sharded query is
+// deterministic per (structure, seed, query counter) no matter how the
+// per-shard resolve work is scheduled across workers.
+
+// ShardPlan is an armed per-shard query plan (see the file comment). The
+// zero value is inert; arm it with Independent.BeginShardPlan and release
+// it with Close. A plan is single-goroutine state, but distinct plans of
+// the same sharded query may be armed concurrently (each holds its own
+// pooled querier).
+type ShardPlan[P any] struct {
+	d   *Independent[P]
+	qr  *querier
+	q   P
+	est float64
+	k0  int // initial segment count (0 when the shard recalls nothing)
+	k   int // current segment count, halved on Σ-budget exhaustion
+	// last is the near-id report of the most recent SegmentNear, aliasing
+	// the querier's candidate buffer (valid until the next SegmentNear).
+	last []int32
+}
+
+// BeginShardPlan resolves q against d — one single-pass signature, L
+// bucket lookups and the merged count-distinct estimate ŝ — and arms p
+// for segment draws. It checks a pooled querier out of d, so every
+// armed plan MUST be released with Close. The near-cache epoch spans the
+// plan's whole lifetime: all draws of one logical sharded query share one
+// epoch, exactly like the loops of an unsharded SampleK.
+func (d *Independent[P]) BeginShardPlan(p *ShardPlan[P], q P, st *QueryStats) {
+	p.d = d
+	p.q = q
+	p.qr = d.base.getQuerier()
+	d.base.resolve(q, p.qr, st)
+	p.est = d.estimateCandidates(p.qr, st)
+	p.k0 = 0
+	if p.est > 0 {
+		k := nextPow2(int(math.Ceil(2 * p.est)))
+		if k > d.maxK {
+			k = d.maxK
+		}
+		p.k0 = k
+	}
+	p.k = p.k0
+	p.last = nil
+}
+
+// ResetDraw rearms the plan for a fresh draw: the segment count restarts
+// from its estimate-derived initial value, exactly as each loop of an
+// unsharded SampleK recomputes k from ŝ.
+func (p *ShardPlan[P]) ResetDraw() { p.k = p.k0 }
+
+// Segments returns the plan's current segment count k_j — the shard's
+// weight in the combined segment pool (0 when the shard is exhausted or
+// recalled nothing).
+func (p *ShardPlan[P]) Segments() int { return p.k }
+
+// Estimate returns the shard's per-query near-count estimate ŝ_j.
+func (p *ShardPlan[P]) Estimate() float64 { return p.est }
+
+// Halve halves the segment count (the Σ-budget correction). The sharded
+// loop floors a live shard at k=1 until every shard reaches the all-ones
+// floor — per-round uniformity over the union needs k_j ≥ 1 in every
+// shard — and only then halves all shards to zero together, ending the
+// draw.
+func (p *ShardPlan[P]) Halve() { p.k /= 2 }
+
+// SegmentNear reports the number of distinct near points in segment h
+// (0 ≤ h < Segments()) of the shard's rank permutation, retaining the ids
+// for Pick. It charges the same bucket/point/score counters as the
+// unsharded rejection round and shares the plan's near-cache and adaptive
+// merged cursor across rounds and draws.
+func (p *ShardPlan[P]) SegmentNear(h int, st *QueryStats) int {
+	n := int64(p.d.base.N())
+	k := int64(p.k)
+	lo := int32(int64(h) * n / k)
+	hi := int32(int64(h+1) * n / k)
+	p.last = p.d.segmentNear(p.q, p.qr, lo, hi, st)
+	return len(p.last)
+}
+
+// Pick returns a uniform near id (shard-local) from the last SegmentNear
+// report, drawing from r. It must follow a SegmentNear that returned > 0.
+func (p *ShardPlan[P]) Pick(r *rng.Source) int32 {
+	return p.last[r.Intn(len(p.last))]
+}
+
+// Close releases the plan's pooled querier and drops the query point —
+// plans live inside pooled sessions, and a retained q would pin the
+// caller's (possibly large) query slice between queries, invisible to
+// RetainedScratchBytes. Safe to call on a zero or already-closed plan.
+func (p *ShardPlan[P]) Close() {
+	if p.qr != nil {
+		p.d.base.putQuerier(p.qr)
+		p.qr = nil
+		p.last = nil
+		var zero P
+		p.q = zero
+	}
+}
+
+// QueryStreamSeed exposes the seed of the structure's per-query
+// randomness streams. The sharded sampler derives its own single query
+// stream from shard 0's value, so a one-shard sharded sampler replays the
+// exact per-query streams of the unsharded structure it wraps — the
+// S=1 bit-compatibility contract.
+func (d *Independent[P]) QueryStreamSeed() uint64 { return d.base.qseed }
+
+// Resolved returns o with every zero field resolved to its documented
+// default for n indexed points. The sharded builder resolves once against
+// the global point count so all shards share one λ and one Σ budget —
+// uniformity across the union needs the acceptance test to be identical
+// in every shard.
+func (o IndependentOptions) Resolved(n int) IndependentOptions { return o.withDefaults(n) }

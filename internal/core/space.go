@@ -127,6 +127,19 @@ type QueryStats struct {
 	Clamped bool
 	// Found reports whether the query returned a point.
 	Found bool
+	// ShardRounds counts the rejection rounds charged to each shard of a
+	// sharded query (index = shard). Sharded queries size it to the shard
+	// count (reusing capacity across queries); unsharded queries leave it
+	// nil.
+	ShardRounds []int
+	// ShardEstimates records each shard's per-query near-count estimate
+	// ŝ_j of a sharded query; nil for unsharded queries. SketchEstimate
+	// holds their sum (the union estimate).
+	ShardEstimates []float64
+	// ShardChosen is the shard that produced the most recent sharded
+	// sample, or -1 when the draw failed; meaningful only after a sharded
+	// query (unsharded queries leave the zero value).
+	ShardChosen int
 }
 
 // add merges counters (used when one logical query performs sub-queries).
@@ -143,7 +156,40 @@ func (s *QueryStats) add(o QueryStats) {
 	s.FilterEvals += o.FilterEvals
 	s.Clamped = s.Clamped || o.Clamped
 	s.CursorMerged = s.CursorMerged || o.CursorMerged
+	s.ShardRounds = mergeShard(s.ShardRounds, o.ShardRounds)
+	s.ShardEstimates = mergeShard(s.ShardEstimates, o.ShardEstimates)
 }
+
+// mergeShard folds per-shard counter slices: adopt o's when s has none,
+// add element-wise when the shard counts match, and otherwise keep s
+// unchanged — per-index sums across different shard layouts have no
+// meaning (see Merge).
+func mergeShard[T int | float64](s, o []T) []T {
+	switch {
+	case len(o) == 0:
+		return s
+	case len(s) == 0:
+		return append(s, o...)
+	case len(s) == len(o):
+		for i, v := range o {
+			s[i] += v
+		}
+	}
+	return s
+}
+
+// Merge folds o's counters into s — the exported form of the internal
+// accumulation used by multi-stage queries. The sharded fan-out resolves
+// shards on worker goroutines against per-worker stats and merges them
+// into the caller's afterwards (QueryStats itself is not safe for
+// concurrent mutation). Per-shard slices (ShardRounds, ShardEstimates)
+// are adopted when s has none and summed element-wise when the shard
+// counts match; merging stats from samplers with different shard counts
+// keeps s's slices unchanged, since per-index sums across different
+// layouts are meaningless. The point-in-time records (SketchEstimate,
+// FinalK, ShardChosen, Found) are set by the query that produced them,
+// not accumulated.
+func (s *QueryStats) Merge(o QueryStats) { s.add(o) }
 
 // bump* helpers tolerate nil receivers so query code stays uncluttered.
 

@@ -9,6 +9,8 @@ import (
 	"fairnn/internal/core"
 	"fairnn/internal/dataset"
 	"fairnn/internal/filter"
+	"fairnn/internal/lsh"
+	"fairnn/internal/shard"
 	"fairnn/internal/vector"
 )
 
@@ -35,6 +37,12 @@ type ScalingConfig struct {
 	// structure; the zero value keeps the defaults (the CLI's -memo
 	// flag lands here).
 	Memo core.MemoOptions
+	// Shards, when > 0, additionally builds a sharded Section 4 sampler
+	// (SimHash over the same vectors, partitioned round-robin across
+	// Shards shards) at every n and reports its build and query wall
+	// times — the shard-count sweep of the scaling experiment (the CLI's
+	// -shards flag lands here).
+	Shards int
 }
 
 // DefaultScaling uses α=0.8, β=0.5 (ρ ≈ 0.75) over n = 1k..8k.
@@ -67,6 +75,11 @@ type ScalingRow struct {
 	// check: must equal L·n exactly).
 	SpaceRefs int
 	Banks     int
+	// ShardedBuildMicros and ShardedMicros are the sharded Section 4
+	// sampler's build and mean per-query wall times (populated only when
+	// Config.Shards > 0).
+	ShardedBuildMicros float64
+	ShardedMicros      float64
 }
 
 // ScalingResult carries the series and fitted exponents.
@@ -108,7 +121,7 @@ func RunScaling(cfg ScalingConfig) (*ScalingResult, error) {
 			exactMicros += float64(time.Since(start).Nanoseconds()) / 1000
 		}
 		q := float64(cfg.QueriesPerN)
-		res.Rows = append(res.Rows, ScalingRow{
+		row := ScalingRow{
 			N:           n,
 			Candidates:  cand / q,
 			FilterEvals: evals / q,
@@ -116,11 +129,46 @@ func RunScaling(cfg ScalingConfig) (*ScalingResult, error) {
 			ExactMicros: exactMicros / q,
 			SpaceRefs:   fi.Banks() * n,
 			Banks:       fi.Banks(),
-		})
+		}
+		if cfg.Shards > 0 {
+			build, query, err := shardedPoint(cfg, w, n)
+			if err != nil {
+				return nil, err
+			}
+			row.ShardedBuildMicros, row.ShardedMicros = build, query
+		}
+		res.Rows = append(res.Rows, row)
 	}
 	res.CandidateExponent = fitExponent(res.Rows, func(r ScalingRow) float64 { return r.Candidates })
 	res.ExactExponent = fitExponent(res.Rows, func(r ScalingRow) float64 { return r.ExactMicros })
 	return res, nil
+}
+
+// shardedPoint measures the sharded Section 4 sampler (SimHash over the
+// same planted vectors, round-robin across cfg.Shards shards) at one
+// dataset size: build wall time and mean Sample wall time, in µs. LSH
+// parameters are chosen per shard from its point count, exactly as the
+// façade constructor does.
+func shardedPoint(cfg ScalingConfig, w dataset.PlantedBall, n int) (buildMicros, queryMicros float64, err error) {
+	fam := lsh.SimHash{Dim: cfg.Dim}
+	paramsFor := func(shardSize int) lsh.Params {
+		k := lsh.ChooseK[vector.Vec](fam, shardSize, 0, 5)
+		l := lsh.ChooseL[vector.Vec](fam, k, cfg.Alpha, 0.99)
+		return lsh.Params{K: k, L: l}
+	}
+	start := time.Now()
+	sh, err := shard.Build[vector.Vec](core.InnerProduct(), fam, paramsFor, w.Points, cfg.Alpha,
+		core.IndependentOptions{Memo: cfg.Memo}, cfg.Shards, shard.RoundRobin{}, cfg.Seed+uint64(n)*13)
+	if err != nil {
+		return 0, 0, err
+	}
+	buildMicros = float64(time.Since(start).Nanoseconds()) / 1000
+	start = time.Now()
+	for qi := 0; qi < cfg.QueriesPerN; qi++ {
+		sh.Sample(w.Query, nil)
+	}
+	queryMicros = float64(time.Since(start).Nanoseconds()) / 1000 / float64(cfg.QueriesPerN)
+	return buildMicros, queryMicros, nil
 }
 
 // fitExponent returns the least-squares slope of log(metric) vs log(n).
@@ -152,11 +200,12 @@ func fitExponent(rows []ScalingRow, metric func(ScalingRow) float64) float64 {
 	return (n*sxy - sx*sy) / den
 }
 
-// Render writes the table.
+// Render writes the table (plus the sharded columns when the sweep ran).
 func (r *ScalingResult) Render(w io.Writer) error {
+	sharded := r.Config.Shards > 0
 	rows := make([][]string, 0, len(r.Rows))
 	for _, row := range r.Rows {
-		rows = append(rows, []string{
+		cells := []string{
 			fmt.Sprintf("%d", row.N),
 			f2(row.Candidates),
 			f2(row.FilterEvals),
@@ -164,12 +213,19 @@ func (r *ScalingResult) Render(w io.Writer) error {
 			f2(row.ExactMicros),
 			fmt.Sprintf("%d", row.SpaceRefs),
 			fmt.Sprintf("%d", row.Banks),
-		})
+		}
+		if sharded {
+			cells = append(cells, f2(row.ShardedBuildMicros), f2(row.ShardedMicros))
+		}
+		rows = append(rows, cells)
 	}
-	if err := WriteTable(w,
-		fmt.Sprintf("Section 5 scaling (α=%.2f β=%.2f, theoretical ρ=%.3f): query work vs n", r.Config.Alpha, r.Config.Beta, r.Rho),
-		[]string{"n", "candidates/query", "filter evals", "mean µs", "exact µs", "space refs", "banks"},
-		rows); err != nil {
+	header := []string{"n", "candidates/query", "filter evals", "mean µs", "exact µs", "space refs", "banks"}
+	title := fmt.Sprintf("Section 5 scaling (α=%.2f β=%.2f, theoretical ρ=%.3f): query work vs n", r.Config.Alpha, r.Config.Beta, r.Rho)
+	if sharded {
+		header = append(header, fmt.Sprintf("S=%d build µs", r.Config.Shards), fmt.Sprintf("S=%d µs", r.Config.Shards))
+		title += fmt.Sprintf(" (+ sharded Section 4, S=%d)", r.Config.Shards)
+	}
+	if err := WriteTable(w, title, header, rows); err != nil {
 		return err
 	}
 	_, err := fmt.Fprintf(w, "\nfitted exponents: candidates ~ n^%.2f (theory ρ=%.2f, sub-linear), exact scan ~ n^%.2f\n",

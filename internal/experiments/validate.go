@@ -9,6 +9,7 @@ import (
 	"fairnn/internal/dataset"
 	"fairnn/internal/lsh"
 	"fairnn/internal/set"
+	"fairnn/internal/shard"
 	"fairnn/internal/stats"
 )
 
@@ -30,6 +31,11 @@ type ValidateConfig struct {
 	// samplers; the zero value keeps the defaults (the CLI's -memo flag
 	// lands here).
 	Memo core.MemoOptions
+	// Shards, when > 0, adds a sharded Section 4 row: the same workload
+	// partitioned round-robin across Shards shards, so the uniformity and
+	// independence checks cover the two-stage union draw (the CLI's
+	// -shards flag lands here).
+	Shards int
 }
 
 // DefaultValidate returns a configuration that runs in a few seconds.
@@ -153,6 +159,20 @@ func RunValidate(cfg ValidateConfig) (*ValidateResult, error) {
 	observe("Section 4 (Independent)", "Thm 2", true, func() (int32, bool) {
 		return ind.Sample(q, nil)
 	})
+
+	// Theorem 2 across a partitioned index: the sharded union draw must be
+	// just as uniform and independent as the single structure.
+	if cfg.Shards > 0 {
+		sh, err := shard.Build[set.Set](space, lsh.OneBitMinHash{},
+			func(int) lsh.Params { return params }, sets, cfg.Radius,
+			core.IndependentOptions{Memo: cfg.Memo}, cfg.Shards, shard.RoundRobin{}, cfg.Seed+5)
+		if err != nil {
+			return nil, err
+		}
+		observe(fmt.Sprintf("Sharded Section 4 (S=%d)", cfg.Shards), "Thm 2", true, func() (int32, bool) {
+			return sh.Sample(q, nil)
+		})
+	}
 
 	// Baseline contrast: the biased standard query (no theorem — shows
 	// what failure looks like).

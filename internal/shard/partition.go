@@ -1,0 +1,53 @@
+// Package shard is the sharded-sampler subsystem: it partitions a point
+// set across S shards, builds one Section 4 (r-NNIS) structure per shard
+// in parallel, and answers queries with a uniformity-preserving two-stage
+// draw over the union of the shards' balls — shard chosen with
+// probability proportional to its per-query near-count estimate, draw
+// inside the shard, estimate error corrected by the same rejection step
+// the paper uses to sample uniformly from a union of buckets (see
+// internal/core/shardplan.go for the distributional argument). The
+// façade exposes it as fairnn.Sharded.
+package shard
+
+import "fairnn/internal/rng"
+
+// Partitioner assigns each global point index to a shard. Assign must be
+// deterministic (the id-translation tables are built from it once) and
+// must return a value in [0, shards) for every i in [0, n).
+type Partitioner interface {
+	// Name identifies the scheme in flags and error messages.
+	Name() string
+	// Assign returns the shard for global point index i of n total.
+	Assign(i, n, shards int) int
+}
+
+// RoundRobin stripes points across shards in index order: point i lands
+// in shard i mod S. Shard sizes differ by at most one, and with S=1 the
+// partition preserves the global point order exactly (the basis of the
+// single-shard bit-compatibility contract).
+type RoundRobin struct{}
+
+// Name implements Partitioner.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Assign implements Partitioner.
+func (RoundRobin) Assign(i, _, shards int) int { return i % shards }
+
+// Hash assigns each point by a seeded mix of its index: shard loads are
+// balanced in expectation regardless of how the input is ordered, so an
+// adversarially ordered dataset (e.g. clustered points arriving in
+// cluster order, which round-robin would stripe into correlated shards)
+// still spreads evenly. With S=1 every point lands in shard 0 in global
+// order, preserving the bit-compatibility contract.
+type Hash struct {
+	// Seed keys the mix; the zero value is a valid fixed key.
+	Seed uint64
+}
+
+// Name implements Partitioner.
+func (Hash) Name() string { return "hash" }
+
+// Assign implements Partitioner.
+func (h Hash) Assign(i, _, shards int) int {
+	return int(rng.Mix64(uint64(i)^h.Seed) % uint64(shards))
+}

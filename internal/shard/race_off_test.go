@@ -1,0 +1,7 @@
+//go:build !race
+
+package shard
+
+// raceEnabled reports whether the race detector is active; alloc-count
+// assertions are skipped under -race (instrumentation allocates).
+const raceEnabled = false

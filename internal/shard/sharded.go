@@ -1,0 +1,487 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"fairnn/internal/core"
+	"fairnn/internal/lsh"
+	"fairnn/internal/rng"
+)
+
+// ctxCheckRounds is the rejection-loop cancellation granularity, kept
+// equal to the unsharded loop's (internal/core/context.go) so a
+// single-shard sharded query checks — and therefore draws and returns —
+// exactly like the structure it wraps.
+const ctxCheckRounds = 64
+
+// Sharded is a fair sampler over a point set partitioned across S
+// shards, each backed by its own Section 4 (r-NNIS) structure. It
+// satisfies the façade's full Sampler contract.
+//
+// A query arms one ShardPlan per shard (hashing q in the shard's tables
+// and merging its count-distinct sketches into the per-shard estimate
+// ŝ_j), then repeats the two-stage round: pick a segment uniformly from
+// the union of all shards' segment pools — i.e. shard j with probability
+// k_j/Σk, k_j ∝ ŝ_j — count the segment's near points exactly, accept
+// with probability λ_q,h/λ, and return a uniform near point of the
+// accepted segment, translated to its global id. Each accepted round is
+// exactly uniform over the union ball for any segment-count vector (the
+// rejection step absorbs all estimate error; see
+// internal/core/shardplan.go), and every draw spends fresh randomness,
+// so consecutive outputs are independent — Theorem 2 lifted to the
+// partitioned index.
+//
+// All randomness of one logical query (a Sample, or all draws of one
+// SampleK or Samples stream) comes from a single stream split off the
+// seed by an atomic query counter, so outputs are deterministic per
+// (structure, query index) no matter how the per-shard resolve work is
+// scheduled across workers. With S=1 the stream, the wrapped structure
+// and the round arithmetic all coincide with the unsharded sampler's, so
+// a one-shard Sharded is bit-identical to the Independent it wraps.
+//
+// Query methods are safe for concurrent use: per-shard scratch comes
+// from each shard's bounded querier pool and sessions are pooled the
+// same way. Steady-state Sample performs zero heap allocations.
+type Sharded[P any] struct {
+	shards   []*core.Independent[P]
+	toGlobal [][]int32 // per shard: local id -> global id
+	lambda   float64
+	sigma    int
+	partName string
+	size     int
+	// floorGrace is ⌈log₂ S⌉: the number of extra Σ-periods a draw spends
+	// at the all-ones segment floor before giving up. The unsharded loop
+	// ends with one Σ-period each at k = ..., 2, 1; with S live shards the
+	// pool cannot shrink below S, so those final periods — which carry
+	// most of the loop's tail success mass — are unreachable. Holding the
+	// floor for ⌈log₂ S⌉ extra periods restores the unsharded failure
+	// probability δ, and is exactly zero extra periods at S=1 (the
+	// bit-compatibility contract).
+	floorGrace int
+
+	qseed uint64
+	qctr  atomic.Uint64
+
+	// pool is the capped session free list (the querier-pool discipline,
+	// one level up, on core's shared BoundedPool): sessions beyond the cap
+	// are dropped for the GC, so a concurrency burst cannot pin scratch
+	// forever.
+	pool core.BoundedPool[session[P]]
+}
+
+// session is the pooled per-query scratch of the sharded fan-out: one
+// armed plan per shard, the query's single RNG stream, and the
+// per-worker stats used by the parallel arm barrier (kept here so a
+// stats-enabled bulk query stays allocation-free in steady state).
+type session[P any] struct {
+	plans []core.ShardPlan[P]
+	rng   rng.Source
+	subs  []core.QueryStats
+}
+
+// Build partitions points across shards with part (nil defaults to
+// RoundRobin) and constructs one Section 4 structure per shard, in
+// parallel across up to GOMAXPROCS workers. paramsFor chooses the LSH
+// (K, L) for one shard from its point count — each shard tunes to its
+// own size. opts is resolved once against the global point count, so
+// every shard shares one λ and one Σ budget (the acceptance test must be
+// identical across shards for the union draw to be uniform); per-shard
+// structures get distinct derived seeds, so LSH recall failures are
+// independent across shards, and shard 0's seed equals the global seed —
+// with S=1 the build is bit-identical to the unsharded constructor's.
+func Build[P any](space core.Space[P], family lsh.Family[P], paramsFor func(shardSize int) lsh.Params, points []P, radius float64, opts core.IndependentOptions, shards int, part Partitioner, seed uint64) (*Sharded[P], error) {
+	n := len(points)
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: shard count %d < 1", shards)
+	}
+	if n == 0 {
+		return nil, errors.New("shard: empty point set")
+	}
+	if shards > n {
+		return nil, fmt.Errorf("shard: %d shards over %d points leaves shards empty", shards, n)
+	}
+	if part == nil {
+		part = RoundRobin{}
+	}
+	opts = opts.Resolved(n)
+
+	local := make([][]P, shards)
+	toGlobal := make([][]int32, shards)
+	for i, p := range points {
+		j := part.Assign(i, n, shards)
+		if j < 0 || j >= shards {
+			return nil, fmt.Errorf("shard: partitioner %q assigned point %d to shard %d of %d", part.Name(), i, j, shards)
+		}
+		local[j] = append(local[j], p)
+		toGlobal[j] = append(toGlobal[j], int32(i))
+	}
+	for j := range local {
+		if len(local[j]) == 0 {
+			return nil, fmt.Errorf("shard: partitioner %q left shard %d empty (use fewer shards or RoundRobin)", part.Name(), j)
+		}
+	}
+
+	s := &Sharded[P]{
+		shards:     make([]*core.Independent[P], shards),
+		toGlobal:   toGlobal,
+		lambda:     float64(opts.Lambda),
+		sigma:      opts.SigmaBudget,
+		partName:   part.Name(),
+		size:       n,
+		floorGrace: bits.Len(uint(shards - 1)),
+	}
+	errs := make([]error, shards)
+	fanOut(shards, func(j int) {
+		d, err := core.NewIndependent(space, family, paramsFor(len(local[j])), local[j], radius, opts, seed+uint64(j)*0x9e3779b97f4a7c15)
+		s.shards[j], errs[j] = d, err
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.qseed = s.shards[0].QueryStreamSeed()
+	// One retention knob governs both pooling layers: the session pool
+	// honors the same (resolved) MaxRetainedQueriers as each shard's
+	// querier pool.
+	s.pool.SetCap(opts.Memo.Resolved().MaxRetainedQueriers)
+	return s, nil
+}
+
+// fanOut runs fn(0..n-1) across up to min(GOMAXPROCS, n) workers via
+// core.ParallelRange (one shared worker pattern instead of a private
+// copy). With one worker it runs inline, spawning nothing.
+func fanOut(n int, fn func(i int)) {
+	core.ParallelRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Size returns the total number of indexed points across shards.
+func (s *Sharded[P]) Size() int { return s.size }
+
+// Shards returns the shard count S.
+func (s *Sharded[P]) Shards() int { return len(s.shards) }
+
+// ShardSizes returns the per-shard point counts (a fresh slice).
+func (s *Sharded[P]) ShardSizes() []int {
+	sizes := make([]int, len(s.shards))
+	for j, d := range s.shards {
+		sizes[j] = d.N()
+	}
+	return sizes
+}
+
+// PartitionerName reports the partitioning scheme the index was built
+// with.
+func (s *Sharded[P]) PartitionerName() string { return s.partName }
+
+// Lambda returns the shared per-segment cap λ of the acceptance test.
+func (s *Sharded[P]) Lambda() int { return int(s.lambda) }
+
+// Point returns the indexed point with the given global id.
+func (s *Sharded[P]) Point(id int32) P {
+	// Global ids are dense in [0, n); locate the owning shard by scanning
+	// the translation tables (introspection only — queries never call this).
+	for j, ids := range s.toGlobal {
+		lo, hi := 0, len(ids)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ids[mid] < id {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(ids) && ids[lo] == id {
+			return s.shards[j].Point(int32(lo))
+		}
+	}
+	panic("shard: id out of range")
+}
+
+// RetainedScratchBytes sums the pooled per-query scratch every shard
+// currently pins between queries.
+func (s *Sharded[P]) RetainedScratchBytes() int {
+	total := 0
+	for _, d := range s.shards {
+		total += d.RetainedScratchBytes()
+	}
+	return total
+}
+
+// begin checks out a session, seeds the query's single RNG stream from
+// the atomic query counter, and arms one plan per shard — in parallel
+// across workers when parallel is set (the SampleK bulk path; arming
+// draws no randomness, so scheduling cannot change any output). Per-shard
+// cost counters land in st; st.ShardEstimates records each ŝ_j and
+// st.SketchEstimate their sum.
+func (s *Sharded[P]) begin(q P, st *core.QueryStats, parallel bool) *session[P] {
+	ses := s.pool.Get()
+	if ses == nil {
+		ses = &session[P]{plans: make([]core.ShardPlan[P], len(s.shards))}
+	}
+	ses.rng.Seed(s.qseed ^ rng.Mix64(s.qctr.Add(1)))
+	if parallel && runtime.GOMAXPROCS(0) > 1 && len(s.shards) > 1 {
+		// QueryStats is not safe for concurrent mutation: workers fill
+		// per-shard stats (session-pooled), folded into st after the
+		// barrier.
+		var sub []core.QueryStats
+		if st != nil {
+			if cap(ses.subs) < len(s.shards) {
+				ses.subs = make([]core.QueryStats, len(s.shards))
+			}
+			sub = ses.subs[:len(s.shards)]
+			for j := range sub {
+				sub[j] = core.QueryStats{}
+			}
+		}
+		fanOut(len(s.shards), func(j int) {
+			var sj *core.QueryStats
+			if sub != nil {
+				sj = &sub[j]
+			}
+			s.shards[j].BeginShardPlan(&ses.plans[j], q, sj)
+		})
+		for j := range sub {
+			st.Merge(sub[j])
+		}
+	} else {
+		for j := range ses.plans {
+			s.shards[j].BeginShardPlan(&ses.plans[j], q, st)
+		}
+	}
+	if st != nil {
+		if cap(st.ShardRounds) < len(ses.plans) {
+			st.ShardRounds = make([]int, len(ses.plans))
+		} else {
+			st.ShardRounds = st.ShardRounds[:len(ses.plans)]
+			clear(st.ShardRounds)
+		}
+		if cap(st.ShardEstimates) < len(ses.plans) {
+			st.ShardEstimates = make([]float64, len(ses.plans))
+		} else {
+			st.ShardEstimates = st.ShardEstimates[:len(ses.plans)]
+		}
+		total := 0.0
+		for j := range ses.plans {
+			st.ShardEstimates[j] = ses.plans[j].Estimate()
+			total += ses.plans[j].Estimate()
+		}
+		st.SketchEstimate = total
+	}
+	return ses
+}
+
+// release closes every plan (returning the shards' pooled queriers) and
+// recycles the session.
+func (s *Sharded[P]) release(ses *session[P]) {
+	for j := range ses.plans {
+		ses.plans[j].Close()
+	}
+	s.pool.Put(ses)
+}
+
+// drawResolved runs one two-stage rejection draw against an armed
+// session. The round structure — counter, ctx poll cadence, segment
+// pick, Σ-budget halving order, acceptance clamp — mirrors the unsharded
+// sampleResolved exactly, so with S=1 the randomness is spent call for
+// call on the same stream.
+func (s *Sharded[P]) drawResolved(ctx context.Context, ses *session[P], st *core.QueryStats) (int32, bool) {
+	for j := range ses.plans {
+		ses.plans[j].ResetDraw()
+	}
+	total := 0
+	for j := range ses.plans {
+		total += ses.plans[j].Segments()
+	}
+	if st != nil {
+		st.ShardChosen = -1
+	}
+	if total == 0 {
+		if st != nil {
+			st.Found = false
+		}
+		return 0, false
+	}
+	sigmaFail := 0
+	grace := s.floorGrace
+	for rounds := 0; total >= 1; {
+		if st != nil {
+			st.Rounds++
+		}
+		rounds++
+		if rounds%ctxCheckRounds == 0 && ctx.Err() != nil {
+			if st != nil {
+				st.Found = false
+			}
+			return 0, false
+		}
+		// One uniform pick over the union segment pool = shard j with
+		// probability k_j/Σk, then a uniform segment h inside shard j.
+		u := ses.rng.Intn(total)
+		j := 0
+		for u >= ses.plans[j].Segments() {
+			u -= ses.plans[j].Segments()
+			j++
+		}
+		if st != nil && j < len(st.ShardRounds) {
+			st.ShardRounds[j]++
+		}
+		lqh := ses.plans[j].SegmentNear(u, st)
+		sigmaFail++
+		if sigmaFail >= s.sigma {
+			// Σ-budget exhausted: shrink the pool. Two invariants guard
+			// the halving — both no-ops at S=1, so bit-compatibility is
+			// untouched:
+			//
+			//   - A shard at k=1 is floored there while any other shard
+			//     still has k>1. The per-round emit probability 1/(λ·Σk)
+			//     is uniform over the union only while every shard keeps
+			//     k_j ≥ 1; letting a small-estimate shard fall to 0 ahead
+			//     of the rest would erase its ball from all later periods
+			//     and bias the output against it. Shards therefore leave
+			//     the pool only all together, from the all-ones floor.
+			//   - At the all-ones floor a halving would zero the whole
+			//     pool; the floor grace is spent first (see the field doc
+			//     — this is where the unsharded loop's k<S tail periods
+			//     are recovered).
+			maxSeg := 0
+			for i := range ses.plans {
+				if k := ses.plans[i].Segments(); k > maxSeg {
+					maxSeg = k
+				}
+			}
+			switch {
+			case maxSeg > 1:
+				for i := range ses.plans {
+					if ses.plans[i].Segments() > 1 {
+						ses.plans[i].Halve()
+					}
+				}
+				total = 0
+				for i := range ses.plans {
+					total += ses.plans[i].Segments()
+				}
+			case grace > 0:
+				grace--
+			default:
+				for i := range ses.plans {
+					ses.plans[i].Halve()
+				}
+				total = 0
+			}
+			sigmaFail = 0
+		}
+		if lqh == 0 {
+			continue
+		}
+		p := float64(lqh) / s.lambda
+		if p > 1 {
+			if st != nil {
+				st.Clamped = true
+			}
+			p = 1
+		}
+		if ses.rng.Bernoulli(p) {
+			if st != nil {
+				st.FinalK = total
+				st.ShardChosen = j
+				st.Found = true
+			}
+			return s.toGlobal[j][ses.plans[j].Pick(&ses.rng)], true
+		}
+	}
+	if st != nil {
+		st.Found = false
+	}
+	return 0, false
+}
+
+// Sample returns a uniform, independent sample from the union ball
+// B_S(q, r), or ok=false when no shard recalls a near point (or the
+// rejection budget is exhausted, a probability-≤δ event under the
+// paper's constants).
+func (s *Sharded[P]) Sample(q P, st *core.QueryStats) (id int32, ok bool) {
+	id, err := s.SampleContext(context.Background(), q, st)
+	return id, err == nil
+}
+
+// SampleContext is Sample under a context: the rejection loop polls
+// ctx.Err() every ctxCheckRounds rounds, and a failed but uncanceled
+// query returns ErrNoSample (the Sampler contract).
+func (s *Sharded[P]) SampleContext(ctx context.Context, q P, st *core.QueryStats) (int32, error) {
+	ses := s.begin(q, st, false)
+	defer s.release(ses)
+	id, ok := s.drawResolved(ctx, ses, st)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, core.ErrNoSample
+	}
+	return id, nil
+}
+
+// SampleK returns k independent with-replacement samples from the union
+// ball. Shards are resolved and estimated once — fanned out across
+// workers — and all k rejection loops share the per-shard plans,
+// near-caches and merged cursors, so hashing, sketch merging and every
+// distinct distance evaluation are paid once, not k times.
+func (s *Sharded[P]) SampleK(q P, k int, st *core.QueryStats) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	return s.SampleKInto(q, k, make([]int32, 0, k), st)
+}
+
+// SampleKInto is SampleK writing into dst (reset to length zero and
+// grown as needed), the bulk variant that amortizes the output buffer.
+func (s *Sharded[P]) SampleKInto(q P, k int, dst []int32, st *core.QueryStats) []int32 {
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
+	}
+	ses := s.begin(q, st, true)
+	defer s.release(ses)
+	for i := 0; i < k; i++ {
+		if id, ok := s.drawResolved(context.Background(), ses, st); ok {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// Samples returns an unbounded stream of independent uniform samples
+// from the union ball. Shards are resolved and estimated once per
+// stream; every yielded id costs one two-stage rejection loop on the
+// shared plans. The stream ends when the consumer breaks, ctx is done
+// (yielding ctx.Err() once), or a draw fails (yielding ErrNoSample).
+func (s *Sharded[P]) Samples(ctx context.Context, q P) iter.Seq2[int32, error] {
+	return func(yield func(int32, error) bool) {
+		ses := s.begin(q, nil, false)
+		defer s.release(ses)
+		for {
+			id, ok := s.drawResolved(ctx, ses, nil)
+			if err := ctx.Err(); err != nil {
+				yield(0, err)
+				return
+			}
+			if !ok {
+				yield(0, core.ErrNoSample)
+				return
+			}
+			if !yield(id, nil) {
+				return
+			}
+		}
+	}
+}

@@ -27,6 +27,14 @@ var (
 	// ErrBadOption means an option combination is invalid for the chosen
 	// algorithm or point type.
 	ErrBadOption = errors.New("fairnn: invalid option combination")
+	// ErrShardedDynamic means WithShards was combined with
+	// Algorithm(Dynamic). Sharded wraps read-only samplers only: the
+	// weighted shard choice rests on per-shard structures that are
+	// immutable after construction, and a mutable shard would silently
+	// skew the union distribution — so the combination is rejected with a
+	// typed error instead. Keep a single unsharded SetDynamic for the
+	// mutable working set and rebuild the sharded index offline.
+	ErrShardedDynamic = errors.New("fairnn: sharding wraps read-only samplers (Algorithm(Dynamic) is mutable)")
 )
 
 // Algo selects the construction behind NewSet / NewVec.
@@ -104,6 +112,9 @@ type builder struct {
 	ioptsSet  bool
 	vopts     VecOptions
 	voptsSet  bool
+	shards    int
+	shardsSet bool
+	part      Partitioner
 	err       error
 }
 
@@ -223,6 +234,35 @@ func WithRadii(radii ...float64) Option {
 	return func(b *builder) { b.radii = append([]float64(nil), radii...) }
 }
 
+// WithShards partitions the index across s shards, each backed by its own
+// Section 4 structure built in parallel, queried through the
+// uniformity-preserving two-stage draw (see Sharded). Requires
+// Algorithm(NNIS) — the default — and at most one shard per point;
+// Algorithm(Dynamic) is rejected with ErrShardedDynamic. WithShards(1)
+// builds a one-shard Sharded that is bit-identical to the unsharded
+// sampler.
+func WithShards(s int) Option {
+	return func(b *builder) {
+		if s < 1 {
+			b.fail(fmt.Errorf("%w: WithShards(%d) needs at least one shard", ErrBadOption, s))
+			return
+		}
+		b.shards, b.shardsSet = s, true
+	}
+}
+
+// WithPartitioner selects how points are assigned to shards (default
+// round-robin); requires WithShards.
+func WithPartitioner(p Partitioner) Option {
+	return func(b *builder) {
+		if p == nil {
+			b.fail(fmt.Errorf("%w: WithPartitioner(nil)", ErrBadOption))
+			return
+		}
+		b.part = p
+	}
+}
+
 // WithIndependentOptions tunes the Section 4 constructions (NNIS,
 // Weighted, MultiRadius); the zero value follows the paper. An explicitly
 // set Memo field wins over WithMemo. Any other algorithm rejects it with
@@ -333,6 +373,25 @@ func NewSet(points []Set, opts ...Option) (Sampler[Set], error) {
 		return nil, fmt.Errorf("%w: WithIndependentOptions has no effect on Algorithm(%v)", ErrBadOption, b.algo)
 	}
 	cfg := b.setConfig()
+	if b.part != nil && !b.shardsSet {
+		return nil, fmt.Errorf("%w: WithPartitioner requires WithShards", ErrBadOption)
+	}
+	if b.shardsSet {
+		if b.algo == Dynamic {
+			return nil, fmt.Errorf("%w: WithShards(%d) with Algorithm(Dynamic)", ErrShardedDynamic, b.shards)
+		}
+		if b.algo != NNIS {
+			return nil, fmt.Errorf("%w: sharding wraps the Section 4 sampler — WithShards requires Algorithm(NNIS), got %v", ErrBadOption, b.algo)
+		}
+		r, err := b.needSetRadius()
+		if err != nil {
+			return nil, err
+		}
+		if b.shards > len(points) {
+			return nil, fmt.Errorf("%w: WithShards(%d) over %d points leaves shards empty", ErrBadOption, b.shards, len(points))
+		}
+		return NewSetSharded(points, r, b.shards, b.part, b.iopts, cfg)
+	}
 	switch b.algo {
 	case MultiRadius:
 		if b.radiusSet {
@@ -458,6 +517,23 @@ func NewVec(points []Vec, opts ...Option) (Sampler[Vec], error) {
 		return nil, fmt.Errorf("%w: alpha %v outside (-1, 1)", ErrBadRadius, alpha)
 	}
 	cfg := b.vecConfig()
+	if b.part != nil && !b.shardsSet {
+		return nil, fmt.Errorf("%w: WithPartitioner requires WithShards", ErrBadOption)
+	}
+	if b.shardsSet {
+		if b.algo == Dynamic {
+			// Dynamic is set-only anyway, but the documented contract for
+			// the combination is the dedicated typed error (see NewSet).
+			return nil, fmt.Errorf("%w: WithShards(%d) with Algorithm(Dynamic)", ErrShardedDynamic, b.shards)
+		}
+		if b.algo != NNIS {
+			return nil, fmt.Errorf("%w: sharding wraps the Section 4 sampler — WithShards requires Algorithm(NNIS), got %v", ErrBadOption, b.algo)
+		}
+		if b.shards > len(points) {
+			return nil, fmt.Errorf("%w: WithShards(%d) over %d points leaves shards empty", ErrBadOption, b.shards, len(points))
+		}
+		return NewVecSharded(points, alpha, b.shards, b.part, b.iopts, cfg)
+	}
 	switch b.algo {
 	case NNIS:
 		return NewVecSamplerIndependent(points, alpha, b.iopts, cfg)

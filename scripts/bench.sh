@@ -1,28 +1,34 @@
 #!/usr/bin/env bash
 # bench.sh — run the query/build benchmark suite plus the kernel
-# microbenchmarks and the pooled-scratch footprint gauge, and emit a JSON
-# snapshot for the performance trajectory (BENCH_PR<N>.json at the repo
-# root). The snapshot includes a four-way seed / PR1 / PR2 / PR3
-# comparison table (historical columns are read from the checked-in
-# BENCH_PR2.json; PR3 numbers are this run) and a "footprint" section:
-# bytes of pooled per-query scratch retained after a 64-querier burst,
-# dense vs compact memo backend (the PR 3 acceptance gate requires
-# compact ≤ 1/10 of dense).
+# microbenchmarks, the pooled-scratch footprint gauge and the shard-sweep
+# gauge, and emit a JSON snapshot for the performance trajectory
+# (BENCH_PR<N>.json at the repo root). The snapshot includes a
+# seed / PR3 / PR5 comparison table (historical columns are read from the
+# checked-in BENCH_PR3.json; PR5 numbers are this run), a "footprint"
+# section (bytes of pooled per-query scratch retained after a 64-querier
+# burst, dense vs compact memo backend — the PR 3 acceptance gate
+# requires compact ≤ 1/10 of dense), and a "shard_sweep" section: build +
+# Sample + SampleK(100) wall times of the sharded sampler at
+# S ∈ {1, 2, 4, 8} and n = 10⁶ points.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
-#   output.json  defaults to BENCH_PR3.json
+#   output.json  defaults to BENCH_PR5.json
 #   benchtime    defaults to 1s (passed to -benchtime)
 # Env:
 #   FAIRNN_FOOTPRINT_N         points for the footprint gauge (default 1000000)
 #   FAIRNN_FOOTPRINT_QUERIERS  burst width for the gauge (default 64)
+#   FAIRNN_SHARD_N             points for the shard sweep (default 1000000)
+#   FAIRNN_SHARD_SWEEP         shard counts for the sweep (default "1 2 4 8")
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR5.json}"
 BENCHTIME="${2:-1s}"
 FOOTPRINT_N="${FAIRNN_FOOTPRINT_N:-1000000}"
 FOOTPRINT_QUERIERS="${FAIRNN_FOOTPRINT_QUERIERS:-64}"
+SHARD_N="${FAIRNN_SHARD_N:-1000000}"
+SHARD_SWEEP="${FAIRNN_SHARD_SWEEP:-1 2 4 8}"
 
 # End-to-end query/build benches (root package).
 ROOT_PATTERN='BenchmarkQuerySamplerNNS|BenchmarkQuerySampleRepeated|BenchmarkQueryIndependentNNIS$|BenchmarkQueryIndependentNNISParallel|BenchmarkQueryIndependentSampleK100|BenchmarkQueryStandardLSH|BenchmarkQueryNaiveFair|BenchmarkQueryFilterIndependent$|BenchmarkQueryFilterSampleK100|BenchmarkBuildSampler|BenchmarkBuildIndependent|BenchmarkBuildFilterIndependent'
@@ -33,7 +39,8 @@ MICRO_PATTERN='BenchmarkSegmentNear|BenchmarkSquaredEuclidean|BenchmarkDot$|Benc
 
 RAW="$(mktemp)"
 FOOT="$(mktemp)"
-trap 'rm -f "$RAW" "$FOOT"' EXIT
+SWEEP="$(mktemp)"
+trap 'rm -f "$RAW" "$FOOT" "$SWEEP"' EXIT
 
 go test -run '^$' -bench "$ROOT_PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 go test -run '^$' -bench "$MICRO_PATTERN" -benchmem -benchtime "$BENCHTIME" \
@@ -44,31 +51,32 @@ go test -run '^$' -bench "$MICRO_PATTERN" -benchmem -benchtime "$BENCHTIME" \
 FAIRNN_FOOTPRINT_N="$FOOTPRINT_N" FAIRNN_FOOTPRINT_QUERIERS="$FOOTPRINT_QUERIERS" \
 	go test -run 'TestPooledScratchFootprintGauge' -count=1 -v ./internal/core | tee "$FOOT"
 
-awk -v out="$OUT" -v benchtime="$BENCHTIME" -v pr2json="BENCH_PR2.json" -v footfile="$FOOT" '
+# Shard sweep: sharded build + Sample + SampleK(100) wall times across
+# SHARD_SWEEP shard counts at SHARD_N points.
+FAIRNN_SHARD_N="$SHARD_N" FAIRNN_SHARD_SWEEP="$SHARD_SWEEP" \
+	go test -run 'TestShardSweepGauge' -count=1 -v ./internal/shard | tee "$SWEEP"
+
+awk -v out="$OUT" -v benchtime="$BENCHTIME" -v pr3json="BENCH_PR3.json" -v footfile="$FOOT" -v sweepfile="$SWEEP" '
 BEGIN {
-    # Historical columns from BENCH_PR2.json: seed/pr1 live in its
-    # "comparison" table (seed_ns_op / pr1_ns_op), pr2 in pr2_ns_op and
-    # the "benchmarks" ns_op entries.
-    while ((getline line < pr2json) > 0) {
+    # Historical columns from BENCH_PR3.json: its "comparison" table
+    # carries seed_ns_op and pr3_ns_op; its "benchmarks" ns_op entries
+    # fill pr3 for benches outside the comparison set.
+    while ((getline line < pr3json) > 0) {
         if (line !~ /"name":/) continue
         name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
         if (line ~ /"seed_ns_op":/) {
             v = line; sub(/.*"seed_ns_op": /, "", v); sub(/[,}].*/, "", v)
             seed_ns[name] = v
         }
-        if (line ~ /"pr1_ns_op":/) {
-            v = line; sub(/.*"pr1_ns_op": /, "", v); sub(/[,}].*/, "", v)
-            pr1_ns[name] = v
-        }
-        if (line ~ /"pr2_ns_op":/) {
-            v = line; sub(/.*"pr2_ns_op": /, "", v); sub(/[,}].*/, "", v)
-            pr2_ns[name] = v
+        if (line ~ /"pr3_ns_op":/) {
+            v = line; sub(/.*"pr3_ns_op": /, "", v); sub(/[,}].*/, "", v)
+            pr3_ns[name] = v
         } else if (line ~ /"ns_op":/) {
             v = line; sub(/.*"ns_op": /, "", v); sub(/[,}].*/, "", v)
-            if (!(name in pr2_ns)) pr2_ns[name] = v
+            if (!(name in pr3_ns)) pr3_ns[name] = v
         }
     }
-    close(pr2json)
+    close(pr3json)
     # Footprint gauge lines: FOOTPRINT backend=dense n=... queriers=...
     # retained_bytes=... per_querier_bytes=...
     nf = 0
@@ -91,6 +99,22 @@ BEGIN {
         foot[nf++] = row "}"
     }
     close(footfile)
+    # Shard sweep lines: SHARDSWEEP shards=1 n=... build_ms=...
+    # sample_ns=... samplek100_ns=...
+    nsweep = 0
+    while ((getline line < sweepfile) > 0) {
+        if (line !~ /^SHARDSWEEP /) continue
+        np = split(line, parts, " ")
+        row = "    {"
+        first_kv = 1
+        for (i = 2; i <= np; i++) {
+            split(parts[i], kv, "=")
+            row = row (first_kv ? "" : ", ") sprintf("\"%s\": %s", kv[1], kv[2])
+            first_kv = 0
+        }
+        sweep[nsweep++] = row "}"
+    }
+    close(sweepfile)
 }
 /^Benchmark/ {
     name = $1
@@ -111,8 +135,8 @@ BEGIN {
     }
 }
 END {
-    printf "{\n  \"pr\": 3,\n  \"benchtime\": \"%s\",\n", benchtime > out
-    printf "  \"note\": \"seed/pr1/pr2 columns are historical (from BENCH_PR2.json); pr3 columns are this run. SampleK100 draws 100 independent samples per op. footprint = pooled scratch retained after a concurrent-checkout burst, dense vs compact memo backend. Regenerate with scripts/bench.sh.\",\n" >> out
+    printf "{\n  \"pr\": 5,\n  \"benchtime\": \"%s\",\n", benchtime > out
+    printf "  \"note\": \"seed/pr3 columns are historical (from BENCH_PR3.json); pr5 columns are this run. SampleK100 draws 100 independent samples per op. footprint = pooled scratch retained after a concurrent-checkout burst, dense vs compact memo backend (compact slots are packed: 8 B/slot near-cache, 16 B/slot word memo). shard_sweep = sharded build + Sample + SampleK(100) wall times per shard count at n points. Regenerate with scripts/bench.sh.\",\n" >> out
     printf "  \"comparison\": [\n" >> out
     m = split("BenchmarkBuildSampler BenchmarkBuildIndependent BenchmarkQuerySamplerNNS BenchmarkQueryIndependentNNIS BenchmarkQueryIndependentSampleK100 BenchmarkQueryFilterIndependent", keys, " ")
     first = 1
@@ -121,11 +145,10 @@ END {
         if (!(k in cur_ns)) continue
         row = sprintf("    {\"name\": \"%s\"", k)
         if (k in seed_ns) row = row sprintf(", \"seed_ns_op\": %s", seed_ns[k])
-        if (k in pr1_ns)  row = row sprintf(", \"pr1_ns_op\": %s", pr1_ns[k])
-        if (k in pr2_ns)  row = row sprintf(", \"pr2_ns_op\": %s", pr2_ns[k])
-        row = row sprintf(", \"pr3_ns_op\": %s", cur_ns[k])
-        if (k in pr2_ns && cur_ns[k]+0 > 0)
-            row = row sprintf(", \"speedup_vs_pr2\": %.2f", pr2_ns[k] / cur_ns[k])
+        if (k in pr3_ns)  row = row sprintf(", \"pr3_ns_op\": %s", pr3_ns[k])
+        row = row sprintf(", \"pr5_ns_op\": %s", cur_ns[k])
+        if (k in pr3_ns && cur_ns[k]+0 > 0)
+            row = row sprintf(", \"speedup_vs_pr3\": %.2f", pr3_ns[k] / cur_ns[k])
         row = row "}"
         if (!first) printf ",\n" >> out
         printf "%s", row >> out
@@ -136,6 +159,9 @@ END {
     printf "  ]" >> out
     if (("dense" in foot_bytes) && ("compact" in foot_bytes) && foot_bytes["dense"]+0 > 0)
         printf ",\n  \"footprint_compact_over_dense\": %.4f", foot_bytes["compact"] / foot_bytes["dense"] >> out
+    printf ",\n  \"shard_sweep\": [\n" >> out
+    for (i = 0; i < nsweep; i++) printf "%s%s\n", sweep[i], (i < nsweep-1 ? "," : "") >> out
+    printf "  ]" >> out
     printf ",\n  \"benchmarks\": [\n" >> out
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "") >> out
     printf "  ]\n}\n" >> out
