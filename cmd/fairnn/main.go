@@ -38,7 +38,7 @@ func parseMemo(s string) (fairnn.MemoOptions, error) {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run: fig1 | fig2 | fig3 | q3 | validate | scaling | all")
+		exp    = flag.String("exp", "all", "experiment to run: fig1 | fig2 | fig3 | q3 | validate | scaling | chaos | all")
 		scale  = flag.String("scale", "small", "small (fast, same shapes) or paper (full protocol)")
 		csvDir = flag.String("csv", "", "directory to also write CSV files into (optional)")
 		seed   = flag.Uint64("seed", 0, "override the experiment seed (0 keeps defaults)")
@@ -73,6 +73,8 @@ func main() {
 		runValidate(paper, *seed, memo, *shards)
 	case "scaling":
 		runScaling(paper, *seed, memo, *shards)
+	case "chaos":
+		runChaos(paper, *seed, *shards)
 	case "all":
 		runFig1(paper, *csvDir, *seed)
 		runFig2(paper, *csvDir, *seed)
@@ -80,6 +82,7 @@ func main() {
 		runQ3(paper, *csvDir, *seed, memo)
 		runValidate(paper, *seed, memo, *shards)
 		runScaling(paper, *seed, memo, *shards)
+		runChaos(paper, *seed, *shards)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
@@ -269,6 +272,30 @@ func runScaling(paper bool, seed uint64, memo fairnn.MemoOptions, shards int) {
 		cfg.Seed = seed
 	}
 	res, err := experiments.RunScaling(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// runChaos fires seeded random fault schedules at a sharded sampler and
+// checks the resilience invariants under each (see experiments.RunChaos).
+// "paper" scale quadruples the schedule count; -shards overrides the
+// shard count when > 0.
+func runChaos(paper bool, seed uint64, shards int) {
+	cfg := experiments.DefaultChaos()
+	if paper {
+		cfg.Iterations *= 4
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if shards > 0 {
+		cfg.Shards = shards
+	}
+	res, err := experiments.RunChaos(cfg)
 	if err != nil {
 		fatal(err)
 	}

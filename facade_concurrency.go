@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"fairnn/internal/core"
 )
 
 // This file is the concurrency surface of the façade. Since the
@@ -19,6 +21,32 @@ import (
 // samplers (SetSampler, SetIndependent, VecIndependent, SetExact, ...).
 type QuerySampler[P any] interface {
 	Sample(q P, st *QueryStats) (id int32, ok bool)
+}
+
+// panicSlot collects the first panic recovered from a batch worker, so
+// the fan-out drains (no goroutine leaked mid-batch, no WaitGroup
+// wedged) and the panic resurfaces on the caller's goroutine as a
+// *PanicError with the worker's stack — catchable by an ordinary
+// recover, instead of an unrecoverable crash on a goroutine the caller
+// never sees.
+type panicSlot struct{ p atomic.Pointer[PanicError] }
+
+// capture is the deferred worker-side half: call it directly via defer.
+func (s *panicSlot) capture() {
+	if r := recover(); r != nil {
+		pe, ok := r.(*PanicError)
+		if !ok {
+			pe = core.NewPanicError(r)
+		}
+		s.p.CompareAndSwap(nil, pe)
+	}
+}
+
+// rethrow is the caller-side half, after the WaitGroup drains.
+func (s *panicSlot) rethrow() {
+	if pe := s.p.Load(); pe != nil {
+		panic(pe)
+	}
 }
 
 // BatchResult is the outcome of one query in a batch.
@@ -54,11 +82,13 @@ func SampleBatch[P any](s QuerySampler[P], queries []P, workers int) []BatchResu
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var ps panicSlot
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			defer ps.capture()
+			for ps.p.Load() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(queries) {
 					return
@@ -69,6 +99,7 @@ func SampleBatch[P any](s QuerySampler[P], queries []P, workers int) []BatchResu
 		}()
 	}
 	wg.Wait()
+	ps.rethrow()
 	return out
 }
 
@@ -115,6 +146,18 @@ func SampleBatchContext[P any](ctx context.Context, s ContextSampler[P], queries
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A worker panic (poisoned query point, custom sampler bug)
+			// aborts the batch and surfaces as the batch error — the
+			// context variant has an error channel, so no re-panic.
+			defer func() {
+				if r := recover(); r != nil {
+					pe, ok := r.(*PanicError)
+					if !ok {
+						pe = core.NewPanicError(r)
+					}
+					fail(pe)
+				}
+			}()
 			for ctx.Err() == nil && !abort.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= len(queries) {
@@ -182,11 +225,13 @@ func sampleKBatch[P any](ctx context.Context, s KSampler[P], queries []P, k, wor
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var ps panicSlot
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ctx.Err() == nil {
+			defer ps.capture()
+			for ctx.Err() == nil && ps.p.Load() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(queries) {
 					return
@@ -196,5 +241,6 @@ func sampleKBatch[P any](ctx context.Context, s KSampler[P], queries []P, k, wor
 		}()
 	}
 	wg.Wait()
+	ps.rethrow()
 	return out, ctx.Err()
 }

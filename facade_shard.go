@@ -2,6 +2,7 @@ package fairnn
 
 import (
 	"fairnn/internal/core"
+	"fairnn/internal/fault"
 	"fairnn/internal/lsh"
 	"fairnn/internal/set"
 	"fairnn/internal/shard"
@@ -49,6 +50,77 @@ func RoundRobinPartitioner() Partitioner { return shard.RoundRobin{} }
 // shards). The seed keys the hash; 0 is a valid fixed key.
 func HashPartitioner(seed uint64) Partitioner { return shard.Hash{Seed: seed} }
 
+// ErrDegraded marks every error meaning "the sharded index could not
+// answer at full strength" — a *ShardError when a shard exhausted its
+// deadline/retry budget with degradation off, or the bare sentinel when
+// degraded mode lost every shard. Match with errors.Is(err, ErrDegraded).
+// A successful degraded answer is not an error: it is reported on
+// QueryStats.Degraded (see DegradedInfo).
+var ErrDegraded = shard.ErrDegraded
+
+// ErrShardDown is the cause inside a *ShardError when the health
+// registry skipped an unhealthy shard without calling it (fail-fast
+// between re-admission probes).
+var ErrShardDown = shard.ErrShardDown
+
+// ShardError is a typed per-shard failure: the shard, the backend
+// operation ("arm", "segment", "pick"), and the final cause after the
+// deadline/retry budget was spent. It matches errors.Is(err, ErrDegraded).
+type ShardError = shard.ShardError
+
+// DegradedInfo reports a degraded sharded query on QueryStats.Degraded:
+// which shards were lost, how many indexed points they held, and the
+// estimated fraction of the union ball the surviving shards cover. The
+// answer itself remains exactly uniform — over the survivors' union
+// ball.
+type DegradedInfo = core.DegradedInfo
+
+// ShardHealth is a point-in-time snapshot of one shard's health record;
+// see Sharded.Health.
+type ShardHealth = shard.ShardHealth
+
+// ShardResilience is the per-shard-call fault-tolerance policy of a
+// sharded sampler, normally assembled via the WithShardDeadline /
+// WithShardRetry / WithShardBackoff / WithDegradedMode /
+// WithShardProbeEvery options. The zero value disables the resilient
+// path entirely.
+type ShardResilience = shard.Resilience
+
+// FaultInjector is the deterministic fault-injection harness wired
+// through the sharded backend seam by WithFaultInjection: seeded
+// per-shard latency, error, stall, and panic injection whose every
+// decision is a pure function of (seed, shard, operation, call ordinal).
+// Tests only; an idle injector is contractually invisible.
+type FaultInjector = fault.Injector
+
+// FaultSpec declares one fault schedule of a FaultInjector (shard/op
+// filters, call-ordinal window, per-call rates, added latency).
+type FaultSpec = fault.Spec
+
+// FaultOp names a per-shard backend operation a FaultSpec can intercept.
+type FaultOp = fault.Op
+
+// The interceptable backend operations.
+const (
+	FaultOpArm     = fault.OpArm
+	FaultOpSegment = fault.OpSegment
+	FaultOpPick    = fault.OpPick
+)
+
+// ErrInjected is the transient error injected by FaultSpec.ErrRate.
+var ErrInjected = fault.ErrInjected
+
+// NewFaultInjector builds a fault injector for a sampler with the given
+// shard count; identical (seed, specs, call sequence) produce identical
+// faults. FaultAlways as a rate makes a spec fire on every matching
+// call.
+func NewFaultInjector(shards int, seed uint64, specs ...FaultSpec) *FaultInjector {
+	return fault.New(shards, seed, specs...)
+}
+
+// FaultAlways is a rate that fires on every matching call.
+const FaultAlways = fault.Always
+
 // NewSetSharded partitions the sets across shards and indexes each shard
 // for independent uniform r-near neighbor sampling (the sharded form of
 // NewSetIndependent; part == nil defaults to round-robin). LSH parameters
@@ -57,10 +129,17 @@ func HashPartitioner(seed uint64) Partitioner { return shard.Hash{Seed: seed} }
 // shards — the uniformity of the union draw depends on it. shards == 1
 // reproduces NewSetIndependent bit for bit.
 func NewSetSharded(sets []Set, radius float64, shards int, part Partitioner, opts IndependentOptions, cfg Config) (*Sharded[Set], error) {
+	return newSetShardedConfig(sets, radius, opts, cfg, shard.Config{Shards: shards, Partitioner: part})
+}
+
+// newSetShardedConfig is the full-knob sharded set constructor the
+// builder delegates to (resilience policy, fault injector).
+func newSetShardedConfig(sets []Set, radius float64, opts IndependentOptions, cfg Config, scfg shard.Config) (*Sharded[Set], error) {
 	cfg = cfg.withDefaults()
 	opts.Memo = memoOr(opts.Memo, cfg.Memo)
+	scfg.Seed = cfg.Seed
 	paramsFor := func(n int) lsh.Params { return cfg.paramsAt(n, radius) }
-	return shard.Build[set.Set](core.Jaccard(), cfg.family(), paramsFor, sets, radius, opts, shards, part, cfg.Seed)
+	return shard.BuildConfig[set.Set](core.Jaccard(), cfg.family(), paramsFor, sets, radius, opts, scfg)
 }
 
 // NewVecSharded partitions unit vectors across shards for independent
@@ -68,11 +147,18 @@ func NewSetSharded(sets []Set, radius float64, shards int, part Partitioner, opt
 // NewVecSamplerIndependent; part == nil defaults to round-robin).
 // shards == 1 reproduces NewVecSamplerIndependent bit for bit.
 func NewVecSharded(points []Vec, alpha float64, shards int, part Partitioner, opts IndependentOptions, cfg VecConfig) (*Sharded[Vec], error) {
+	return newVecShardedConfig(points, alpha, opts, cfg, shard.Config{Shards: shards, Partitioner: part})
+}
+
+// newVecShardedConfig is the full-knob sharded vector constructor the
+// builder delegates to (resilience policy, fault injector).
+func newVecShardedConfig(points []Vec, alpha float64, opts IndependentOptions, cfg VecConfig, scfg shard.Config) (*Sharded[Vec], error) {
 	if cfg.Dim == 0 && len(points) > 0 {
 		cfg.Dim = len(points[0])
 	}
 	cfg = cfg.withDefaults()
 	opts.Memo = memoOr(opts.Memo, cfg.Memo)
+	scfg.Seed = cfg.Seed
 	paramsFor := func(n int) lsh.Params { return cfg.paramsAt(n, alpha) }
-	return shard.Build[vector.Vec](core.InnerProduct(), cfg.family(), paramsFor, points, alpha, opts, shards, part, cfg.Seed)
+	return shard.BuildConfig[vector.Vec](core.InnerProduct(), cfg.family(), paramsFor, points, alpha, opts, scfg)
 }

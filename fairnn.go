@@ -112,6 +112,61 @@
 // distribution); keep one unsharded SetDynamic for a mutable working set
 // and rebuild the sharded index offline.
 //
+// # Resilience
+//
+// Each shard of a sharded sampler is an explicit failure domain behind a
+// per-shard backend seam: the three per-shard operations of a query —
+// arming (estimate + plan setup), per-round segment reports, and the
+// final point pick — go through an interface an RPC backend can later
+// implement, and the in-process backend the library ships wraps today's
+// per-shard structures with zero overhead. On top of that seam sits an
+// opt-in resilience policy, assembled with builder options on sharded
+// builds only (they return ErrBadOption without WithShards):
+//
+//   - WithShardDeadline(d) bounds every per-shard call attempt with a
+//     context deadline.
+//   - WithShardRetry(n) retries a failed call up to n times under capped
+//     exponential backoff with full jitter (WithShardBackoff tunes the
+//     base and cap). Backoff randomness comes from a derived substream,
+//     never the query's own sample stream.
+//   - WithDegradedMode() opts into graceful degradation: a shard that
+//     exhausts its deadline/retry budget is excluded from the union pool
+//     and the query proceeds over the survivors. The two-stage draw's
+//     per-round emit probability, 1/(λ·Σk), never depended on which
+//     shards contribute — so a degraded answer is still exactly uniform,
+//     over the surviving shards' union ball. Degraded answers are not
+//     errors; they are reported on QueryStats.Degraded (DegradedInfo:
+//     lost shards, lost point count, estimated surviving coverage of the
+//     union ball). Without degraded mode the query fails fast with a
+//     typed *ShardError naming the shard, operation and cause — match
+//     the whole family with errors.Is(err, ErrDegraded).
+//
+// Exhausted shards land in a per-sampler health registry that fails fast
+// (skipping the dead shard without paying its deadline again) and probes
+// it for re-admission every WithShardProbeEvery(n)-th query it would
+// have served; a probe that arms successfully restores the shard. Health
+// is observable via Sharded.Health. With no faults and no resilience
+// options the plain query path is untouched: zero allocations, and
+// same-seed streams bit-identical to a policy-free build — an idle
+// injector or an un-triggered policy is contractually invisible.
+//
+// Worker panics are contained everywhere the library fans out: parallel
+// shard builds surface a typed *BuildError naming the shard and point
+// (wrapping a *PanicError with the worker's stack) instead of crashing
+// the process; SampleBatch re-panics a worker panic on the caller's
+// goroutine as a catchable *PanicError after draining the batch; the
+// context batch variants return it as the batch error; and a panic
+// inside a resilient per-shard call is just another failed attempt.
+//
+// WithFaultInjection(inj) interposes a deterministic fault harness
+// (tests only) on every backend call of a sharded sampler: a
+// FaultInjector built from NewFaultInjector(shards, seed, specs...)
+// injects latency, transient errors, stalls and panics per FaultSpec,
+// with every decision a pure function of (seed, shard, operation, call
+// ordinal) — a schedule that kills shard 2's third arm call kills it on
+// every run, under the race detector, at any GOMAXPROCS. The fairnn
+// command's "-exp chaos" runs seeded random schedules end to end.
+//
 // # Concurrency
 //
 // All indexes are immutable after construction and their query methods are
@@ -193,6 +248,17 @@ type Vec = vector.Vec
 
 // QueryStats carries per-query cost counters; pass nil when not needed.
 type QueryStats = core.QueryStats
+
+// PanicError is a panic recovered by the library's containment layer
+// (worker fan-outs, resilient shard calls), with the panicking
+// goroutine's stack captured; recover it from error chains with
+// errors.As.
+type PanicError = core.PanicError
+
+// BuildError is a construction failure caused by a panic inside a
+// parallel-build worker, naming the shard (when sharded) and the point
+// or table being processed. It wraps the underlying *PanicError.
+type BuildError = core.BuildError
 
 // Params are the classic LSH (K, L) parameters.
 type Params = lsh.Params

@@ -146,20 +146,32 @@ func newRankedBase[P any](space Space[P], family lsh.Family[P], params lsh.Param
 	L, K := params.L, params.K
 	// Pass 1 (parallel over points): one single-pass signature per point,
 	// reduced to its L bucket keys. This replaces n·L·K full-point scans
-	// with n scans.
+	// with n scans. A panic in the family's hash of one poisoned point is
+	// recovered at worker level and surfaced as a BuildError naming the
+	// point, instead of killing the process from a build goroutine.
+	var buildErr buildErrSlot
 	allKeys := make([]uint64, n*L)
 	parallelRange(n, func(lo, hi int) {
+		cur := lo
+		defer buildErr.capture(&cur, nil)
 		sig := make([]uint64, L*K)
 		for p := lo; p < hi; p++ {
+			cur = p
 			b.signer.Sign(points[p], sig)
 			lsh.CombineKeys(sig, K, allKeys[p*L:(p+1)*L])
 		}
 	})
+	if err := buildErr.err(); err != nil {
+		return nil, err
+	}
 	// Pass 2 (parallel over tables): group ids by key and sort each bucket
 	// by rank. Tables are independent, so this parallelizes cleanly.
 	b.tables = make([]rankedTable, L)
 	parallelRange(L, func(lo, hi int) {
+		cur := lo
+		defer buildErr.capture(nil, &cur)
 		for i := lo; i < hi; i++ {
+			cur = i
 			groups := make(map[uint64][]int32)
 			for p := 0; p < n; p++ {
 				key := allKeys[p*L+i]
@@ -172,7 +184,47 @@ func newRankedBase[P any](space Space[P], family lsh.Family[P], params lsh.Param
 			b.tables[i] = rankedTable{buckets: buckets}
 		}
 	})
+	if err := buildErr.err(); err != nil {
+		return nil, err
+	}
 	return b, nil
+}
+
+// buildErrSlot collects the first BuildError recovered across build
+// workers. capture is deferred at worker top level: point/table track the
+// worker's in-flight index, so the error names the exact input that
+// poisoned the build.
+type buildErrSlot struct {
+	mu sync.Mutex
+	e  *BuildError
+}
+
+func (s *buildErrSlot) capture(point, table *int) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	p, t := -1, -1
+	if point != nil {
+		p = *point
+	}
+	if table != nil {
+		t = *table
+	}
+	s.mu.Lock()
+	if s.e == nil {
+		s.e = newBuildError(-1, p, t, r)
+	}
+	s.mu.Unlock()
+}
+
+func (s *buildErrSlot) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.e == nil {
+		return nil
+	}
+	return s.e
 }
 
 // ParallelRange is the exported form of parallelRange, for sibling
@@ -184,6 +236,16 @@ func ParallelRange(n int, fn func(lo, hi int)) { parallelRange(n, fn) }
 // parallelRange splits [0, n) into contiguous chunks executed by up to
 // GOMAXPROCS workers. fn must be safe to call concurrently on disjoint
 // ranges. Small inputs run inline.
+//
+// Panic containment: a panic inside fn on a worker goroutine would kill
+// the whole process (no caller can recover another goroutine's panic), so
+// workers recover it into a *PanicError — every sibling drains normally,
+// the WaitGroup resolves, nothing leaks — and the first one is re-thrown
+// on the calling goroutine, where it behaves like a panic from an inline
+// call: deferred recovers in the caller (the build passes, the sharded
+// arm fan-out, the façade batch helpers) see it and turn it into a typed
+// error. Inline execution (one worker) panics in place, which is the
+// same observable contract.
 func parallelRange(n int, fn func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -194,6 +256,7 @@ func parallelRange(n int, fn func(lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var panicked atomic.Pointer[PanicError]
 	chunk := (n + workers - 1) / workers
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
@@ -203,10 +266,22 @@ func parallelRange(n int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pe, ok := r.(*PanicError)
+					if !ok {
+						pe = NewPanicError(r)
+					}
+					panicked.CompareAndSwap(nil, pe)
+				}
+			}()
 			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	if pe := panicked.Load(); pe != nil {
+		panic(pe)
+	}
 }
 
 // getQuerier checks a querier out of the pool (allocating buffers only on

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// This file is the panic-containment layer of the library: every worker
+// fan-out (the parallel build passes, the sharded arm/draw calls, the
+// façade batch helpers) funnels recovered panics through the two typed
+// errors below instead of letting a worker goroutine kill the process.
+// The motivating failure is a single poisoned point — a nil vector, a
+// user Space/Family callback that indexes out of range — or an injected
+// fault (internal/fault) panicking inside a goroutine the caller never
+// sees: without containment that is an unrecoverable crash and, with
+// sibling workers blocked on a WaitGroup, a goroutine leak. With it, the
+// panic is captured with its stack, the fan-out drains normally, and the
+// caller receives an ordinary error (or a re-panic on its own goroutine,
+// which a defer can recover).
+
+// PanicError is a recovered panic with the stack captured at the point
+// of recovery. Fan-outs convert worker panics into *PanicError so the
+// panic site (which goroutine, which callback) stays diagnosable after
+// the goroutine is gone.
+type PanicError struct {
+	// Recovered is the value the panicking code passed to panic.
+	Recovered any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error, leading with the panic value; the full stack
+// is preserved in Stack for logs.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: recovered panic: %v", e.Recovered)
+}
+
+// NewPanicError captures the current goroutine's stack around a
+// recovered value. Call it directly inside the deferred recover so the
+// stack still contains the panic frames.
+func NewPanicError(recovered any) *PanicError {
+	return &PanicError{Recovered: recovered, Stack: debug.Stack()}
+}
+
+// BuildError is a construction failure caused by a panic inside a
+// parallel-build worker, naming the input that triggered it: the point
+// index being signed (pass 1), or the table being bucketed (pass 2),
+// plus the shard when the build was fanned out by the sharded builder.
+// Unset coordinates are -1. It wraps the underlying *PanicError, so
+// errors.As(err, &pe) recovers the stack.
+type BuildError struct {
+	// Shard is the shard whose build panicked (-1 for unsharded builds).
+	Shard int
+	// Point is the (shard-local) index of the point being signed when
+	// the worker panicked, or -1 when the panic was not point-scoped.
+	Point int
+	// Table is the LSH table being bucketed when the worker panicked,
+	// or -1 when the panic was not table-scoped.
+	Table int
+	// Err is the captured panic.
+	Err *PanicError
+}
+
+// Error implements error.
+func (e *BuildError) Error() string {
+	where := ""
+	if e.Shard >= 0 {
+		where += fmt.Sprintf(" shard %d", e.Shard)
+	}
+	if e.Point >= 0 {
+		where += fmt.Sprintf(" point %d", e.Point)
+	}
+	if e.Table >= 0 {
+		where += fmt.Sprintf(" table %d", e.Table)
+	}
+	return fmt.Sprintf("core: build panicked at%s: %v", where, e.Err.Recovered)
+}
+
+// Unwrap exposes the captured panic to errors.As/Is chains.
+func (e *BuildError) Unwrap() error { return e.Err }
+
+// newBuildError assembles a BuildError from a recovered panic value
+// (reusing the *PanicError when the panic already carried one, so a
+// re-panicked containment error is not double-wrapped).
+func newBuildError(shard, point, table int, recovered any) *BuildError {
+	pe, ok := recovered.(*PanicError)
+	if !ok {
+		pe = NewPanicError(recovered)
+	}
+	return &BuildError{Shard: shard, Point: point, Table: table, Err: pe}
+}

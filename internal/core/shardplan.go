@@ -133,6 +133,18 @@ func (p *ShardPlan[P]) Close() {
 	}
 }
 
+// Abort releases the plan's querier like Close and then resets the plan
+// to its inert zero state (Segments() == 0, Estimate() == 0). Close
+// alone keeps the armed counts for pooled reuse; Abort is for arming
+// failures — a pooled plan whose (re-)arming panicked, errored, or timed
+// out partway may still hold the *previous* query's estimate and segment
+// count, and the sharded resilience layer must not let that stale weight
+// re-enter the union pool as if it described the current query.
+func (p *ShardPlan[P]) Abort() {
+	p.Close()
+	*p = ShardPlan[P]{}
+}
+
 // QueryStreamSeed exposes the seed of the structure's per-query
 // randomness streams. The sharded sampler derives its own single query
 // stream from shard 0's value, so a one-shard sharded sampler replays the

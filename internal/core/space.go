@@ -140,7 +140,40 @@ type QueryStats struct {
 	// sample, or -1 when the draw failed; meaningful only after a sharded
 	// query (unsharded queries leave the zero value).
 	ShardChosen int
+	// Degraded describes a sharded query answered from a strict subset
+	// of its shards (degraded mode): which shards were lost and how much
+	// of the union ball the survivors are estimated to cover. The zero
+	// value (Degraded.Degraded() == false) means the full index answered.
+	Degraded DegradedInfo
 }
+
+// DegradedInfo is the honest-accounting record of a degraded sharded
+// query: with degraded mode enabled, a query whose shard(s) exhausted
+// their deadline/retry budget is answered *exactly uniformly over the
+// surviving shards' union ball* — a well-defined but smaller population —
+// instead of failing. This struct says so explicitly, rather than letting
+// a partial answer masquerade as a full one.
+type DegradedInfo struct {
+	// LostShards lists the shards excluded from the union pool, in shard
+	// order. Empty means the query was not degraded. Sharded queries
+	// reuse the slice's capacity across queries on the same QueryStats.
+	LostShards []int
+	// LostPoints is the total number of indexed points owned by the lost
+	// shards — the upper bound on how many near neighbors the answer
+	// population can be missing.
+	LostPoints int
+	// Coverage estimates the fraction of the query's true union ball the
+	// surviving shards cover, from sketch mass: the survivors' summed
+	// per-query near-count estimates ŝ_j over the estimated total. A lost
+	// shard contributes its last successfully observed ŝ_j (tracked by
+	// the health registry); a shard that never reported one contributes a
+	// density extrapolation from its point count. In (0, 1]; 1 only when
+	// the lost shards are estimated to hold no near points.
+	Coverage float64
+}
+
+// Degraded reports whether the query lost any shard.
+func (d *DegradedInfo) Degraded() bool { return len(d.LostShards) > 0 }
 
 // add merges counters (used when one logical query performs sub-queries).
 func (s *QueryStats) add(o QueryStats) {
@@ -158,6 +191,13 @@ func (s *QueryStats) add(o QueryStats) {
 	s.CursorMerged = s.CursorMerged || o.CursorMerged
 	s.ShardRounds = mergeShard(s.ShardRounds, o.ShardRounds)
 	s.ShardEstimates = mergeShard(s.ShardEstimates, o.ShardEstimates)
+	// Degraded is adopted whole when s has none (summing loss records
+	// from different queries has no meaning, mirroring mergeShard).
+	if len(s.Degraded.LostShards) == 0 && len(o.Degraded.LostShards) > 0 {
+		s.Degraded.LostShards = append(s.Degraded.LostShards[:0], o.Degraded.LostShards...)
+		s.Degraded.LostPoints = o.Degraded.LostPoints
+		s.Degraded.Coverage = o.Degraded.Coverage
+	}
 }
 
 // mergeShard folds per-shard counter slices: adopt o's when s has none,

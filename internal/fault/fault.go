@@ -1,0 +1,229 @@
+// Package fault is a deterministic fault-injection harness for the
+// sharded sampler's backend seam (internal/shard). It simulates the
+// failure modes of a remote shard — added latency, transient errors,
+// stalls that outlive any reasonable deadline, and outright panics —
+// without touching the shard's data path, so resilience tests exercise
+// the exact production code the RPC backend will sit behind.
+//
+// Determinism is the point: every injection decision is a pure function
+// of (injector seed, shard, operation, per-shard call ordinal) through
+// rng.Mix64, so a test that kills shard 2's third estimate call kills it
+// on every run, under -race, at any GOMAXPROCS. The injector holds no
+// time-dependent or scheduling-dependent state beyond per-shard atomic
+// call counters.
+//
+// An idle injector (no specs, or specs whose rates are all zero) is
+// contractually invisible: Before returns immediately with no error, no
+// sleep, and no RNG use, so same-seed sample streams stay bit-identical
+// to an uninjected sampler.
+package fault
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"fairnn/internal/rng"
+)
+
+// Op names a per-shard backend operation the injector can intercept.
+type Op uint8
+
+const (
+	// OpArm is the per-shard query arming call (estimate + plan setup).
+	OpArm Op = iota
+	// OpSegment is the per-round segment report / exact-count call.
+	OpSegment
+	// OpPick is the per-round point pick on the chosen shard.
+	OpPick
+	opCount
+)
+
+// String names the operation for error messages and logs.
+func (o Op) String() string {
+	switch o {
+	case OpArm:
+		return "arm"
+	case OpSegment:
+		return "segment"
+	case OpPick:
+		return "pick"
+	}
+	return "op?"
+}
+
+// ErrInjected is the error returned by injected transient failures.
+// Resilient callers treat it like any backend error: retry within
+// budget, then declare the shard unhealthy.
+var ErrInjected = errors.New("fault: injected error")
+
+// Spec declares one fault schedule. A Spec matches a (shard, op, call)
+// triple when the shard and op filters accept it and the shard's call
+// ordinal for that op is within [After, After+Limit). Rates are
+// per-matching-call probabilities evaluated independently and
+// deterministically; at most one fault fires per call, checked in order
+// panic, stall, error, latency.
+type Spec struct {
+	// Shards selects which shards the spec applies to; nil means all.
+	Shards []int
+	// Ops selects which operations the spec applies to; nil means all.
+	Ops []Op
+	// After skips the first After matching calls per (shard, op) — e.g.
+	// let the first query succeed, then start failing.
+	After uint64
+	// Limit caps how many calls (per shard and op, counted from After)
+	// the spec stays active for; 0 means unlimited. A finite Limit models
+	// a transient outage that heals, exercising probed re-admission.
+	Limit uint64
+	// ErrRate is the probability a matching call returns ErrInjected.
+	ErrRate float64
+	// StallRate is the probability a matching call blocks until its
+	// context is cancelled — the "hung remote shard" mode. Stalled calls
+	// respect ctx.Done, so a deadline unwedges them; without one they
+	// model a true wedge (tests must always set deadlines for stalls).
+	StallRate float64
+	// PanicRate is the probability a matching call panics, exercising
+	// the containment layer.
+	PanicRate float64
+	// Latency is added to every matching call (before rate evaluation),
+	// interruptibly: the sleep aborts early if ctx is cancelled. Zero
+	// adds nothing.
+	Latency time.Duration
+}
+
+// active reports whether the spec matches shard/op at call ordinal n
+// (0-based).
+func (sp *Spec) active(shard int, op Op, n uint64) bool {
+	if n < sp.After {
+		return false
+	}
+	if sp.Limit != 0 && n >= sp.After+sp.Limit {
+		return false
+	}
+	if sp.Shards != nil {
+		ok := false
+		for _, s := range sp.Shards {
+			if s == shard {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if sp.Ops != nil {
+		ok := false
+		for _, o := range sp.Ops {
+			if o == op {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Injector evaluates fault specs against backend calls. Safe for
+// concurrent use. The zero value is not valid; use New.
+type Injector struct {
+	seed  uint64
+	specs []Spec
+	// calls[shard*opCount+op] is that shard's call ordinal counter for
+	// the op, advanced atomically on every Before.
+	calls []atomic.Uint64
+	idle  bool
+}
+
+// New builds an injector for a sampler with the given shard count. The
+// seed drives every probabilistic decision; identical (seed, specs,
+// call sequence) → identical faults. With no specs (or only zero-rate,
+// zero-latency specs) the injector is idle and invisible.
+func New(shards int, seed uint64, specs ...Spec) *Injector {
+	idle := true
+	for _, sp := range specs {
+		if sp.ErrRate > 0 || sp.StallRate > 0 || sp.PanicRate > 0 || sp.Latency > 0 {
+			idle = false
+			break
+		}
+	}
+	inj := &Injector{
+		seed:  seed,
+		specs: append([]Spec(nil), specs...),
+		calls: make([]atomic.Uint64, shards*int(opCount)),
+		idle:  idle,
+	}
+	return inj
+}
+
+// Idle reports whether the injector can never fire — configured but
+// harmless, the state the bit-equivalence oracle runs under.
+func (in *Injector) Idle() bool { return in == nil || in.idle }
+
+// Shards returns the shard count the injector was built for.
+func (in *Injector) Shards() int { return len(in.calls) / int(opCount) }
+
+// Calls returns shard's call ordinal for op so far (how many Before
+// calls it has seen).
+func (in *Injector) Calls(shard int, op Op) uint64 {
+	return in.calls[shard*int(opCount)+int(op)].Load()
+}
+
+// PanicValue is what injected panics carry, so containment tests can
+// assert the panic came from the injector.
+type PanicValue struct {
+	Shard int
+	Op    Op
+	Call  uint64
+}
+
+// Before is the injection point: backends call it at the top of every
+// intercepted operation. It returns nil (possibly after injected
+// latency), returns ErrInjected, blocks until ctx is done (stall), or
+// panics, per the matching specs. ctx governs stalls and latency only;
+// Before never inspects ctx otherwise.
+func (in *Injector) Before(ctx context.Context, shard int, op Op) error {
+	n := in.calls[shard*int(opCount)+int(op)].Add(1) - 1
+	if in.idle {
+		return nil
+	}
+	for i := range in.specs {
+		sp := &in.specs[i]
+		if !sp.active(shard, op, n) {
+			continue
+		}
+		if sp.Latency > 0 {
+			t := time.NewTimer(sp.Latency)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+		}
+		// One deterministic draw per (spec, shard, op, call): the 64-bit
+		// mix is split into a unit uniform; fault classes partition the
+		// unit interval so at most one fires and rates stay independent
+		// of spec evaluation order.
+		h := rng.Mix64(in.seed ^ uint64(i)<<48 ^ uint64(shard)<<32 ^ uint64(op)<<24 ^ n)
+		u := float64(h>>11) / float64(1<<53)
+		switch {
+		case u < sp.PanicRate:
+			panic(PanicValue{Shard: shard, Op: op, Call: n})
+		case u < sp.PanicRate+sp.StallRate:
+			<-ctx.Done()
+			return ctx.Err()
+		case u < sp.PanicRate+sp.StallRate+sp.ErrRate:
+			return ErrInjected
+		}
+	}
+	return nil
+}
+
+// Always is a convenience rate: a Spec with ErrRate (etc.) = Always
+// fires on every matching call.
+const Always = 1 + 1e-9

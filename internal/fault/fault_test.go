@@ -1,0 +1,260 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// drive replays a fixed call sequence against an injector and records
+// each outcome ("ok", "err", "stall", "panic") — the fingerprint the
+// determinism tests compare.
+func drive(in *Injector, calls int) []string {
+	out := make([]string, 0, calls)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // stalls return immediately with ctx.Err()
+	for c := 0; c < calls; c++ {
+		shard := c % in.Shards()
+		op := Op(c % int(opCount))
+		out = append(out, func() (verdict string) {
+			defer func() {
+				if r := recover(); r != nil {
+					verdict = "panic"
+				}
+			}()
+			switch err := in.Before(ctx, shard, op); {
+			case err == nil:
+				return "ok"
+			case errors.Is(err, ErrInjected):
+				return "err"
+			default:
+				return "stall"
+			}
+		}())
+	}
+	return out
+}
+
+// TestDeterministicReplay pins the core contract: identical (seed,
+// specs, call sequence) produce identical fault schedules, and a
+// different seed produces a different one.
+func TestDeterministicReplay(t *testing.T) {
+	specs := []Spec{
+		{ErrRate: 0.3},
+		{Shards: []int{1}, Ops: []Op{OpSegment}, PanicRate: 0.5},
+		{Shards: []int{2}, StallRate: 0.4},
+	}
+	a := drive(New(3, 12345, specs...), 300)
+	b := drive(New(3, 12345, specs...), 300)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged between identical injectors: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := drive(New(3, 54321, specs...), 300)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical 300-call schedules")
+	}
+	kinds := map[string]int{}
+	for _, v := range a {
+		kinds[v]++
+	}
+	for _, want := range []string{"ok", "err", "stall", "panic"} {
+		if kinds[want] == 0 {
+			t.Errorf("schedule never produced %q (got %v)", want, kinds)
+		}
+	}
+}
+
+// TestAfterLimitWindow pins the call-ordinal window: a spec with After
+// and Limit fires exactly on matching calls [After, After+Limit) and
+// never outside it.
+func TestAfterLimitWindow(t *testing.T) {
+	in := New(1, 7, Spec{After: 2, Limit: 3, ErrRate: Always})
+	ctx := context.Background()
+	for c := 0; c < 10; c++ {
+		err := in.Before(ctx, 0, OpArm)
+		inWindow := c >= 2 && c < 5
+		if inWindow && !errors.Is(err, ErrInjected) {
+			t.Errorf("call %d inside the window returned %v, want ErrInjected", c, err)
+		}
+		if !inWindow && err != nil {
+			t.Errorf("call %d outside the window returned %v, want nil", c, err)
+		}
+	}
+}
+
+// TestShardOpFilters pins the matching rules: a filtered spec never
+// touches other shards or operations.
+func TestShardOpFilters(t *testing.T) {
+	in := New(3, 9, Spec{Shards: []int{1}, Ops: []Op{OpPick}, ErrRate: Always})
+	ctx := context.Background()
+	for shard := 0; shard < 3; shard++ {
+		for op := OpArm; op < opCount; op++ {
+			err := in.Before(ctx, shard, op)
+			hit := shard == 1 && op == OpPick
+			if hit != (err != nil) {
+				t.Errorf("shard %d op %v: err = %v, want hit = %v", shard, op, err, hit)
+			}
+		}
+	}
+}
+
+// TestIdleInvisible pins the bit-equivalence precondition: an injector
+// with only zero-rate specs reports Idle and its Before does nothing but
+// advance counters.
+func TestIdleInvisible(t *testing.T) {
+	for _, in := range []*Injector{
+		New(2, 1),
+		New(2, 1, Spec{}, Spec{Shards: []int{0}}),
+	} {
+		if !in.Idle() {
+			t.Fatal("zero-rate injector not idle")
+		}
+		for c := 0; c < 5; c++ {
+			if err := in.Before(context.Background(), 1, OpSegment); err != nil {
+				t.Fatalf("idle Before returned %v", err)
+			}
+		}
+		if got := in.Calls(1, OpSegment); got != 5 {
+			t.Errorf("Calls = %d, want 5 (counters must advance even when idle)", got)
+		}
+	}
+	var nilInj *Injector
+	if !nilInj.Idle() {
+		t.Error("nil injector must report idle")
+	}
+}
+
+// TestCountersPerShardOp pins counter isolation: ordinals advance
+// per (shard, op), not globally — the window semantics depend on it.
+func TestCountersPerShardOp(t *testing.T) {
+	in := New(2, 3)
+	ctx := context.Background()
+	for c := 0; c < 3; c++ {
+		in.Before(ctx, 0, OpArm)
+	}
+	in.Before(ctx, 1, OpArm)
+	in.Before(ctx, 0, OpPick)
+	if got := in.Calls(0, OpArm); got != 3 {
+		t.Errorf("Calls(0, arm) = %d, want 3", got)
+	}
+	if got := in.Calls(1, OpArm); got != 1 {
+		t.Errorf("Calls(1, arm) = %d, want 1", got)
+	}
+	if got := in.Calls(0, OpPick); got != 1 {
+		t.Errorf("Calls(0, pick) = %d, want 1", got)
+	}
+	if got := in.Calls(1, OpSegment); got != 0 {
+		t.Errorf("Calls(1, segment) = %d, want 0", got)
+	}
+}
+
+// TestStallRespectsContext pins the anti-wedge contract: a stalled call
+// blocks only until its context is done, then returns ctx.Err().
+func TestStallRespectsContext(t *testing.T) {
+	in := New(1, 5, Spec{StallRate: Always})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Before(ctx, 0, OpArm)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stall returned %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("stall held %v past a 20ms deadline", elapsed)
+	}
+}
+
+// TestLatencyInterruptible pins that injected latency aborts early on
+// cancellation instead of sleeping through it.
+func TestLatencyInterruptible(t *testing.T) {
+	in := New(1, 5, Spec{Latency: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Before(ctx, 0, OpSegment)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("latency sleep returned %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("10s injected latency ignored a 10ms deadline (took %v)", elapsed)
+	}
+}
+
+// TestPanicCarriesProvenance pins the panic payload: containment layers
+// report which (shard, op, call) the injector killed.
+func TestPanicCarriesProvenance(t *testing.T) {
+	in := New(2, 5, Spec{Shards: []int{1}, After: 1, PanicRate: Always})
+	if err := in.Before(context.Background(), 1, OpSegment); err != nil { // call 0: before the window
+		t.Fatalf("call 0 (before After) returned %v", err)
+	}
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok {
+			t.Fatalf("recovered %#v, want PanicValue", r)
+		}
+		if pv.Shard != 1 || pv.Op != OpSegment || pv.Call != 1 {
+			t.Errorf("PanicValue = %+v, want shard 1, op segment, call 1", pv)
+		}
+	}()
+	in.Before(context.Background(), 1, OpSegment) // call 1: panics
+}
+
+// TestRatesPartitionUnitInterval pins that at most one fault class fires
+// per call and empirical rates track the spec (loose bounds — the draw
+// is deterministic, so this is a one-shot check, not a flaky one).
+func TestRatesPartitionUnitInterval(t *testing.T) {
+	in := New(1, 99, Spec{PanicRate: 0.2, StallRate: 0.3, ErrRate: 0.5})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	kinds := map[string]int{}
+	const calls = 4000
+	for c := 0; c < calls; c++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					kinds["panic"]++
+				}
+			}()
+			switch err := in.Before(ctx, 0, OpArm); {
+			case err == nil:
+				kinds["ok"]++
+			case errors.Is(err, ErrInjected):
+				kinds["err"]++
+			default:
+				kinds["stall"]++
+			}
+		}()
+	}
+	want := map[string]float64{"panic": 0.2, "stall": 0.3, "err": 0.5, "ok": 0}
+	for kind, p := range want {
+		got := float64(kinds[kind]) / calls
+		if got < p-0.05 || got > p+0.05 {
+			t.Errorf("%s rate = %.3f, want %.1f ± 0.05", kind, got, p)
+		}
+	}
+}
+
+// TestFirstMatchingSpecWins pins evaluation order: when several specs
+// match one call, the first spec's draw is consulted first, so a
+// spec-list prefix with rate Always shadows everything after it.
+func TestFirstMatchingSpecWins(t *testing.T) {
+	in := New(1, 5,
+		Spec{ErrRate: Always},
+		Spec{PanicRate: Always},
+	)
+	for c := 0; c < 5; c++ {
+		if err := in.Before(context.Background(), 0, OpArm); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want the first spec's ErrInjected (no panic)", c, err)
+		}
+	}
+}

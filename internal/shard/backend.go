@@ -1,0 +1,105 @@
+package shard
+
+import (
+	"context"
+
+	"fairnn/internal/core"
+	"fairnn/internal/fault"
+	"fairnn/internal/rng"
+)
+
+// Backend is the per-shard failure-domain seam: every operation one
+// logical sharded query performs against one shard — arming the plan
+// (resolve + estimate), the per-round segment report, the post-accept
+// point pick — crosses this interface and nothing else. The in-process
+// backend below wraps today's per-shard Section 4 structure; the RPC
+// backend of the multi-node serving layer lands later against the same
+// interface, inheriting the deadline/retry/degradation machinery in
+// sharded.go verbatim.
+//
+// The contract mirrors a remote call's: operations accept a context and
+// may fail. ctx bounds *waiting* (injected faults and future network
+// I/O select on ctx.Done); in-process compute is synchronous and is
+// instead bounded by the draw loop's own cancellation polling. A nil
+// error from Arm means the plan is armed and must eventually be released
+// (Close/Abort); any error means the plan must be treated as unarmed.
+//
+// Backends are constructed once at build time, so the interface values
+// held by Sharded cost no per-query allocation — the zero-alloc
+// steady-state contract survives the seam.
+type Backend[P any] interface {
+	// Arm resolves q against the shard and arms p for segment draws
+	// (core.Independent.BeginShardPlan behind the seam).
+	Arm(ctx context.Context, p *core.ShardPlan[P], q P, st *core.QueryStats) error
+	// SegmentNear reports the exact number of distinct near points in
+	// segment h of the armed plan's current pool, retaining the ids for
+	// Pick.
+	SegmentNear(ctx context.Context, p *core.ShardPlan[P], h int, st *core.QueryStats) (int, error)
+	// Pick draws a uniform shard-local near id from the last SegmentNear
+	// report, spending randomness from r.
+	Pick(ctx context.Context, p *core.ShardPlan[P], r *rng.Source) (int32, error)
+	// N returns the shard's indexed point count.
+	N() int
+	// RetainedScratchBytes reports the pooled scratch the shard pins
+	// between queries.
+	RetainedScratchBytes() int
+}
+
+// inProc is the in-process backend: a direct pass-through to the shard's
+// Section 4 structure. It never returns an error on its own — failures
+// in this process are panics, which the resilience layer converts to
+// errors at the call boundary.
+type inProc[P any] struct{ d *core.Independent[P] }
+
+func (b *inProc[P]) Arm(_ context.Context, p *core.ShardPlan[P], q P, st *core.QueryStats) error {
+	b.d.BeginShardPlan(p, q, st)
+	return nil
+}
+
+func (b *inProc[P]) SegmentNear(_ context.Context, p *core.ShardPlan[P], h int, st *core.QueryStats) (int, error) {
+	return p.SegmentNear(h, st), nil
+}
+
+func (b *inProc[P]) Pick(_ context.Context, p *core.ShardPlan[P], r *rng.Source) (int32, error) {
+	return p.Pick(r), nil
+}
+
+func (b *inProc[P]) N() int { return b.d.N() }
+
+func (b *inProc[P]) RetainedScratchBytes() int { return b.d.RetainedScratchBytes() }
+
+// faultBackend decorates a backend with the fault injector: every
+// operation consults the injector before delegating, so injected
+// latency, errors, stalls, and panics hit exactly the surface a flaky
+// remote shard would. It is only interposed when an injector is
+// configured — a production sampler never pays for it.
+type faultBackend[P any] struct {
+	next  Backend[P]
+	inj   *fault.Injector
+	shard int
+}
+
+func (b *faultBackend[P]) Arm(ctx context.Context, p *core.ShardPlan[P], q P, st *core.QueryStats) error {
+	if err := b.inj.Before(ctx, b.shard, fault.OpArm); err != nil {
+		return err
+	}
+	return b.next.Arm(ctx, p, q, st)
+}
+
+func (b *faultBackend[P]) SegmentNear(ctx context.Context, p *core.ShardPlan[P], h int, st *core.QueryStats) (int, error) {
+	if err := b.inj.Before(ctx, b.shard, fault.OpSegment); err != nil {
+		return 0, err
+	}
+	return b.next.SegmentNear(ctx, p, h, st)
+}
+
+func (b *faultBackend[P]) Pick(ctx context.Context, p *core.ShardPlan[P], r *rng.Source) (int32, error) {
+	if err := b.inj.Before(ctx, b.shard, fault.OpPick); err != nil {
+		return 0, err
+	}
+	return b.next.Pick(ctx, p, r)
+}
+
+func (b *faultBackend[P]) N() int { return b.next.N() }
+
+func (b *faultBackend[P]) RetainedScratchBytes() int { return b.next.RetainedScratchBytes() }

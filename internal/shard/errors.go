@@ -1,0 +1,54 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDegraded marks every error that means "the sharded index could not
+// answer at full strength": a shard exhausted its deadline/retry budget
+// (degradation disabled → the query fails fast with a *ShardError), or
+// degraded mode lost every shard and had no surviving population to
+// draw from (the bare sentinel is returned). Callers test with
+// errors.Is(err, ErrDegraded) regardless of which form they got.
+//
+// A *successful* degraded query — degraded mode on, some shards lost,
+// answer drawn exactly uniformly over the survivors' union ball — is not
+// an error at all: it is reported on QueryStats.Degraded (see
+// core.DegradedInfo), so the honest accounting travels with the stats
+// rather than forcing every caller to special-case a sentinel.
+var ErrDegraded = errors.New("shard: degraded — shard(s) unavailable")
+
+// ErrShardDown is the cause inside a *ShardError when the health
+// registry skipped the shard without calling it: the shard previously
+// exhausted its retry budget, is marked unhealthy, and this query was
+// not one of its periodic re-admission probes. It exists so fail-fast
+// rejections are distinguishable from fresh failures in logs and tests.
+var ErrShardDown = errors.New("shard: marked unhealthy, awaiting probe")
+
+// ShardError is a typed per-shard failure: which shard, which backend
+// operation ("arm", "segment", "pick"), and the final underlying cause
+// after the deadline/retry budget was spent (a backend error, a
+// recovered *core.PanicError, a context deadline, or ErrShardDown).
+// It matches errors.Is(err, ErrDegraded) — any shard failure that
+// surfaces to the caller means the index could not answer at full
+// strength — and Unwrap exposes the cause to errors.Is/As chains.
+type ShardError struct {
+	// Shard is the failing shard's index.
+	Shard int
+	// Op is the backend operation that failed: "arm", "segment", "pick".
+	Op string
+	// Err is the last error of the final attempt.
+	Err error
+}
+
+// Error implements error.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %d: %s failed: %v", e.Shard, e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Is makes every ShardError match ErrDegraded (see the sentinel's doc).
+func (e *ShardError) Is(target error) bool { return target == ErrDegraded }

@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// healthRegistry is the per-sampler record of which shards are currently
+// trusted. A shard that exhausts its deadline/retry budget is marked
+// unhealthy; while unhealthy, queries skip it without spending their
+// budget on it (fail fast), except that every probeEvery-th skip-eligible
+// query is let through as a re-admission probe — one success flips the
+// shard healthy again. Probing is counted in queries, not wall time, so
+// fault-injection tests are fully deterministic: "the shard heals after
+// its outage window" is a statement about call ordinals, not clocks.
+//
+// The registry also remembers each shard's last successfully observed
+// per-query near-count estimate ŝ_j. When a degraded query loses a shard
+// before arming it (health skip, arm failure), that remembered mass is
+// the best available input to the coverage fraction on
+// core.DegradedInfo.
+//
+// All state is atomic; the registry is shared by every concurrent query
+// of one Sharded.
+type healthRegistry struct {
+	shards     []shardHealthState
+	probeEvery uint64
+}
+
+type shardHealthState struct {
+	down     atomic.Bool
+	failures atomic.Uint64
+	skipped  atomic.Uint64
+	probes   atomic.Uint64
+	readmits atomic.Uint64
+	// ticks counts allow() calls while down; it drives the probe cadence.
+	ticks atomic.Uint64
+	// estKnown/estBits remember the shard's last successful per-query
+	// estimate ŝ_j (float bits), for degraded-coverage accounting.
+	estKnown atomic.Bool
+	estBits  atomic.Uint64
+}
+
+func newHealthRegistry(shards int, probeEvery int) *healthRegistry {
+	return &healthRegistry{
+		shards:     make([]shardHealthState, shards),
+		probeEvery: uint64(probeEvery),
+	}
+}
+
+// allow reports whether this query should call shard j: always for a
+// healthy shard, and for an unhealthy one only on its probe cadence.
+func (h *healthRegistry) allow(j int) bool {
+	sh := &h.shards[j]
+	if !sh.down.Load() {
+		return true
+	}
+	if sh.ticks.Add(1)%h.probeEvery == 0 {
+		sh.probes.Add(1)
+		return true
+	}
+	sh.skipped.Add(1)
+	return false
+}
+
+// ok records a successful arm: remember the estimate and re-admit the
+// shard if it was unhealthy.
+func (h *healthRegistry) ok(j int, est float64) {
+	sh := &h.shards[j]
+	sh.estBits.Store(math.Float64bits(est))
+	sh.estKnown.Store(true)
+	if sh.down.CompareAndSwap(true, false) {
+		sh.readmits.Add(1)
+	}
+}
+
+// fail records an exhausted budget and marks the shard unhealthy.
+func (h *healthRegistry) fail(j int) {
+	sh := &h.shards[j]
+	sh.failures.Add(1)
+	sh.down.Store(true)
+}
+
+// lastEstimate returns the shard's last successfully observed ŝ_j, if
+// any query ever armed it.
+func (h *healthRegistry) lastEstimate(j int) (float64, bool) {
+	sh := &h.shards[j]
+	if !sh.estKnown.Load() {
+		return 0, false
+	}
+	return math.Float64frombits(sh.estBits.Load()), true
+}
+
+// ShardHealth is a point-in-time snapshot of one shard's health record,
+// for introspection and tests.
+type ShardHealth struct {
+	// Shard is the shard index.
+	Shard int
+	// Healthy is false while the shard is excluded pending a probe.
+	Healthy bool
+	// Failures counts exhausted deadline/retry budgets.
+	Failures uint64
+	// Skipped counts queries that skipped the shard while unhealthy.
+	Skipped uint64
+	// Probes counts re-admission probes attempted.
+	Probes uint64
+	// Readmissions counts probe successes that flipped the shard healthy.
+	Readmissions uint64
+}
+
+// Health snapshots the per-shard health registry. On a sampler without
+// resilience enabled every shard reports healthy with zero counters.
+func (s *Sharded[P]) Health() []ShardHealth {
+	out := make([]ShardHealth, len(s.backends))
+	for j := range out {
+		sh := &s.health.shards[j]
+		out[j] = ShardHealth{
+			Shard:        j,
+			Healthy:      !sh.down.Load(),
+			Failures:     sh.failures.Load(),
+			Skipped:      sh.skipped.Load(),
+			Probes:       sh.probes.Load(),
+			Readmissions: sh.readmits.Load(),
+		}
+	}
+	return out
+}

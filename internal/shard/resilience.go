@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"context"
+	"time"
+
+	"fairnn/internal/core"
+	"fairnn/internal/rng"
+)
+
+// Resilience is the per-shard-call fault-tolerance policy of a sharded
+// sampler. The zero value disables everything: per-shard calls are
+// direct, unlimited, and un-retried — the exact pre-resilience query
+// path, preserving the zero-allocation and bit-identical-stream
+// contracts. Any non-zero field (or a configured fault injector) routes
+// queries through the resilient path instead.
+//
+// Deadlines bound waiting, not compute: a per-attempt deadline unblocks
+// calls that wait on ctx.Done — injected stalls/latency today, network
+// I/O in the RPC backend — while in-process segment counting is bounded
+// by the draw loop's own cancellation polling. Retries use capped
+// exponential backoff with full jitter; the jitter randomness comes from
+// a per-(query, shard, op) substream derived from the query's stream
+// seed — NOT from the query's main RNG stream, which must stay untouched
+// on fault-free rounds so same-seed sample streams remain bit-identical
+// with an idle injector, and which parallel-armed shards must not race
+// on.
+type Resilience struct {
+	// Deadline bounds each individual attempt of each per-shard call;
+	// 0 means no deadline.
+	Deadline time.Duration
+	// Retries is the number of extra attempts after the first failure of
+	// a per-shard call; 0 means fail on the first error.
+	Retries int
+	// BackoffBase is the cap of the first retry's jittered sleep
+	// (defaults to 1ms when Retries > 0); attempt i sleeps a uniform
+	// duration in (0, min(BackoffBase<<i, BackoffMax)].
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff growth (defaults to 50ms).
+	BackoffMax time.Duration
+	// Degraded, when set, answers queries from the surviving shards when
+	// one or more shards exhaust their budget: the lost shards leave the
+	// union pool and every accepted draw is exactly uniform over the
+	// survivors' union ball, with the loss reported on
+	// QueryStats.Degraded. When unset, the first exhausted shard fails
+	// the query with a typed *ShardError.
+	Degraded bool
+	// ProbeEvery is the re-admission cadence of the health registry: an
+	// unhealthy shard is actually called on every ProbeEvery-th query
+	// that would otherwise skip it (defaults to 8).
+	ProbeEvery int
+}
+
+// enabled reports whether any policy field routes queries through the
+// resilient path.
+func (r Resilience) enabled() bool {
+	return r.Deadline > 0 || r.Retries > 0 || r.Degraded
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (r Resilience) withDefaults() Resilience {
+	if r.BackoffBase <= 0 {
+		r.BackoffBase = time.Millisecond
+	}
+	if r.BackoffMax <= 0 {
+		r.BackoffMax = 50 * time.Millisecond
+	}
+	if r.ProbeEvery <= 0 {
+		r.ProbeEvery = 8
+	}
+	return r
+}
+
+// Op salts separate the backoff-jitter substreams of the three backend
+// operations of one (query, shard) pair.
+const (
+	saltArm     = 0xa12f
+	saltSegment = 0x5e67
+	saltPick    = 0x91c4
+)
+
+// safeCall invokes fn and converts a panic — an injected PanicRate
+// fault, or a poisoned point reaching a user Space/Family callback —
+// into an ordinary *core.PanicError with the stack captured, so one bad
+// shard call is a retriable failure instead of a process crash.
+func safeCall(ctx context.Context, fn func(context.Context) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*core.PanicError)
+			if !ok {
+				pe = core.NewPanicError(r)
+			}
+			err = pe
+		}
+	}()
+	return fn(ctx)
+}
+
+// backoffDelay is the attempt-i sleep: uniform in (0, cap] where cap is
+// the exponentially grown base clamped to max (full jitter, so
+// concurrent retries against one struggling shard spread out instead of
+// synchronizing).
+func backoffDelay(r *rng.Source, base, max time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d <<= 1
+	}
+	if d > max {
+		d = max
+	}
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(r.Intn(int(d))) + 1
+}
+
+// sleepCtx sleeps d or returns early with ctx.Err() on cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// callShard runs one backend operation for shard j under the resilience
+// policy: health-registry gate, per-attempt deadline, bounded retries
+// with jittered backoff, panic containment, and unhealthy-marking on
+// budget exhaustion. A nil return means the operation succeeded on some
+// attempt; any error is a *ShardError carrying the final cause. Parent
+// cancellation is surfaced immediately and does NOT mark the shard
+// unhealthy — an impatient caller is not evidence against the shard.
+func (s *Sharded[P]) callShard(ctx context.Context, ses *session[P], j int, op string, opSalt uint64, fn func(context.Context) error) error {
+	if !s.health.allow(j) {
+		return &ShardError{Shard: j, Op: op, Err: ErrShardDown}
+	}
+	var br rng.Source
+	brSeeded := false
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if s.res.Deadline > 0 {
+			actx, cancel = context.WithTimeout(ctx, s.res.Deadline)
+		}
+		err := safeCall(actx, fn)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return &ShardError{Shard: j, Op: op, Err: ctx.Err()}
+		}
+		if attempt >= s.res.Retries {
+			break
+		}
+		if !brSeeded {
+			br.Seed(rng.Mix64(ses.boSeed ^ uint64(j)<<20 ^ opSalt))
+			brSeeded = true
+		}
+		if d := backoffDelay(&br, s.res.BackoffBase, s.res.BackoffMax, attempt); d > 0 {
+			if sleepCtx(ctx, d) != nil {
+				return &ShardError{Shard: j, Op: op, Err: ctx.Err()}
+			}
+		}
+	}
+	s.health.fail(j)
+	return &ShardError{Shard: j, Op: op, Err: lastErr}
+}

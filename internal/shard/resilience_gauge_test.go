@@ -1,0 +1,96 @@
+package shard
+
+// The resilience gauge behind scripts/bench.sh: it measures query
+// latency (p50/p99 over many single draws) on an 8-shard sampler in two
+// states — all shards healthy, and 1 of 8 shards force-failed with
+// degraded mode absorbing the loss — and reports machine-parseable
+// RESILIENCE lines the bench script folds into BENCH_PR6.json. The
+// faulted numbers quantify the price of losing a failure domain: the
+// first query pays the retry budget, steady state pays only the health
+// registry's fail-fast gate plus periodic re-admission probes.
+//
+// Knobs (env): FAIRNN_RES_N (indexed points, default 30000; bench.sh
+// sets a larger scale) and FAIRNN_RES_REPS (timed draws per state,
+// default 2000).
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"fairnn/internal/core"
+	"fairnn/internal/fault"
+	"fairnn/internal/lsh"
+)
+
+// timeDraws runs reps single draws and returns per-draw latencies.
+func timeDraws(t *testing.T, s *Sharded[int], n, reps int) []time.Duration {
+	t.Helper()
+	lat := make([]time.Duration, reps)
+	ctx := context.Background()
+	for i := 0; i < reps; i++ {
+		q := (i * 997) % n
+		start := time.Now()
+		_, err := s.SampleContext(ctx, q, nil)
+		lat[i] = time.Since(start)
+		if err != nil {
+			t.Fatalf("draw %d failed: %v", i, err)
+		}
+	}
+	return lat
+}
+
+func percentile(lat []time.Duration, p float64) float64 {
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds())
+}
+
+// TestResilienceGauge compares healthy vs 1-of-8-shards-faulted query
+// latency on the same workload. Correctness is asserted (near points
+// only, degraded mode reports the outage); the timing lines are for the
+// bench snapshot.
+func TestResilienceGauge(t *testing.T) {
+	n := envInt("FAIRNN_RES_N", 30000)
+	reps := envInt("FAIRNN_RES_REPS", 2000)
+	const S = 8
+	const radius = 40
+	pts := lineDataset(n)
+	build := func(inj *fault.Injector) *Sharded[int] {
+		s, err := BuildConfig[int](intSpace(), chunkFamily{width: 64}, constParams(lsh.Params{K: 1, L: 4}), pts, radius, core.IndependentOptions{}, Config{
+			Shards: S,
+			Seed:   991,
+			Resilience: Resilience{
+				Deadline: 50 * time.Millisecond,
+				Retries:  1,
+				Degraded: true,
+			},
+			Injector: inj,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	healthy := build(fault.New(S, 1)) // idle injector: same code path, no faults
+	healthyLat := timeDraws(t, healthy, n, reps)
+
+	faulted := build(fault.New(S, 1, fault.Spec{Shards: []int{3}, ErrRate: fault.Always}))
+	faultedLat := timeDraws(t, faulted, n, reps)
+	var st core.QueryStats
+	if _, err := faulted.SampleContext(context.Background(), 0, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Degraded.Degraded() {
+		t.Fatal("faulted gauge sampler not reporting degraded queries")
+	}
+
+	fmt.Printf("RESILIENCE state=healthy shards=%d n=%d reps=%d p50_ns=%.0f p99_ns=%.0f\n",
+		S, n, reps, percentile(healthyLat, 0.50), percentile(healthyLat, 0.99))
+	fmt.Printf("RESILIENCE state=faulted1of8 shards=%d n=%d reps=%d p50_ns=%.0f p99_ns=%.0f\n",
+		S, n, reps, percentile(faultedLat, 0.50), percentile(faultedLat, 0.99))
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"fairnn/internal/core"
+	"fairnn/internal/fault"
 	"fairnn/internal/lsh"
 	"fairnn/internal/rng"
 )
@@ -37,6 +38,19 @@ const ctxCheckRounds = 64
 // so consecutive outputs are independent — Theorem 2 lifted to the
 // partitioned index.
 //
+// Each shard is an explicit failure domain: every per-shard operation
+// crosses the Backend seam and, when a Resilience policy (or a fault
+// injector) is configured, runs under per-attempt deadlines, bounded
+// jittered retries, panic containment, and the health registry's
+// fail-fast gate. A shard that exhausts its budget either fails the
+// query with a typed *ShardError or — in degraded mode — leaves the
+// union pool, and the same per-round arithmetic above makes every
+// accepted draw exactly uniform over the *surviving* shards' union ball
+// (the loss is reported on QueryStats.Degraded). With the policy zero
+// and no injector, queries take the direct path: no wrappers, no extra
+// randomness, no allocations — bit-identical to the pre-resilience
+// sampler.
+//
 // All randomness of one logical query (a Sample, or all draws of one
 // SampleK or Samples stream) comes from a single stream split off the
 // seed by an atomic query counter, so outputs are deterministic per
@@ -44,12 +58,16 @@ const ctxCheckRounds = 64
 // scheduled across workers. With S=1 the stream, the wrapped structure
 // and the round arithmetic all coincide with the unsharded sampler's, so
 // a one-shard Sharded is bit-identical to the Independent it wraps.
+// Backoff jitter is drawn from a per-(query, shard, op) substream
+// derived from the same seed — never from the query's main stream — so
+// fault-free queries stay bit-identical even with retries configured.
 //
 // Query methods are safe for concurrent use: per-shard scratch comes
 // from each shard's bounded querier pool and sessions are pooled the
 // same way. Steady-state Sample performs zero heap allocations.
 type Sharded[P any] struct {
 	shards   []*core.Independent[P]
+	backends []Backend[P]
 	toGlobal [][]int32 // per shard: local id -> global id
 	lambda   float64
 	sigma    int
@@ -65,6 +83,15 @@ type Sharded[P any] struct {
 	// bit-compatibility contract).
 	floorGrace int
 
+	// res is the resolved resilience policy; resOn routes queries through
+	// the resilient call path and is set when any policy field is non-zero
+	// or a fault injector is configured.
+	res   Resilience
+	resOn bool
+	// health is the per-sampler shard health registry (see health.go).
+	health *healthRegistry
+	inj    *fault.Injector
+
 	qseed uint64
 	qctr  atomic.Uint64
 
@@ -76,27 +103,68 @@ type Sharded[P any] struct {
 }
 
 // session is the pooled per-query scratch of the sharded fan-out: one
-// armed plan per shard, the query's single RNG stream, and the
-// per-worker stats used by the parallel arm barrier (kept here so a
-// stats-enabled bulk query stays allocation-free in steady state).
+// armed plan per shard, the query's single RNG stream, the per-worker
+// stats used by the parallel arm barrier, and the resilience scratch —
+// which shards this query has lost, their last-known estimates, the arm
+// errors, and the backoff-jitter seed (kept here so a stats-enabled bulk
+// query stays allocation-free in steady state).
 type session[P any] struct {
 	plans []core.ShardPlan[P]
 	rng   rng.Source
 	subs  []core.QueryStats
+	// dead marks shards this query has lost (arm failure or mid-draw
+	// budget exhaustion); est remembers a lost shard's per-query estimate
+	// ŝ_j when it armed before dying (-1 = unknown), errs the arm errors.
+	// All three are untouched on the plain (resilience-off) path.
+	dead   []bool
+	est    []float64
+	errs   []error
+	boSeed uint64
+}
+
+// Config collects the build-time knobs of a sharded sampler beyond the
+// data itself. The zero value of every field is valid: RoundRobin
+// partitioning, zero resilience (the direct query path), no injector.
+type Config struct {
+	// Shards is the shard count S (must be ≥ 1).
+	Shards int
+	// Partitioner assigns points to shards; nil defaults to RoundRobin.
+	Partitioner Partitioner
+	// Seed derives every shard's structure seed and the query streams.
+	Seed uint64
+	// Resilience is the per-shard-call fault-tolerance policy.
+	Resilience Resilience
+	// Injector, when non-nil, interposes the fault-injection harness on
+	// every backend call (tests only; must be built for the same shard
+	// count).
+	Injector *fault.Injector
 }
 
 // Build partitions points across shards with part (nil defaults to
-// RoundRobin) and constructs one Section 4 structure per shard, in
-// parallel across up to GOMAXPROCS workers. paramsFor chooses the LSH
-// (K, L) for one shard from its point count — each shard tunes to its
-// own size. opts is resolved once against the global point count, so
-// every shard shares one λ and one Σ budget (the acceptance test must be
-// identical across shards for the union draw to be uniform); per-shard
+// RoundRobin) and constructs one Section 4 structure per shard with the
+// zero resilience policy — the historical constructor, kept as the
+// direct path's entry point. See BuildConfig for the full set of knobs.
+func Build[P any](space core.Space[P], family lsh.Family[P], paramsFor func(shardSize int) lsh.Params, points []P, radius float64, opts core.IndependentOptions, shards int, part Partitioner, seed uint64) (*Sharded[P], error) {
+	return BuildConfig(space, family, paramsFor, points, radius, opts, Config{Shards: shards, Partitioner: part, Seed: seed})
+}
+
+// BuildConfig builds a sharded sampler: points are partitioned across
+// cfg.Shards shards and one Section 4 structure is constructed per
+// shard, in parallel across up to GOMAXPROCS workers. paramsFor chooses
+// the LSH (K, L) for one shard from its point count — each shard tunes
+// to its own size. opts is resolved once against the global point count,
+// so every shard shares one λ and one Σ budget (the acceptance test must
+// be identical across shards for the union draw to be uniform); per-shard
 // structures get distinct derived seeds, so LSH recall failures are
 // independent across shards, and shard 0's seed equals the global seed —
 // with S=1 the build is bit-identical to the unsharded constructor's.
-func Build[P any](space core.Space[P], family lsh.Family[P], paramsFor func(shardSize int) lsh.Params, points []P, radius float64, opts core.IndependentOptions, shards int, part Partitioner, seed uint64) (*Sharded[P], error) {
+//
+// A panic inside a build worker does not crash the process: it is
+// recovered with its stack and surfaced as a typed *core.BuildError
+// naming the shard and, when point-scoped, the offending point index.
+func BuildConfig[P any](space core.Space[P], family lsh.Family[P], paramsFor func(shardSize int) lsh.Params, points []P, radius float64, opts core.IndependentOptions, cfg Config) (*Sharded[P], error) {
 	n := len(points)
+	shards := cfg.Shards
 	if shards < 1 {
 		return nil, fmt.Errorf("shard: shard count %d < 1", shards)
 	}
@@ -106,6 +174,10 @@ func Build[P any](space core.Space[P], family lsh.Family[P], paramsFor func(shar
 	if shards > n {
 		return nil, fmt.Errorf("shard: %d shards over %d points leaves shards empty", shards, n)
 	}
+	if cfg.Injector != nil && cfg.Injector.Shards() != shards {
+		return nil, fmt.Errorf("shard: fault injector built for %d shards, sampler has %d", cfg.Injector.Shards(), shards)
+	}
+	part := cfg.Partitioner
 	if part == nil {
 		part = RoundRobin{}
 	}
@@ -135,16 +207,41 @@ func Build[P any](space core.Space[P], family lsh.Family[P], paramsFor func(shar
 		partName:   part.Name(),
 		size:       n,
 		floorGrace: bits.Len(uint(shards - 1)),
+		res:        cfg.Resilience.withDefaults(),
+		resOn:      cfg.Resilience.enabled() || cfg.Injector != nil,
+		inj:        cfg.Injector,
 	}
+	s.health = newHealthRegistry(shards, s.res.ProbeEvery)
 	errs := make([]error, shards)
 	fanOut(shards, func(j int) {
-		d, err := core.NewIndependent(space, family, paramsFor(len(local[j])), local[j], radius, opts, seed+uint64(j)*0x9e3779b97f4a7c15)
+		defer func() {
+			// Containment for panics outside core's own build passes
+			// (paramsFor, partition-sized allocations): name the shard,
+			// keep the fan-out draining, fail the build with a typed
+			// error instead of killing the process.
+			if r := recover(); r != nil {
+				errs[j] = shardBuildPanic(j, r)
+			}
+		}()
+		d, err := core.NewIndependent(space, family, paramsFor(len(local[j])), local[j], radius, opts, cfg.Seed+uint64(j)*0x9e3779b97f4a7c15)
+		var be *core.BuildError
+		if errors.As(err, &be) {
+			be.Shard = j
+		}
 		s.shards[j], errs[j] = d, err
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	s.backends = make([]Backend[P], shards)
+	for j := range s.backends {
+		var b Backend[P] = &inProc[P]{d: s.shards[j]}
+		if cfg.Injector != nil {
+			b = &faultBackend[P]{next: b, inj: cfg.Injector, shard: j}
+		}
+		s.backends[j] = b
 	}
 	s.qseed = s.shards[0].QueryStreamSeed()
 	// One retention knob governs both pooling layers: the session pool
@@ -154,9 +251,22 @@ func Build[P any](space core.Space[P], family lsh.Family[P], paramsFor func(shar
 	return s, nil
 }
 
+// shardBuildPanic wraps a panic recovered from a shard-build worker into
+// a *core.BuildError naming the shard (reusing an already-captured
+// *core.PanicError rather than double-wrapping).
+func shardBuildPanic(j int, recovered any) error {
+	pe, ok := recovered.(*core.PanicError)
+	if !ok {
+		pe = core.NewPanicError(recovered)
+	}
+	return &core.BuildError{Shard: j, Point: -1, Table: -1, Err: pe}
+}
+
 // fanOut runs fn(0..n-1) across up to min(GOMAXPROCS, n) workers via
 // core.ParallelRange (one shared worker pattern instead of a private
-// copy). With one worker it runs inline, spawning nothing.
+// copy). With one worker it runs inline, spawning nothing. A worker
+// panic is contained by ParallelRange and re-panicked on the caller's
+// goroutine as a *core.PanicError.
 func fanOut(n int, fn func(i int)) {
 	core.ParallelRange(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -187,6 +297,11 @@ func (s *Sharded[P]) PartitionerName() string { return s.partName }
 // Lambda returns the shared per-segment cap λ of the acceptance test.
 func (s *Sharded[P]) Lambda() int { return int(s.lambda) }
 
+// ResiliencePolicy returns the resolved resilience policy the sampler
+// was built with (defaults filled in; the zero policy resolves its
+// backoff/probe fields but still disables the resilient path).
+func (s *Sharded[P]) ResiliencePolicy() Resilience { return s.res }
+
 // Point returns the indexed point with the given global id.
 func (s *Sharded[P]) Point(id int32) P {
 	// Global ids are dense in [0, n); locate the owning shard by scanning
@@ -212,8 +327,8 @@ func (s *Sharded[P]) Point(id int32) P {
 // currently pins between queries.
 func (s *Sharded[P]) RetainedScratchBytes() int {
 	total := 0
-	for _, d := range s.shards {
-		total += d.RetainedScratchBytes()
+	for _, b := range s.backends {
+		total += b.RetainedScratchBytes()
 	}
 	return total
 }
@@ -223,40 +338,69 @@ func (s *Sharded[P]) RetainedScratchBytes() int {
 // across workers when parallel is set (the SampleK bulk path; arming
 // draws no randomness, so scheduling cannot change any output). Per-shard
 // cost counters land in st; st.ShardEstimates records each ŝ_j and
-// st.SketchEstimate their sum.
-func (s *Sharded[P]) begin(q P, st *core.QueryStats, parallel bool) *session[P] {
+// st.SketchEstimate their sum. Under a resilience policy each arm runs
+// through callShard; an error return means the query cannot proceed (a
+// *ShardError with degradation off, or ErrDegraded when every shard was
+// lost) and no session is retained.
+func (s *Sharded[P]) begin(ctx context.Context, q P, st *core.QueryStats, parallel bool) (*session[P], error) {
 	ses := s.pool.Get()
 	if ses == nil {
-		ses = &session[P]{plans: make([]core.ShardPlan[P], len(s.shards))}
+		n := len(s.backends)
+		ses = &session[P]{
+			plans: make([]core.ShardPlan[P], n),
+			dead:  make([]bool, n),
+			est:   make([]float64, n),
+			errs:  make([]error, n),
+		}
 	}
-	ses.rng.Seed(s.qseed ^ rng.Mix64(s.qctr.Add(1)))
-	if parallel && runtime.GOMAXPROCS(0) > 1 && len(s.shards) > 1 {
+	seed := s.qseed ^ rng.Mix64(s.qctr.Add(1))
+	ses.rng.Seed(seed)
+	ses.boSeed = rng.Mix64(seed ^ 0xb0ff5eed)
+	if st != nil {
+		st.Degraded.LostShards = st.Degraded.LostShards[:0]
+		st.Degraded.LostPoints = 0
+		st.Degraded.Coverage = 0
+	}
+	if s.resOn {
+		for j := range ses.dead {
+			ses.dead[j] = false
+			ses.est[j] = -1
+			ses.errs[j] = nil
+		}
+	}
+	if parallel && runtime.GOMAXPROCS(0) > 1 && len(s.backends) > 1 {
 		// QueryStats is not safe for concurrent mutation: workers fill
 		// per-shard stats (session-pooled), folded into st after the
 		// barrier.
 		var sub []core.QueryStats
 		if st != nil {
-			if cap(ses.subs) < len(s.shards) {
-				ses.subs = make([]core.QueryStats, len(s.shards))
+			if cap(ses.subs) < len(s.backends) {
+				ses.subs = make([]core.QueryStats, len(s.backends))
 			}
-			sub = ses.subs[:len(s.shards)]
+			sub = ses.subs[:len(s.backends)]
 			for j := range sub {
 				sub[j] = core.QueryStats{}
 			}
 		}
-		fanOut(len(s.shards), func(j int) {
+		fanOut(len(s.backends), func(j int) {
 			var sj *core.QueryStats
 			if sub != nil {
 				sj = &sub[j]
 			}
-			s.shards[j].BeginShardPlan(&ses.plans[j], q, sj)
+			s.armShard(ctx, ses, j, q, sj)
 		})
 		for j := range sub {
 			st.Merge(sub[j])
 		}
 	} else {
 		for j := range ses.plans {
-			s.shards[j].BeginShardPlan(&ses.plans[j], q, st)
+			s.armShard(ctx, ses, j, q, st)
+		}
+	}
+	if s.resOn {
+		if err := s.armVerdict(ses); err != nil {
+			s.release(ses)
+			return nil, err
 		}
 	}
 	if st != nil {
@@ -277,8 +421,163 @@ func (s *Sharded[P]) begin(q P, st *core.QueryStats, parallel bool) *session[P] 
 			total += ses.plans[j].Estimate()
 		}
 		st.SketchEstimate = total
+		if s.resOn {
+			s.noteDegraded(ses, st)
+		}
 	}
-	return ses
+	return ses, nil
+}
+
+// armShard arms shard j's plan: a direct backend call on the plain path,
+// or callShard's deadline/retry/health envelope under a policy. A shard
+// that cannot be armed is recorded dead in the session with its error;
+// the verdict (fail the query vs degrade) is taken by the caller after
+// all shards report, so the parallel fan-out never short-circuits.
+func (s *Sharded[P]) armShard(ctx context.Context, ses *session[P], j int, q P, st *core.QueryStats) {
+	if !s.resOn {
+		_ = s.backends[j].Arm(ctx, &ses.plans[j], q, st)
+		return
+	}
+	err := s.callShard(ctx, ses, j, "arm", saltArm, func(actx context.Context) error {
+		// Each attempt re-arms from a clean plan: a prior attempt may
+		// have panicked or timed out partway through arming.
+		ses.plans[j].Abort()
+		return s.backends[j].Arm(actx, &ses.plans[j], q, st)
+	})
+	if err != nil {
+		ses.plans[j].Abort()
+		ses.dead[j] = true
+		ses.errs[j] = err
+		return
+	}
+	ses.est[j] = ses.plans[j].Estimate()
+	s.health.ok(j, ses.est[j])
+}
+
+// armVerdict decides what an arm round with failures means: with
+// degradation off, the first shard's error fails the query; with it on,
+// the query proceeds over the survivors unless none remain.
+func (s *Sharded[P]) armVerdict(ses *session[P]) error {
+	var first error
+	live := false
+	for j := range ses.dead {
+		if ses.dead[j] {
+			if first == nil {
+				first = ses.errs[j]
+			}
+		} else {
+			live = true
+		}
+	}
+	if first == nil {
+		return nil
+	}
+	if !s.res.Degraded {
+		return first
+	}
+	if !live {
+		return ErrDegraded
+	}
+	return nil
+}
+
+// noteDegraded refreshes st.Degraded from the session's dead set: the
+// lost shards, their total point count, and the coverage fraction — the
+// survivors' summed per-query estimates over the estimated union total,
+// where a lost shard contributes its own per-query ŝ_j when it armed
+// before dying, its last health-registry estimate when another query
+// armed it, and a point-share density extrapolation otherwise.
+func (s *Sharded[P]) noteDegraded(ses *session[P], st *core.QueryStats) {
+	if st == nil {
+		return
+	}
+	st.Degraded.LostShards = st.Degraded.LostShards[:0]
+	liveEst, lostEst := 0.0, 0.0
+	livePts, lostPts := 0, 0
+	for j := range ses.dead {
+		if ses.dead[j] {
+			st.Degraded.LostShards = append(st.Degraded.LostShards, j)
+			lostPts += s.backends[j].N()
+		} else {
+			liveEst += ses.plans[j].Estimate()
+			livePts += s.backends[j].N()
+		}
+	}
+	st.Degraded.LostPoints = lostPts
+	if len(st.Degraded.LostShards) == 0 {
+		st.Degraded.Coverage = 0
+		return
+	}
+	for j := range ses.dead {
+		if !ses.dead[j] {
+			continue
+		}
+		if ses.est[j] >= 0 {
+			lostEst += ses.est[j]
+		} else if e, ok := s.health.lastEstimate(j); ok {
+			lostEst += e
+		} else if livePts > 0 {
+			lostEst += liveEst / float64(livePts) * float64(s.backends[j].N())
+		}
+	}
+	if total := liveEst + lostEst; total > 0 {
+		st.Degraded.Coverage = liveEst / total
+	} else {
+		st.Degraded.Coverage = 1
+	}
+}
+
+// loseShard handles a shard whose budget was exhausted mid-draw. With
+// degradation off the cause fails the query. In degraded mode the shard
+// leaves the union pool — its per-query estimate is remembered for the
+// coverage fraction, its plan aborted so the stale segment weight cannot
+// re-enter the pool — and the draw continues over the survivors: the
+// returned total is the surviving pool's segment count. Losing the last
+// live shard returns ErrDegraded.
+func (s *Sharded[P]) loseShard(ses *session[P], j int, st *core.QueryStats, cause error) (int, error) {
+	if !s.res.Degraded {
+		return 0, cause
+	}
+	if !ses.dead[j] {
+		ses.dead[j] = true
+		ses.est[j] = ses.plans[j].Estimate()
+		ses.plans[j].Abort()
+	}
+	s.noteDegraded(ses, st)
+	total := 0
+	live := false
+	for i := range ses.plans {
+		if !ses.dead[i] {
+			live = true
+			total += ses.plans[i].Segments()
+		}
+	}
+	if !live {
+		return 0, ErrDegraded
+	}
+	return total, nil
+}
+
+// segmentNearResilient is SegmentNear through callShard's envelope.
+func (s *Sharded[P]) segmentNearResilient(ctx context.Context, ses *session[P], j, h int, st *core.QueryStats) (int, error) {
+	n := 0
+	err := s.callShard(ctx, ses, j, "segment", saltSegment, func(actx context.Context) error {
+		v, err := s.backends[j].SegmentNear(actx, &ses.plans[j], h, st)
+		n = v
+		return err
+	})
+	return n, err
+}
+
+// pickResilient is Pick through callShard's envelope.
+func (s *Sharded[P]) pickResilient(ctx context.Context, ses *session[P], j int) (int32, error) {
+	var id int32
+	err := s.callShard(ctx, ses, j, "pick", saltPick, func(actx context.Context) error {
+		v, err := s.backends[j].Pick(actx, &ses.plans[j], &ses.rng)
+		id = v
+		return err
+	})
+	return id, err
 }
 
 // release closes every plan (returning the shards' pooled queriers) and
@@ -294,8 +593,10 @@ func (s *Sharded[P]) release(ses *session[P]) {
 // session. The round structure — counter, ctx poll cadence, segment
 // pick, Σ-budget halving order, acceptance clamp — mirrors the unsharded
 // sampleResolved exactly, so with S=1 the randomness is spent call for
-// call on the same stream.
-func (s *Sharded[P]) drawResolved(ctx context.Context, ses *session[P], st *core.QueryStats) (int32, bool) {
+// call on the same stream. A non-nil error reports a shard failure the
+// policy could not absorb (degradation off, or the last live shard
+// lost); ok=false with a nil error is the ordinary no-sample outcome.
+func (s *Sharded[P]) drawResolved(ctx context.Context, ses *session[P], st *core.QueryStats) (int32, bool, error) {
 	for j := range ses.plans {
 		ses.plans[j].ResetDraw()
 	}
@@ -310,7 +611,7 @@ func (s *Sharded[P]) drawResolved(ctx context.Context, ses *session[P], st *core
 		if st != nil {
 			st.Found = false
 		}
-		return 0, false
+		return 0, false, nil
 	}
 	sigmaFail := 0
 	grace := s.floorGrace
@@ -323,7 +624,7 @@ func (s *Sharded[P]) drawResolved(ctx context.Context, ses *session[P], st *core
 			if st != nil {
 				st.Found = false
 			}
-			return 0, false
+			return 0, false, nil
 		}
 		// One uniform pick over the union segment pool = shard j with
 		// probability k_j/Σk, then a uniform segment h inside shard j.
@@ -336,7 +637,28 @@ func (s *Sharded[P]) drawResolved(ctx context.Context, ses *session[P], st *core
 		if st != nil && j < len(st.ShardRounds) {
 			st.ShardRounds[j]++
 		}
-		lqh := ses.plans[j].SegmentNear(u, st)
+		var lqh int
+		if s.resOn {
+			n, err := s.segmentNearResilient(ctx, ses, j, u, st)
+			if err != nil {
+				total, err = s.loseShard(ses, j, st, err)
+				if err != nil {
+					if st != nil {
+						st.Found = false
+					}
+					return 0, false, err
+				}
+				if total == 0 {
+					break
+				}
+				// The failed round spent no Σ budget: the call reported
+				// nothing about near density, so sigmaFail is untouched.
+				continue
+			}
+			lqh = n
+		} else {
+			lqh, _ = s.backends[j].SegmentNear(ctx, &ses.plans[j], u, st)
+		}
 		sigmaFail++
 		if sigmaFail >= s.sigma {
 			// Σ-budget exhausted: shrink the pool. Two invariants guard
@@ -392,24 +714,45 @@ func (s *Sharded[P]) drawResolved(ctx context.Context, ses *session[P], st *core
 			p = 1
 		}
 		if ses.rng.Bernoulli(p) {
+			var local int32
+			if s.resOn {
+				v, err := s.pickResilient(ctx, ses, j)
+				if err != nil {
+					total, err = s.loseShard(ses, j, st, err)
+					if err != nil {
+						if st != nil {
+							st.Found = false
+						}
+						return 0, false, err
+					}
+					if total == 0 {
+						break
+					}
+					continue
+				}
+				local = v
+			} else {
+				local, _ = s.backends[j].Pick(ctx, &ses.plans[j], &ses.rng)
+			}
 			if st != nil {
 				st.FinalK = total
 				st.ShardChosen = j
 				st.Found = true
 			}
-			return s.toGlobal[j][ses.plans[j].Pick(&ses.rng)], true
+			return s.toGlobal[j][local], true, nil
 		}
 	}
 	if st != nil {
 		st.Found = false
 	}
-	return 0, false
+	return 0, false, nil
 }
 
 // Sample returns a uniform, independent sample from the union ball
-// B_S(q, r), or ok=false when no shard recalls a near point (or the
-// rejection budget is exhausted, a probability-≤δ event under the
-// paper's constants).
+// B_S(q, r), or ok=false when no shard recalls a near point, the
+// rejection budget is exhausted (a probability-≤δ event under the
+// paper's constants), or a shard failure the resilience policy could not
+// absorb — use SampleContext for the typed error.
 func (s *Sharded[P]) Sample(q P, st *core.QueryStats) (id int32, ok bool) {
 	id, err := s.SampleContext(context.Background(), q, st)
 	return id, err == nil
@@ -417,13 +760,21 @@ func (s *Sharded[P]) Sample(q P, st *core.QueryStats) (id int32, ok bool) {
 
 // SampleContext is Sample under a context: the rejection loop polls
 // ctx.Err() every ctxCheckRounds rounds, and a failed but uncanceled
-// query returns ErrNoSample (the Sampler contract).
+// query returns ErrNoSample (the Sampler contract). Shard failures
+// surface as a *ShardError (degradation off) or ErrDegraded (every
+// shard lost); both match errors.Is(err, ErrDegraded).
 func (s *Sharded[P]) SampleContext(ctx context.Context, q P, st *core.QueryStats) (int32, error) {
-	ses := s.begin(q, st, false)
+	ses, err := s.begin(ctx, q, st, false)
+	if err != nil {
+		return 0, err
+	}
 	defer s.release(ses)
-	id, ok := s.drawResolved(ctx, ses, st)
+	id, ok, derr := s.drawResolved(ctx, ses, st)
 	if err := ctx.Err(); err != nil {
 		return 0, err
+	}
+	if derr != nil {
+		return 0, derr
 	}
 	if !ok {
 		return 0, core.ErrNoSample
@@ -445,15 +796,25 @@ func (s *Sharded[P]) SampleK(q P, k int, st *core.QueryStats) []int32 {
 
 // SampleKInto is SampleK writing into dst (reset to length zero and
 // grown as needed), the bulk variant that amortizes the output buffer.
+// A shard failure the policy cannot absorb ends the bulk early with the
+// draws collected so far (st records the degradation, if any); callers
+// needing the typed error should use SampleContext per draw.
 func (s *Sharded[P]) SampleKInto(q P, k int, dst []int32, st *core.QueryStats) []int32 {
 	dst = dst[:0]
 	if k <= 0 {
 		return dst
 	}
-	ses := s.begin(q, st, true)
+	ses, err := s.begin(context.Background(), q, st, true)
+	if err != nil {
+		return dst
+	}
 	defer s.release(ses)
 	for i := 0; i < k; i++ {
-		if id, ok := s.drawResolved(context.Background(), ses, st); ok {
+		id, ok, err := s.drawResolved(context.Background(), ses, st)
+		if err != nil {
+			break
+		}
+		if ok {
 			dst = append(dst, id)
 		}
 	}
@@ -464,15 +825,25 @@ func (s *Sharded[P]) SampleKInto(q P, k int, dst []int32, st *core.QueryStats) [
 // from the union ball. Shards are resolved and estimated once per
 // stream; every yielded id costs one two-stage rejection loop on the
 // shared plans. The stream ends when the consumer breaks, ctx is done
-// (yielding ctx.Err() once), or a draw fails (yielding ErrNoSample).
+// (yielding ctx.Err() once), a draw fails (yielding ErrNoSample), or a
+// shard failure the policy cannot absorb occurs (yielding the typed
+// error).
 func (s *Sharded[P]) Samples(ctx context.Context, q P) iter.Seq2[int32, error] {
 	return func(yield func(int32, error) bool) {
-		ses := s.begin(q, nil, false)
+		ses, err := s.begin(ctx, q, nil, false)
+		if err != nil {
+			yield(0, err)
+			return
+		}
 		defer s.release(ses)
 		for {
-			id, ok := s.drawResolved(ctx, ses, nil)
+			id, ok, derr := s.drawResolved(ctx, ses, nil)
 			if err := ctx.Err(); err != nil {
 				yield(0, err)
+				return
+			}
+			if derr != nil {
+				yield(0, derr)
 				return
 			}
 			if !ok {

@@ -3,6 +3,9 @@ package fairnn
 import (
 	"errors"
 	"fmt"
+	"time"
+
+	"fairnn/internal/shard"
 )
 
 // This file is the functional-options construction surface: one
@@ -115,6 +118,9 @@ type builder struct {
 	shards    int
 	shardsSet bool
 	part      Partitioner
+	resil     shard.Resilience
+	resilSet  bool
+	inj       *FaultInjector
 	err       error
 }
 
@@ -263,6 +269,93 @@ func WithPartitioner(p Partitioner) Option {
 	}
 }
 
+// WithShardDeadline bounds every individual attempt of every per-shard
+// call (arm, segment report, point pick) of a sharded query; an attempt
+// that exceeds it counts as a failure against the shard's retry budget.
+// Deadlines bound waiting — injected faults today, RPC I/O in the
+// networked backend — while in-process compute is bounded by the query's
+// own cancellation polling. Requires WithShards.
+func WithShardDeadline(d time.Duration) Option {
+	return func(b *builder) {
+		if d <= 0 {
+			b.fail(fmt.Errorf("%w: WithShardDeadline(%v) needs a positive deadline", ErrBadOption, d))
+			return
+		}
+		b.resil.Deadline, b.resilSet = d, true
+	}
+}
+
+// WithShardRetry grants every per-shard call retries extra attempts
+// after its first failure, with capped exponential backoff between
+// attempts. The backoff jitter comes from a per-(query, shard) substream
+// derived from the query's stream seed — never from the query's main RNG
+// stream, so fault-free sample streams stay bit-identical to an
+// un-retried sampler. Requires WithShards.
+func WithShardRetry(retries int) Option {
+	return func(b *builder) {
+		if retries < 0 {
+			b.fail(fmt.Errorf("%w: WithShardRetry(%d) needs a non-negative count", ErrBadOption, retries))
+			return
+		}
+		b.resil.Retries, b.resilSet = retries, true
+	}
+}
+
+// WithShardBackoff tunes the retry backoff: attempt i sleeps a jittered
+// duration in (0, min(base<<i, max)] (defaults 1ms, 50ms). Requires
+// WithShards and WithShardRetry.
+func WithShardBackoff(base, max time.Duration) Option {
+	return func(b *builder) {
+		if base <= 0 || max < base {
+			b.fail(fmt.Errorf("%w: WithShardBackoff(%v, %v) needs 0 < base ≤ max", ErrBadOption, base, max))
+			return
+		}
+		b.resil.BackoffBase, b.resil.BackoffMax, b.resilSet = base, max, true
+	}
+}
+
+// WithDegradedMode answers queries from the surviving shards when one or
+// more shards exhaust their deadline/retry budget: the lost shards leave
+// the union pool and every accepted draw remains exactly uniform — over
+// the survivors' union ball, a smaller population, reported honestly on
+// QueryStats.Degraded (shards lost, points lost, estimated coverage
+// fraction). Without it, the first exhausted shard fails the query fast
+// with a typed *ShardError (matching errors.Is(err, ErrDegraded)).
+// Requires WithShards.
+func WithDegradedMode() Option {
+	return func(b *builder) { b.resil.Degraded, b.resilSet = true, true }
+}
+
+// WithShardProbeEvery sets the health registry's re-admission cadence:
+// a shard marked unhealthy is skipped without spending the query's
+// budget, except every n-th skip-eligible call probes it for real — one
+// successful arm re-admits it (default 8). Requires WithShards.
+func WithShardProbeEvery(n int) Option {
+	return func(b *builder) {
+		if n < 1 {
+			b.fail(fmt.Errorf("%w: WithShardProbeEvery(%d) needs n ≥ 1", ErrBadOption, n))
+			return
+		}
+		b.resil.ProbeEvery, b.resilSet = n, true
+	}
+}
+
+// WithFaultInjection interposes the deterministic fault-injection
+// harness on every per-shard backend call (see NewFaultInjector) — a
+// test-only knob for exercising the resilience policy against seeded
+// latency, errors, stalls, and panics. The injector must be built for
+// the same shard count. An idle injector (no firing specs) leaves
+// same-seed sample streams bit-identical. Requires WithShards.
+func WithFaultInjection(inj *FaultInjector) Option {
+	return func(b *builder) {
+		if inj == nil {
+			b.fail(fmt.Errorf("%w: WithFaultInjection(nil)", ErrBadOption))
+			return
+		}
+		b.inj = inj
+	}
+}
+
 // WithIndependentOptions tunes the Section 4 constructions (NNIS,
 // Weighted, MultiRadius); the zero value follows the paper. An explicitly
 // set Memo field wins over WithMemo. Any other algorithm rejects it with
@@ -321,6 +414,28 @@ func (b *builder) vecConfig() VecConfig {
 	}
 }
 
+// needShardsForResilience rejects resilience/fault options on unsharded
+// builds — the policy governs per-shard failure domains, so without
+// WithShards it would silently do nothing.
+func (b *builder) needShardsForResilience() error {
+	if (b.resilSet || b.inj != nil) && !b.shardsSet {
+		return fmt.Errorf("%w: shard resilience options (WithShardDeadline/WithShardRetry/WithShardBackoff/WithDegradedMode/WithShardProbeEvery/WithFaultInjection) require WithShards", ErrBadOption)
+	}
+	return nil
+}
+
+// shardConfig assembles the shard-layer build config from the builder
+// (the seed is filled in by the sharded constructors from the resolved
+// Config/VecConfig).
+func (b *builder) shardConfig() shard.Config {
+	return shard.Config{
+		Shards:      b.shards,
+		Partitioner: b.part,
+		Resilience:  b.resil,
+		Injector:    b.inj,
+	}
+}
+
 // needRadius validates the single-radius requirement for set algorithms.
 func (b *builder) needSetRadius() (float64, error) {
 	if !b.radiusSet {
@@ -376,6 +491,9 @@ func NewSet(points []Set, opts ...Option) (Sampler[Set], error) {
 	if b.part != nil && !b.shardsSet {
 		return nil, fmt.Errorf("%w: WithPartitioner requires WithShards", ErrBadOption)
 	}
+	if err := b.needShardsForResilience(); err != nil {
+		return nil, err
+	}
 	if b.shardsSet {
 		if b.algo == Dynamic {
 			return nil, fmt.Errorf("%w: WithShards(%d) with Algorithm(Dynamic)", ErrShardedDynamic, b.shards)
@@ -390,7 +508,7 @@ func NewSet(points []Set, opts ...Option) (Sampler[Set], error) {
 		if b.shards > len(points) {
 			return nil, fmt.Errorf("%w: WithShards(%d) over %d points leaves shards empty", ErrBadOption, b.shards, len(points))
 		}
-		return NewSetSharded(points, r, b.shards, b.part, b.iopts, cfg)
+		return newSetShardedConfig(points, r, b.iopts, cfg, b.shardConfig())
 	}
 	switch b.algo {
 	case MultiRadius:
@@ -520,6 +638,9 @@ func NewVec(points []Vec, opts ...Option) (Sampler[Vec], error) {
 	if b.part != nil && !b.shardsSet {
 		return nil, fmt.Errorf("%w: WithPartitioner requires WithShards", ErrBadOption)
 	}
+	if err := b.needShardsForResilience(); err != nil {
+		return nil, err
+	}
 	if b.shardsSet {
 		if b.algo == Dynamic {
 			// Dynamic is set-only anyway, but the documented contract for
@@ -532,7 +653,7 @@ func NewVec(points []Vec, opts ...Option) (Sampler[Vec], error) {
 		if b.shards > len(points) {
 			return nil, fmt.Errorf("%w: WithShards(%d) over %d points leaves shards empty", ErrBadOption, b.shards, len(points))
 		}
-		return NewVecSharded(points, alpha, b.shards, b.part, b.iopts, cfg)
+		return newVecShardedConfig(points, alpha, b.iopts, cfg, b.shardConfig())
 	}
 	switch b.algo {
 	case NNIS:
