@@ -229,10 +229,10 @@ func runQ3(paper bool, csvDir string, seed uint64, memo fairnn.MemoOptions) {
 		fatal(err)
 	}
 	if csvDir != "" {
-		rows := [][]string{{"method", "inspected", "score_evals", "rounds", "mean_us", "median_us", "found"}}
+		rows := [][]string{{"method", "inspected", "score_evals", "batch_scored", "rounds", "mean_us", "median_us", "found"}}
 		for _, r := range res.Rows {
 			rows = append(rows, []string{
-				r.Method, f6(r.MeanInspected), f6(r.MeanScoreEvals), f6(r.MeanRounds),
+				r.Method, f6(r.MeanInspected), f6(r.MeanScoreEvals), f6(r.MeanBatchScored), f6(r.MeanRounds),
 				f6(r.MeanMicros), f6(r.MedianMicros), f6(r.FoundRate),
 			})
 		}

@@ -215,6 +215,40 @@
 // observable per query, and each structure's RetainedScratchBytes
 // reports what its pool currently pins.
 //
+// # Performance
+//
+// Distance scoring — the inner loop of every rejection sampler — runs on
+// a two-tier kernel stack. The portable tier is straight-line Go
+// (4-way-unrolled dot product and squared ℓ2 distance) and compiles
+// everywhere. On amd64 hosts with AVX2+FMA, an assembly tier processes
+// 16 float64 lanes per iteration across four independent FMA
+// accumulator chains; the CPU features are probed once at startup and
+// the faster tier is selected automatically. Batched variants score a
+// whole block of candidates against one query in a single call, and the
+// query pipeline is organized around them: the Section 4 sampler
+// filters its memo-miss candidates per block through the optional
+// ScoreSqBatch seam of its metric space, the Section 5 sampler runs its
+// existence scan and filter evaluations over fixed-size blocks, and the
+// hash-signing engines compute their projection rows through the same
+// batched kernels. Batching and acceleration change cost only, never
+// output: within one build the batched and per-candidate paths produce
+// bit-identical sample streams and identical QueryStats counters
+// (ScoreEvals, ScoreCacheHits, MemoProbes), with BatchScored counting
+// how many of the scores went through a batched call.
+//
+// The portable tier remains fully supported: building with the purego
+// (or noasm) build tag compiles the assembly out, and setting the
+// FAIRNN_NOASM environment variable before process start disables it at
+// runtime on binaries that carry it. The two tiers reduce floating-
+// point sums in different orders, so across tiers streams are expected —
+// but not guaranteed — to be bit-identical; where a last-bit difference
+// flips a threshold verdict, the sampler's actual contract (uniformity
+// on the ball) still holds and is pinned by the repo's chi-squared
+// stream tests. Measured on the reference box, the accelerated squared-
+// distance kernel is ~3.3× the portable one at d = 128 (see
+// BENCH_PR7.json for the full dimension sweep and the multi-core
+// throughput gauge).
+//
 // Memo precedence gotcha: structures that take both a Config/VecConfig
 // and an IndependentOptions/VecOptions read the memo discipline from both
 // (opts.Memo wins over cfg.Memo). "Wins" is decided by comparison against

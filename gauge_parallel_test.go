@@ -1,0 +1,109 @@
+// The multi-core throughput gauge behind scripts/bench.sh: it drives the
+// Section 5 vector sampler from W concurrent workers at GOMAXPROCS = W
+// for each point of the sweep and reports aggregate samples/sec as
+// machine-parseable PARALLEL lines that the bench script folds into
+// BENCH_PR7.json. The scaling curve is the end-to-end proof that the
+// query path has no hidden serialization: queriers come from the pool,
+// per-query RNG streams split off an atomic counter, and the kernels are
+// read-only, so throughput should track core count on multi-core hosts
+// (on a single-core host the curve is honestly flat).
+//
+// Knobs (env): FAIRNN_PAR_N (indexed points, default 2000 so the regular
+// test run stays light; bench.sh sets more), FAIRNN_PAR_DRAWS (SampleK
+// calls per worker, default 50) and FAIRNN_PAR_SWEEP (space-separated
+// GOMAXPROCS values, default "1 2 4").
+
+package fairnn_test
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fairnn"
+	"fairnn/internal/dataset"
+)
+
+func envGaugeInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func envGaugeInts(name string, def []int) []int {
+	s := os.Getenv(name)
+	if s == "" {
+		return def
+	}
+	var out []int
+	for _, f := range strings.Fields(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 1 {
+			return def
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return def
+	}
+	return out
+}
+
+func TestParallelThroughputGauge(t *testing.T) {
+	n := envGaugeInt("FAIRNN_PAR_N", 2000)
+	draws := envGaugeInt("FAIRNN_PAR_DRAWS", 50)
+	sweep := envGaugeInts("FAIRNN_PAR_SWEEP", []int{1, 2, 4})
+	const perCall = 100
+
+	w := dataset.NewPlantedBall(dataset.PlantedBallConfig{
+		N: n, Dim: 64, Alpha: 0.8, Beta: 0.5,
+		BallSize: max(20, n/100), MidSize: max(40, n/50), Seed: 977,
+	})
+	fi, err := fairnn.NewVecIndependent(w.Points, 0.8, 0.5, fairnn.VecOptions{}, 983)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	base := 0.0
+	for _, g := range sweep {
+		runtime.GOMAXPROCS(g)
+		var wg sync.WaitGroup
+		var empty sync.Once
+		failed := false
+		start := time.Now()
+		for wk := 0; wk < g; wk++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dst := make([]int32, 0, perCall)
+				for i := 0; i < draws; i++ {
+					dst = fi.SampleKInto(w.Query, perCall, dst, nil)
+					if len(dst) == 0 {
+						empty.Do(func() { failed = true })
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		secs := time.Since(start).Seconds()
+		if failed {
+			t.Fatalf("gomaxprocs=%d: SampleKInto returned no samples on the planted ball", g)
+		}
+		tput := float64(g*draws*perCall) / secs
+		if base == 0 {
+			base = tput
+		}
+		fmt.Printf("PARALLEL gomaxprocs=%d workers=%d samples=%d secs=%.3f samples_per_sec=%.0f speedup_vs_first=%.2f\n",
+			g, g, g*draws*perCall, secs, tput, tput/base)
+	}
+}

@@ -155,6 +155,12 @@ type fiQuerier struct {
 	fw       fenwick
 	order    []int32
 	rng      rng.Source
+
+	// blocked existence-scan scratch (simBlock): memo-miss ids, the
+	// batched kernel output, and the per-position sims of one block.
+	pend     []int32
+	batchOut []float64
+	vals     []float64
 }
 
 // scratchBytes reports the querier's retained backing-array footprint:
@@ -162,9 +168,10 @@ type fiQuerier struct {
 // evaluation scratch.
 func (qr *fiQuerier) scratchBytes() int {
 	return qr.sim.retainedBytes() +
-		4*(cap(qr.flat)+cap(qr.order)) +
+		4*(cap(qr.flat)+cap(qr.order)+cap(qr.pend)) +
 		16*cap(qr.refs) + 24*(cap(qr.master)+cap(qr.contents)) +
-		8*cap(qr.fw.tree) + qr.scratch.RetainedBytes()
+		8*(cap(qr.fw.tree)+cap(qr.batchOut)+cap(qr.vals)) +
+		qr.scratch.RetainedBytes()
 }
 
 // trim enforces the pool's scratch budget — on the querier's summed
@@ -178,6 +185,7 @@ func (qr *fiQuerier) trim(budget int) {
 	}
 	qr.flat, qr.order = nil, nil
 	qr.refs, qr.master, qr.contents = nil, nil, nil
+	qr.pend, qr.batchOut, qr.vals = nil, nil, nil
 	qr.fw = fenwick{}
 	qr.scratch.Trim(0)
 	qr.sim.shrink(budget)
@@ -266,6 +274,88 @@ func (f *FilterIndependent) simOf(qr *fiQuerier, q vector.Vec, id int32, st *Que
 	s := vector.Dot(q, f.points[id])
 	qr.sim.put(id, math.Float64bits(s))
 	return s
+}
+
+// fiBatchBlock is the scoring block of the existence scan: candidates are
+// memo-probed and kernel-scored this many at a time. Large enough to
+// amortize kernel dispatch, small enough that an early near hit wastes at
+// most one block of speculative scores.
+const fiBatchBlock = 64
+
+// simBlock fills qr.vals[k] = ⟨q, p_ids[k]⟩ for one candidate block and
+// returns the filled slice. Memo hits are read back (charged to
+// st.ScoreCacheHits, exactly like simOf); misses are gathered into
+// qr.pend, scored with one batched kernel call (bit-identical to the
+// per-pair vector.Dot on either kernel tier), memoized, and charged to
+// st.ScoreEvals and st.BatchScored. NaN marks a pending slot between the
+// two passes — indexed vectors with NaN components are outside every
+// sampler contract.
+func (f *FilterIndependent) simBlock(qr *fiQuerier, q vector.Vec, ids []int32, st *QueryStats) []float64 {
+	if cap(qr.vals) < len(ids) {
+		qr.vals = make([]float64, len(ids))
+	}
+	vals := qr.vals[:len(ids)]
+	pend := qr.pend[:0]
+	nan := math.NaN()
+	if d, ok := qr.sim.(*denseWordMemo); ok {
+		d.ensure()
+		for k, id := range ids {
+			if d.stamp[id] == d.epoch {
+				st.cacheHit()
+				vals[k] = math.Float64frombits(d.vals[id])
+			} else {
+				vals[k] = nan
+				pend = append(pend, id)
+			}
+		}
+	} else {
+		for k, id := range ids {
+			st.memoProbe()
+			if v, ok := qr.sim.get(id); ok {
+				st.cacheHit()
+				vals[k] = math.Float64frombits(v)
+			} else {
+				vals[k] = nan
+				pend = append(pend, id)
+			}
+		}
+	}
+	if len(pend) > 0 {
+		if cap(qr.batchOut) < len(pend) {
+			qr.batchOut = make([]float64, len(pend))
+		}
+		out := qr.batchOut[:len(pend)]
+		vector.DotBatchIDs(q, f.points, pend, out)
+		if st != nil {
+			st.ScoreEvals += len(pend)
+			st.BatchScored += len(pend)
+		}
+		j := 0
+		if d, ok := qr.sim.(*denseWordMemo); ok {
+			for k := range vals {
+				if !math.IsNaN(vals[k]) {
+					continue
+				}
+				id, s := pend[j], out[j]
+				vals[k] = s
+				d.stamp[id] = d.epoch
+				d.vals[id] = math.Float64bits(s)
+				j++
+			}
+		} else {
+			for k := range vals {
+				if !math.IsNaN(vals[k]) {
+					continue
+				}
+				id, s := pend[j], out[j]
+				vals[k] = s
+				qr.sim.put(id, math.Float64bits(s))
+				j++
+			}
+		}
+	}
+	qr.pend = pend
+	return vals
 }
 
 // multiplicity returns c_p: in how many selected buckets point id occurs.
@@ -377,13 +467,26 @@ func (f *FilterIndependent) sampleFromPlan(ctx context.Context, q vector.Vec, qr
 	}
 	qr.order = order
 	qr.rng.ShuffleInt32(order)
+	// The scan scores candidates one fiBatchBlock at a time through
+	// simBlock, checking the threshold in stored order afterwards, and
+	// stops at the first block containing a near point. The candidate
+	// visit order and the verdicts are identical to a per-candidate scan
+	// (no randomness is involved and block scoring is bit-identical to
+	// per-pair scoring); the only difference is speculative work — up to
+	// one block of extra scores past the first near point, all memoized
+	// and reused by the rejection loop.
 	exists := false
 	for _, bi := range order {
-		for _, cand := range qr.master[bi] {
-			st.point()
-			if f.simOf(qr, q, cand, st) >= f.alpha {
-				exists = true
-				break
+		ids := qr.master[bi]
+		for off := 0; off < len(ids) && !exists; off += fiBatchBlock {
+			end := min(off+fiBatchBlock, len(ids))
+			vals := f.simBlock(qr, q, ids[off:end], st)
+			for k := range vals {
+				st.point()
+				if vals[k] >= f.alpha {
+					exists = true
+					break
+				}
 			}
 		}
 		if exists {

@@ -235,13 +235,25 @@ func (d *Independent[P]) segmentNear(q P, qr *querier, lo, hi int32, st *QuerySt
 	}
 	if qr.isMerged {
 		ranks := qr.mergedRanks
-		kept := qr.cand[:0]
+		if d.base.batchScore == nil {
+			// No batch kernel: filter inline in the same pass as the
+			// segment scan (collecting first would only add a second pass).
+			kept := qr.cand[:0]
+			for i := rank.SearchRanks(ranks, lo); i < len(ranks) && ranks[i] < hi; i++ {
+				st.point()
+				if id := qr.mergedIDs[i]; d.base.nearCached(q, qr, id, st) {
+					kept = append(kept, id)
+				}
+			}
+			qr.cand = kept[:0]
+			return kept
+		}
+		cands := qr.cand[:0]
 		for i := rank.SearchRanks(ranks, lo); i < len(ranks) && ranks[i] < hi; i++ {
 			st.point()
-			if id := qr.mergedIDs[i]; d.base.nearCached(q, qr, id, st) {
-				kept = append(kept, id)
-			}
+			cands = append(cands, qr.mergedIDs[i])
 		}
+		kept := d.base.keepNear(q, qr, cands, st)
 		qr.cand = kept[:0]
 		return kept
 	}
@@ -264,14 +276,9 @@ func (d *Independent[P]) segmentNear(q P, qr *querier, lo, hi int32, st *QuerySt
 	// Deduplicate ids that occur in several buckets.
 	slices.Sort(cands)
 	cands = slices.Compact(cands)
-	// Keep the near ones.
-	kept := cands[:0]
-	for _, id := range cands {
-		if d.base.nearCached(q, qr, id, st) {
-			kept = append(kept, id)
-		}
-	}
-	return kept
+	// Keep the near ones (batched over the memo misses when the space has
+	// a batch kernel).
+	return d.base.keepNear(q, qr, cands, st)
 }
 
 // Sample returns a uniform, independent sample from B_S(q, r), or ok=false

@@ -130,8 +130,9 @@ func NewBank(points []vector.Vec, params Params, r *rng.Source) (*Bank, error) {
 			b.vecs[i][j] = vector.Gaussian(r, dim)
 		}
 	}
+	dots := make([]float64, params.M1T)
 	for id, p := range points {
-		key := b.argmaxKey(p)
+		key := b.argmaxKeyInto(p, dots)
 		b.keyOf[id] = key
 		b.buckets[key] = append(b.buckets[key], int32(id))
 	}
@@ -151,13 +152,22 @@ func (b *Bank) KeyOf(id int32) uint64 { return b.keyOf[id] }
 func (b *Bank) Bucket(key uint64) []int32 { return b.buckets[key] }
 
 // argmaxKey maps a point to the packed tuple (j_1, ..., j_t) of per-sub-
-// structure argmax filters.
+// structure argmax filters, with throwaway scratch.
 func (b *Bank) argmaxKey(p vector.Vec) uint64 {
+	return b.argmaxKeyInto(p, make([]float64, b.params.M1T))
+}
+
+// argmaxKeyInto is argmaxKey writing its m^(1/t) inner products through
+// dots — one batched kernel call per sub-structure, so NewBank's point
+// loop scores each sub-structure's filters as a block without per-point
+// allocation. Ties keep the lowest filter index, as before.
+func (b *Bank) argmaxKeyInto(p vector.Vec, dots []float64) uint64 {
 	key := uint64(0)
 	for i := 0; i < b.params.T; i++ {
+		vector.DotBatch(p, b.vecs[i], dots)
 		best, bestDot := 0, math.Inf(-1)
-		for j, a := range b.vecs[i] {
-			if d := vector.Dot(a, p); d > bestDot {
+		for j, d := range dots {
+			if d > bestDot {
 				bestDot = d
 				best = j
 			}
@@ -233,11 +243,13 @@ func (b *Bank) QueryInto(q vector.Vec, s *QueryScratch) QueryPlan {
 	}
 	idxSets := s.idxSets[:params.T]
 	for i := 0; i < params.T; i++ {
+		// One batched kernel call per sub-structure (bit-identical to the
+		// per-filter vector.Dot, so admitted index sets are unchanged).
+		vector.DotBatch(q, b.vecs[i], dots)
 		maxDot := math.Inf(-1)
-		for j, a := range b.vecs[i] {
-			dots[j] = vector.Dot(a, q)
-			if dots[j] > maxDot {
-				maxDot = dots[j]
+		for _, d := range dots {
+			if d > maxDot {
+				maxDot = d
 			}
 		}
 		thr := params.Alpha*maxDot - f

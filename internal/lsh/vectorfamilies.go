@@ -43,14 +43,24 @@ type simHashBatch struct {
 
 func (b *simHashBatch) Size() int { return len(b.rows) / b.dim }
 
+// signChunk bounds the stack buffer the batch signers stage row inner
+// products through — large enough to amortize kernel dispatch, small
+// enough to stay off the heap.
+const signChunk = 32
+
 func (b *simHashBatch) Hash(v vector.Vec, lo, hi int, out []uint64) {
-	for i := lo; i < hi; i++ {
-		// vector.Dot is the same unrolled kernel the per-function path
-		// uses, so batched and sequential signatures stay bit-equal.
-		if vector.Dot(b.rows[i*b.dim:(i+1)*b.dim], v) >= 0 {
-			out[i-lo] = 1
-		} else {
-			out[i-lo] = 0
+	// vector.DotRows runs the same resolved kernel as the per-function
+	// vector.Dot, so batched and sequential signatures stay bit-equal.
+	var dots [signChunk]float64
+	for i := lo; i < hi; i += signChunk {
+		end := min(i+signChunk, hi)
+		vector.DotRows(b.rows, b.dim, v, i, end, dots[:end-i])
+		for k := 0; k < end-i; k++ {
+			if dots[k] >= 0 {
+				out[i-lo+k] = 1
+			} else {
+				out[i-lo+k] = 0
+			}
 		}
 	}
 }
@@ -108,9 +118,15 @@ type euclideanBatch struct {
 func (b *euclideanBatch) Size() int { return len(b.bs) }
 
 func (b *euclideanBatch) Hash(v vector.Vec, lo, hi int, out []uint64) {
-	for i := lo; i < hi; i++ {
-		dot := vector.Dot(b.rows[i*b.dim:(i+1)*b.dim], v)
-		out[i-lo] = uint64(int64(math.Floor((dot + b.bs[i]) / b.w)))
+	// Same chunked staging as simHashBatch.Hash: row inner products are
+	// bit-equal to the per-function vector.Dot on either kernel tier.
+	var dots [signChunk]float64
+	for i := lo; i < hi; i += signChunk {
+		end := min(i+signChunk, hi)
+		vector.DotRows(b.rows, b.dim, v, i, end, dots[:end-i])
+		for k := 0; k < end-i; k++ {
+			out[i-lo+k] = uint64(int64(math.Floor((dots[k] + b.bs[i+k]) / b.w)))
+		}
 	}
 }
 

@@ -1,0 +1,57 @@
+//go:build amd64 && !purego && !noasm
+
+package vector
+
+import "os"
+
+// asmSupported marks builds that carry the AVX2/FMA kernels; the
+// portable build (other architectures, or -tags purego/noasm) compiles
+// the stubs in kernels_noasm.go instead and folds every accelerated
+// branch away at compile time.
+const asmSupported = true
+
+// dotAVX2 returns <a[:n], b[:n]> for n a positive multiple of 16, using
+// four FMA-accumulating YMM lanes with a fixed reduction order.
+//
+//go:noescape
+func dotAVX2(a, b *float64, n int) float64
+
+// sqDistAVX2 returns the squared Euclidean distance over the first n
+// components (n a positive multiple of 16), same lane layout as dotAVX2.
+//
+//go:noescape
+func sqDistAVX2(a, b *float64, n int) float64
+
+func cpuid(op, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// cpuHasAVX2FMA reports whether the CPU and OS support the kernels:
+// AVX2 + FMA instruction sets, plus OS-managed YMM state (OSXSAVE and
+// XCR0 bits 1|2).
+func cpuHasAVX2FMA() bool {
+	maxOp, _, _, _ := cpuid(0, 0)
+	if maxOp < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	const fma = 1 << 12
+	if ecx1&osxsave == 0 || ecx1&avx == 0 || ecx1&fma == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&6 != 6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+func init() {
+	cpuAccelOK = cpuHasAVX2FMA()
+	if cpuAccelOK && os.Getenv("FAIRNN_NOASM") == "" {
+		accelOn.Store(true)
+	}
+}

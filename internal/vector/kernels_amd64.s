@@ -1,0 +1,85 @@
+// AVX2/FMA distance kernels. Both functions require n to be a positive
+// multiple of 16 (the Go wrappers in kernels.go split off the scalar
+// remainder); they keep four independent YMM accumulators so the FMA
+// dependency chains pipeline, and reduce them in a fixed order so results
+// are deterministic run to run (FP rounding differs from the scalar
+// 4-way-unrolled kernels, which is why the accelerated path is pinned by
+// the equivalence and chi-squared tests rather than bit-identity).
+
+//go:build amd64 && !purego && !noasm
+
+#include "textflag.h"
+
+// func dotAVX2(a, b *float64, n int) float64
+TEXT ·dotAVX2(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	XORQ AX, AX
+
+dotloop:
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD 32(SI)(AX*8), Y5
+	VMOVUPD 64(SI)(AX*8), Y6
+	VMOVUPD 96(SI)(AX*8), Y7
+	VFMADD231PD (DI)(AX*8), Y4, Y0
+	VFMADD231PD 32(DI)(AX*8), Y5, Y1
+	VFMADD231PD 64(DI)(AX*8), Y6, Y2
+	VFMADD231PD 96(DI)(AX*8), Y7, Y3
+	ADDQ $16, AX
+	CMPQ AX, CX
+	JLT  dotloop
+
+	// Fixed-order reduction: ((acc0+acc1)+(acc2+acc3)), then lanes
+	// (lo128+hi128), then horizontal add of the remaining pair.
+	VADDPD       Y1, Y0, Y0
+	VADDPD       Y3, Y2, Y2
+	VADDPD       Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VHADDPD      X0, X0, X0
+	VZEROUPPER
+	MOVSD X0, ret+24(FP)
+	RET
+
+// func sqDistAVX2(a, b *float64, n int) float64
+TEXT ·sqDistAVX2(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	XORQ AX, AX
+
+sqloop:
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD 32(SI)(AX*8), Y5
+	VMOVUPD 64(SI)(AX*8), Y6
+	VMOVUPD 96(SI)(AX*8), Y7
+	VSUBPD  (DI)(AX*8), Y4, Y4
+	VSUBPD  32(DI)(AX*8), Y5, Y5
+	VSUBPD  64(DI)(AX*8), Y6, Y6
+	VSUBPD  96(DI)(AX*8), Y7, Y7
+	VFMADD231PD Y4, Y4, Y0
+	VFMADD231PD Y5, Y5, Y1
+	VFMADD231PD Y6, Y6, Y2
+	VFMADD231PD Y7, Y7, Y3
+	ADDQ $16, AX
+	CMPQ AX, CX
+	JLT  sqloop
+
+	VADDPD       Y1, Y0, Y0
+	VADDPD       Y3, Y2, Y2
+	VADDPD       Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VHADDPD      X0, X0, X0
+	VZEROUPPER
+	MOVSD X0, ret+24(FP)
+	RET

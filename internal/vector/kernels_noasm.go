@@ -1,0 +1,11 @@
+//go:build !amd64 || purego || noasm
+
+package vector
+
+// Portable build: no assembly kernels. asmSupported folds the
+// accelerated branches away; the stubs exist only to satisfy the
+// compiler and are unreachable (Accelerated() can never be true here).
+const asmSupported = false
+
+func dotAVX2(a, b *float64, n int) float64    { panic("vector: no assembly kernels in this build") }
+func sqDistAVX2(a, b *float64, n int) float64 { panic("vector: no assembly kernels in this build") }

@@ -6,6 +6,7 @@ package vector
 // remainders 1–3), and the benchmarks feed the BENCH_PR2 snapshot.
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -71,8 +72,10 @@ func TestSquaredEuclideanPanicsOnMismatch(t *testing.T) {
 }
 
 // ---------------------------------------------------------------------------
-// Kernel microbenchmarks (dimension chosen to match the Section 5 bench
-// workloads; reported in BENCH_PR2.json).
+// Kernel microbenchmarks: a dimension sweep with one sub-benchmark per
+// kernel tier, so one run yields the scalar-vs-accelerated comparison.
+// SetBytes counts both operand vectors (16 bytes per dimension), so the
+// ns/op column doubles as a GB/s gauge. Reported in BENCH_PR7.json.
 
 const benchDim = 128
 
@@ -83,21 +86,35 @@ func benchVecs() (Vec, Vec) {
 
 var sinkFloat float64
 
-func BenchmarkDot(b *testing.B) {
-	x, y := benchVecs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sinkFloat = Dot(x, y)
+var benchDims = []int{16, 64, 128, 384, 768}
+
+func benchKernelTiers(b *testing.B, kernel func(Vec, Vec) float64) {
+	for _, d := range benchDims {
+		r := rng.New(81)
+		x, y := Gaussian(r, d), Gaussian(r, d)
+		run := func(name string, accel bool) {
+			b.Run(fmt.Sprintf("d=%d/%s", d, name), func(b *testing.B) {
+				if accel && !AccelAvailable() {
+					b.Skip("accelerated kernels unavailable in this build")
+				}
+				prev := Accelerated()
+				SetAccelerated(accel)
+				defer SetAccelerated(prev)
+				b.SetBytes(int64(16 * d))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sinkFloat = kernel(x, y)
+				}
+			})
+		}
+		run("scalar", false)
+		run("accel", true)
 	}
 }
 
-func BenchmarkSquaredEuclidean(b *testing.B) {
-	x, y := benchVecs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sinkFloat = SquaredEuclidean(x, y)
-	}
-}
+func BenchmarkDot(b *testing.B) { benchKernelTiers(b, Dot) }
+
+func BenchmarkSquaredEuclidean(b *testing.B) { benchKernelTiers(b, SquaredEuclidean) }
 
 func BenchmarkEuclideanSqrt(b *testing.B) {
 	x, y := benchVecs()

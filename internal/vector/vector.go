@@ -13,15 +13,26 @@ import (
 // Vec is a dense vector of float64 components.
 type Vec []float64
 
-// Dot returns the inner product <a, b>. It panics if the dimensions differ.
-// The loop runs four independent accumulators so the additions pipeline
-// instead of serializing on one FP dependency chain; every Dot caller
-// (Section 5 filters, SimHash/E2LSH signing) therefore shares one
-// summation order, which keeps batched and per-function hashing bit-equal.
+// Dot returns the inner product <a, b>. It panics if the dimensions
+// differ. It dispatches to the AVX2+FMA kernel when one is active (see
+// kernels.go) and otherwise to the portable 4-way-unrolled loop; every
+// Dot caller (Section 5 filters, SimHash/E2LSH signing) shares the same
+// resolved kernel within one process, which keeps batched and
+// per-function hashing bit-equal.
 func Dot(a, b Vec) float64 {
 	if len(a) != len(b) {
 		panic("vector: dimension mismatch")
 	}
+	if asmSupported && accelOn.Load() && len(a) >= asmBlock {
+		return dotAccel(a, b)
+	}
+	return dotGeneric(a, b)
+}
+
+// dotGeneric is the portable kernel: four independent accumulators so
+// the additions pipeline instead of serializing on one FP dependency
+// chain. Assumes len(a) == len(b).
+func dotGeneric(a, b Vec) float64 {
 	b = b[:len(a)]
 	var s0, s1, s2, s3 float64
 	i := 0
@@ -44,11 +55,20 @@ func Norm(v Vec) float64 { return math.Sqrt(Dot(v, v)) }
 // SquaredEuclidean returns the squared Euclidean distance between a and b —
 // the sqrt-free kernel behind the Euclidean space's near test, which
 // compares against r² instead of taking a square root per candidate.
-// Unrolled like Dot.
+// Dispatches like Dot.
 func SquaredEuclidean(a, b Vec) float64 {
 	if len(a) != len(b) {
 		panic("vector: dimension mismatch")
 	}
+	if asmSupported && accelOn.Load() && len(a) >= asmBlock {
+		return sqDistAccel(a, b)
+	}
+	return squaredEuclideanGeneric(a, b)
+}
+
+// squaredEuclideanGeneric is the portable kernel, unrolled like
+// dotGeneric. Assumes len(a) == len(b).
+func squaredEuclideanGeneric(a, b Vec) float64 {
 	b = b[:len(a)]
 	var s0, s1, s2, s3 float64
 	i := 0

@@ -1,19 +1,19 @@
 #!/usr/bin/env bash
 # bench.sh — run the query/build benchmark suite plus the kernel
 # microbenchmarks, the pooled-scratch footprint gauge, the shard-sweep
-# gauge and the resilience gauge, and emit a JSON snapshot for the
-# performance trajectory (BENCH_PR<N>.json at the repo root). The
-# snapshot includes a seed / PR3 / PR5 / PR6 comparison table (historical
-# columns are read from the checked-in BENCH_PR5.json; PR6 numbers are
-# this run), a "footprint" section (bytes of pooled per-query scratch
-# retained after a 64-querier burst, dense vs compact memo backend), a
-# "shard_sweep" section (build + Sample + SampleK(100) wall times of the
-# sharded sampler at S ∈ {1, 2, 4, 8}), and a "resilience" section:
-# p50/p99 single-draw latency of an 8-shard degraded-mode sampler with
-# all shards healthy vs 1 of 8 shards force-failed.
+# gauge, the resilience gauge and the multi-core parallel-throughput
+# gauge, and emit a JSON snapshot for the performance trajectory
+# (BENCH_PR<N>.json at the repo root). The snapshot includes a
+# seed / PR5 / PR6 / PR7 comparison table (historical columns are read
+# from the checked-in BENCH_PR6.json; PR7 numbers are this run), a
+# "kernels" section (the scalar-vs-accelerated distance-kernel dimension
+# sweep with speedup and accelerated GB/s), a "parallel" section
+# (aggregate NNIS sampling throughput at GOMAXPROCS ∈ {1, 2, 4}), plus
+# the footprint / shard_sweep / resilience sections carried from earlier
+# PRs.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
-#   output.json  defaults to BENCH_PR6.json
+#   output.json  defaults to BENCH_PR7.json
 #   benchtime    defaults to 1s (passed to -benchtime)
 # Env:
 #   FAIRNN_FOOTPRINT_N         points for the footprint gauge (default 1000000)
@@ -22,11 +22,14 @@
 #   FAIRNN_SHARD_SWEEP         shard counts for the sweep (default "1 2 4 8")
 #   FAIRNN_RES_N               points for the resilience gauge (default 200000)
 #   FAIRNN_RES_REPS            timed draws per state (default 2000)
+#   FAIRNN_PAR_N               points for the parallel gauge (default 8000)
+#   FAIRNN_PAR_DRAWS           SampleK(100) calls per worker (default 25)
+#   FAIRNN_PAR_SWEEP           GOMAXPROCS sweep (default "1 2 4")
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR6.json}"
+OUT="${1:-BENCH_PR7.json}"
 BENCHTIME="${2:-1s}"
 FOOTPRINT_N="${FAIRNN_FOOTPRINT_N:-1000000}"
 FOOTPRINT_QUERIERS="${FAIRNN_FOOTPRINT_QUERIERS:-64}"
@@ -34,11 +37,15 @@ SHARD_N="${FAIRNN_SHARD_N:-1000000}"
 SHARD_SWEEP="${FAIRNN_SHARD_SWEEP:-1 2 4 8}"
 RES_N="${FAIRNN_RES_N:-200000}"
 RES_REPS="${FAIRNN_RES_REPS:-2000}"
+PAR_N="${FAIRNN_PAR_N:-8000}"
+PAR_DRAWS="${FAIRNN_PAR_DRAWS:-25}"
+PAR_SWEEP="${FAIRNN_PAR_SWEEP:-1 2 4}"
 
 # End-to-end query/build benches (root package).
 ROOT_PATTERN='BenchmarkQuerySamplerNNS|BenchmarkQuerySampleRepeated|BenchmarkQueryIndependentNNIS$|BenchmarkQueryIndependentNNISParallel|BenchmarkQueryIndependentSampleK100|BenchmarkQueryStandardLSH|BenchmarkQueryNaiveFair|BenchmarkQueryFilterIndependent$|BenchmarkQueryFilterSampleK100|BenchmarkBuildSampler|BenchmarkBuildIndependent|BenchmarkBuildFilterIndependent'
 # Kernel microbenches (internal packages): the segment report that the
-# merged cursor accelerates, the sqrt-free distance kernels, and the
+# merged cursor accelerates, the distance-kernel dimension sweep (each
+# dimension runs a scalar and an accel sub-benchmark), and the
 # dense-vs-compact memo lookup.
 MICRO_PATTERN='BenchmarkSegmentNear|BenchmarkSquaredEuclidean|BenchmarkDot$|BenchmarkEuclideanSqrt|BenchmarkNearCached'
 
@@ -46,7 +53,8 @@ RAW="$(mktemp)"
 FOOT="$(mktemp)"
 SWEEP="$(mktemp)"
 RES="$(mktemp)"
-trap 'rm -f "$RAW" "$FOOT" "$SWEEP" "$RES"' EXIT
+PAR="$(mktemp)"
+trap 'rm -f "$RAW" "$FOOT" "$SWEEP" "$RES" "$PAR"' EXIT
 
 go test -run '^$' -bench "$ROOT_PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 go test -run '^$' -bench "$MICRO_PATTERN" -benchmem -benchtime "$BENCHTIME" \
@@ -67,31 +75,40 @@ FAIRNN_SHARD_N="$SHARD_N" FAIRNN_SHARD_SWEEP="$SHARD_SWEEP" \
 FAIRNN_RES_N="$RES_N" FAIRNN_RES_REPS="$RES_REPS" \
 	go test -run 'TestResilienceGauge' -count=1 -v ./internal/shard | tee "$RES"
 
-awk -v out="$OUT" -v benchtime="$BENCHTIME" -v pr5json="BENCH_PR5.json" -v footfile="$FOOT" -v sweepfile="$SWEEP" -v resfile="$RES" '
+# Parallel-throughput gauge: aggregate Section 5 sampling throughput with
+# W workers at GOMAXPROCS = W across PAR_SWEEP.
+FAIRNN_PAR_N="$PAR_N" FAIRNN_PAR_DRAWS="$PAR_DRAWS" FAIRNN_PAR_SWEEP="$PAR_SWEEP" \
+	go test -run 'TestParallelThroughputGauge' -count=1 -v -timeout 1200s . | tee "$PAR"
+
+awk -v out="$OUT" -v benchtime="$BENCHTIME" -v pr6json="BENCH_PR6.json" -v footfile="$FOOT" -v sweepfile="$SWEEP" -v resfile="$RES" -v parfile="$PAR" '
 BEGIN {
-    # Historical columns from BENCH_PR5.json: its "comparison" table
-    # carries seed_ns_op, pr3_ns_op and pr5_ns_op; its "benchmarks" ns_op
-    # entries fill pr5 for benches outside the comparison set.
-    while ((getline line < pr5json) > 0) {
-        if (line !~ /"name":/) continue
-        name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+    # Historical columns from BENCH_PR6.json: its "comparison" table
+    # carries seed_ns_op, pr5_ns_op and pr6_ns_op; its "benchmarks" ns_op
+    # entries fill pr6 for benches outside the comparison set. The file
+    # is pretty-printed (one key per line), so track the most recent
+    # "name" and attach subsequent metric lines to it.
+    cur = ""
+    while ((getline line < pr6json) > 0) {
+        if (line ~ /"name":/) {
+            cur = line; sub(/.*"name": "/, "", cur); sub(/".*/, "", cur)
+            continue
+        }
+        if (cur == "") continue
         if (line ~ /"seed_ns_op":/) {
             v = line; sub(/.*"seed_ns_op": /, "", v); sub(/[,}].*/, "", v)
-            seed_ns[name] = v
-        }
-        if (line ~ /"pr3_ns_op":/) {
-            v = line; sub(/.*"pr3_ns_op": /, "", v); sub(/[,}].*/, "", v)
-            pr3_ns[name] = v
-        }
-        if (line ~ /"pr5_ns_op":/) {
+            seed_ns[cur] = v
+        } else if (line ~ /"pr5_ns_op":/) {
             v = line; sub(/.*"pr5_ns_op": /, "", v); sub(/[,}].*/, "", v)
-            pr5_ns[name] = v
+            pr5_ns[cur] = v
+        } else if (line ~ /"pr6_ns_op":/) {
+            v = line; sub(/.*"pr6_ns_op": /, "", v); sub(/[,}].*/, "", v)
+            pr6_ns[cur] = v
         } else if (line ~ /"ns_op":/) {
             v = line; sub(/.*"ns_op": /, "", v); sub(/[,}].*/, "", v)
-            if (!(name in pr5_ns)) pr5_ns[name] = v
+            if (!(cur in pr6_ns)) pr6_ns[cur] = v
         }
     }
-    close(pr5json)
+    close(pr6json)
     # Footprint gauge lines: FOOTPRINT backend=dense n=... queriers=...
     # retained_bytes=... per_querier_bytes=...
     nf = 0
@@ -150,6 +167,22 @@ BEGIN {
         res[nres++] = row "}"
     }
     close(resfile)
+    # Parallel gauge lines: PARALLEL gomaxprocs=1 workers=1 samples=...
+    # secs=... samples_per_sec=... speedup_vs_first=...
+    npar = 0
+    while ((getline line < parfile) > 0) {
+        if (line !~ /^PARALLEL /) continue
+        np = split(line, parts, " ")
+        row = "    {"
+        first_kv = 1
+        for (i = 2; i <= np; i++) {
+            split(parts[i], kv, "=")
+            row = row (first_kv ? "" : ", ") sprintf("\"%s\": %s", kv[1], kv[2])
+            first_kv = 0
+        }
+        par[npar++] = row "}"
+    }
+    close(parfile)
 }
 /^Benchmark/ {
     name = $1
@@ -167,11 +200,21 @@ BEGIN {
         if (allocs != "") row = row sprintf(", \"allocs_op\": %s", allocs)
         row = row "}"
         lines[n++] = row
+        # Kernel dimension-sweep sub-benches:
+        # BenchmarkDot/d=128/accel, BenchmarkSquaredEuclidean/d=64/scalar.
+        if (name ~ /^Benchmark(Dot|SquaredEuclidean)\/d=[0-9]+\/(scalar|accel)$/) {
+            kern = (name ~ /^BenchmarkDot\//) ? "dot" : "squared_euclidean"
+            d = name; sub(/.*\/d=/, "", d); sub(/\/.*/, "", d)
+            tier = name; sub(/.*\//, "", tier)
+            kd_ns[kern, d, tier] = ns
+            key = kern SUBSEP d
+            if (!(key in kd_seen)) { kd_seen[key] = 1; kd_order[nkd++] = key }
+        }
     }
 }
 END {
-    printf "{\n  \"pr\": 6,\n  \"benchtime\": \"%s\",\n", benchtime > out
-    printf "  \"note\": \"seed/pr3/pr5 columns are historical (from BENCH_PR5.json); pr6 columns are this run. resilience = p50/p99 single-draw latency of an 8-shard degraded-mode sampler, all shards healthy vs 1 of 8 force-failed (health-registry fail-fast absorbs the loss after the first query pays the retry budget). On the NNS regression recorded at PR5 (QuerySamplerNNS 144652 -> 160851 ns): an interleaved same-box A/B of the PR4 and PR5 trees measured medians of ~213us (PR4) vs ~189us (PR5) over 6 alternating runs each, i.e. PR5 is not slower -- the recorded delta was cross-run noise on a 1-core box, and the PR5 diff never touched the NNS sample path. The pr6 columns carry the same caveat: an interleaved PR5-tree vs PR6-tree A/B measured parity (NNIS 3.18 vs 3.15 ms, NNS 181 vs 169 us medians), so any cross-column delta here is session noise -- trust interleaved medians, not snapshot ratios. Regenerate with scripts/bench.sh.\",\n" >> out
+    printf "{\n  \"pr\": 7,\n  \"benchtime\": \"%s\",\n", benchtime > out
+    printf "  \"note\": \"seed/pr5/pr6 columns are historical (from BENCH_PR6.json); pr7 columns are this run. kernels = the distance-kernel dimension sweep: scalar is the portable 4-way-unrolled Go loop, accel the AVX2+FMA assembly path (16 float64/iter, 4 FMA chains); accel_gbps counts both operand vectors (16 bytes per dimension). parallel = aggregate Section 5 SampleK(100) throughput with W workers at GOMAXPROCS=W; on a single-core host the curve is honestly flat, on multi-core hosts it is the no-hidden-serialization proof. Cross-column deltas in the comparison table carry the usual caveat for this 1-core box: single-run snapshots have ~20 percent noise, trust interleaved medians (the PR5/PR6 notes record two such A/Bs measuring parity where snapshots suggested regressions). Regenerate with scripts/bench.sh.\",\n" >> out
     printf "  \"comparison\": [\n" >> out
     m = split("BenchmarkBuildSampler BenchmarkBuildIndependent BenchmarkQuerySamplerNNS BenchmarkQueryIndependentNNIS BenchmarkQueryIndependentSampleK100 BenchmarkQueryFilterIndependent", keys, " ")
     first = 1
@@ -180,17 +223,39 @@ END {
         if (!(k in cur_ns)) continue
         row = sprintf("    {\"name\": \"%s\"", k)
         if (k in seed_ns) row = row sprintf(", \"seed_ns_op\": %s", seed_ns[k])
-        if (k in pr3_ns)  row = row sprintf(", \"pr3_ns_op\": %s", pr3_ns[k])
         if (k in pr5_ns)  row = row sprintf(", \"pr5_ns_op\": %s", pr5_ns[k])
-        row = row sprintf(", \"pr6_ns_op\": %s", cur_ns[k])
-        if (k in pr5_ns && cur_ns[k]+0 > 0)
-            row = row sprintf(", \"speedup_vs_pr5\": %.2f", pr5_ns[k] / cur_ns[k])
+        if (k in pr6_ns)  row = row sprintf(", \"pr6_ns_op\": %s", pr6_ns[k])
+        row = row sprintf(", \"pr7_ns_op\": %s", cur_ns[k])
+        if (k in pr6_ns && cur_ns[k]+0 > 0)
+            row = row sprintf(", \"speedup_vs_pr6\": %.2f", pr6_ns[k] / cur_ns[k])
         row = row "}"
         if (!first) printf ",\n" >> out
         printf "%s", row >> out
         first = 0
     }
-    printf "\n  ],\n  \"footprint\": [\n" >> out
+    printf "\n  ],\n  \"kernels\": [\n" >> out
+    first = 1
+    for (i = 0; i < nkd; i++) {
+        split(kd_order[i], kd, SUBSEP)
+        kern = kd[1]; d = kd[2]
+        s = kd_ns[kern, d, "scalar"]; a = kd_ns[kern, d, "accel"]
+        row = sprintf("    {\"kernel\": \"%s\", \"dim\": %s", kern, d)
+        if (s != "") row = row sprintf(", \"scalar_ns_op\": %s", s)
+        if (a != "") {
+            row = row sprintf(", \"accel_ns_op\": %s", a)
+            if (a+0 > 0) row = row sprintf(", \"accel_gbps\": %.2f", 16 * d / a)
+        }
+        if (s != "" && a != "" && a+0 > 0)
+            row = row sprintf(", \"speedup\": %.2f", s / a)
+        row = row "}"
+        if (!first) printf ",\n" >> out
+        printf "%s", row >> out
+        first = 0
+    }
+    printf "\n  ],\n  \"parallel\": [\n" >> out
+    for (i = 0; i < npar; i++) printf "%s%s\n", par[i], (i < npar-1 ? "," : "") >> out
+    printf "  ]" >> out
+    printf ",\n  \"footprint\": [\n" >> out
     for (i = 0; i < nf; i++) printf "%s%s\n", foot[i], (i < nf-1 ? "," : "") >> out
     printf "  ]" >> out
     if (("dense" in foot_bytes) && ("compact" in foot_bytes) && foot_bytes["dense"]+0 > 0)
