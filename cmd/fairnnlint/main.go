@@ -1,0 +1,70 @@
+// Command fairnnlint runs the fairnn static invariant-checker suite
+// (internal/analysis): rngstream, noalloc, ctxpoll, frozenindex and
+// panicfanout — the compile-time side of the repository's runtime
+// oracles.
+//
+// It speaks two protocols:
+//
+//	fairnnlint [packages]            # standalone, loads via go list
+//	go vet -vettool=$(which fairnnlint) ./...
+//
+// The vettool mode implements the (unpublished) go vet command-line
+// protocol: -V=full and -flags describe the tool to the build system,
+// and a single *.cfg argument names a JSON description of one
+// compilation unit, with dependency types supplied as gc export data.
+// Both modes are standard-library only — the module has no external
+// dependencies and its linter does not add one.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fairnnlint: ")
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			printVersion()
+			return
+		case args[0] == "-flags" || args[0] == "--flags":
+			// No tool-specific flags; go vet requires valid JSON here.
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(runVetTool(args[0]))
+		}
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(runStandalone(patterns))
+}
+
+// printVersion implements -V=full: the build system caches vet results
+// keyed on this line, so it must change whenever the binary does — the
+// content hash of the executable guarantees that.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// toolPath is the fairnnlint binary under test, built once by TestMain.
+var toolPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "fairnnlint")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	toolPath = filepath.Join(dir, "fairnnlint")
+	cmd := exec.Command("go", "build", "-o", toolPath, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building fairnnlint: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// repoRoot returns the module root (tests run in cmd/fairnnlint).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+	return root
+}
+
+// TestFlagsProtocol checks the -flags leg of the go vet tool protocol:
+// cmd/go json.Unmarshals the output, so it must be a valid JSON array.
+func TestFlagsProtocol(t *testing.T) {
+	out, err := exec.Command(toolPath, "-flags").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-flags: %v\n%s", err, out)
+	}
+	if got := strings.TrimSpace(string(out)); got != "[]" {
+		t.Fatalf("-flags output = %q, want %q", got, "[]")
+	}
+}
+
+// TestVersionProtocol checks the -V=full leg: the build system caches vet
+// results keyed on this line, so it must carry a content hash of the binary.
+func TestVersionProtocol(t *testing.T) {
+	out, err := exec.Command(toolPath, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-V=full: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "version devel") || !strings.Contains(s, "buildID=") {
+		t.Fatalf("-V=full output missing version/buildID: %q", s)
+	}
+}
+
+// TestStandaloneCleanBaseline runs the standalone driver over the whole
+// repository: the tree must hold a clean lint baseline.
+func TestStandaloneCleanBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	cmd := exec.Command(toolPath, "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("standalone run not clean: %v\n%s", err, out)
+	}
+}
+
+// TestVetToolCleanBaseline drives the binary through go vet's unitchecker
+// protocol (-vettool) over the whole repository.
+func TestVetToolCleanBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+toolPath, "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool not clean: %v\n%s", err, out)
+	}
+}
+
+// writeScratchModule creates a throwaway module seeded with two contract
+// violations: a math/rand import in non-test code, and an allocating call
+// inside a //fairnn:noalloc function.
+func writeScratchModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module scratch\n\ngo 1.24\n",
+		"scratch.go": `package scratch
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+var _ = rand.Int
+
+//fairnn:noalloc
+func hot(x int) string {
+	return fmt.Sprintf("%d", x)
+}
+
+var _ = hot
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// checkSeededFindings asserts that a run over the scratch module failed and
+// reported both seeded violations.
+func checkSeededFindings(t *testing.T, mode string, out []byte, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: seeded violations did not fail the run\n%s", mode, out)
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("%s: run failed to execute: %v\n%s", mode, err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "math/rand") {
+		t.Errorf("%s: missing rngstream finding for math/rand import\n%s", mode, s)
+	}
+	if !strings.Contains(s, "noalloc function hot") {
+		t.Errorf("%s: missing noalloc finding for fmt.Sprintf in hot\n%s", mode, s)
+	}
+}
+
+// TestSeededViolationsStandalone checks that the standalone driver fails a
+// module seeded with contract violations.
+func TestSeededViolationsStandalone(t *testing.T) {
+	dir := writeScratchModule(t)
+	cmd := exec.Command(toolPath, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	checkSeededFindings(t, "standalone", out, err)
+}
+
+// TestSeededViolationsVetTool checks the same failure through the go vet
+// protocol, which is how CI invokes the suite.
+func TestSeededViolationsVetTool(t *testing.T) {
+	dir := writeScratchModule(t)
+	cmd := exec.Command("go", "vet", "-vettool="+toolPath, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	checkSeededFindings(t, "go vet", out, err)
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"fairnn/internal/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the standalone driver
+// needs: source files for the packages under analysis, and gc export
+// data for every dependency.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// runStandalone loads the named package patterns with
+// `go list -export -deps -json`, type-checks each non-dependency module
+// package from source (dependencies come from export data), runs the
+// suite, and prints findings to stderr. Exit code 1 if anything fired.
+func runStandalone(patterns []string) int {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		log.Fatalf("go %v: %v", args, err)
+	}
+
+	exportFile := make(map[string]string) // package path -> export data
+	resolve := make(map[string]string)    // source import path -> package path
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			log.Fatalf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			log.Fatalf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exportFile[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			resolve[from] = to
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exportFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := resolvingImporter{gc: gc, resolve: resolve}
+
+	exit := 0
+	for _, p := range targets {
+		if len(p.CgoFiles) > 0 {
+			log.Printf("warning: %s: skipping package with cgo files (analyze it via go vet -vettool instead)", p.ImportPath)
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				log.Fatal(err)
+			}
+			files = append(files, f)
+		}
+		goVersion := ""
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		pkg, err := analysis.Check(p.ImportPath, fset, files, imp, goVersion)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diags, err := pkg.Run(analysis.Suite())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Category)
+		}
+		if len(diags) > 0 {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// resolvingImporter applies go list's per-package ImportMap (identity
+// entries omitted) before loading export data.
+type resolvingImporter struct {
+	gc      types.Importer
+	resolve map[string]string
+}
+
+func (im resolvingImporter) Import(importPath string) (*types.Package, error) {
+	if to, ok := im.resolve[importPath]; ok {
+		importPath = to
+	}
+	return im.gc.Import(importPath)
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+
+	"fairnn/internal/analysis"
+)
+
+// vetConfig mirrors the JSON compilation-unit description that go vet
+// hands to a -vettool for each package (the unitchecker Config shape).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetImporter resolves source import paths through the config's
+// ImportMap (vendoring) and loads dependency types from the gc export
+// data files the build system listed in PackageFile.
+type vetImporter struct {
+	cfg *vetConfig
+	gc  types.Importer
+}
+
+func newVetImporter(cfg *vetConfig, fset *token.FileSet) *vetImporter {
+	gc := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path here is a resolved package path, not a source import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	return &vetImporter{cfg: cfg, gc: gc}
+}
+
+func (im *vetImporter) Import(importPath string) (*types.Package, error) {
+	path, ok := im.cfg.ImportMap[importPath]
+	if !ok {
+		return nil, fmt.Errorf("cannot resolve import %q", importPath)
+	}
+	return im.gc.Import(path)
+}
+
+// runVetTool analyzes the single compilation unit described by cfgFile
+// and returns the process exit code: diagnostics go to stderr in the
+// file:line:col format go vet expects, a non-empty finding set exits 1.
+func runVetTool(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode vet config %s: %v", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		log.Fatalf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// Fact-only invocations exist so analyzers can export facts about
+	// dependencies. This suite carries no facts, so the unit of work is
+	// just the (empty) vetx file the build system expects.
+	if cfg.VetxOnly {
+		writeVetx(cfg)
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0 // the compiler will report this better
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := analysis.Check(cfg.ImportPath, fset, files, newVetImporter(cfg, fset), cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatal(err)
+	}
+	writeVetx(cfg)
+	diags, err := pkg.Run(analysis.Suite())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func writeVetx(cfg *vetConfig) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -108,6 +108,8 @@ func main() {
 // synthesize builds a population where, within the same qualification
 // profile, protected-group applicants are approved less often — the signal
 // the audit is supposed to find.
+//
+//fairnn:rng-source dataset synthesis with a fixed demo seed, not a query path
 func synthesize(n int) []applicant {
 	r := rng.New(99)
 	out := make([]applicant, n)

@@ -249,6 +249,37 @@
 // BENCH_PR7.json for the full dimension sweep and the multi-core
 // throughput gauge).
 //
+// # Static guarantees
+//
+// The contracts above are enforced twice. At run time, CI oracles
+// measure them directly: testing.AllocsPerRun pins the zero-allocation
+// steady state, chi-squared tests pin stream uniformity, and the fault
+// harness pins idle-injector bit-equivalence. At compile time, the
+// fairnnlint analyzer suite (cmd/fairnnlint, built on internal/analysis)
+// rejects the code shapes that would erode those oracles between
+// measurements:
+//
+//   - rngstream: math/rand never appears outside tests, RNG sources are
+//     constructed only at build time, and every mid-query seed derives
+//     from the stream-splitting mixer — so per-query streams stay
+//     deterministic and mutually independent.
+//   - noalloc: functions marked //fairnn:noalloc (the steady-state query
+//     path) contain no allocating constructs, transitively; escapes are
+//     explicit //fairnn:allocok lines with a reviewable reason.
+//   - ctxpoll: unbounded loops in context-taking functions poll
+//     cancellation, keeping the SampleContext latency bound honest.
+//   - frozenindex: types marked //fairnn:frozen (the immutable
+//     post-construction indexes) are never field-assigned outside
+//     construction or //fairnn:mutates-annotated methods, and package
+//     initializers never read variables that func init assigns.
+//   - panicfanout: every goroutine launch recovers or routes through a
+//     //fairnn:fanout-safe helper, so a worker panic is a typed error,
+//     not a process crash.
+//
+// The suite runs standalone (go run ./cmd/fairnnlint ./...) or through
+// go vet -vettool, and scripts/lint.sh wires both into CI. It is
+// standard-library only; the module stays dependency-free.
+//
 // Memo precedence gotcha: structures that take both a Config/VecConfig
 // and an IndependentOptions/VecOptions read the memo discipline from both
 // (opts.Memo wins over cfg.Memo). "Wins" is decided by comparison against

@@ -1,0 +1,200 @@
+package analysis
+
+// An analysistest-style harness, stdlib-only. Each analyzer is exercised
+// against a package tree under testdata/src/<importpath>; diagnostics
+// are matched against // want "regexp" comments on the line they are
+// expected on (several quoted patterns may follow one want). Testdata
+// packages live under the fairnn/ module path so the analyzers' module
+// and import-path keying behaves exactly as on the real repository; a
+// stub fairnn/internal/rng package makes the trees hermetic. Standard
+// library imports resolve through the GOROOT source importer, which
+// needs no network and no module cache.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testImporter resolves import paths against testdata/src first (so
+// testdata packages can import each other and the rng stub), then falls
+// back to the GOROOT source importer for the standard library.
+type testImporter struct {
+	fset *token.FileSet
+	root string
+	pkgs map[string]*types.Package
+	std  types.Importer
+}
+
+func newTestImporter(fset *token.FileSet) *testImporter {
+	return &testImporter{
+		fset: fset,
+		root: filepath.Join("testdata", "src"),
+		pkgs: make(map[string]*types.Package),
+		std:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+func (im *testImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := im.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return im.std.Import(path)
+	}
+	files, err := parseTestdataDir(im.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	conf := &types.Config{Importer: im, Sizes: types.SizesFor("gc", "amd64")}
+	pkg, err := conf.Check(path, im.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck testdata dep %s: %w", path, err)
+	}
+	im.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func parseTestdataDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// want is one expected diagnostic: a regexp on a specific file:line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// parseWants extracts the quoted patterns of one // want comment.
+func parseWants(text string) ([]string, error) {
+	rest, ok := strings.CutPrefix(text, "// want")
+	if !ok {
+		return nil, nil
+	}
+	var pats []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := 1
+			for end < len(rest) && (rest[end] != '"' || rest[end-1] == '\\') {
+				end++
+			}
+			if end == len(rest) {
+				return nil, fmt.Errorf("unterminated pattern in %q", text)
+			}
+			pat, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad pattern in %q: %w", text, err)
+			}
+			pats = append(pats, pat)
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated pattern in %q", text)
+			}
+			pats = append(pats, rest[1:end+1])
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, fmt.Errorf("expected quoted pattern in %q", text)
+		}
+	}
+	return pats, nil
+}
+
+// runAnalyzer loads testdata/src/<path>, runs one analyzer over it, and
+// matches every diagnostic against the tree's want comments.
+func runAnalyzer(t *testing.T, a *Analyzer, path string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := newTestImporter(fset)
+	dir := filepath.Join(imp.root, filepath.FromSlash(path))
+	files, err := parseTestdataDir(fset, dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", path, err)
+	}
+	pkg, err := Check(path, fset, files, imp, "")
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	diags, err := pkg.Run([]*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, path, err)
+	}
+
+	var wants []*want
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				pats, err := parseWants(c.Text)
+				if err != nil {
+					t.Fatal(err)
+				}
+				posn := fset.Position(c.Pos())
+				for _, pat := range pats {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posn, pat, err)
+					}
+					wants = append(wants, &want{file: posn.Filename, line: posn.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == posn.Filename && w.line == posn.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import "testing"
+
+func TestRNGStream(t *testing.T)   { runAnalyzer(t, RNGStream, "fairnn/lintrng") }
+func TestNoAlloc(t *testing.T)     { runAnalyzer(t, NoAlloc, "fairnn/lintnoalloc") }
+func TestCtxPoll(t *testing.T)     { runAnalyzer(t, CtxPoll, "fairnn/lintctx") }
+func TestFrozenIndex(t *testing.T) { runAnalyzer(t, FrozenIndex, "fairnn/lintfrozen") }
+func TestPanicFanout(t *testing.T) { runAnalyzer(t, PanicFanout, "fairnn/lintfanout") }
+
+// TestSuite pins the bundle: five analyzers, stable order, distinct names.
+func TestSuite(t *testing.T) {
+	suite := Suite()
+	wantOrder := []string{"rngstream", "noalloc", "ctxpoll", "frozenindex", "panicfanout"}
+	if len(suite) != len(wantOrder) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(wantOrder))
+	}
+	for i, a := range suite {
+		if a.Name != wantOrder[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, a.Name, wantOrder[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s missing doc or run function", a.Name)
+		}
+	}
+}
+
+// TestParseWants covers the harness's own comment parser.
+func TestParseWants(t *testing.T) {
+	pats, err := parseWants("// want \"first\" `sec.nd`")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 2 || pats[0] != "first" || pats[1] != "sec.nd" {
+		t.Fatalf("parseWants = %q", pats)
+	}
+	if pats, err := parseWants("// plain comment"); err != nil || pats != nil {
+		t.Fatalf("non-want comment: %q, %v", pats, err)
+	}
+	if _, err := parseWants("// want \"unterminated"); err == nil {
+		t.Fatal("unterminated pattern not rejected")
+	}
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sync"
+)
+
+// Cross-package annotation harvesting.
+//
+// Analyzers run one package at a time, but the noalloc contract is
+// transitive: a //fairnn:noalloc function may only call module functions
+// that are themselves annotated, and those callees usually live in a
+// sibling package (core's hot loop calls rank, lsh, vector, sketch).
+// Export data carries no comments, so the annotation of a cross-package
+// callee is recovered from its source: the callee's declaration position
+// (recorded in export data and threaded through the type checker into
+// the shared FileSet) names the file and line; the file is parsed once
+// (syntax + comments only, no type checking) and the doc comment of the
+// FuncDecl declared there is inspected. Files are cached per process —
+// the whole-repo lint run touches each hot-path file a handful of times.
+//
+// When a declaration file cannot be read (a build environment that
+// relocated sources), the callee is conservatively treated as
+// unannotated: the finding is visible and the call site can be escaped
+// explicitly, rather than a contract silently going unchecked.
+
+var harvest struct {
+	sync.Mutex
+	files map[string]*harvestedFile
+}
+
+type harvestedFile struct {
+	file *ast.File // nil if the parse failed
+	fset *token.FileSet
+}
+
+func harvestFile(filename string) *harvestedFile {
+	harvest.Lock()
+	defer harvest.Unlock()
+	if hf, ok := harvest.files[filename]; ok {
+		return hf
+	}
+	if harvest.files == nil {
+		harvest.files = make(map[string]*harvestedFile)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, nil, parser.ParseComments|parser.SkipObjectResolution)
+	hf := &harvestedFile{fset: fset}
+	if err == nil {
+		hf.file = f
+	}
+	harvest.files[filename] = hf
+	return hf
+}
+
+// FuncAnnotated reports whether the declaration of fn carries the named
+// //fairnn: directive. The declaration is searched first in the current
+// pass's syntax (same-package callees), then harvested from the source
+// file named by fn's declaration position (cross-package callees).
+func (p *Pass) FuncAnnotated(fn *types.Func, name string) bool {
+	if fn == nil {
+		return false
+	}
+	pos := fn.Pos()
+	// Same package: the FuncDecl is in the pass's own syntax trees.
+	if fn.Pkg() == p.Pkg {
+		if fd := p.EnclosingFunc(pos); fd != nil {
+			_, ok := p.FuncDirective(fd, name)
+			return ok
+		}
+	}
+	posn := p.Fset.Position(pos)
+	if posn.Filename == "" {
+		return false
+	}
+	hf := harvestFile(posn.Filename)
+	if hf.file == nil {
+		return false
+	}
+	for _, decl := range hf.file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != fn.Name() {
+			continue
+		}
+		// Positions come from two different FileSets (the pass's, fed by
+		// export data, and the harvest parse), so match on line numbers:
+		// export data records the position of the declaring identifier.
+		line := hf.fset.Position(fd.Name.Pos()).Line
+		declLine := hf.fset.Position(fd.Pos()).Line
+		if posn.Line != line && posn.Line != declLine {
+			continue
+		}
+		for _, d := range parseDirectives(fd.Doc) {
+			if d.name == name {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPoll enforces the cancellation contract on sampling loops: a
+// rejection-sampling loop has no a-priori iteration bound (the expected
+// number of rounds is constant, but the tail is geometric), so every
+// such loop reachable from a context-taking entry point must observe the
+// context — the repository's idiom is polling ctx.Err() every
+// ctxCheckRounds (64) iterations, cheap enough to be invisible in the
+// hot path and tight enough that cancellation lands within microseconds.
+//
+// For each non-test function that has a context.Context parameter, the
+// analyzer inspects every for-loop in its body (including bodies of
+// closures, which capture the context): loops that are unbounded
+// (no condition) or that draw randomness (call a method on an
+// fairnn/internal/rng.Source) must, somewhere inside, either
+//
+//   - mention ctx.Err or ctx.Done on a context-typed value, or
+//   - pass a context-typed argument to a call (delegation: the loop
+//     body hands ctx to a callee that polls, e.g. streamOf's draw(ctx)),
+//
+// or carry a //fairnn:ctxpoll-exempt <reason> line directive.
+// range-loops are skipped: they are bounded by their operand.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "unbounded or rejection-sampling loops in context-taking functions must poll the context",
+	Run:  runCtxPoll,
+}
+
+func runCtxPoll(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !pass.hasContextParam(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok {
+					return true
+				}
+				pass.checkLoop(fd, loop)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func (p *Pass) hasContextParam(fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := p.TypesInfo.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) checkLoop(fd *ast.FuncDecl, loop *ast.ForStmt) {
+	if loop.Cond != nil && !p.loopDrawsRNG(loop) {
+		return // bounded loop that draws no randomness: terminates on its own
+	}
+	if _, ok := p.LineDirective(loop, "ctxpoll-exempt"); ok {
+		return
+	}
+	if p.loopObservesContext(loop) {
+		return
+	}
+	kind := "unbounded loop"
+	if loop.Cond != nil {
+		kind = "rejection-sampling loop"
+	}
+	p.Reportf(loop.Pos(), "%s in %s never observes the context: poll ctx.Err() every ctxCheckRounds iterations (or pass ctx to a callee that does; //fairnn:ctxpoll-exempt <reason> if provably bounded)", kind, fd.Name.Name)
+}
+
+// loopDrawsRNG reports whether the loop body (or clauses) call a method
+// on fairnn/internal/rng.Source — the signature of a rejection-sampling
+// loop whose iteration count is randomized.
+func (p *Pass) loopDrawsRNG(loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := p.Callee(call); fn != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				t := sig.Recv().Type()
+				if ptr, ok := t.(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if named, ok := t.(*types.Named); ok {
+					obj := named.Obj()
+					if obj.Pkg() != nil && obj.Pkg().Path() == rngPkgPath && obj.Name() == "Source" {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopObservesContext reports whether any clause or the body of the loop
+// references ctx.Err/ctx.Done on a context-typed value, or passes a
+// context-typed argument to a call.
+func (p *Pass) loopObservesContext(loop *ast.ForStmt) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Err" || n.Sel.Name == "Done" {
+				if tv, ok := p.TypesInfo.Types[n.X]; ok && isContextType(tv.Type) {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if tv, ok := p.TypesInfo.Types[arg]; ok && isContextType(tv.Type) {
+					found = true
+				}
+			}
+		}
+		return !found
+	}
+	for _, n := range []ast.Node{loop.Init, loop.Cond, loop.Post, loop.Body} {
+		if n == nil || found {
+			continue
+		}
+		ast.Inspect(n, check)
+	}
+	return found
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Suite returns the full fairnn analyzer suite in reporting order.
+// cmd/fairnnlint bundles exactly this set; tests exercise each member
+// against its own testdata tree.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		RNGStream,
+		NoAlloc,
+		CtxPoll,
+		FrozenIndex,
+		PanicFanout,
+	}
+}
+
+// A Package is one type-checked compilation unit ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Check type-checks the parsed files of one package. The importer decides
+// where dependencies come from: export data (the fairnnlint drivers) or
+// recursive source loading (the analysistest harness).
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer, goVersion string) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", "amd64"),
+		GoVersion: goVersion,
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// Run applies the analyzers to the package and returns their findings
+// sorted by position then message, ready for deterministic printing.
+func (p *Package) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Pkg:       p.Types,
+			TypesInfo: p.Info,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := p.Fset.Position(diags[i].Pos), p.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

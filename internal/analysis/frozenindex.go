@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FrozenIndex enforces two build-time-only mutation contracts.
+//
+// First, the annotation-driven check: a struct type whose doc comment
+// carries //fairnn:frozen is an index that must be immutable once its
+// constructor returns — concurrent queries read it without locks, so a
+// post-construction field write is a data race even if it "only" updates
+// a statistic. The analyzer reports every assignment or ++/-- whose
+// target is a field of a frozen type, unless the enclosing function is a
+// construction site (New*/new*/Build*/build*/Make*/make*/..., init),
+// an insertion path (name starting with Insert/insert/Add/add — bulk
+// loading precedes freezing), or is annotated //fairnn:mutates <reason>.
+//
+// Second, the init-order check, which needs no annotation and guards
+// against the PR 7 regression class: a package-level variable whose
+// initializer reads another package variable that is assigned inside
+// func init(). Package-level initializers run before init functions, so
+// the reading variable captures the zero (or declared) value, not the
+// value init establishes — exactly how an accelerator-enable flag once
+// read a CPU-feature variable before the detecting init had run.
+var FrozenIndex = &Analyzer{
+	Name: "frozenindex",
+	Doc:  "no writes to //fairnn:frozen index fields outside construction; no package-var initializers reading init-assigned vars",
+	Run:  runFrozenIndex,
+}
+
+// insertionFunc reports whether name marks a bulk-loading path where
+// index mutation is expected.
+func insertionFunc(name string) bool {
+	for _, prefix := range []string{"Insert", "insert", "Add", "add"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runFrozenIndex(pass *Pass) error {
+	frozen := pass.frozenTypes()
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if len(frozen) > 0 {
+				pass.checkFrozenWrites(fd, frozen)
+			}
+		}
+		pass.checkInitOrder(f)
+	}
+	return nil
+}
+
+// frozenTypes collects the *types.TypeName of every struct annotated
+// //fairnn:frozen in this package.
+func (p *Pass) frozenTypes() map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for ts := range p.directives().types {
+		if _, ok := p.TypeDirective(ts, "frozen"); !ok {
+			continue
+		}
+		if tn, ok := p.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+			out[tn] = true
+		}
+	}
+	return out
+}
+
+func (p *Pass) checkFrozenWrites(fd *ast.FuncDecl, frozen map[*types.TypeName]bool) {
+	if constructionFunc(fd.Name.Name) || insertionFunc(fd.Name.Name) {
+		return
+	}
+	if _, ok := p.FuncDirective(fd, "mutates"); ok {
+		return
+	}
+	report := func(target ast.Expr) {
+		tn := p.frozenFieldOwner(target, frozen)
+		if tn == nil {
+			return
+		}
+		if _, ok := p.LineDirective(target, "mutates"); ok {
+			return
+		}
+		p.Reportf(target.Pos(), "write to field of frozen index type %s outside construction: indexes are read concurrently without locks after New* returns (move the write into the build path, or annotate the method //fairnn:mutates <reason>)", tn.Name())
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				report(lhs)
+			}
+		case *ast.IncDecStmt:
+			report(n.X)
+		}
+		return true
+	})
+}
+
+// frozenFieldOwner returns the frozen type whose field the expression
+// writes, or nil. It peels index/star/paren wrappers down to a selector
+// x.f and checks whether x's (pointer-dereferenced, origin-resolved)
+// type is frozen.
+func (p *Pass) frozenFieldOwner(target ast.Expr, frozen map[*types.TypeName]bool) *types.TypeName {
+	for {
+		switch e := ast.Unparen(target).(type) {
+		case *ast.IndexExpr:
+			target = e.X
+			continue
+		case *ast.StarExpr:
+			target = e.X
+			continue
+		case *ast.SelectorExpr:
+			// Only field selections count; a selector chain a.b.c writes
+			// into whatever owns c — but if any link in the chain is a
+			// frozen struct the object is reachable from a frozen index,
+			// so check each link.
+			for {
+				sel, ok := ast.Unparen(target).(*ast.SelectorExpr)
+				if !ok {
+					return nil
+				}
+				if selection, ok := p.TypesInfo.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+					if tn := frozenTypeName(selection.Recv(), frozen); tn != nil {
+						return tn
+					}
+				}
+				target = sel.X
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// frozenTypeName resolves t (possibly a pointer, possibly a generic
+// instance) to a frozen *types.TypeName, or nil.
+func frozenTypeName(t types.Type, frozen map[*types.TypeName]bool) *types.TypeName {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Origin().Obj()
+	if frozen[tn] {
+		return tn
+	}
+	return nil
+}
+
+// checkInitOrder reports package-level variable initializers that read a
+// package variable assigned inside a func init() in the same file set —
+// those initializers run before init, so they see the pre-init value.
+func (p *Pass) checkInitOrder(f *ast.File) {
+	// Pass over the whole package, not just f, so cross-file cases are
+	// caught; but report only once per package (anchor on the first file).
+	if len(p.Files) > 0 && f != p.Files[0] {
+		return
+	}
+	// 1. Collect package vars assigned inside init functions.
+	initAssigned := map[*types.Var]bool{}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "init" || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if v, ok := p.TypesInfo.Uses[id].(*types.Var); ok && v.Parent() == p.Pkg.Scope() {
+						initAssigned[v] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(initAssigned) == 0 {
+		return
+	}
+	// 2. Scan package-level var initializer expressions for reads of them.
+	for _, file := range p.Files {
+		if p.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, value := range vs.Values {
+					ast.Inspect(value, func(n ast.Node) bool {
+						id, ok := n.(*ast.Ident)
+						if !ok {
+							return true
+						}
+						v, ok := p.TypesInfo.Uses[id].(*types.Var)
+						if !ok || !initAssigned[v] {
+							return true
+						}
+						p.Reportf(id.Pos(), "package variable initializer reads %s, which is assigned in func init(): var initializers run first, so this captures the pre-init value (compute it inside init, or make it a function)", v.Name())
+						return true
+					})
+				}
+			}
+		}
+	}
+}

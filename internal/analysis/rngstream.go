@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RNGStream enforces the repository's randomness contract:
+//
+//   - math/rand (and math/rand/v2) never appear outside tests — every
+//     data structure derives all randomness from fairnn/internal/rng so
+//     experiment outputs are bit-for-bit reproducible across Go releases.
+//   - rng.New is a construction-time operation. Query paths must reuse
+//     the per-query stream their querier was seeded with (one stream per
+//     logical query, derived from the atomic seed counter); a fresh
+//     generator mid-query would break both independence across
+//     concurrent queries and same-seed stream reproducibility.
+//   - Source.Seed outside construction must be the per-query derivation
+//     idiom: the enclosing function derives the seed with rng.Mix64
+//     (qseed ^ Mix64(qctr.Add(1)), or a salted substream of it).
+//   - Nothing is ever seeded from time.Now.
+//   - Retry jitter (backoff helpers taking a *rng.Source) must receive a
+//     derived substream, never a struct's `rng` field — the sample
+//     stream must stay untouched on fault-free rounds so same-seed
+//     sample streams remain bit-identical (the PR 6 idle-injector
+//     contract).
+var RNGStream = &Analyzer{
+	Name: "rngstream",
+	Doc:  "forbid math/rand and mid-query RNG construction; per-query streams must derive from the seed counter",
+	Run:  runRNGStream,
+}
+
+const rngPkgPath = ModulePath + "/internal/rng"
+
+// constructionFunc reports whether name marks a build/construction-time
+// function, where creating generators from an explicit seed is the
+// expected idiom.
+func constructionFunc(name string) bool {
+	for _, prefix := range []string{"New", "new", "Build", "build", "Make", "make", "Generate", "generate", "Load", "load"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return name == "init" || name == "main"
+}
+
+// isRNGNew reports whether fn is fairnn/internal/rng.New.
+func isRNGNew(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == rngPkgPath &&
+		fn.Name() == "New" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isSourceMethod reports whether fn is the named method of rng.Source.
+func isSourceMethod(fn *types.Func, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == rngPkgPath &&
+		named.Obj().Name() == "Source"
+}
+
+// containsTimeNow reports whether the expression tree contains a call to
+// time.Now.
+func (p *Pass) containsTimeNow(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := p.Callee(call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// jitterHelper reports whether fn looks like a backoff/jitter helper: a
+// module function with a *rng.Source parameter whose name mentions
+// backoff, jitter, or delay.
+func jitterHelper(fn *types.Func) bool {
+	if fn == nil || !InModule(fn.Pkg()) {
+		return false
+	}
+	name := strings.ToLower(fn.Name())
+	if !strings.Contains(name, "backoff") && !strings.Contains(name, "jitter") && !strings.Contains(name, "delay") {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if ptr, ok := sig.Params().At(i).Type().(*types.Pointer); ok {
+			if named, ok := ptr.Elem().(*types.Named); ok &&
+				named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == rngPkgPath &&
+				named.Obj().Name() == "Source" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sampleStreamField reports whether arg denotes (the address of) a
+// struct's `rng` field — by repository convention, the query's sample
+// stream (querier.rng, session.rng).
+func sampleStreamField(arg ast.Expr) bool {
+	if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok {
+		arg = u.X
+	}
+	sel, ok := ast.Unparen(arg).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "rng"
+}
+
+func runRNGStream(pass *Pass) error {
+	if pass.Pkg.Path() == rngPkgPath {
+		return nil // the generator package itself
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(), "import of %s is forbidden outside tests: all randomness must derive from %s (per-query streams seeded from the atomic seed counter)", strings.Trim(imp.Path.Value, `"`), rngPkgPath)
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			pass.checkRNGInFunc(fd)
+		}
+	}
+	return nil
+}
+
+func (p *Pass) checkRNGInFunc(fd *ast.FuncDecl) {
+	_, blessed := p.FuncDirective(fd, "rng-source")
+	construction := blessed || constructionFunc(fd.Name.Name)
+	derives := false // does the function call rng.Mix64 anywhere?
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.Callee(call)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == rngPkgPath && fn.Name() == "Mix64" {
+			derives = true
+			return false
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.Callee(call)
+		switch {
+		case isRNGNew(fn):
+			if p.containsTimeNow(call) {
+				p.Reportf(call.Pos(), "rng.New seeded from time.Now: wall-clock seeds destroy the bit-for-bit reproducibility contract")
+			}
+			if !construction {
+				p.Reportf(call.Pos(), "rng.New in %s: query paths must reuse the pooled per-query stream (seeded from the atomic seed counter), not construct generators; annotate //fairnn:rng-source with a justification if this is a genuine construction site", fd.Name.Name)
+			}
+		case isSourceMethod(fn, "Seed"):
+			if p.containsTimeNow(call) {
+				p.Reportf(call.Pos(), "Source.Seed from time.Now: wall-clock seeds destroy the bit-for-bit reproducibility contract")
+			}
+			if !construction && !derives {
+				p.Reportf(call.Pos(), "Source.Seed in %s does not derive its stream from the seed counter: per-query streams must be seeded via rng.Mix64 over the atomic query counter (or annotate //fairnn:rng-source with a justification)", fd.Name.Name)
+			}
+		case jitterHelper(fn):
+			for _, arg := range call.Args {
+				if sampleStreamField(arg) {
+					p.Reportf(arg.Pos(), "%s receives the query's sample stream (.rng field): retry jitter must come from a derived substream so fault-free rounds leave same-seed sample streams bit-identical", fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,40 @@
+// Package rng is a hermetic stand-in for the real fairnn/internal/rng:
+// the analyzers key on this import path and on the Source type's method
+// set, so the stub only needs matching names and signatures, not the
+// xoshiro256** implementation.
+package rng
+
+// Source mirrors the real deterministic generator's surface.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a seeded Source.
+func New(seed uint64) *Source {
+	var src Source
+	src.Seed(seed)
+	return &src
+}
+
+// Seed resets the stream.
+func (s *Source) Seed(seed uint64) { s.s[0] = seed }
+
+// Uint64 draws the next value.
+func (s *Source) Uint64() uint64 {
+	s.s[0]++
+	return s.s[0]
+}
+
+// Intn draws from [0, n).
+func (s *Source) Intn(n int) int { return int(s.Uint64()) % n }
+
+// Float64 draws from [0, 1).
+func (s *Source) Float64() float64 { return float64(s.Uint64()%1024) / 1024 }
+
+// Mix64 is the seed-derivation mixer.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,102 @@
+package lintctx
+
+import (
+	"context"
+
+	"fairnn/internal/rng"
+)
+
+// drawOK polls ctx.Err every 64 rounds — the repository idiom.
+func drawOK(ctx context.Context, src *rng.Source) (uint64, error) {
+	for rounds := 0; ; rounds++ {
+		if rounds%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		if v := src.Uint64(); v%3 == 0 {
+			return v, nil
+		}
+	}
+}
+
+func drawBad(ctx context.Context, src *rng.Source) uint64 {
+	for { // want "unbounded loop in drawBad never observes the context"
+		if v := src.Uint64(); v%3 == 0 {
+			return v
+		}
+	}
+}
+
+func rejectionBad(ctx context.Context, src *rng.Source) uint64 {
+	var v uint64
+	for v == 0 { // want "rejection-sampling loop in rejectionBad"
+		v = src.Uint64() % 8
+	}
+	return v
+}
+
+// delegates hands ctx to a callee that polls — counted as observing.
+func delegates(ctx context.Context, src *rng.Source) uint64 {
+	for {
+		v, err := drawOK(ctx, src)
+		if err != nil {
+			return 0
+		}
+		if v%5 == 0 {
+			return v
+		}
+	}
+}
+
+// viaDone observes the context through its Done channel.
+func viaDone(ctx context.Context, src *rng.Source) uint64 {
+	for {
+		select {
+		case <-ctx.Done():
+			return 0
+		default:
+		}
+		if v := src.Uint64(); v%3 == 0 {
+			return v
+		}
+	}
+}
+
+// closures capture ctx: the loop inside the literal is still checked.
+func inClosure(ctx context.Context, src *rng.Source) func() uint64 {
+	return func() uint64 {
+		for { // want "unbounded loop in inClosure"
+			if v := src.Uint64(); v%3 == 0 {
+				return v
+			}
+		}
+	}
+}
+
+func exempt(ctx context.Context, src *rng.Source) uint64 {
+	var v uint64
+	//fairnn:ctxpoll-exempt geometric with p=1/2: bounded by the 64 draws of one word
+	for v == 0 {
+		v = src.Uint64() >> 63
+	}
+	return v
+}
+
+// boundedNoRNG terminates on its own: bounded condition, no randomness.
+func boundedNoRNG(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// noCtx has no context parameter, so its loops are out of scope here.
+func noCtx(src *rng.Source) uint64 {
+	for {
+		if v := src.Uint64(); v%3 == 0 {
+			return v
+		}
+	}
+}

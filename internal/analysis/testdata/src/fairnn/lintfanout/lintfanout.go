@@ -1,0 +1,76 @@
+package lintfanout
+
+import "sync"
+
+type slot struct{ err error }
+
+// capture is the deferred panic-capture helper: recovering here turns a
+// worker panic into a recorded error.
+func (s *slot) capture() {
+	if r := recover(); r != nil {
+		s.err = errFromPanic(r)
+	}
+}
+
+// guard runs fn with a recover installed on the callee's side.
+//
+//fairnn:fanout-safe installs the recover around fn
+func guard(fn func()) {
+	defer func() { _ = recover() }()
+	fn()
+}
+
+// safeGo is a blessed launcher: its own go statement is the containment.
+//
+//fairnn:fanout-safe spawns with a deferred recover installed
+func safeGo(wg *sync.WaitGroup, fn func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { _ = recover() }()
+		fn()
+	}()
+}
+
+func fanOK(wg *sync.WaitGroup, work func()) {
+	var s slot
+	wg.Add(1)
+	go func() { // deferred capture helper recovers
+		defer wg.Done()
+		defer s.capture()
+		work()
+	}()
+	wg.Add(1)
+	go func() { // deferred closure recovers inline
+		defer wg.Done()
+		defer func() { _ = recover() }()
+		work()
+	}()
+	wg.Add(1)
+	go func() { // routes through the blessed guard
+		defer wg.Done()
+		guard(work)
+	}()
+	safeGo(wg, work)
+}
+
+func fanBad(work func()) {
+	go func() { // want "no panic containment"
+		work()
+	}()
+	go work()   // want "dynamic function value"
+	go helper() // want "neither recovers nor is marked"
+}
+
+func helper() {}
+
+// contained spawns a function that recovers in its own body.
+func contained() {
+	go recovering()
+}
+
+func recovering() {
+	defer func() { _ = recover() }()
+}
+
+func errFromPanic(r any) error { return nil }

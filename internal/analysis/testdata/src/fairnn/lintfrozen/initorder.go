@@ -1,0 +1,22 @@
+package lintfrozen
+
+// The PR 7 regression class: package-level initializers run before any
+// func init(), so an initializer reading an init-assigned variable
+// captures the pre-init (zero) value — here accelEnabled would be false
+// even on machines where detectCPU reports true.
+
+var cpuOK bool
+var envOff bool
+
+var accelEnabled = cpuOK && !envOff // want "assigned in func init" "assigned in func init"
+
+func init() {
+	cpuOK = detectCPU()
+	envOff = readEnv()
+}
+
+// accelEnabledNow is the fix shape: evaluated after init has run.
+func accelEnabledNow() bool { return cpuOK && !envOff }
+
+func detectCPU() bool { return true }
+func readEnv() bool   { return false }

@@ -1,0 +1,48 @@
+package lintfrozen
+
+// Table is an index: immutable after construction, read concurrently
+// without locks.
+//
+//fairnn:frozen
+type Table struct {
+	keys  []uint64
+	count int
+	stats struct{ probes int }
+}
+
+func NewTable(keys []uint64) *Table {
+	t := &Table{}
+	t.keys = keys // construction site: writes expected
+	t.count = len(keys)
+	return t
+}
+
+func (t *Table) Insert(k uint64) {
+	t.keys = append(t.keys, k) // insertion path precedes freezing
+	t.count++
+}
+
+func (t *Table) lookup(k uint64) int {
+	t.count++        // want "write to field of frozen index type Table"
+	t.stats.probes++ // want "write to field of frozen index type Table"
+	for i, v := range t.keys {
+		if v == k {
+			return i
+		}
+	}
+	return -1
+}
+
+func (t *Table) clobber(i int, k uint64) {
+	t.keys[i] = k // want "write to field of frozen index type Table"
+}
+
+// swap reorders keys during the Appendix A rank-repair pass, which runs
+// under the build lock before the index is published.
+//
+//fairnn:mutates rank repair runs under the build lock, pre-publication
+func (t *Table) swap(i, j int) {
+	t.keys[i], t.keys[j] = t.keys[j], t.keys[i]
+}
+
+func (t *Table) size() int { return t.count } // reads are fine

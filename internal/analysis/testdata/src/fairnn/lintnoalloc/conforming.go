@@ -1,0 +1,39 @@
+package lintnoalloc
+
+import "math"
+
+type buf struct {
+	scratch []int32
+	out     []int32
+}
+
+//fairnn:noalloc
+func hot(b *buf, x int32) int32 {
+	b.out = b.out[:0]
+	b.out = append(b.out, x) // recycling append: steady state reuses the backing array
+	if cap(b.scratch) < 8 {
+		b.scratch = make([]int32, 0, 8) // lazy growth under a cap guard
+	}
+	return step(b, x) + int32(math.Abs(float64(x)))
+}
+
+//fairnn:noalloc
+func step(b *buf, x int32) int32 {
+	if len(b.scratch) == 0 {
+		return x
+	}
+	return x + b.scratch[0]
+}
+
+//fairnn:noalloc
+func lazyInit(b *buf) *buf {
+	if b == nil {
+		b = &buf{scratch: make([]int32, 0, 8)} // pool-miss construction under a nil guard
+	}
+	return b
+}
+
+//fairnn:noalloc
+func escape(n int) []int32 {
+	return make([]int32, n) //fairnn:allocok cold path: runs once per index rebuild, never per query
+}

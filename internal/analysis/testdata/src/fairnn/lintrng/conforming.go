@@ -1,0 +1,33 @@
+package lintrng
+
+import "fairnn/internal/rng"
+
+// newQuerier is a construction site by name: creating a generator from
+// an explicit seed is the expected idiom here.
+func newQuerier(seed uint64) *querier {
+	return &querier{seed: seed, rng: rng.New(seed)}
+}
+
+// perQuery follows the per-query derivation idiom: the stream is seeded
+// through rng.Mix64 over a counter, so reuse of the pooled Source is
+// reproducible and independent across queries.
+func perQuery(q *querier, qctr uint64) uint64 {
+	q.rng.Seed(q.seed ^ rng.Mix64(qctr))
+	return q.rng.Uint64()
+}
+
+// retryGood derives a jitter substream instead of touching the sample
+// stream: fault-free rounds leave q.rng bit-identical.
+func retryGood(q *querier, attempt int) int64 {
+	var br rng.Source
+	br.Seed(rng.Mix64(q.seed ^ uint64(attempt)<<20))
+	return backoffDelay(attempt, &br)
+}
+
+// chaosStream is a blessed construction site that the name heuristic
+// would not catch.
+//
+//fairnn:rng-source fault-injection schedule generator, not a query path
+func chaosStream(seed uint64) *rng.Source {
+	return rng.New(seed)
+}

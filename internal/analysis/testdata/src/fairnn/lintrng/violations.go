@@ -1,0 +1,41 @@
+package lintrng
+
+import (
+	mrand "math/rand" // want "forbidden outside tests"
+	"time"
+
+	"fairnn/internal/rng"
+)
+
+var _ = mrand.Int
+
+type querier struct {
+	seed uint64
+	rng  *rng.Source
+}
+
+func sample(q *querier) uint64 {
+	s := rng.New(42) // want "query paths must reuse the pooled per-query stream"
+	return s.Uint64()
+}
+
+func draw(q *querier) uint64 {
+	q.rng.Seed(q.seed + 1) // want "does not derive its stream from the seed counter"
+	return q.rng.Uint64()
+}
+
+func reseed(q *querier) {
+	q.rng.Seed(uint64(time.Now().UnixNano())) // want "time.Now" "does not derive its stream"
+}
+
+func newClock() *rng.Source {
+	return rng.New(uint64(time.Now().UnixNano())) // want "seeded from time.Now"
+}
+
+func backoffDelay(attempt int, br *rng.Source) int64 {
+	return int64(br.Uint64() >> uint(attempt))
+}
+
+func retryBad(q *querier) int64 {
+	return backoffDelay(3, q.rng) // want "receives the query's sample stream"
+}

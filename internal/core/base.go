@@ -25,6 +25,8 @@ type rankedTable struct {
 // caller's concurrency responsibility) and safe for concurrent queries:
 // per-query mutable state lives in pooled queriers and per-query RNG
 // streams are split from the seed via an atomic query counter.
+//
+//fairnn:frozen
 type rankedBase[P any] struct {
 	space  Space[P]
 	points []P
@@ -112,6 +114,8 @@ type querier struct {
 // scratchBytes reports the querier's retained backing-array footprint:
 // the memo table plus the candidate-sized buffers that can grow with the
 // query (the fixed L-sized key/bucket slices are negligible).
+//
+//fairnn:noalloc
 func (qr *querier) scratchBytes() int {
 	return qr.near.retainedBytes() +
 		4*(cap(qr.cand)+cap(qr.mergedIDs)+cap(qr.mergedRanks)) +
@@ -123,6 +127,8 @@ func (qr *querier) scratchBytes() int {
 // budget — before it is retained. The candidate buffers are freed first
 // (they regrow lazily and cheaply); the memo survives whenever it fits
 // the budget on its own, and frees itself otherwise.
+//
+//fairnn:noalloc
 func (qr *querier) trim(budget int) {
 	if qr.scratchBytes() <= budget {
 		return
@@ -258,6 +264,9 @@ func (s *buildErrSlot) err() error {
 // internal packages that fan work out the same way (internal/shard's
 // build and per-shard arm loops) instead of growing their own copy of
 // the worker pattern.
+//
+//fairnn:noalloc
+//fairnn:fanout-safe delegates to parallelRange
 func ParallelRange(n int, fn func(lo, hi int)) { parallelRange(n, fn) }
 
 // parallelRange splits [0, n) into contiguous chunks executed by up to
@@ -273,6 +282,9 @@ func ParallelRange(n int, fn func(lo, hi int)) { parallelRange(n, fn) }
 // arm fan-out, the façade batch helpers) see it and turn it into a typed
 // error. Inline execution (one worker) panics in place, which is the
 // same observable contract.
+//
+//fairnn:noalloc
+//fairnn:fanout-safe contains worker panics via the deferred recover and re-panics once on the caller
 func parallelRange(n int, fn func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -291,6 +303,7 @@ func parallelRange(n int, fn func(lo, hi int)) {
 			hi = n
 		}
 		wg.Add(1)
+		//fairnn:allocok this IS the fan-out: workers>1 only on arm/build paths, never the steady-state draw
 		go func(lo, hi int) {
 			defer wg.Done()
 			defer func() {
@@ -317,6 +330,8 @@ func parallelRange(n int, fn func(lo, hi int)) {
 // deterministic randomness. Each checkout advances the near-cache epoch,
 // so memoized near/far verdicts are scoped to exactly one logical query
 // (a Sample, or all k loops of one SampleK).
+//
+//fairnn:noalloc
 func (b *rankedBase[P]) getQuerier() *querier {
 	qr := b.pool.Get()
 	if qr == nil {
@@ -338,6 +353,8 @@ func (b *rankedBase[P]) getQuerier() *querier {
 // trimmed to the budget first, and queriers beyond the retention cap are
 // dropped entirely — a one-time concurrency burst therefore cannot pin
 // O(burst·n) memory for the process lifetime.
+//
+//fairnn:noalloc
 func (b *rankedBase[P]) putQuerier(qr *querier) {
 	qr.trim(b.memo.ScratchBudget)
 	b.pool.Put(qr)
@@ -365,6 +382,8 @@ func (b *rankedBase[P]) MemoBackendInUse() MemoBackend {
 // table. Query paths that probe the same buckets many times (the Section 4
 // rejection loop) or need the keys again (sketch lookup, Appendix A swaps)
 // read them from the querier instead of re-hashing.
+//
+//fairnn:noalloc
 func (b *rankedBase[P]) resolve(q P, qr *querier, st *QueryStats) {
 	b.signer.Sign(q, qr.sig)
 	lsh.CombineKeys(qr.sig, b.params.K, qr.keys)
@@ -388,6 +407,8 @@ func (b *rankedBase[P]) resolve(q P, qr *querier, st *QueryStats) {
 // materializeMerged k-way-merges the resolved buckets into the querier's
 // deduplicated (rank, id) arrays. Buffers are recycled across queries, so
 // steady-state materialization allocates nothing.
+//
+//fairnn:noalloc
 func (b *rankedBase[P]) materializeMerged(qr *querier, st *QueryStats) {
 	qr.mergedIDs, qr.mergedRanks = rank.MergeDedup(&qr.merger, qr.buckets, qr.mergedIDs[:0], qr.mergedRanks[:0])
 	qr.isMerged = true
@@ -402,6 +423,8 @@ func (b *rankedBase[P]) keysInto(p P, qr *querier, keys []uint64) {
 }
 
 // N returns the number of indexed points.
+//
+//fairnn:noalloc
 func (b *rankedBase[P]) N() int { return len(b.points) }
 
 // Radius returns the query radius/similarity threshold r.
@@ -415,6 +438,8 @@ func (b *rankedBase[P]) Point(id int32) P { return b.points[id] }
 
 // near reports whether point id is within the radius of q, charging one
 // score evaluation to st.
+//
+//fairnn:noalloc
 func (b *rankedBase[P]) near(q P, id int32, st *QueryStats) bool {
 	st.score()
 	return b.nearFn(q, b.points[id])
@@ -478,6 +503,8 @@ const verdPending uint8 = 2
 // misses into qr.pend, pass 2 scores them into qr.scoreOut, writes the
 // verdicts back into the memo and compacts the survivors. Misses scored
 // this way are additionally counted in st.BatchScored.
+//
+//fairnn:noalloc
 func (b *rankedBase[P]) keepNear(q P, qr *querier, ids []int32, st *QueryStats) []int32 {
 	if b.batchScore == nil || len(ids) < batchMinCandidates {
 		kept := ids[:0]

@@ -36,6 +36,8 @@ const ctxCheckRounds = 64
 // SampleContext contract, giving cancellation priority: a query that was
 // canceled mid-loop reports the context error even if it also failed to
 // find a point.
+//
+//fairnn:noalloc
 func sampleCtxResult(ctx context.Context, id int32, ok bool) (int32, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err

@@ -166,6 +166,8 @@ type fiQuerier struct {
 // scratchBytes reports the querier's retained backing-array footprint:
 // the memo plus the candidate-sized rejection working set and the filter
 // evaluation scratch.
+//
+//fairnn:noalloc
 func (qr *fiQuerier) scratchBytes() int {
 	return qr.sim.retainedBytes() +
 		4*(cap(qr.flat)+cap(qr.order)+cap(qr.pend)) +
@@ -179,6 +181,8 @@ func (qr *fiQuerier) scratchBytes() int {
 // budget — before it is retained. The working-set buffers are freed
 // first (they regrow lazily); the similarity memo survives whenever it
 // fits the budget on its own, and frees itself otherwise.
+//
+//fairnn:noalloc
 func (qr *fiQuerier) trim(budget int) {
 	if qr.scratchBytes() <= budget {
 		return
@@ -193,6 +197,8 @@ func (qr *fiQuerier) trim(budget int) {
 
 // getQuerier checks scratch out of the pool and advances the similarity-
 // memo epoch (one checkout = one logical query).
+//
+//fairnn:noalloc
 func (f *FilterIndependent) getQuerier() *fiQuerier {
 	qr := f.pool.Get()
 	if qr == nil {
@@ -205,6 +211,8 @@ func (f *FilterIndependent) getQuerier() *fiQuerier {
 // putQuerier returns scratch to the bounded pool, trimming oversized
 // buffers first and dropping queriers beyond the retention cap (the same
 // burst-memory discipline as rankedBase.putQuerier).
+//
+//fairnn:noalloc
 func (f *FilterIndependent) putQuerier(qr *fiQuerier) {
 	qr.trim(f.memo.ScratchBudget)
 	f.pool.Put(qr)
@@ -230,6 +238,8 @@ func (f *FilterIndependent) RetainedQueriers() int { return f.pool.Retained() }
 // the querier. The plan is deterministic given (structure, query): all
 // sampling randomness lives in the rejection loop, so one plan can serve
 // many independent samples.
+//
+//fairnn:noalloc
 func (f *FilterIndependent) buildPlan(q vector.Vec, qr *fiQuerier, st *QueryStats) {
 	qr.refs = qr.refs[:0]
 	qr.master = qr.master[:0]
@@ -252,6 +262,8 @@ func (f *FilterIndependent) buildPlan(q vector.Vec, qr *fiQuerier, st *QueryStat
 // st.ScoreCacheHits. The dense backend is special-cased so its hot path
 // stays two array loads; the compact backend goes through the memoTable
 // interface and charges st.MemoProbes.
+//
+//fairnn:noalloc
 func (f *FilterIndependent) simOf(qr *fiQuerier, q vector.Vec, id int32, st *QueryStats) float64 {
 	if d, ok := qr.sim.(*denseWordMemo); ok {
 		d.ensure()
@@ -290,6 +302,8 @@ const fiBatchBlock = 64
 // st.ScoreEvals and st.BatchScored. NaN marks a pending slot between the
 // two passes — indexed vectors with NaN components are outside every
 // sampler contract.
+//
+//fairnn:noalloc
 func (f *FilterIndependent) simBlock(qr *fiQuerier, q vector.Vec, ids []int32, st *QueryStats) []float64 {
 	if cap(qr.vals) < len(ids) {
 		qr.vals = make([]float64, len(ids))
@@ -361,6 +375,8 @@ func (f *FilterIndependent) simBlock(qr *fiQuerier, q vector.Vec, ids []int32, s
 // multiplicity returns c_p: in how many selected buckets point id occurs.
 // Each bank stores a point exactly once (under KeyOf), so one pass over
 // the selected refs suffices — no per-query set structure needed.
+//
+//fairnn:noalloc
 func (f *FilterIndependent) multiplicity(qr *fiQuerier, id int32) int {
 	c := 0
 	for _, ref := range qr.refs {
@@ -399,6 +415,8 @@ func (f *FilterIndependent) QueryNN(q vector.Vec, st *QueryStats) (id int32, ok 
 
 // Sample returns a uniform, independent sample from B_S(q, α) = {p : ⟨p,q⟩ ≥ α},
 // or ok=false when no near point appears in the selected buckets.
+//
+//fairnn:noalloc
 func (f *FilterIndependent) Sample(q vector.Vec, st *QueryStats) (id int32, ok bool) {
 	id, err := f.SampleContext(context.Background(), q, st)
 	return id, err == nil
@@ -412,6 +430,8 @@ func (f *FilterIndependent) Sample(q vector.Vec, st *QueryStats) (id int32, ok b
 // failed (but uncanceled) query returns ErrNoSample. The poll draws no
 // randomness and the Background path allocates nothing, so Sample's draw
 // order, output and zero-allocation steady state are unchanged.
+//
+//fairnn:noalloc
 func (f *FilterIndependent) SampleContext(ctx context.Context, q vector.Vec, st *QueryStats) (int32, error) {
 	qr := f.getQuerier()
 	defer f.putQuerier(qr)
@@ -452,6 +472,8 @@ func (f *FilterIndependent) Samples(ctx context.Context, q vector.Vec) iter.Seq2
 // ctx.Err() every ctxCheckRounds rounds and exits with ok=false when the
 // context is done; the poll draws no randomness, so the output stream
 // under an uncanceled context is unchanged.
+//
+//fairnn:noalloc
 func (f *FilterIndependent) sampleFromPlan(ctx context.Context, q vector.Vec, qr *fiQuerier, st *QueryStats) (int32, bool) {
 	if qr.total == 0 {
 		st.found(false)
@@ -596,6 +618,8 @@ func (f *FilterIndependent) SampleK(q vector.Vec, k int, st *QueryStats) []int32
 
 // SampleKInto is SampleK writing into dst (reset to length zero and grown
 // as needed), the zero-allocation bulk variant.
+//
+//fairnn:noalloc
 func (f *FilterIndependent) SampleKInto(q vector.Vec, k int, dst []int32, st *QueryStats) []int32 {
 	dst = dst[:0]
 	if k <= 0 {
@@ -623,6 +647,8 @@ type fenwick struct {
 
 // init (re)builds the tree over the bucket sizes of contents, reusing the
 // backing array when capacity allows.
+//
+//fairnn:noalloc
 func (f *fenwick) init(contents [][]int32) {
 	n := len(contents)
 	if cap(f.tree) < n+1 {
@@ -639,6 +665,8 @@ func (f *fenwick) init(contents [][]int32) {
 }
 
 // add adds delta to the size of bucket i.
+//
+//fairnn:noalloc
 func (f *fenwick) add(i, delta int) {
 	f.sum += delta
 	for j := i + 1; j <= f.n; j += j & (-j) {
@@ -647,10 +675,14 @@ func (f *fenwick) add(i, delta int) {
 }
 
 // total returns the sum of all bucket sizes.
+//
+//fairnn:noalloc
 func (f *fenwick) total() int { return f.sum }
 
 // find locates the bucket containing global position v (0-based) and
 // returns (bucket index, offset within bucket).
+//
+//fairnn:noalloc
 func (f *fenwick) find(v int) (bucket, offset int) {
 	idx := 0
 	bit := 1

@@ -180,6 +180,8 @@ type denseBitMemo struct {
 }
 
 // ensure allocates the backing array on first use.
+//
+//fairnn:noalloc
 func (m *denseBitMemo) ensure() []uint64 {
 	if m.words == nil {
 		m.words = make([]uint64, m.n)
@@ -221,6 +223,8 @@ type denseWordMemo struct {
 }
 
 // ensure allocates the backing arrays on first use.
+//
+//fairnn:noalloc
 func (m *denseWordMemo) ensure() {
 	if m.stamp == nil {
 		m.stamp = make([]uint64, m.n)
@@ -416,6 +420,8 @@ type BoundedPool[T any] struct {
 func (p *BoundedPool[T]) SetCap(c int) { p.cap = c }
 
 // get pops a retained item, or returns nil when none is available.
+//
+//fairnn:noalloc
 func (p *BoundedPool[T]) Get() *T {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -430,6 +436,8 @@ func (p *BoundedPool[T]) Get() *T {
 
 // put retains the item unless the cap is reached; it reports whether the
 // item was kept.
+//
+//fairnn:noalloc
 func (p *BoundedPool[T]) Put(it *T) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -138,6 +138,8 @@ func NewIndependent[P any](space Space[P], family lsh.Family[P], params lsh.Para
 
 // nextPow2 returns the smallest power of two >= n (and 1 for n <= 1),
 // via the bit length of n-1 instead of a doubling loop.
+//
+//fairnn:noalloc
 func nextPow2(n int) int {
 	if n <= 1 {
 		return 1
@@ -180,6 +182,8 @@ func (d *Independent[P]) RetainedQueriers() int { return d.base.RetainedQueriers
 // re-hashes the query; the querier's counter is reset and reused, so the
 // merge allocates nothing in steady state. Small buckets contribute their
 // ids directly — equivalent to merging their on-demand sketches.
+//
+//fairnn:noalloc
 func (d *Independent[P]) estimateCandidates(qr *querier, st *QueryStats) float64 {
 	if qr.counter == nil {
 		qr.counter = d.skFamily.NewCounter()
@@ -229,6 +233,8 @@ func (d *Independent[P]) estimateCandidates(qr *querier, st *QueryStats) float64
 // deduplicated (rank, id) array and every subsequent round becomes a
 // single binary search plus a contiguous scan. The merged view survives
 // until the next resolve, so all k loops of a SampleK share it.
+//
+//fairnn:noalloc
 func (d *Independent[P]) segmentNear(q P, qr *querier, lo, hi int32, st *QueryStats) []int32 {
 	if !qr.isMerged && qr.rangeWork >= qr.mergeCost {
 		d.base.materializeMerged(qr, st)
@@ -284,6 +290,8 @@ func (d *Independent[P]) segmentNear(q P, qr *querier, lo, hi int32, st *QuerySt
 // Sample returns a uniform, independent sample from B_S(q, r), or ok=false
 // when no near point collides with q (or the rejection budget is exhausted,
 // a probability-≤δ event under the paper's constants).
+//
+//fairnn:noalloc
 func (d *Independent[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 	id, err := d.SampleContext(context.Background(), q, st)
 	return id, err == nil
@@ -297,6 +305,8 @@ func (d *Independent[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 // The poll draws no randomness and the Background path allocates
 // nothing, so Sample's draw order, output and zero-allocation steady
 // state are unchanged.
+//
+//fairnn:noalloc
 func (d *Independent[P]) SampleContext(ctx context.Context, q P, st *QueryStats) (int32, error) {
 	qr := d.base.getQuerier()
 	defer d.base.putQuerier(qr)
@@ -339,6 +349,8 @@ func (d *Independent[P]) Samples(ctx context.Context, q P) iter.Seq2[int32, erro
 // ok=false when the context is done (callers that care distinguish the
 // two via sampleCtxResult); the poll draws no randomness, so the output
 // stream under an uncanceled context is unchanged.
+//
+//fairnn:noalloc
 func (d *Independent[P]) sampleResolved(ctx context.Context, q P, qr *querier, est float64, st *QueryStats) (id int32, ok bool) {
 	if est <= 0 {
 		st.found(false)
@@ -406,6 +418,8 @@ func (d *Independent[P]) SampleK(q P, k int, st *QueryStats) []int32 {
 // as needed): callers drawing many batches amortize the output buffer and
 // reach a zero-allocation steady state. The returned slice must be
 // consumed (or copied) before dst is reused.
+//
+//fairnn:noalloc
 func (d *Independent[P]) SampleKInto(q P, k int, dst []int32, st *QueryStats) []int32 {
 	dst = dst[:0]
 	if k <= 0 {

@@ -73,6 +73,8 @@ func (s *Sampler[P]) RetainedScratchBytes() int { return s.base.RetainedScratchB
 // no near point collides with q in any table. The query is deterministic
 // given the data structure (Definition 1 does not require independence);
 // use Independent or SampleRepeated for independent outputs.
+//
+//fairnn:noalloc
 func (s *Sampler[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 	qr := s.base.getQuerier()
 	defer s.base.putQuerier(qr)
@@ -114,6 +116,8 @@ func (s *Sampler[P]) Sample(q P, st *QueryStats) (id int32, ok bool) {
 // bounded bucket scan with no rejection loop, so cancellation is checked
 // once up front; a failed (but uncanceled) query returns ErrNoSample.
 // With context.Background() the output is identical to Sample.
+//
+//fairnn:noalloc
 func (s *Sampler[P]) SampleContext(ctx context.Context, q P, st *QueryStats) (int32, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
@@ -149,6 +153,8 @@ func (s *Sampler[P]) SampleK(q P, k int, st *QueryStats) []int32 {
 // as needed), for callers amortizing the output buffer across queries.
 // The k-way merge over the L rank-sorted buckets streams through the
 // querier's pooled rank.Merger, so the steady state allocates nothing.
+//
+//fairnn:noalloc
 func (s *Sampler[P]) SampleKInto(q P, k int, dst []int32, st *QueryStats) []int32 {
 	dst = dst[:0]
 	if k <= 0 {

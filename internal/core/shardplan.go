@@ -82,14 +82,20 @@ func (d *Independent[P]) BeginShardPlan(p *ShardPlan[P], q P, st *QueryStats) {
 // ResetDraw rearms the plan for a fresh draw: the segment count restarts
 // from its estimate-derived initial value, exactly as each loop of an
 // unsharded SampleK recomputes k from ŝ.
+//
+//fairnn:noalloc
 func (p *ShardPlan[P]) ResetDraw() { p.k = p.k0 }
 
 // Segments returns the plan's current segment count k_j — the shard's
 // weight in the combined segment pool (0 when the shard is exhausted or
 // recalled nothing).
+//
+//fairnn:noalloc
 func (p *ShardPlan[P]) Segments() int { return p.k }
 
 // Estimate returns the shard's per-query near-count estimate ŝ_j.
+//
+//fairnn:noalloc
 func (p *ShardPlan[P]) Estimate() float64 { return p.est }
 
 // Halve halves the segment count (the Σ-budget correction). The sharded
@@ -97,6 +103,8 @@ func (p *ShardPlan[P]) Estimate() float64 { return p.est }
 // floor — per-round uniformity over the union needs k_j ≥ 1 in every
 // shard — and only then halves all shards to zero together, ending the
 // draw.
+//
+//fairnn:noalloc
 func (p *ShardPlan[P]) Halve() { p.k /= 2 }
 
 // SegmentNear reports the number of distinct near points in segment h
@@ -123,6 +131,8 @@ func (p *ShardPlan[P]) Pick(r *rng.Source) int32 {
 // plans live inside pooled sessions, and a retained q would pin the
 // caller's (possibly large) query slice between queries, invisible to
 // RetainedScratchBytes. Safe to call on a zero or already-closed plan.
+//
+//fairnn:noalloc
 func (p *ShardPlan[P]) Close() {
 	if p.qr != nil {
 		p.d.base.putQuerier(p.qr)
@@ -140,6 +150,8 @@ func (p *ShardPlan[P]) Close() {
 // out partway may still hold the *previous* query's estimate and segment
 // count, and the sharded resilience layer must not let that stale weight
 // re-enter the union pool as if it described the current query.
+//
+//fairnn:noalloc
 func (p *ShardPlan[P]) Abort() {
 	p.Close()
 	*p = ShardPlan[P]{}

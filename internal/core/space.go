@@ -55,6 +55,8 @@ type Space[P any] struct {
 
 // Near reports whether a score meets the threshold r under the space's
 // orientation.
+//
+//fairnn:noalloc
 func (s Space[P]) Near(score, r float64) bool {
 	if s.Kind == Distance {
 		return score <= r
@@ -195,6 +197,8 @@ type DegradedInfo struct {
 func (d *DegradedInfo) Degraded() bool { return len(d.LostShards) > 0 }
 
 // add merges counters (used when one logical query performs sub-queries).
+//
+//fairnn:noalloc
 func (s *QueryStats) add(o QueryStats) {
 	if s == nil {
 		return
@@ -224,12 +228,14 @@ func (s *QueryStats) add(o QueryStats) {
 // add element-wise when the shard counts match, and otherwise keep s
 // unchanged — per-index sums across different shard layouts have no
 // meaning (see Merge).
+//
+//fairnn:noalloc
 func mergeShard[T int | float64](s, o []T) []T {
 	switch {
 	case len(o) == 0:
 		return s
 	case len(s) == 0:
-		return append(s, o...)
+		return append(s, o...) //fairnn:allocok first-merge adoption, once per stats object
 	case len(s) == len(o):
 		for i, v := range o {
 			s[i] += v
@@ -249,70 +255,83 @@ func mergeShard[T int | float64](s, o []T) []T {
 // layouts are meaningless. The point-in-time records (SketchEstimate,
 // FinalK, ShardChosen, Found) are set by the query that produced them,
 // not accumulated.
+//
+//fairnn:noalloc
 func (s *QueryStats) Merge(o QueryStats) { s.add(o) }
 
 // bump* helpers tolerate nil receivers so query code stays uncluttered.
 
+//fairnn:noalloc
 func (s *QueryStats) bucket() {
 	if s != nil {
 		s.BucketsScanned++
 	}
 }
 
+//fairnn:noalloc
 func (s *QueryStats) point() {
 	if s != nil {
 		s.PointsInspected++
 	}
 }
 
+//fairnn:noalloc
 func (s *QueryStats) points(n int) {
 	if s != nil {
 		s.PointsInspected += n
 	}
 }
 
+//fairnn:noalloc
 func (s *QueryStats) score() {
 	if s != nil {
 		s.ScoreEvals++
 	}
 }
 
+//fairnn:noalloc
 func (s *QueryStats) cacheHit() {
 	if s != nil {
 		s.ScoreCacheHits++
 	}
 }
 
+//fairnn:noalloc
 func (s *QueryStats) memoProbe() {
 	if s != nil {
 		s.MemoProbes++
 	}
 }
 
+//fairnn:noalloc
 func (s *QueryStats) merged() {
 	if s != nil {
 		s.CursorMerged = true
 	}
 }
 
+//fairnn:noalloc
 func (s *QueryStats) round() {
 	if s != nil {
 		s.Rounds++
 	}
 }
 
+//fairnn:noalloc
 func (s *QueryStats) filters(n int) {
 	if s != nil {
 		s.FilterEvals += n
 	}
 }
 
+//fairnn:noalloc
 func (s *QueryStats) clamp() {
 	if s != nil {
 		s.Clamped = true
 	}
 }
 
+//fairnn:noalloc
 func (s *QueryStats) found(ok bool) {
 	if s != nil {
 		s.Found = ok

@@ -166,6 +166,8 @@ func newSizeSampler(mean, sd float64) func(*rng.Source) int {
 // other users with Jaccard similarity at least 0.2 with X"). Candidates are
 // scanned in a random order so repeated runs with different seeds pick
 // different query sets.
+//
+//fairnn:rng-source experiment-setup stream derived from the caller's explicit seed
 func InterestingQueries(sets []set.Set, minSim float64, minCount, k int, seed uint64) []int {
 	r := rng.New(seed)
 	order := r.Perm(len(sets))

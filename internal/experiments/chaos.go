@@ -130,6 +130,8 @@ func chaosSchedule(r *rng.Source, shards int) ([]fault.Spec, string) {
 // RunChaos executes the experiment. Any invariant violation — a far
 // point answered, an untyped error, a query that outlived its deadline
 // budget by an order of magnitude — aborts the run with an error.
+//
+//fairnn:rng-source fault-injection schedule generator seeded from the chaos config
 func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	res := &ChaosResult{Config: cfg}
 	pts := make([]int, cfg.N)

@@ -21,6 +21,8 @@ import (
 
 // F returns f(α, ε) = sqrt(2(1−α²) ln(1/ε)), the query threshold slack of
 // Section 5.
+//
+//fairnn:noalloc
 func F(alpha, eps float64) float64 {
 	return math.Sqrt(2 * (1 - alpha*alpha) * math.Log(1/eps))
 }
@@ -96,6 +98,8 @@ func (p Params) resolve(n int) Params {
 // Bank is one Section 5 data structure: t sub-structures of m^(1/t)
 // Gaussian vectors each, plus the bucket hash table. Each indexed point is
 // referenced exactly once.
+//
+//fairnn:frozen
 type Bank struct {
 	params Params
 	// vecs[i][j] is filter vector a_{i,j}.
@@ -146,9 +150,13 @@ func (b *Bank) Params() Params { return b.params }
 func (b *Bank) NumFilters() int { return b.params.T * b.params.M1T }
 
 // KeyOf returns the bucket key point id was stored under.
+//
+//fairnn:noalloc
 func (b *Bank) KeyOf(id int32) uint64 { return b.keyOf[id] }
 
 // Bucket returns the ids stored under key (owned by the bank).
+//
+//fairnn:noalloc
 func (b *Bank) Bucket(key uint64) []int32 { return b.buckets[key] }
 
 // argmaxKey maps a point to the packed tuple (j_1, ..., j_t) of per-sub-
@@ -204,6 +212,8 @@ type QueryScratch struct {
 
 // RetainedBytes reports the backing-array footprint of the scratch, for
 // callers that pool scratch under a memory budget.
+//
+//fairnn:noalloc
 func (s *QueryScratch) RetainedBytes() int {
 	total := 8*cap(s.dots) + 24*cap(s.idxSets) + 8*cap(s.counters) + 8*cap(s.keys)
 	for _, idx := range s.idxSets {
@@ -214,6 +224,8 @@ func (s *QueryScratch) RetainedBytes() int {
 
 // Trim frees the backing arrays when RetainedBytes exceeds maxBytes; the
 // scratch stays usable and regrows lazily on the next QueryInto.
+//
+//fairnn:noalloc
 func (s *QueryScratch) Trim(maxBytes int) {
 	if s.RetainedBytes() > maxBytes {
 		*s = QueryScratch{}
@@ -231,6 +243,8 @@ func (b *Bank) Query(q vector.Vec) QueryPlan {
 // buckets: sub-structure i admits filters with ⟨a_{i,j}, q⟩ ≥ α·Δ_{q,i} −
 // f(α, ε). Only non-empty buckets are returned. The returned plan's Keys
 // slice aliases the scratch and is valid until the scratch's next use.
+//
+//fairnn:noalloc
 func (b *Bank) QueryInto(q vector.Vec, s *QueryScratch) QueryPlan {
 	params := b.params
 	f := F(params.Alpha, params.Eps)

@@ -38,6 +38,8 @@ type BatchFamily[P any] interface {
 // the family's batch path when available and falls back to m independent
 // draws otherwise. A Signer is immutable after construction and safe for
 // concurrent use (callers supply the output buffer).
+//
+//fairnn:frozen
 type Signer[P any] struct {
 	batch Batch[P]
 	funcs []Func[P]
@@ -60,6 +62,8 @@ func NewSigner[P any](family Family[P], m int, r *rng.Source) *Signer[P] {
 }
 
 // Size returns the number of functions m.
+//
+//fairnn:noalloc
 func (s *Signer[P]) Size() int {
 	if s.batch != nil {
 		return s.batch.Size()
@@ -68,6 +72,8 @@ func (s *Signer[P]) Size() int {
 }
 
 // Sign writes the full signature of p into out (len(out) must be Size()).
+//
+//fairnn:noalloc
 func (s *Signer[P]) Sign(p P, out []uint64) {
 	s.SignRange(p, 0, s.Size(), out)
 }
@@ -76,6 +82,8 @@ func (s *Signer[P]) Sign(p P, out []uint64) {
 // out[0 : hi-lo]. Sub-range signing lets early-exit query paths (for
 // example the classic biased LSH scan) hash one table at a time while
 // still scanning the point only once per table.
+//
+//fairnn:noalloc
 func (s *Signer[P]) SignRange(p P, lo, hi int, out []uint64) {
 	if s.batch != nil {
 		s.batch.Hash(p, lo, hi, out)
@@ -89,6 +97,8 @@ func (s *Signer[P]) SignRange(p P, lo, hi int, out []uint64) {
 // TableKey reduces the K raw values of one table to its bucket key,
 // producing exactly the key Concat would: Mix64 of the single value for
 // K = 1 and the Combine fold otherwise.
+//
+//fairnn:noalloc
 func TableKey(raw []uint64) uint64 {
 	if len(raw) == 1 {
 		return rng.Mix64(raw[0])
@@ -102,6 +112,8 @@ func TableKey(raw []uint64) uint64 {
 
 // CombineKeys reduces an L·K signature (table-major) to the L bucket keys,
 // writing them into keys (len(keys) = len(sig)/k).
+//
+//fairnn:noalloc
 func CombineKeys(sig []uint64, k int, keys []uint64) {
 	for i := range keys {
 		keys[i] = TableKey(sig[i*k : (i+1)*k])

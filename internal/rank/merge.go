@@ -15,6 +15,7 @@ type mergeCursor struct {
 	r     int32
 }
 
+//fairnn:noalloc
 func cursorSiftDown(h []mergeCursor, i int) {
 	for {
 		l := 2*i + 1
@@ -45,6 +46,8 @@ type Merger struct {
 
 // Reset points the merger at a new set of buckets (nil/empty entries are
 // skipped) and rebuilds the heap.
+//
+//fairnn:noalloc
 func (m *Merger) Reset(buckets []*Bucket) {
 	h := m.h[:0]
 	for _, b := range buckets {
@@ -61,6 +64,8 @@ func (m *Merger) Reset(buckets []*Bucket) {
 
 // Next pops the minimum-rank (id, rank) pair among the remaining entries.
 // ok is false once all buckets are exhausted.
+//
+//fairnn:noalloc
 func (m *Merger) Next() (id, rank int32, ok bool) {
 	h := m.h
 	if len(h) == 0 {
@@ -86,6 +91,8 @@ func (m *Merger) Next() (id, rank int32, ok bool) {
 // output slices grow in lockstep; pass recycled buffers (sliced to length
 // zero) for an allocation-free steady state. The merger m provides the
 // reusable heap.
+//
+//fairnn:noalloc
 func MergeDedup(m *Merger, buckets []*Bucket, ids, ranks []int32) ([]int32, []int32) {
 	m.Reset(buckets)
 	last := int32(-1)
@@ -106,6 +113,8 @@ func MergeDedup(m *Merger, buckets []*Bucket, ids, ranks []int32) ([]int32, []in
 
 // SearchRanks returns the first index of ranks holding a value >= target;
 // ranks must be ascending. Exported for the merged-cursor segment scan.
+//
+//fairnn:noalloc
 func SearchRanks(ranks []int32, target int32) int {
 	return searchRanks(ranks, target)
 }

@@ -12,6 +12,8 @@ import "fairnn/internal/rng"
 
 // Assignment is a bijection between point ids [0, n) and ranks [0, n).
 // Lower rank means "earlier in the random permutation Λ".
+//
+//fairnn:frozen
 type Assignment struct {
 	rank   []int32 // rank[id] = rank of point id
 	byRank []int32 // byRank[rank] = id holding that rank
@@ -50,6 +52,8 @@ func (a *Assignment) IDAt(rank int32) int32 { return a.byRank[rank] }
 
 // Swap exchanges the ranks of two points (the Fisher–Yates-style
 // perturbation of Appendix A). Swapping a point with itself is a no-op.
+//
+//fairnn:mutates Appendix A rank perturbation; callers serialize via the Dynamic write lock
 func (a *Assignment) Swap(id1, id2 int32) {
 	r1, r2 := a.rank[id1], a.rank[id2]
 	a.rank[id1], a.rank[id2] = r2, r1
@@ -78,6 +82,8 @@ func (a *Assignment) Valid() bool {
 // Assignment.Swap must bracket the swap with Remove (before) and Insert
 // (after) so the cached ranks stay consistent — exactly the discipline the
 // Appendix A perturbation uses.
+//
+//fairnn:frozen
 type Bucket struct {
 	ids   []int32
 	ranks []int32 // ranks[i] = rank of ids[i], strictly ascending
@@ -118,14 +124,20 @@ func NewBucket(ids []int32, a *Assignment) *Bucket {
 }
 
 // Len returns the number of ids in the bucket.
+//
+//fairnn:noalloc
 func (b *Bucket) Len() int { return len(b.ids) }
 
 // IDs returns the ids in ascending rank order. The slice is owned by the
 // bucket and must not be modified.
+//
+//fairnn:noalloc
 func (b *Bucket) IDs() []int32 { return b.ids }
 
 // Ranks returns the ranks aligned with IDs(). The slice is owned by the
 // bucket and must not be modified.
+//
+//fairnn:noalloc
 func (b *Bucket) Ranks() []int32 { return b.ranks }
 
 // At returns the i-th id in rank order.
@@ -137,6 +149,8 @@ func (b *Bucket) RankAt(i int) int32 { return b.ranks[i] }
 // searchRanks returns the first index whose rank is >= target. Manual
 // binary search over the local rank slice: no closure, no Assignment
 // indirection, no allocation.
+//
+//fairnn:noalloc
 func searchRanks(ranks []int32, target int32) int {
 	lo, hi := 0, len(ranks)
 	for lo < hi {
@@ -152,6 +166,8 @@ func searchRanks(ranks []int32, target int32) int {
 
 // RangeReport appends to out every id whose rank lies in [loRank, hiRank),
 // in ascending rank order, using binary search: O(log |bucket| + output).
+//
+//fairnn:noalloc
 func (b *Bucket) RangeReport(_ *Assignment, loRank, hiRank int32, out []int32) []int32 {
 	i := searchRanks(b.ranks, loRank)
 	for ; i < len(b.ranks) && b.ranks[i] < hiRank; i++ {
@@ -167,6 +183,8 @@ func (b *Bucket) CountRange(_ *Assignment, loRank, hiRank int32) int {
 
 // Remove deletes id from the bucket (identified by its current rank).
 // It reports whether the id was present.
+//
+//fairnn:mutates deletion API; callers serialize via the Dynamic write lock
 func (b *Bucket) Remove(a *Assignment, id int32) bool {
 	i := searchRanks(b.ranks, a.Of(id))
 	if i >= len(b.ids) || b.ids[i] != id {

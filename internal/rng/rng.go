@@ -29,8 +29,11 @@ func New(seed uint64) *Source {
 
 // Seed (re)initializes the generator state from a single 64-bit seed
 // using the splitmix64 expansion recommended by the xoshiro authors.
+//
+//fairnn:noalloc
 func (r *Source) Seed(seed uint64) {
 	sm := seed
+	//fairnn:allocok non-escaping local closure; the compiler keeps it on the stack
 	next := func() uint64 {
 		sm += 0x9e3779b97f4a7c15
 		z := sm
@@ -53,9 +56,12 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64() ^ 0x6a09e667f3bcc909)
 }
 
+//fairnn:noalloc
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.
+//
+//fairnn:noalloc
 func (r *Source) Uint64() uint64 {
 	result := rotl(r.s1*5, 7) * 9
 	t := r.s1 << 17
@@ -69,10 +75,14 @@ func (r *Source) Uint64() uint64 {
 }
 
 // Uint32 returns the next 32 uniformly distributed bits.
+//
+//fairnn:noalloc
 func (r *Source) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
 
 // Uint64n returns a uniform integer in [0, n). It panics if n == 0.
 // Uses Lemire's multiply-shift rejection method (unbiased).
+//
+//fairnn:noalloc
 func (r *Source) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("rng: Uint64n with n == 0")
@@ -92,6 +102,8 @@ func (r *Source) Uint64n(n uint64) uint64 {
 }
 
 // mul64 returns the 128-bit product of x and y as (hi, lo).
+//
+//fairnn:noalloc
 func mul64(x, y uint64) (hi, lo uint64) {
 	const mask32 = 1<<32 - 1
 	x0, x1 := x&mask32, x>>32
@@ -107,6 +119,8 @@ func mul64(x, y uint64) (hi, lo uint64) {
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
+//
+//fairnn:noalloc
 func (r *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn with n <= 0")
@@ -115,11 +129,15 @@ func (r *Source) Intn(n int) int {
 }
 
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+//
+//fairnn:noalloc
 func (r *Source) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
 // Bernoulli returns true with probability p (clamped to [0,1]).
+//
+//fairnn:noalloc
 func (r *Source) Bernoulli(p float64) bool {
 	if p <= 0 {
 		return false
@@ -131,6 +149,8 @@ func (r *Source) Bernoulli(p float64) bool {
 }
 
 // NormFloat64 returns a standard normal variate (Box–Muller, polar form).
+//
+//fairnn:noalloc
 func (r *Source) NormFloat64() float64 {
 	if r.hasGauss {
 		r.hasGauss = false
@@ -151,6 +171,8 @@ func (r *Source) NormFloat64() float64 {
 }
 
 // Exp returns an exponential variate with rate 1.
+//
+//fairnn:noalloc
 func (r *Source) Exp() float64 {
 	for {
 		u := r.Float64()
@@ -173,6 +195,8 @@ func (r *Source) Perm(n int) []int32 {
 }
 
 // ShuffleInt32 performs an in-place Fisher–Yates shuffle.
+//
+//fairnn:noalloc
 func (r *Source) ShuffleInt32(p []int32) {
 	for i := len(p) - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
@@ -228,6 +252,8 @@ func (z *ZipfGen) Sample(r *Source) int {
 
 // Mix64 is a strong 64-bit finalizer (splitmix64's mixer). It is used as a
 // cheap "random oracle" keyed by XOR with a seed, e.g. for MinHash.
+//
+//fairnn:noalloc
 func Mix64(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
@@ -236,6 +262,8 @@ func Mix64(x uint64) uint64 {
 
 // Combine mixes a hash accumulator with the next value; used to build
 // K-wise AND-compositions of LSH values into a single bucket key.
+//
+//fairnn:noalloc
 func Combine(acc, v uint64) uint64 {
 	return Mix64(acc ^ (v + 0x9e3779b97f4a7c15 + (acc << 6) + (acc >> 2)))
 }

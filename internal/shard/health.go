@@ -50,6 +50,8 @@ func newHealthRegistry(shards int, probeEvery int) *healthRegistry {
 
 // allow reports whether this query should call shard j: always for a
 // healthy shard, and for an unhealthy one only on its probe cadence.
+//
+//fairnn:noalloc
 func (h *healthRegistry) allow(j int) bool {
 	sh := &h.shards[j]
 	if !sh.down.Load() {
@@ -65,6 +67,8 @@ func (h *healthRegistry) allow(j int) bool {
 
 // ok records a successful arm: remember the estimate and re-admit the
 // shard if it was unhealthy.
+//
+//fairnn:noalloc
 func (h *healthRegistry) ok(j int, est float64) {
 	sh := &h.shards[j]
 	sh.estBits.Store(math.Float64bits(est))
@@ -75,6 +79,8 @@ func (h *healthRegistry) ok(j int, est float64) {
 }
 
 // fail records an exhausted budget and marks the shard unhealthy.
+//
+//fairnn:noalloc
 func (h *healthRegistry) fail(j int) {
 	sh := &h.shards[j]
 	sh.failures.Add(1)
@@ -83,6 +89,8 @@ func (h *healthRegistry) fail(j int) {
 
 // lastEstimate returns the shard's last successfully observed ŝ_j, if
 // any query ever armed it.
+//
+//fairnn:noalloc
 func (h *healthRegistry) lastEstimate(j int) (float64, bool) {
 	sh := &h.shards[j]
 	if !sh.estKnown.Load() {

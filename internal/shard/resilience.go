@@ -83,7 +83,11 @@ const (
 // fault, or a poisoned point reaching a user Space/Family callback —
 // into an ordinary *core.PanicError with the stack captured, so one bad
 // shard call is a retriable failure instead of a process crash.
+//
+//fairnn:noalloc
+//fairnn:fanout-safe converts panics into retriable *core.PanicError returns
 func safeCall(ctx context.Context, fn func(context.Context) error) (err error) {
+	//fairnn:allocok deferred recover closure captures only err; open-coded by the compiler
 	defer func() {
 		if r := recover(); r != nil {
 			pe, ok := r.(*core.PanicError)
@@ -100,6 +104,8 @@ func safeCall(ctx context.Context, fn func(context.Context) error) (err error) {
 // the exponentially grown base clamped to max (full jitter, so
 // concurrent retries against one struggling shard spread out instead of
 // synchronizing).
+//
+//fairnn:noalloc
 func backoffDelay(r *rng.Source, base, max time.Duration, attempt int) time.Duration {
 	d := base
 	for i := 0; i < attempt && d < max; i++ {
@@ -133,9 +139,11 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // attempt; any error is a *ShardError carrying the final cause. Parent
 // cancellation is surfaced immediately and does NOT mark the shard
 // unhealthy — an impatient caller is not evidence against the shard.
+//
+//fairnn:noalloc
 func (s *Sharded[P]) callShard(ctx context.Context, ses *session[P], j int, op string, opSalt uint64, fn func(context.Context) error) error {
 	if !s.health.allow(j) {
-		return &ShardError{Shard: j, Op: op, Err: ErrShardDown}
+		return &ShardError{Shard: j, Op: op, Err: ErrShardDown} //fairnn:allocok cold failure path: shard already marked down
 	}
 	var br rng.Source
 	brSeeded := false
@@ -170,5 +178,5 @@ func (s *Sharded[P]) callShard(ctx context.Context, ses *session[P], j int, op s
 		}
 	}
 	s.health.fail(j)
-	return &ShardError{Shard: j, Op: op, Err: lastErr}
+	return &ShardError{Shard: j, Op: op, Err: lastErr} //fairnn:allocok cold failure path: retries exhausted
 }

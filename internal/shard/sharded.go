@@ -267,7 +267,11 @@ func shardBuildPanic(j int, recovered any) error {
 // copy). With one worker it runs inline, spawning nothing. A worker
 // panic is contained by ParallelRange and re-panicked on the caller's
 // goroutine as a *core.PanicError.
+//
+//fairnn:noalloc
+//fairnn:fanout-safe delegates containment to core.ParallelRange
 func fanOut(n int, fn func(i int)) {
+	//fairnn:allocok one fan-out closure per parallel arm, not on the steady-state draw path
 	core.ParallelRange(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(i)
@@ -342,6 +346,8 @@ func (s *Sharded[P]) RetainedScratchBytes() int {
 // through callShard; an error return means the query cannot proceed (a
 // *ShardError with degradation off, or ErrDegraded when every shard was
 // lost) and no session is retained.
+//
+//fairnn:noalloc
 func (s *Sharded[P]) begin(ctx context.Context, q P, st *core.QueryStats, parallel bool) (*session[P], error) {
 	ses := s.pool.Get()
 	if ses == nil {
@@ -433,11 +439,14 @@ func (s *Sharded[P]) begin(ctx context.Context, q P, st *core.QueryStats, parall
 // that cannot be armed is recorded dead in the session with its error;
 // the verdict (fail the query vs degrade) is taken by the caller after
 // all shards report, so the parallel fan-out never short-circuits.
+//
+//fairnn:noalloc
 func (s *Sharded[P]) armShard(ctx context.Context, ses *session[P], j int, q P, st *core.QueryStats) {
 	if !s.resOn {
 		_ = s.backends[j].Arm(ctx, &ses.plans[j], q, st)
 		return
 	}
+	//fairnn:allocok resilience envelope: the resOn path trades one closure per call for panic/deadline containment
 	err := s.callShard(ctx, ses, j, "arm", saltArm, func(actx context.Context) error {
 		// Each attempt re-arms from a clean plan: a prior attempt may
 		// have panicked or timed out partway through arming.
@@ -457,6 +466,8 @@ func (s *Sharded[P]) armShard(ctx context.Context, ses *session[P], j int, q P, 
 // armVerdict decides what an arm round with failures means: with
 // degradation off, the first shard's error fails the query; with it on,
 // the query proceeds over the survivors unless none remain.
+//
+//fairnn:noalloc
 func (s *Sharded[P]) armVerdict(ses *session[P]) error {
 	var first error
 	live := false
@@ -487,6 +498,8 @@ func (s *Sharded[P]) armVerdict(ses *session[P]) error {
 // where a lost shard contributes its own per-query ŝ_j when it armed
 // before dying, its last health-registry estimate when another query
 // armed it, and a point-share density extrapolation otherwise.
+//
+//fairnn:noalloc
 func (s *Sharded[P]) noteDegraded(ses *session[P], st *core.QueryStats) {
 	if st == nil {
 		return
@@ -534,6 +547,8 @@ func (s *Sharded[P]) noteDegraded(ses *session[P], st *core.QueryStats) {
 // re-enter the pool — and the draw continues over the survivors: the
 // returned total is the surviving pool's segment count. Losing the last
 // live shard returns ErrDegraded.
+//
+//fairnn:noalloc
 func (s *Sharded[P]) loseShard(ses *session[P], j int, st *core.QueryStats, cause error) (int, error) {
 	if !s.res.Degraded {
 		return 0, cause
@@ -559,8 +574,11 @@ func (s *Sharded[P]) loseShard(ses *session[P], j int, st *core.QueryStats, caus
 }
 
 // segmentNearResilient is SegmentNear through callShard's envelope.
+//
+//fairnn:noalloc
 func (s *Sharded[P]) segmentNearResilient(ctx context.Context, ses *session[P], j, h int, st *core.QueryStats) (int, error) {
 	n := 0
+	//fairnn:allocok resilience envelope: the resOn path trades one closure per call for panic/deadline containment
 	err := s.callShard(ctx, ses, j, "segment", saltSegment, func(actx context.Context) error {
 		v, err := s.backends[j].SegmentNear(actx, &ses.plans[j], h, st)
 		n = v
@@ -570,8 +588,11 @@ func (s *Sharded[P]) segmentNearResilient(ctx context.Context, ses *session[P], 
 }
 
 // pickResilient is Pick through callShard's envelope.
+//
+//fairnn:noalloc
 func (s *Sharded[P]) pickResilient(ctx context.Context, ses *session[P], j int) (int32, error) {
 	var id int32
+	//fairnn:allocok resilience envelope: the resOn path trades one closure per call for panic/deadline containment
 	err := s.callShard(ctx, ses, j, "pick", saltPick, func(actx context.Context) error {
 		v, err := s.backends[j].Pick(actx, &ses.plans[j], &ses.rng)
 		id = v
@@ -582,6 +603,8 @@ func (s *Sharded[P]) pickResilient(ctx context.Context, ses *session[P], j int) 
 
 // release closes every plan (returning the shards' pooled queriers) and
 // recycles the session.
+//
+//fairnn:noalloc
 func (s *Sharded[P]) release(ses *session[P]) {
 	for j := range ses.plans {
 		ses.plans[j].Close()
@@ -596,6 +619,8 @@ func (s *Sharded[P]) release(ses *session[P]) {
 // call on the same stream. A non-nil error reports a shard failure the
 // policy could not absorb (degradation off, or the last live shard
 // lost); ok=false with a nil error is the ordinary no-sample outcome.
+//
+//fairnn:noalloc
 func (s *Sharded[P]) drawResolved(ctx context.Context, ses *session[P], st *core.QueryStats) (int32, bool, error) {
 	for j := range ses.plans {
 		ses.plans[j].ResetDraw()
@@ -753,6 +778,8 @@ func (s *Sharded[P]) drawResolved(ctx context.Context, ses *session[P], st *core
 // rejection budget is exhausted (a probability-≤δ event under the
 // paper's constants), or a shard failure the resilience policy could not
 // absorb — use SampleContext for the typed error.
+//
+//fairnn:noalloc
 func (s *Sharded[P]) Sample(q P, st *core.QueryStats) (id int32, ok bool) {
 	id, err := s.SampleContext(context.Background(), q, st)
 	return id, err == nil
@@ -763,6 +790,8 @@ func (s *Sharded[P]) Sample(q P, st *core.QueryStats) (id int32, ok bool) {
 // query returns ErrNoSample (the Sampler contract). Shard failures
 // surface as a *ShardError (degradation off) or ErrDegraded (every
 // shard lost); both match errors.Is(err, ErrDegraded).
+//
+//fairnn:noalloc
 func (s *Sharded[P]) SampleContext(ctx context.Context, q P, st *core.QueryStats) (int32, error) {
 	ses, err := s.begin(ctx, q, st, false)
 	if err != nil {
@@ -799,6 +828,8 @@ func (s *Sharded[P]) SampleK(q P, k int, st *core.QueryStats) []int32 {
 // A shard failure the policy cannot absorb ends the bulk early with the
 // draws collected so far (st records the degradation, if any); callers
 // needing the typed error should use SampleContext per draw.
+//
+//fairnn:noalloc
 func (s *Sharded[P]) SampleKInto(q P, k int, dst []int32, st *core.QueryStats) []int32 {
 	dst = dst[:0]
 	if k <= 0 {

@@ -83,6 +83,8 @@ func sqDistAccel(a, b Vec) float64 {
 
 // DotBatch computes out[k] = Dot(q, pts[k]) for every k, bit-identical to
 // the single-pair calls on either kernel tier.
+//
+//fairnn:noalloc
 func DotBatch(q Vec, pts []Vec, out []float64) {
 	if asmSupported && accelOn.Load() && len(q) >= asmBlock {
 		for k, p := range pts {
@@ -103,6 +105,8 @@ func DotBatch(q Vec, pts []Vec, out []float64) {
 
 // DotBatchIDs computes out[k] = Dot(q, pts[ids[k]]) for every k — the
 // gather form used by id-indexed candidate scoring.
+//
+//fairnn:noalloc
 func DotBatchIDs(q Vec, pts []Vec, ids []int32, out []float64) {
 	if asmSupported && accelOn.Load() && len(q) >= asmBlock {
 		for k, id := range ids {

@@ -19,6 +19,8 @@ type Vec []float64
 // Dot caller (Section 5 filters, SimHash/E2LSH signing) shares the same
 // resolved kernel within one process, which keeps batched and
 // per-function hashing bit-equal.
+//
+//fairnn:noalloc
 func Dot(a, b Vec) float64 {
 	if len(a) != len(b) {
 		panic("vector: dimension mismatch")
@@ -32,6 +34,8 @@ func Dot(a, b Vec) float64 {
 // dotGeneric is the portable kernel: four independent accumulators so
 // the additions pipeline instead of serializing on one FP dependency
 // chain. Assumes len(a) == len(b).
+//
+//fairnn:noalloc
 func dotGeneric(a, b Vec) float64 {
 	b = b[:len(a)]
 	var s0, s1, s2, s3 float64

@@ -27,7 +27,18 @@ if [[ ! -f "$snapshot" ]]; then
   exit 1
 fi
 
-if ! diff -u "$snapshot" <(go doc -all .); then
+# Render the live surface to a temp file first: with `diff <(go doc ...)`
+# a go doc failure (syntax error, toolchain problem) would surface as a
+# confusing truncated diff instead of the real error, because process
+# substitution swallows the exit status.
+live=$(mktemp)
+trap 'rm -f "$live"' EXIT
+if ! go doc -all . > "$live"; then
+  echo "apicheck: 'go doc -all .' failed — fix the build before comparing the API surface" >&2
+  exit 1
+fi
+
+if ! diff -u "$snapshot" "$live"; then
   echo >&2
   echo "apicheck: public API surface differs from api.txt." >&2
   echo "If the change is intentional, run: scripts/apicheck.sh -update" >&2
