@@ -1,0 +1,279 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"fairnn/internal/core"
+	"fairnn/internal/servefix"
+	"fairnn/internal/shard"
+	"fairnn/internal/stats"
+	"fairnn/internal/vector"
+	"fairnn/internal/wire"
+)
+
+// Cross-process suite: the test binary re-execs itself as real
+// fairnn-server processes (FAIRNN_SERVER_EXEC=1 routes main's run over
+// the child's argv), so plain `go test ./cmd/fairnn-server` exercises
+// true process boundaries — separate address spaces, real sockets, real
+// signals, real kills — with no pre-built binary required. This is the
+// suite the CI serve-smoke job runs.
+
+func TestMain(m *testing.M) {
+	if os.Getenv("FAIRNN_SERVER_EXEC") == "1" {
+		os.Exit(run(os.Args[1:]))
+	}
+	os.Exit(m.Run())
+}
+
+// procServer is one live re-execed server process.
+type procServer struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startProc re-execs the test binary as a fairnn-server with the given
+// flags and waits for its LISTEN line.
+func startProc(t *testing.T, args ...string) *procServer {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "FAIRNN_SERVER_EXEC=1")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &procServer{cmd: cmd}
+	t.Cleanup(func() {
+		if p.cmd.Process != nil {
+			_ = p.cmd.Process.Kill()
+			_, _ = p.cmd.Process.Wait()
+		}
+	})
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			if addr, ok := strings.CutPrefix(sc.Text(), "LISTEN "); ok {
+				lines <- addr
+				return
+			}
+		}
+		close(lines)
+	}()
+	select {
+	case addr, ok := <-lines:
+		if !ok {
+			t.Fatal("server process exited before announcing its address")
+		}
+		p.addr = addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("server process did not announce LISTEN within 30s")
+	}
+	return p
+}
+
+// kill terminates the process abruptly (SIGKILL — nothing graceful).
+func (p *procServer) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = p.cmd.Process.Wait()
+}
+
+// startLineFleet starts one process per shard of a line spec.
+func startLineFleet(t *testing.T, sp servefix.Spec) ([]string, []*procServer) {
+	t.Helper()
+	addrs := make([]string, sp.Shards)
+	procs := make([]*procServer, sp.Shards)
+	for j := 0; j < sp.Shards; j++ {
+		procs[j] = startProc(t, lineArgs(sp, j, "127.0.0.1:0")...)
+		addrs[j] = procs[j].addr
+	}
+	return addrs, procs
+}
+
+func lineArgs(sp servefix.Spec, j int, addr string) []string {
+	return []string{
+		"-addr", addr, "-dataset", sp.Dataset,
+		"-n", fmt.Sprint(sp.N), "-dim", fmt.Sprint(sp.Dim),
+		"-seed", fmt.Sprint(sp.Seed), "-radius", fmt.Sprint(sp.Radius),
+		"-shards", fmt.Sprint(sp.Shards), "-shard", fmt.Sprint(j),
+		"-drain", "5s",
+	}
+}
+
+// TestProcessStreamEquivalence is the end-to-end acceptance oracle over
+// real processes: three fairnn-server processes plus a Connect-assembled
+// client emit the same same-seed sample stream as the in-process sampler
+// over the same servefix spec.
+func TestProcessStreamEquivalence(t *testing.T) {
+	sp := servefix.Spec{Dataset: "line", N: 240, Shards: 3, Seed: 42, Radius: 11}
+	addrs, _ := startLineFleet(t, sp)
+	remote, err := shard.Connect[int](wire.IntCodec{}, addrs, shard.RemoteConfig{
+		Partitioner: sp.Partitioner(), DialTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	inproc, err := servefix.InProcLine(sp, shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 150; i++ {
+		q := (i * 13) % sp.N
+		rid, rok := remote.Sample(q, nil)
+		iid, iok := inproc.Sample(q, nil)
+		if rid != iid || rok != iok {
+			t.Fatalf("draw %d (q=%d): process fleet (%d,%v) != in-process (%d,%v)", i, q, rid, rok, iid, iok)
+		}
+	}
+	rids := remote.SampleK(0, 48, nil)
+	iids := inproc.SampleK(0, 48, nil)
+	if len(rids) != len(iids) {
+		t.Fatalf("batch: fleet returned %d ids, in-process %d", len(rids), len(iids))
+	}
+	for x := range rids {
+		if rids[x] != iids[x] {
+			t.Fatalf("batch id %d: fleet %d != in-process %d", x, rids[x], iids[x])
+		}
+	}
+}
+
+// TestProcessKillDegraded SIGKILLs one server process mid-run: the
+// client must degrade exactly like the in-process shard kill — loss
+// reported, answers uniform over the survivors' ball, never a dead
+// shard's point.
+func TestProcessKillDegraded(t *testing.T) {
+	const ball = 12
+	const dead = 1
+	sp := servefix.Spec{Dataset: "line", N: 240, Shards: 3, Seed: 43, Radius: ball - 1}
+	addrs, procs := startLineFleet(t, sp)
+	remote, err := shard.Connect[int](wire.IntCodec{}, addrs, shard.RemoteConfig{
+		Partitioner: sp.Partitioner(),
+		Resilience:  shard.Resilience{Degraded: true, Deadline: time.Second, Retries: 1},
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	var st core.QueryStats
+	if _, ok := remote.Sample(0, &st); !ok || st.Degraded.Degraded() {
+		t.Fatalf("warm query: ok=%v degraded=%v", st.Degraded.Degraded(), st.Degraded.LostShards)
+	}
+
+	procs[dead].kill(t)
+
+	reps := 1200
+	if testing.Short() {
+		reps = 400
+	}
+	freq := stats.NewFrequency()
+	degraded := 0
+	var survivors []int32
+	for id := int32(0); id < ball; id++ {
+		if int(id)%sp.Shards != dead {
+			survivors = append(survivors, id)
+		}
+	}
+	for i := 0; i < reps; i++ {
+		var st core.QueryStats
+		id, ok := remote.Sample(0, &st)
+		if !ok {
+			t.Fatalf("draw %d failed with degraded mode on", i)
+		}
+		if int(id)%sp.Shards == dead {
+			t.Fatalf("draw %d returned id %d from the killed process", i, id)
+		}
+		if id < 0 || id >= ball {
+			t.Fatalf("draw %d returned far point %d", i, id)
+		}
+		if st.Degraded.Degraded() {
+			degraded++
+		}
+		freq.Observe(id)
+	}
+	if degraded < reps/2 {
+		t.Fatalf("only %d/%d draws reported degradation after the kill", degraded, reps)
+	}
+	if _, p := freq.ChiSquareUniform(survivors); p < 1e-4 {
+		t.Errorf("chi-square rejects uniformity over survivors: p = %v", p)
+	}
+}
+
+// TestProcessGracefulDrain pins the SIGTERM path: a serving process
+// must refuse new arms while draining, finish what it holds, and exit 0
+// within the drain budget.
+func TestProcessGracefulDrain(t *testing.T) {
+	sp := servefix.Spec{Dataset: "line", N: 80, Shards: 1, Seed: 44, Radius: 7}
+	p := startProc(t, lineArgs(sp, 0, "127.0.0.1:0")...)
+
+	c, err := wire.Dial(p.addr, (wire.IntCodec{}).Name(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	state, err := p.cmd.Process.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !state.Success() {
+		t.Fatalf("drained server exited %v, want success", state)
+	}
+}
+
+// TestProcessVecDataset smokes the vector spec end to end: one process
+// serving a planted-ball shard, a Connect client drawing near points.
+func TestProcessVecDataset(t *testing.T) {
+	sp := servefix.Spec{Dataset: "vec", N: 400, Dim: 16, Shards: 1, Seed: 45, Radius: 0.55}
+	p := startProc(t, lineArgs(sp, 0, "127.0.0.1:0")...)
+	remote, err := shard.Connect[vector.Vec](wire.VecCodec{Dim: sp.Dim}, []string{p.addr}, shard.RemoteConfig{
+		Partitioner: sp.Partitioner(), DialTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	w := sp.VecWorkload()
+	sim := core.InnerProduct().Score
+	found := 0
+	for i := 0; i < 60; i++ {
+		id, ok := remote.Sample(w.Query, nil)
+		if !ok {
+			continue
+		}
+		// Nearness is ⟨p, q⟩ ≥ α over the actual vectors (background
+		// points can cross the threshold by chance, so the planted ball
+		// list alone is not the near set).
+		if s := sim(w.Points[id], w.Query); s < sp.Radius {
+			t.Fatalf("draw %d returned far point %d (similarity %g < α=%g)", i, id, s, sp.Radius)
+		}
+		found++
+	}
+	if found == 0 {
+		t.Fatal("no draw succeeded against the vec server")
+	}
+}

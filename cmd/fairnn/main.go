@@ -38,7 +38,7 @@ func parseMemo(s string) (fairnn.MemoOptions, error) {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run: fig1 | fig2 | fig3 | q3 | validate | scaling | chaos | all")
+		exp    = flag.String("exp", "all", "experiment to run: fig1 | fig2 | fig3 | q3 | validate | scaling | chaos | serve | all")
 		scale  = flag.String("scale", "small", "small (fast, same shapes) or paper (full protocol)")
 		csvDir = flag.String("csv", "", "directory to also write CSV files into (optional)")
 		seed   = flag.Uint64("seed", 0, "override the experiment seed (0 keeps defaults)")
@@ -75,6 +75,8 @@ func main() {
 		runScaling(paper, *seed, memo, *shards)
 	case "chaos":
 		runChaos(paper, *seed, *shards)
+	case "serve":
+		runServe(paper, *seed, *shards)
 	case "all":
 		runFig1(paper, *csvDir, *seed)
 		runFig2(paper, *csvDir, *seed)
@@ -83,6 +85,7 @@ func main() {
 		runValidate(paper, *seed, memo, *shards)
 		runScaling(paper, *seed, memo, *shards)
 		runChaos(paper, *seed, *shards)
+		runServe(paper, *seed, *shards)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
@@ -296,6 +299,50 @@ func runChaos(paper bool, seed uint64, shards int) {
 		cfg.Shards = shards
 	}
 	res, err := experiments.RunChaos(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	// The network half of the chaos schedule: seeded process-level
+	// kill/restart cycles against live loopback servers.
+	scfg := experiments.DefaultServeChaos()
+	if paper {
+		scfg.Cycles *= 2
+	}
+	if seed != 0 {
+		scfg.Seed = seed
+	}
+	if shards > 0 {
+		scfg.Shards = shards
+	}
+	sres, err := experiments.RunServeChaos(scfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if err := sres.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// runServe drives the network serving load test: loopback wire servers,
+// a Connect-assembled sampler, concurrent clients, and a mid-run
+// kill/restart (see experiments.RunServe). "paper" scale quadruples the
+// per-client query count; -shards overrides the fleet size when > 0.
+func runServe(paper bool, seed uint64, shards int) {
+	cfg := experiments.DefaultServe()
+	if paper {
+		cfg.QueriesPerClient *= 4
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if shards > 0 {
+		cfg.Shards = shards
+	}
+	res, err := experiments.RunServe(cfg)
 	if err != nil {
 		fatal(err)
 	}

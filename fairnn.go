@@ -165,7 +165,40 @@
 // with every decision a pure function of (seed, shard, operation, call
 // ordinal) — a schedule that kills shard 2's third arm call kills it on
 // every run, under the race detector, at any GOMAXPROCS. The fairnn
-// command's "-exp chaos" runs seeded random schedules end to end.
+// command's "-exp chaos" runs seeded random schedules end to end — both
+// injected faults in process and real kill/restart cycles against live
+// loopback servers.
+//
+// # Serving
+//
+// The serving subsystem runs a sharded sampler's backends out of
+// process, over a versioned length-prefixed binary protocol on TCP
+// (internal/wire; stdlib only, pipelined requests, propagated
+// deadlines, typed error codes). cmd/fairnn-server builds one shard's
+// Section 4 structure from a shared deterministic spec and serves the
+// three backend operations; internal/shard.Connect dials one server per
+// shard and assembles a Sharded sampler whose remote backends sit
+// behind the same Backend seam — so deadlines, retries, degraded mode,
+// the health registry and fault injection from the Resilience section
+// apply over the wire unchanged.
+//
+// The servers hold no randomness: arming mirrors the (ŝ, k0) estimate
+// state back to the client, segment requests carry the client's halving
+// state, and the pick request carries an index drawn client-side from
+// the query's own stream. A fault-free network fleet therefore emits
+// same-seed sample streams bit-identical to the in-process sampler over
+// the same build, and killing a server process degrades exactly like an
+// in-process shard loss: answers stay exactly uniform over the
+// survivors' union ball, the loss lands on QueryStats.Degraded, and a
+// restarted server — its build identity re-verified at the redial
+// handshake — is probed back in by the health registry. Connections
+// cross-check the whole fleet's build identity (global point count, λ,
+// Σ budget, radius, shard index and count, point codec) at the
+// handshake, so a mis-assembled or mixed-build fleet fails loudly at
+// Connect instead of sampling from a subtly wrong distribution. The
+// fairnn command's "-exp serve" load-tests a loopback fleet end to end
+// and reports p50/p99 latency, throughput, and the sampler's health
+// registry over a wire endpoint of its own.
 //
 // # Concurrency
 //

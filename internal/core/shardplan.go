@@ -53,6 +53,10 @@ type ShardPlan[P any] struct {
 	// last is the near-id report of the most recent SegmentNear, aliasing
 	// the querier's candidate buffer (valid until the next SegmentNear).
 	last []int32
+	// ext is non-nil for an externally-armed plan (a client-side mirror
+	// of a remote shard's plan): the handle that releases the remote
+	// state on Close. Mutually exclusive with qr.
+	ext ShardPlanExternal
 }
 
 // BeginShardPlan resolves q against d — one single-pass signature, L
@@ -127,6 +131,67 @@ func (p *ShardPlan[P]) Pick(r *rng.Source) int32 {
 	return p.last[r.Intn(len(p.last))]
 }
 
+// SegmentNearAt is SegmentNear with an explicit segment count: it pins
+// the plan's current k to the caller's value before computing the
+// segment bounds. The serving layer needs it because the halving
+// schedule lives on the *client* of a remote plan — each segment
+// request carries the client's current k, and the server must compute
+// lo/hi from exactly that value to report the same segment the
+// in-process plan would.
+func (p *ShardPlan[P]) SegmentNearAt(h, k int, st *QueryStats) int {
+	p.k = k
+	return p.SegmentNear(h, st)
+}
+
+// LastLen returns the size of the last SegmentNear report (0 before any
+// report).
+//
+//fairnn:noalloc
+func (p *ShardPlan[P]) LastLen() int { return len(p.last) }
+
+// PickAt returns the near id at index i of the last SegmentNear report.
+// It is Pick with the randomness externalized: a remote client draws
+// i from its own query stream (spending exactly the Intn draw Pick
+// would) and sends the index, so the server side holds no RNG state and
+// remote streams stay bit-identical to in-process ones.
+//
+//fairnn:noalloc
+func (p *ShardPlan[P]) PickAt(i int) int32 { return p.last[i] }
+
+// ShardPlanExternal is the remote half of an externally-armed plan: the
+// client-side handle that releases the server-side state. Release is
+// best-effort and must be safe to call exactly once per arm.
+type ShardPlanExternal interface {
+	// Release frees the remote plan state (one-way notify; errors are
+	// the connection teardown's problem).
+	Release()
+}
+
+// ArmExternal arms p as a client-side mirror of a remotely-armed plan:
+// est and k0 are the server's reported estimate state, and ext is the
+// handle that releases the remote plan when p closes. The mirror owns
+// no querier and no candidate state — ResetDraw, Segments, Estimate,
+// and Halve are pure arithmetic on (est, k0, k) and work unchanged,
+// which is the whole reason the sharded draw loop needs no remote
+// special-casing.
+//
+//fairnn:noalloc
+func (p *ShardPlan[P]) ArmExternal(ext ShardPlanExternal, est float64, k0 int) {
+	p.d = nil
+	p.qr = nil
+	p.last = nil
+	p.ext = ext
+	p.est = est
+	p.k0 = k0
+	p.k = k0
+}
+
+// External returns the handle installed by ArmExternal, or nil for an
+// in-process plan.
+//
+//fairnn:noalloc
+func (p *ShardPlan[P]) External() ShardPlanExternal { return p.ext }
+
 // Close releases the plan's pooled querier and drops the query point —
 // plans live inside pooled sessions, and a retained q would pin the
 // caller's (possibly large) query slice between queries, invisible to
@@ -134,6 +199,13 @@ func (p *ShardPlan[P]) Pick(r *rng.Source) int32 {
 //
 //fairnn:noalloc
 func (p *ShardPlan[P]) Close() {
+	if p.ext != nil {
+		p.ext.Release()
+		p.ext = nil
+		p.last = nil
+		var zero P
+		p.q = zero
+	}
 	if p.qr != nil {
 		p.d.base.putQuerier(p.qr)
 		p.qr = nil

@@ -1,0 +1,332 @@
+package shard
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"fairnn/internal/core"
+	"fairnn/internal/fault"
+	"fairnn/internal/lsh"
+	"fairnn/internal/stats"
+	"fairnn/internal/wire"
+)
+
+// Loopback fleet tests: real wire servers on 127.0.0.1 built with the
+// exact per-shard recipe BuildConfig uses (options resolved against the
+// global point count, shard j seeded with ShardSeed(seed, j)), so a
+// Connect-assembled sampler has an in-process twin to compare against
+// bit for bit.
+
+// startLineFleet builds and serves one wire server per shard of a line
+// build. addrs[j] serves shard j. Servers are closed via t.Cleanup;
+// individual tests may Close one earlier to simulate a process kill.
+func startLineFleet(t *testing.T, n int, radius float64, shards int, part Partitioner, seed uint64) ([]string, []*wire.Server[int]) {
+	t.Helper()
+	addrs := make([]string, shards)
+	srvs := make([]*wire.Server[int], shards)
+	for j := 0; j < shards; j++ {
+		srv, addr := serveLineShard(t, n, radius, shards, j, part, seed)
+		srvs[j], addrs[j] = srv, addr
+	}
+	return addrs, srvs
+}
+
+// serveLineShard builds shard j's structure and serves it, on addr if
+// given (restart on the same port) or an ephemeral port.
+func serveLineShard(t *testing.T, n int, radius float64, shards, j int, part Partitioner, seed uint64, addr ...string) (*wire.Server[int], string) {
+	t.Helper()
+	opts := core.IndependentOptions{}.Resolved(n)
+	var local []int
+	for i := 0; i < n; i++ {
+		if part.Assign(i, n, shards) == j {
+			local = append(local, i)
+		}
+	}
+	d, err := core.NewIndependent[int](intSpace(), allCollide{}, lsh.Params{K: 1, L: 1}, local, radius, opts, ShardSeed(seed, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := wire.Meta{
+		ShardIndex: j, ShardCount: shards, GlobalN: n, ShardN: len(local),
+		Lambda: float64(opts.Lambda), Sigma: opts.SigmaBudget,
+		QueryStreamSeed: d.QueryStreamSeed(), Radius: radius,
+		Codec: (wire.IntCodec{}).Name(),
+	}
+	srv := wire.NewServer[int](d, wire.IntCodec{}, meta, nil)
+	listen := "127.0.0.1:0"
+	if len(addr) > 0 {
+		listen = addr[0]
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer func() { _ = recover() }()
+		_ = srv.Serve(ln)
+	}()
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+// TestRemoteBackendIdenticalStreams is the acceptance oracle of the
+// serving subsystem: a sampler assembled over loopback servers emits
+// same-seed sample streams bit-identical to the in-process sampler over
+// the same build — single draws, batch draws, and the per-query cost
+// counters all agree. The server holds no randomness; if any remote op
+// spent a draw the in-process one does not (or vice versa), the streams
+// diverge immediately.
+func TestRemoteBackendIdenticalStreams(t *testing.T) {
+	const n, ball, S = 256, 16, 4
+	const seed = 404
+	addrs, _ := startLineFleet(t, n, ball-1, S, RoundRobin{}, seed)
+	remote, err := Connect[int](wire.IntCodec{}, addrs, RemoteConfig{DialTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	inproc := buildLine(t, n, ball-1, S, RoundRobin{}, seed)
+
+	if got, want := remote.Size(), inproc.Size(); got != want {
+		t.Fatalf("remote size %d, in-process %d", got, want)
+	}
+	for i := 0; i < 300; i++ {
+		q := (i * 7) % n
+		var rst, ist core.QueryStats
+		rid, rok := remote.Sample(q, &rst)
+		iid, iok := inproc.Sample(q, &ist)
+		if rid != iid || rok != iok {
+			t.Fatalf("draw %d (q=%d): remote (%d,%v) != in-process (%d,%v)", i, q, rid, rok, iid, iok)
+		}
+		if rst.Rounds != ist.Rounds || rst.FinalK != ist.FinalK || rst.ShardChosen != ist.ShardChosen {
+			t.Fatalf("draw %d: round state diverged: remote (rounds=%d k=%d shard=%d), in-process (rounds=%d k=%d shard=%d)",
+				i, rst.Rounds, rst.FinalK, rst.ShardChosen, ist.Rounds, ist.FinalK, ist.ShardChosen)
+		}
+		if rst.SketchEstimate != ist.SketchEstimate {
+			t.Fatalf("draw %d: estimate diverged: %v != %v", i, rst.SketchEstimate, ist.SketchEstimate)
+		}
+		if rst.BucketsScanned != ist.BucketsScanned || rst.PointsInspected != ist.PointsInspected || rst.ScoreEvals != ist.ScoreEvals {
+			t.Fatalf("draw %d: cost counters diverged: remote (%d,%d,%d), in-process (%d,%d,%d)",
+				i, rst.BucketsScanned, rst.PointsInspected, rst.ScoreEvals, ist.BucketsScanned, ist.PointsInspected, ist.ScoreEvals)
+		}
+	}
+	// Batch draws take the parallel-arm path; the streams must still
+	// match because arming spends no randomness.
+	for i := 0; i < 20; i++ {
+		rids := remote.SampleK((i*11)%n, 32, nil)
+		iids := inproc.SampleK((i*11)%n, 32, nil)
+		if len(rids) != len(iids) {
+			t.Fatalf("batch %d: remote returned %d ids, in-process %d", i, len(rids), len(iids))
+		}
+		for x := range rids {
+			if rids[x] != iids[x] {
+				t.Fatalf("batch %d id %d: remote %d != in-process %d", i, x, rids[x], iids[x])
+			}
+		}
+	}
+}
+
+// TestRemoteKillDegradedUniform kills one server process mid-run. The
+// degraded sampler must keep answering exactly uniformly over the
+// surviving shards' union ball — the same gate the in-process shard-kill
+// test enforces — with the loss reported on QueryStats.Degraded and
+// never a point from the dead shard.
+func TestRemoteKillDegradedUniform(t *testing.T) {
+	const n, ball, S = 256, 16, 4
+	const dead = 1
+	addrs, srvs := startLineFleet(t, n, ball-1, S, RoundRobin{}, 405)
+	remote, err := Connect[int](wire.IntCodec{}, addrs, RemoteConfig{
+		Resilience:  Resilience{Degraded: true, Deadline: time.Second, Retries: 1},
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	// Warm: full fleet answers.
+	var st core.QueryStats
+	if _, ok := remote.Sample(0, &st); !ok || st.Degraded.Degraded() {
+		t.Fatalf("warm query: ok=%v degraded=%v", st.Degraded.Degraded(), st.Degraded.LostShards)
+	}
+
+	srvs[dead].Close() // process kill: listener and live conns drop now
+
+	reps := 2400
+	if testing.Short() {
+		reps = 1200
+	}
+	freq := stats.NewFrequency()
+	degraded := 0
+	var survivors []int32
+	for id := int32(0); id < ball; id++ {
+		if int(id)%S != dead { // round-robin: global id i lives on shard i%S
+			survivors = append(survivors, id)
+		}
+	}
+	for i := 0; i < reps; i++ {
+		var st core.QueryStats
+		id, ok := remote.Sample(0, &st)
+		if !ok {
+			t.Fatalf("draw %d failed with degraded mode on", i)
+		}
+		if int(id)%S == dead {
+			t.Fatalf("draw %d returned id %d from the killed shard", i, id)
+		}
+		if id < 0 || id >= ball {
+			t.Fatalf("draw %d returned far point %d (ball is [0, %d))", i, id, ball)
+		}
+		if st.Degraded.Degraded() {
+			degraded++
+			if len(st.Degraded.LostShards) != 1 || st.Degraded.LostShards[0] != dead {
+				t.Fatalf("draw %d reports lost shards %v, want [%d]", i, st.Degraded.LostShards, dead)
+			}
+		}
+		freq.Observe(id)
+	}
+	if degraded < reps/2 {
+		t.Fatalf("only %d/%d draws reported degradation after the kill", degraded, reps)
+	}
+	// The TV noise floor scales with 1/√reps; the tight bound only holds
+	// at full rep count (the chi-square gate below is n-robust).
+	if tv := freq.TVFromUniform(survivors); !testing.Short() && tv > 0.05 {
+		t.Errorf("TV from uniform over survivors = %v, want < 0.05", tv)
+	}
+	if _, p := freq.ChiSquareUniform(survivors); p < 1e-4 {
+		t.Errorf("chi-square rejects uniformity over survivors: p = %v", p)
+	}
+}
+
+// TestRemoteFaultInjectionDeterminism pins satellite 1: the fault
+// injector composes with the remote backend at the same seam as
+// in-process, so an error-schedule run over the network is bit-identical
+// — same samples, same retries, same degradations — to the same schedule
+// run in-process. (Injected faults fire before any draw is spent,
+// exactly as in-process, so even faulted streams match.)
+func TestRemoteFaultInjectionDeterminism(t *testing.T) {
+	const n, ball, S = 256, 16, 4
+	const seed = 406
+	mkInj := func() *fault.Injector {
+		return fault.New(S, 777,
+			fault.Spec{Shards: []int{2}, Ops: []fault.Op{fault.OpSegment}, ErrRate: 0.2},
+			fault.Spec{Shards: []int{0}, Ops: []fault.Op{fault.OpArm}, After: 40, Limit: 30, ErrRate: fault.Always},
+		)
+	}
+	res := Resilience{Degraded: true, Retries: 1}
+
+	addrs, _ := startLineFleet(t, n, ball-1, S, RoundRobin{}, seed)
+	remote, err := Connect[int](wire.IntCodec{}, addrs, RemoteConfig{
+		Resilience: res, Injector: mkInj(), DialTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	inproc, err := BuildConfig[int](intSpace(), allCollide{}, constParams(lsh.Params{K: 1, L: 1}), lineDataset(n), ball-1, core.IndependentOptions{}, Config{
+		Shards: S, Partitioner: RoundRobin{}, Seed: seed, Resilience: res, Injector: mkInj(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 250; i++ {
+		var rst, ist core.QueryStats
+		rid, rok := remote.Sample(0, &rst)
+		iid, iok := inproc.Sample(0, &ist)
+		if rid != iid || rok != iok {
+			t.Fatalf("faulted draw %d: remote (%d,%v) != in-process (%d,%v)", i, rid, rok, iid, iok)
+		}
+		if rst.Degraded.Degraded() != ist.Degraded.Degraded() {
+			t.Fatalf("faulted draw %d: degradation diverged: remote %v, in-process %v", i, rst.Degraded.LostShards, ist.Degraded.LostShards)
+		}
+	}
+}
+
+// TestRemoteHealthOverWire pins satellite 2: the sampler's health
+// registry — fed by real network failures — is serveable over a
+// HealthServer endpoint, and a restarted server is probed back in with
+// the readmission counted.
+func TestRemoteHealthOverWire(t *testing.T) {
+	const n, ball, S = 120, 12, 3
+	const seed = 407
+	const dead = 2
+	addrs, srvs := startLineFleet(t, n, ball-1, S, RoundRobin{}, seed)
+	remote, err := Connect[int](wire.IntCodec{}, addrs, RemoteConfig{
+		Resilience:  Resilience{Degraded: true, Deadline: time.Second},
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	hs := wire.NewHealthServer(func() []wire.HealthRecord { return HealthRecords(remote) })
+	hln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer func() { _ = recover() }()
+		_ = hs.Serve(hln)
+	}()
+	defer hs.Close()
+
+	fetch := func() []wire.HealthRecord {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		recs, err := wire.FetchHealth(ctx, hln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != S {
+			t.Fatalf("health endpoint returned %d records, want %d", len(recs), S)
+		}
+		return recs
+	}
+
+	remote.Sample(0, nil)
+	if recs := fetch(); !recs[dead].Healthy || recs[dead].Failures != 0 {
+		t.Fatalf("pre-kill health record %+v", recs[dead])
+	}
+
+	srvs[dead].Close()
+	deadlineLoop(t, "shard marked unhealthy with failures", func() bool {
+		remote.Sample(0, nil)
+		recs := fetch()
+		return !recs[dead].Healthy && recs[dead].Failures > 0
+	})
+
+	// Restart the shard on its original address with the identical build:
+	// the client's probe must redial, pass the identity re-check, and
+	// re-admit the shard.
+	serveLineShard(t, n, ball-1, S, dead, RoundRobin{}, seed, addrs[dead])
+	deadlineLoop(t, "restarted shard probed back in", func() bool {
+		remote.Sample(0, nil)
+		recs := fetch()
+		return recs[dead].Healthy && recs[dead].Readmissions >= 1 && recs[dead].Probes >= 1
+	})
+
+	// Back at full strength: queries are no longer degraded.
+	deadlineLoop(t, "undegraded query after readmission", func() bool {
+		var st core.QueryStats
+		_, ok := remote.Sample(0, &st)
+		return ok && !st.Degraded.Degraded()
+	})
+}
+
+// deadlineLoop retries cond (which may issue queries) until it holds or
+// a generous budget expires.
+func deadlineLoop(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

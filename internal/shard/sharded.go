@@ -223,7 +223,7 @@ func BuildConfig[P any](space core.Space[P], family lsh.Family[P], paramsFor fun
 				errs[j] = shardBuildPanic(j, r)
 			}
 		}()
-		d, err := core.NewIndependent(space, family, paramsFor(len(local[j])), local[j], radius, opts, cfg.Seed+uint64(j)*0x9e3779b97f4a7c15)
+		d, err := core.NewIndependent(space, family, paramsFor(len(local[j])), local[j], radius, opts, ShardSeed(cfg.Seed, j))
 		var be *core.BuildError
 		if errors.As(err, &be) {
 			be.Shard = j
@@ -283,13 +283,13 @@ func fanOut(n int, fn func(i int)) {
 func (s *Sharded[P]) Size() int { return s.size }
 
 // Shards returns the shard count S.
-func (s *Sharded[P]) Shards() int { return len(s.shards) }
+func (s *Sharded[P]) Shards() int { return len(s.backends) }
 
 // ShardSizes returns the per-shard point counts (a fresh slice).
 func (s *Sharded[P]) ShardSizes() []int {
-	sizes := make([]int, len(s.shards))
-	for j, d := range s.shards {
-		sizes[j] = d.N()
+	sizes := make([]int, len(s.backends))
+	for j, b := range s.backends {
+		sizes[j] = b.N()
 	}
 	return sizes
 }
@@ -306,8 +306,14 @@ func (s *Sharded[P]) Lambda() int { return int(s.lambda) }
 // backoff/probe fields but still disables the resilient path).
 func (s *Sharded[P]) ResiliencePolicy() Resilience { return s.res }
 
-// Point returns the indexed point with the given global id.
+// Point returns the indexed point with the given global id. It is only
+// available on an in-process sampler: a network-connected one holds no
+// points (they live on the servers), and introspection there belongs to
+// the serving side.
 func (s *Sharded[P]) Point(id int32) P {
+	if s.shards == nil {
+		panic("shard: Point is not available on a network-connected sampler (points live on the servers)")
+	}
 	// Global ids are dense in [0, n); locate the owning shard by scanning
 	// the translation tables (introspection only — queries never call this).
 	for j, ids := range s.toGlobal {

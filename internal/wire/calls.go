@@ -1,0 +1,61 @@
+package wire
+
+import "context"
+
+// Typed request wrappers over Client.Call: one function per protocol
+// op, pairing the encode and decode halves so callers (the remote shard
+// backend, the load harness) never touch raw frames.
+
+// ArmCall arms plan planID for query point q on the server and returns
+// the mirrored estimate state.
+func ArmCall[P any](ctx context.Context, c *Client, codec PointCodec[P], planID uint64, q P) (ArmResp, error) {
+	point := codec.Append(nil, q)
+	payload := AppendArmReq(nil, ArmReq{PlanID: planID, Point: point})
+	resp, err := c.Call(ctx, OpArm, payload)
+	if err != nil {
+		return ArmResp{}, err
+	}
+	return DecodeArmResp(resp)
+}
+
+// SegmentCall asks for the near count of segment h of the plan's
+// current k-segment pool.
+func SegmentCall(ctx context.Context, c *Client, planID uint64, h, k int) (SegResp, error) {
+	payload := AppendSegReq(nil, SegReq{PlanID: planID, H: h, K: k})
+	resp, err := c.Call(ctx, OpSegment, payload)
+	if err != nil {
+		return SegResp{}, err
+	}
+	return DecodeSegResp(resp)
+}
+
+// PickCall dereferences the client-drawn index idx into the plan's last
+// segment report.
+func PickCall(ctx context.Context, c *Client, planID uint64, idx int) (int32, error) {
+	payload := AppendPickReq(nil, PickReq{PlanID: planID, Idx: idx})
+	resp, err := c.Call(ctx, OpPick, payload)
+	if err != nil {
+		return 0, err
+	}
+	m, err := DecodePickResp(resp)
+	if err != nil {
+		return 0, err
+	}
+	return m.ID, nil
+}
+
+// ReleaseNotify releases a server-side plan, one-way (no response, best
+// effort — a lost release is reclaimed when the connection closes).
+func ReleaseNotify(c *Client, planID uint64) error {
+	return c.Notify(OpRelease, AppendReleaseReq(nil, ReleaseReq{PlanID: planID}))
+}
+
+// HealthCall requests the server's health snapshot over an established
+// client connection.
+func HealthCall(ctx context.Context, c *Client) ([]HealthRecord, error) {
+	resp, err := c.Call(ctx, OpHealth, nil)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeHealthResp(resp)
+}

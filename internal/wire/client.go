@@ -1,0 +1,373 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is one multiplexed connection to a fairnn-server shard.
+// Requests are pipelined: any number of calls may be in flight
+// concurrently on the single connection, correlated by request id, so
+// the sharded sampler's parallel per-shard arms and the load harness's
+// concurrent clients share sockets without head-of-line request
+// blocking (responses are routed, not ordered).
+//
+// A client survives its connection: if the socket dies, every in-flight
+// call fails (the resilience layer above retries or degrades) and the
+// next call redials lazily. The redial handshake re-validates the
+// server's build identity — a restarted server with a different build
+// (different seed, λ, or point count) is refused, because silently
+// mixing two builds in one sample stream would corrupt both the
+// determinism and the uniformity contracts.
+//
+// All methods are safe for concurrent use.
+type Client struct {
+	addr        string
+	codec       string
+	dialTimeout time.Duration
+
+	meta Meta
+
+	mu     sync.Mutex // guards cs (re)dial and closed
+	cs     *connState
+	closed bool
+
+	reqMu  sync.Mutex // guards reqID wrap-around skip of 0
+	reqID  uint32
+	planID uint64 // guarded by mu
+}
+
+// connState is the lifetime of one underlying socket: its pending-call
+// table and write lock die with it.
+type connState struct {
+	conn net.Conn
+	wmu  sync.Mutex // serializes frame writes
+
+	pmu     sync.Mutex
+	pending map[uint32]chan response
+	dead    bool
+	err     error
+}
+
+type response struct {
+	op      Op
+	payload []byte
+	err     error
+}
+
+// Dial connects to a fairnn-server at addr, performs the handshake
+// announcing codecName, and returns a client carrying the server's
+// build identity. dialTimeout bounds the TCP connect and the handshake
+// round trip (0 means no bound).
+func Dial(addr, codecName string, dialTimeout time.Duration) (*Client, error) {
+	c := &Client{addr: addr, codec: codecName, dialTimeout: dialTimeout}
+	cs, meta, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.meta = meta
+	c.cs = cs
+	return c, nil
+}
+
+// dial opens a socket, runs the synchronous handshake, and starts the
+// reader goroutine. Called with c.mu held (or before the client is
+// shared).
+func (c *Client) dial() (*connState, Meta, error) {
+	var d net.Dialer
+	d.Timeout = c.dialTimeout
+	conn, err := d.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	if c.dialTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(c.dialTimeout))
+	}
+	// Handshake runs synchronously before the reader exists: one frame
+	// out, one frame back, so there is no routing to race with.
+	frame := AppendHeader(nil, Header{Op: OpHello, ReqID: 1, PayloadLen: len(c.codec) + 4})
+	frame = AppendHelloReq(frame, HelloReq{Codec: c.codec})
+	if _, err := conn.Write(frame); err != nil {
+		conn.Close()
+		return nil, Meta{}, fmt.Errorf("wire: handshake write to %s: %w", c.addr, err)
+	}
+	h, payload, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, Meta{}, fmt.Errorf("wire: handshake read from %s: %w", c.addr, err)
+	}
+	if h.Op == OpErr {
+		re, derr := DecodeErrResp(payload)
+		conn.Close()
+		if derr != nil {
+			return nil, Meta{}, derr
+		}
+		return nil, Meta{}, re
+	}
+	if h.Op != OpHello || h.ReqID != 1 {
+		conn.Close()
+		return nil, Meta{}, &ProtocolError{Reason: fmt.Sprintf("handshake response is %s req %d, want hello req 1", h.Op, h.ReqID)}
+	}
+	meta, err := DecodeMeta(payload)
+	if err != nil {
+		conn.Close()
+		return nil, Meta{}, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	cs := &connState{conn: conn, pending: make(map[uint32]chan response)}
+	go cs.readLoop()
+	return cs, meta, nil
+}
+
+// readFrame reads one complete frame (header + payload) from r.
+func readFrame(r io.Reader) (Header, []byte, error) {
+	var hb [HeaderSize]byte
+	if _, err := io.ReadFull(r, hb[:]); err != nil {
+		return Header{}, nil, err
+	}
+	h, err := DecodeHeader(hb[:])
+	if err != nil {
+		return Header{}, nil, err
+	}
+	payload := make([]byte, h.PayloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Header{}, nil, err
+	}
+	return h, payload, nil
+}
+
+// readLoop routes response frames to their pending calls until the
+// socket dies, then fails every in-flight call so the resilience layer
+// above sees a prompt typed error instead of a hang.
+func (cs *connState) readLoop() {
+	defer func() {
+		if r := recover(); r != nil {
+			cs.fail(fmt.Errorf("wire: reader panic: %v", r))
+		}
+	}()
+	for {
+		h, payload, err := readFrame(cs.conn)
+		if err != nil {
+			cs.fail(err)
+			return
+		}
+		cs.pmu.Lock()
+		ch := cs.pending[h.ReqID]
+		delete(cs.pending, h.ReqID)
+		cs.pmu.Unlock()
+		if ch == nil {
+			// A response for a call that gave up (ctx expiry deregisters)
+			// or a stray id: drop it. The frame was fully consumed, so
+			// the stream stays aligned.
+			continue
+		}
+		if h.Op == OpErr {
+			re, derr := DecodeErrResp(payload)
+			if derr != nil {
+				ch <- response{err: derr}
+			} else {
+				ch <- response{err: re}
+			}
+			continue
+		}
+		ch <- response{op: h.Op, payload: payload}
+	}
+}
+
+// fail marks the connection dead, closes the socket, and fails all
+// pending calls with err.
+func (cs *connState) fail(err error) {
+	cs.pmu.Lock()
+	if cs.dead {
+		cs.pmu.Unlock()
+		return
+	}
+	cs.dead = true
+	cs.err = err
+	pending := cs.pending
+	cs.pending = nil
+	cs.pmu.Unlock()
+	cs.conn.Close()
+	for _, ch := range pending {
+		ch <- response{err: fmt.Errorf("%w: %v", ErrClosed, err)}
+	}
+}
+
+// conn returns a live connection, redialing if the previous one died.
+// A redial re-validates the server's build identity against the one
+// captured at first dial.
+func (c *Client) conn() (*connState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.cs != nil {
+		c.cs.pmu.Lock()
+		dead := c.cs.dead
+		c.cs.pmu.Unlock()
+		if !dead {
+			return c.cs, nil
+		}
+	}
+	cs, meta, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	if meta != c.meta {
+		cs.conn.Close()
+		return nil, fmt.Errorf("wire: server %s changed identity across reconnect (shard %d/%d n=%d seed=%#x → shard %d/%d n=%d seed=%#x): refusing to mix builds",
+			c.addr, c.meta.ShardIndex, c.meta.ShardCount, c.meta.ShardN, c.meta.QueryStreamSeed,
+			meta.ShardIndex, meta.ShardCount, meta.ShardN, meta.QueryStreamSeed)
+	}
+	c.cs = cs
+	return cs, nil
+}
+
+// nextReqID returns the next request id, skipping 0 (the one-way
+// marker) on wrap-around.
+func (c *Client) nextReqID() uint32 {
+	c.reqMu.Lock()
+	c.reqID++
+	if c.reqID == 0 {
+		c.reqID = 1
+	}
+	id := c.reqID
+	c.reqMu.Unlock()
+	return id
+}
+
+// NextPlanID returns a fresh client-unique plan handle.
+func (c *Client) NextPlanID() uint64 {
+	c.mu.Lock()
+	c.planID++
+	id := c.planID
+	c.mu.Unlock()
+	return id
+}
+
+// Meta returns the server's build identity captured at first dial.
+func (c *Client) Meta() Meta { return c.meta }
+
+// Addr returns the server address the client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// Call sends one request frame and waits for its response (or ctx
+// expiry, or connection death). The remaining ctx budget is propagated
+// in the frame header so the server can shed work that can no longer be
+// answered in time. Returns the response payload, a *RemoteError for a
+// typed server failure, a *ProtocolError for framing violations, or a
+// transport error wrapping ErrClosed.
+func (c *Client) Call(ctx context.Context, op Op, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return nil, &ProtocolError{Reason: fmt.Sprintf("request payload %d exceeds cap %d", len(payload), MaxPayload)}
+	}
+	cs, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	id := c.nextReqID()
+	ch := make(chan response, 1)
+	cs.pmu.Lock()
+	if cs.dead {
+		err := cs.err
+		cs.pmu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	cs.pending[id] = ch
+	cs.pmu.Unlock()
+
+	h := Header{Op: op, ReqID: id, PayloadLen: len(payload)}
+	var wd time.Time
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			cs.deregister(id)
+			return nil, ctx.Err()
+		}
+		micros := rem.Microseconds()
+		if micros > int64(^uint32(0)) {
+			micros = int64(^uint32(0))
+		}
+		if micros < 1 {
+			micros = 1
+		}
+		h.DeadlineMicros = uint32(micros)
+		wd = dl
+	}
+	if err := cs.writeFrame(h, payload, wd); err != nil {
+		cs.deregister(id)
+		cs.fail(err)
+		return nil, fmt.Errorf("%w: write: %v", ErrClosed, err)
+	}
+
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.op != op {
+			return nil, &ProtocolError{Reason: fmt.Sprintf("response op %s for %s request %d", r.op, op, id)}
+		}
+		return r.payload, nil
+	case <-ctx.Done():
+		cs.deregister(id)
+		return nil, ctx.Err()
+	}
+}
+
+// Notify sends a one-way frame (request id 0, no response expected).
+// Used for plan release, where the client has nothing to learn and
+// waiting a round trip per query would double the release cost.
+func (c *Client) Notify(op Op, payload []byte) error {
+	cs, err := c.conn()
+	if err != nil {
+		return err
+	}
+	h := Header{Op: op, ReqID: 0, PayloadLen: len(payload)}
+	if err := cs.writeFrame(h, payload, time.Time{}); err != nil {
+		cs.fail(err)
+		return fmt.Errorf("%w: write: %v", ErrClosed, err)
+	}
+	return nil
+}
+
+// writeFrame writes one frame under the connection's write lock. wd, if
+// nonzero, bounds the write (a wedged peer must not hang the caller
+// past its ctx deadline).
+func (cs *connState) writeFrame(h Header, payload []byte, wd time.Time) error {
+	buf := AppendHeader(make([]byte, 0, HeaderSize+len(payload)), h)
+	buf = append(buf, payload...)
+	cs.wmu.Lock()
+	defer cs.wmu.Unlock()
+	if err := cs.conn.SetWriteDeadline(wd); err != nil {
+		return err
+	}
+	_, err := cs.conn.Write(buf)
+	return err
+}
+
+// deregister removes a pending call (its caller gave up).
+func (cs *connState) deregister(id uint32) {
+	cs.pmu.Lock()
+	delete(cs.pending, id)
+	cs.pmu.Unlock()
+}
+
+// Close tears down the client. In-flight calls fail with ErrClosed;
+// subsequent calls fail immediately.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	cs := c.cs
+	c.closed = true
+	c.cs = nil
+	c.mu.Unlock()
+	if cs != nil {
+		cs.fail(ErrClosed)
+	}
+	return nil
+}

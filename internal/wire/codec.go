@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+
+	"fairnn/internal/vector"
+)
+
+// PointCodec serializes query points across the wire. The codec name
+// travels in the handshake so a client speaking the wrong point type
+// against a server fails at dial time (CodeBadCodec) rather than
+// resolving garbage.
+//
+// Codecs must be pure and deterministic: the encoded bytes are the only
+// thing the server sees, so Append∘Decode must reproduce the point
+// exactly — a lossy codec would perturb bucket signatures and break the
+// bit-identical-streams contract.
+type PointCodec[P any] interface {
+	// Name identifies the codec for handshake validation.
+	Name() string
+	// Append encodes p into dst and returns the extended slice.
+	Append(dst []byte, p P) []byte
+	// Decode reconstructs a point from its encoded bytes.
+	Decode(b []byte) (P, error)
+}
+
+// IntCodec encodes int points (the scalar line-dataset spaces) as
+// little-endian u64 two's complement.
+type IntCodec struct{}
+
+// Name implements PointCodec.
+func (IntCodec) Name() string { return "int64" }
+
+// Append implements PointCodec.
+func (IntCodec) Append(dst []byte, p int) []byte { return appendU64(dst, uint64(int64(p))) }
+
+// Decode implements PointCodec.
+func (IntCodec) Decode(b []byte) (int, error) {
+	c := cursor{b: b}
+	v := int(int64(c.u64("point.int")))
+	return v, c.done()
+}
+
+// VecCodec encodes fixed-dimension vector.Vec points as Dim
+// little-endian float64 words. The dimension is part of the codec name,
+// so a client/server dimension mismatch fails the handshake.
+type VecCodec struct {
+	// Dim is the required vector dimension.
+	Dim int
+}
+
+// Name implements PointCodec.
+func (c VecCodec) Name() string { return fmt.Sprintf("vec64/%d", c.Dim) }
+
+// Append implements PointCodec.
+func (c VecCodec) Append(dst []byte, p vector.Vec) []byte {
+	for _, x := range p {
+		dst = appendU64(dst, math.Float64bits(x))
+	}
+	return dst
+}
+
+// Decode implements PointCodec.
+func (c VecCodec) Decode(b []byte) (vector.Vec, error) {
+	if len(b) != 8*c.Dim {
+		return nil, &ProtocolError{Reason: fmt.Sprintf("vec point is %d bytes, want %d (dim %d)", len(b), 8*c.Dim, c.Dim)}
+	}
+	v := make(vector.Vec, c.Dim)
+	cur := cursor{b: b}
+	for i := range v {
+		v[i] = cur.f64("point.vec")
+	}
+	if err := cur.done(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

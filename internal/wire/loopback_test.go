@@ -1,0 +1,488 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fairnn/internal/core"
+	"fairnn/internal/lsh"
+	"fairnn/internal/rng"
+)
+
+// Loopback tests: a real Server over a real TCP socket on 127.0.0.1,
+// exercised through the real Client. These pin the protocol behaviors
+// the remote backend depends on — handshake validation, typed errors,
+// draining, deadline handling, pipelining under -race.
+
+const (
+	loopN      = 64
+	loopRadius = 5.0
+)
+
+func loopSpace() core.Space[int] {
+	return core.Space[int]{Kind: core.Distance, Score: func(a, b int) float64 {
+		return math.Abs(float64(a - b))
+	}}
+}
+
+// collideFam hashes everything to one bucket: perfect recall, so every
+// in-radius point is reachable and counts are easy to reason about.
+type collideFam struct{}
+
+func (collideFam) New(r *rng.Source) lsh.Func[int] {
+	_ = r.Uint64()
+	return func(int) uint64 { return 0 }
+}
+
+func (collideFam) CollisionProb(float64) float64 { return 1 }
+
+func buildLoopIndex(t *testing.T, seed uint64) (*core.Independent[int], Meta) {
+	t.Helper()
+	pts := make([]int, loopN)
+	for i := range pts {
+		pts[i] = i
+	}
+	opts := core.IndependentOptions{}.Resolved(loopN)
+	d, err := core.NewIndependent[int](loopSpace(), collideFam{}, lsh.Params{K: 1, L: 2}, pts, loopRadius, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := Meta{
+		ShardIndex: 0, ShardCount: 1, GlobalN: loopN, ShardN: loopN,
+		Lambda: float64(opts.Lambda), Sigma: opts.SigmaBudget,
+		QueryStreamSeed: d.QueryStreamSeed(), Radius: loopRadius,
+		Codec: IntCodec{}.Name(),
+	}
+	return d, meta
+}
+
+func startLoopServer(t *testing.T, seed uint64) (*Server[int], string) {
+	t.Helper()
+	d, meta := buildLoopIndex(t, seed)
+	srv := NewServer[int](d, IntCodec{}, meta, func() []HealthRecord {
+		return []HealthRecord{{Shard: 0, Healthy: true, Probes: 7}}
+	})
+	addr := serveOn(t, srv)
+	return srv, addr
+}
+
+func serveOn(t *testing.T, srv *Server[int]) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer func() { _ = recover() }()
+		_ = srv.Serve(ln)
+	}()
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+func TestLoopbackArmSegmentPick(t *testing.T) {
+	srv, addr := startLoopServer(t, 11)
+	c, err := Dial(addr, IntCodec{}.Name(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Meta().ShardN != loopN || c.Meta().Codec != (IntCodec{}).Name() {
+		t.Fatalf("handshake meta %+v", c.Meta())
+	}
+
+	ctx := context.Background()
+	plan := c.NextPlanID()
+	arm, err := ArmCall[int](ctx, c, IntCodec{}, plan, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arm.K0 < 1 {
+		t.Fatalf("k0 = %d, want >= 1", arm.K0)
+	}
+	if srv.ActivePlans() != 1 {
+		t.Fatalf("active plans = %d, want 1", srv.ActivePlans())
+	}
+
+	// Perfect recall: summing all k0 segments' near counts must see
+	// exactly the 2·radius+1 in-radius line points around 30.
+	total := 0
+	lastCount, lastSeg := 0, -1
+	for h := 0; h < arm.K0; h++ {
+		seg, err := SegmentCall(ctx, c, plan, h, arm.K0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += seg.Count
+		if seg.Count > 0 {
+			lastCount, lastSeg = seg.Count, h
+		}
+	}
+	if want := 2*int(loopRadius) + 1; total != want {
+		t.Fatalf("near total = %d, want %d", total, want)
+	}
+	if lastSeg < 0 {
+		t.Fatal("no nonempty segment")
+	}
+	// Re-request the last nonempty segment so the plan's last report is
+	// live, then dereference every index: each must be an in-radius id.
+	if _, err := SegmentCall(ctx, c, plan, lastSeg, arm.K0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < lastCount; i++ {
+		id, err := PickCall(ctx, c, plan, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(float64(id) - 30); d > loopRadius {
+			t.Fatalf("picked id %d at distance %g > radius", id, d)
+		}
+	}
+	// Out-of-range pick is typed Malformed, not a crash.
+	if _, err := PickCall(ctx, c, plan, lastCount+100); !isCode(err, CodeMalformed) {
+		t.Fatalf("oob pick: got %v, want CodeMalformed", err)
+	}
+
+	if err := ReleaseNotify(c, plan); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return srv.ActivePlans() == 0 }, "plan release")
+
+	recs, err := HealthCall(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Probes != 7 {
+		t.Fatalf("health records %+v", recs)
+	}
+}
+
+func TestLoopbackTypedErrors(t *testing.T) {
+	_, addr := startLoopServer(t, 12)
+	c, err := Dial(addr, IntCodec{}.Name(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	if _, err := SegmentCall(ctx, c, 999, 0, 4); !isCode(err, CodeUnknownPlan) {
+		t.Errorf("segment on unarmed plan: got %v, want CodeUnknownPlan", err)
+	}
+	if _, err := PickCall(ctx, c, 999, 0); !isCode(err, CodeUnknownPlan) {
+		t.Errorf("pick on unarmed plan: got %v, want CodeUnknownPlan", err)
+	}
+	if _, err := c.Call(ctx, OpArm, []byte{1, 2}); !isCode(err, CodeMalformed) {
+		t.Errorf("garbage arm payload: got %v, want CodeMalformed", err)
+	}
+	if _, err := SegmentCall(ctx, c, 999, 5, 4); !isCode(err, CodeMalformed) {
+		t.Errorf("segment h >= k: got %v, want CodeMalformed", err)
+	}
+	if _, err := c.Call(ctx, Op(200), nil); !isCode(err, CodeUnsupportedOp) {
+		t.Errorf("unknown op: got %v, want CodeUnsupportedOp", err)
+	}
+}
+
+func TestLoopbackCodecMismatch(t *testing.T) {
+	_, addr := startLoopServer(t, 13)
+	_, err := Dial(addr, VecCodec{Dim: 8}.Name(), time.Second)
+	if !isCode(err, CodeBadCodec) {
+		t.Fatalf("codec mismatch dial: got %v, want CodeBadCodec", err)
+	}
+}
+
+func TestLoopbackBadVersionReply(t *testing.T) {
+	_, addr := startLoopServer(t, 14)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	frame := AppendHeader(nil, Header{Op: OpHello, ReqID: 9})
+	frame[2] = Version + 1
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	h, payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Op != OpErr || h.ReqID != 9 {
+		t.Fatalf("got frame %+v, want err reply to req 9", h)
+	}
+	re, err := DecodeErrResp(payload)
+	if err != nil || re.Code != CodeBadVersion {
+		t.Fatalf("got %+v err %v, want CodeBadVersion", re, err)
+	}
+	// The server closes the connection after the version reply.
+	if _, _, err := readFrame(conn); err == nil {
+		t.Fatal("connection stayed open after version mismatch")
+	}
+}
+
+func TestLoopbackGarbageClosesConn(t *testing.T) {
+	_, addr := startLoopServer(t, 15)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	// Garbage cannot be answered in-protocol: the server just hangs up.
+	if _, _, err := readFrame(conn); err == nil {
+		t.Fatal("server replied to garbage instead of closing")
+	}
+}
+
+func TestLoopbackExpiredContext(t *testing.T) {
+	_, addr := startLoopServer(t, 16)
+	c, err := Dial(addr, IntCodec{}.Name(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := ArmCall[int](ctx, c, IntCodec{}, c.NextPlanID(), 5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired ctx: got %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestLoopbackDrainRefusesNewArms(t *testing.T) {
+	srv, addr := startLoopServer(t, 17)
+	c, err := Dial(addr, IntCodec{}.Name(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	held := c.NextPlanID()
+	arm, err := ArmCall[int](ctx, c, IntCodec{}, held, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	go func() {
+		defer func() { _ = recover() }()
+		done <- srv.Shutdown(sctx)
+	}()
+	waitFor(t, func() bool {
+		_, err := ArmCall[int](ctx, c, IntCodec{}, c.NextPlanID(), 11)
+		return isCode(err, CodeDraining)
+	}, "draining arm refusal")
+
+	// In-flight plans keep being served while draining.
+	if _, err := SegmentCall(ctx, c, held, 0, arm.K0); err != nil {
+		t.Fatalf("in-flight segment during drain: %v", err)
+	}
+	if err := ReleaseNotify(c, held); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain did not complete cleanly: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown hung after last plan release")
+	}
+}
+
+func TestLoopbackRedialIdentityCheck(t *testing.T) {
+	srv, addr := startLoopServer(t, 18)
+	c, err := Dial(addr, IntCodec{}.Name(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	// Kill the server; in-flight conn dies and calls fail promptly.
+	srv.Close()
+	if _, err := ArmCall[int](ctx, c, IntCodec{}, c.NextPlanID(), 5); err == nil {
+		t.Fatal("call succeeded against a closed server")
+	}
+
+	// Same-build restart on the same address: the client redials
+	// transparently and keeps working.
+	d2, meta2 := buildLoopIndex(t, 18)
+	srv2 := NewServer[int](d2, IntCodec{}, meta2, nil)
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	go func() {
+		defer func() { _ = recover() }()
+		_ = srv2.Serve(ln2)
+	}()
+	plan := c.NextPlanID()
+	if _, err := ArmCall[int](ctx, c, IntCodec{}, plan, 5); err != nil {
+		t.Fatalf("redial to same-build restart: %v", err)
+	}
+	_ = ReleaseNotify(c, plan)
+	srv2.Close()
+
+	// Different-build restart (new seed → new query-stream identity):
+	// the redial handshake must refuse to mix builds.
+	d3, meta3 := buildLoopIndex(t, 999)
+	srv3 := NewServer[int](d3, IntCodec{}, meta3, nil)
+	ln3, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer srv3.Close()
+	go func() {
+		defer func() { _ = recover() }()
+		_ = srv3.Serve(ln3)
+	}()
+	waitFor(t, func() bool {
+		_, err := ArmCall[int](ctx, c, IntCodec{}, c.NextPlanID(), 5)
+		return err != nil && strings.Contains(err.Error(), "changed identity")
+	}, "identity refusal after different-build restart")
+}
+
+// TestLoopbackPipelinedStress drives many concurrent full query
+// exchanges through one shared client connection. Run under -race (CI
+// pins GOMAXPROCS=4) this is the concurrency gate for the pending-call
+// routing table and the per-plan locking.
+func TestLoopbackPipelinedStress(t *testing.T) {
+	srv, addr := startLoopServer(t, 19)
+	c, err := Dial(addr, IntCodec{}.Name(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const workers = 8
+	iters := 40
+	if testing.Short() {
+		iters = 10
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer func() { _ = recover() }()
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < iters; i++ {
+				plan := c.NextPlanID()
+				arm, err := ArmCall[int](ctx, c, IntCodec{}, plan, (w*13+i)%loopN)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for h := 0; h < arm.K0; h++ {
+					seg, err := SegmentCall(ctx, c, plan, h, arm.K0)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if seg.Count > 0 {
+						if _, err := PickCall(ctx, c, plan, seg.Count-1); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}
+				if err := ReleaseNotify(c, plan); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return srv.ActivePlans() == 0 }, "all plans released")
+}
+
+func TestHealthServerEndpoint(t *testing.T) {
+	want := []HealthRecord{
+		{Shard: 0, Healthy: true, Probes: 1},
+		{Shard: 1, Healthy: false, Failures: 3, Skipped: 2, Readmissions: 1},
+	}
+	hs := NewHealthServer(func() []HealthRecord { return want })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer func() { _ = recover() }()
+		_ = hs.Serve(ln)
+	}()
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	got, err := FetchHealth(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Anything but a health request is refused with a typed error.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(AppendHeader(nil, Header{Op: OpArm, ReqID: 4})); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	h, payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, derr := DecodeErrResp(payload)
+	if h.Op != OpErr || derr != nil || re.Code != CodeUnsupportedOp {
+		t.Fatalf("non-health op on health endpoint: frame %+v resp %+v err %v", h, re, derr)
+	}
+}
+
+// isCode reports whether err is a *RemoteError carrying code.
+func isCode(err error, code Code) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == code
+}
+
+// waitFor polls cond until it holds or a generous deadline passes —
+// used for effects that propagate through one-way frames or background
+// goroutines.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,570 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fairnn/internal/core"
+)
+
+// Server serves one shard's Section 4 structure over the wire protocol:
+// the three Backend ops (arm / segment / pick), plan release, and the
+// health snapshot. Each accepted connection gets its own goroutine, and
+// each request its own dispatch goroutine, so pipelined requests from
+// one client execute concurrently; a per-plan mutex serializes the ops
+// of a single plan (plan state is single-query state, exactly as
+// in-process). Every spawned goroutine is panic-contained: a handler
+// panic becomes a CodeInternal error response and the connection
+// survives.
+//
+// The server holds no randomness. Arm resolves the query and reports
+// (ŝ, k0); SegmentNear answers exact counts for client-chosen (h, k);
+// Pick dereferences a client-drawn index. All acceptance and halving
+// arithmetic stays on the client, which is what makes remote streams
+// bit-identical to in-process ones.
+type Server[P any] struct {
+	idx      *core.Independent[P]
+	codec    PointCodec[P]
+	meta     Meta
+	healthFn func() []HealthRecord
+
+	draining atomic.Bool
+	active   atomic.Int64 // armed, unreleased plans across all conns
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer builds a server for idx. meta is the build identity
+// returned by the handshake; healthFn, if non-nil, supplies the OpHealth
+// snapshot (a single-shard server typically reports just itself;
+// an aggregating front-end can report a whole fleet).
+func NewServer[P any](idx *core.Independent[P], codec PointCodec[P], meta Meta, healthFn func() []HealthRecord) *Server[P] {
+	return &Server[P]{
+		idx:      idx,
+		codec:    codec,
+		meta:     meta,
+		healthFn: healthFn,
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on ln until the listener is closed
+// (Shutdown/Close). It blocks; run it in the caller's goroutine or
+// under its own supervision.
+//
+//fairnn:fanout-safe
+func (s *Server[P]) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed || s.draining.Load()
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn) // serveConn recovers in its own body
+	}
+}
+
+// connCtx is the per-connection state: the socket, its write lock, and
+// the connection-scoped plan table.
+type connCtx[P any] struct {
+	conn net.Conn
+	wmu  sync.Mutex
+
+	pmu   sync.Mutex
+	plans map[uint64]*serverPlan[P]
+}
+
+// serverPlan is one armed plan and the mutex serializing its ops.
+type serverPlan[P any] struct {
+	mu   sync.Mutex
+	plan core.ShardPlan[P]
+}
+
+// serveConn owns one client connection: it reads frames and dispatches
+// each request on its own goroutine. On exit (socket death, protocol
+// violation, or server close) every plan the connection still holds is
+// released back to the querier pool.
+//
+//fairnn:fanout-safe
+func (s *Server[P]) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			// Containment of the read/dispatch loop itself; per-request
+			// panics are caught in handle.
+			conn.Close()
+		}
+	}()
+	cc := &connCtx[P]{conn: conn, plans: make(map[uint64]*serverPlan[P])}
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		cc.pmu.Lock()
+		plans := cc.plans
+		cc.plans = nil
+		cc.pmu.Unlock()
+		for _, sp := range plans {
+			sp.mu.Lock()
+			sp.plan.Close()
+			sp.mu.Unlock()
+			s.active.Add(-1)
+		}
+	}()
+	for {
+		var hb [HeaderSize]byte
+		if _, err := io.ReadFull(conn, hb[:]); err != nil {
+			return
+		}
+		h, err := DecodeHeader(hb[:])
+		if err != nil {
+			// Best-effort typed reply when the frame is recognizably ours
+			// but speaks another version; anything else is garbage and the
+			// stream cannot be trusted to stay aligned, so just close.
+			if hb[0] == magic0 && hb[1] == magic1 && hb[2] != Version {
+				reqID := uint32(hb[4]) | uint32(hb[5])<<8 | uint32(hb[6])<<16 | uint32(hb[7])<<24
+				cc.sendErr(reqID, CodeBadVersion, fmt.Sprintf("server speaks protocol version %d", Version))
+			}
+			return
+		}
+		payload := make([]byte, h.PayloadLen)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		go s.handle(cc, h, payload, time.Now()) // handle recovers in its own body
+	}
+}
+
+// handle executes one request and writes its response. Runs on its own
+// goroutine per request; panics are contained into CodeInternal.
+func (s *Server[P]) handle(cc *connCtx[P], h Header, payload []byte, recv time.Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			if h.ReqID != 0 {
+				cc.sendErr(h.ReqID, CodeInternal, fmt.Sprintf("handler panic: %v", r))
+			}
+		}
+	}()
+	if h.DeadlineMicros != 0 {
+		if time.Since(recv) > time.Duration(h.DeadlineMicros)*time.Microsecond {
+			if h.ReqID != 0 {
+				cc.sendErr(h.ReqID, CodeDeadline, "request deadline expired before execution")
+			}
+			return
+		}
+	}
+	switch h.Op {
+	case OpHello:
+		s.handleHello(cc, h.ReqID, payload)
+	case OpArm:
+		s.handleArm(cc, h.ReqID, payload)
+	case OpSegment:
+		s.handleSegment(cc, h.ReqID, payload)
+	case OpPick:
+		s.handlePick(cc, h.ReqID, payload)
+	case OpRelease:
+		s.handleRelease(cc, payload)
+	case OpHealth:
+		s.handleHealth(cc, h.ReqID)
+	default:
+		if h.ReqID != 0 {
+			cc.sendErr(h.ReqID, CodeUnsupportedOp, fmt.Sprintf("op %s not supported", h.Op))
+		}
+	}
+}
+
+func (s *Server[P]) handleHello(cc *connCtx[P], reqID uint32, payload []byte) {
+	m, err := DecodeHelloReq(payload)
+	if err != nil {
+		cc.sendErr(reqID, CodeMalformed, err.Error())
+		return
+	}
+	if m.Codec != s.codec.Name() {
+		cc.sendErr(reqID, CodeBadCodec, fmt.Sprintf("server codec %q, client codec %q", s.codec.Name(), m.Codec))
+		return
+	}
+	cc.send(OpHello, reqID, AppendMeta(nil, s.meta))
+}
+
+func (s *Server[P]) handleArm(cc *connCtx[P], reqID uint32, payload []byte) {
+	if s.draining.Load() {
+		cc.sendErr(reqID, CodeDraining, "server is draining")
+		return
+	}
+	m, err := DecodeArmReq(payload)
+	if err != nil {
+		cc.sendErr(reqID, CodeMalformed, err.Error())
+		return
+	}
+	q, err := s.codec.Decode(m.Point)
+	if err != nil {
+		cc.sendErr(reqID, CodeMalformed, err.Error())
+		return
+	}
+	sp := &serverPlan[P]{}
+	sp.mu.Lock()
+	cc.pmu.Lock()
+	if cc.plans == nil {
+		cc.pmu.Unlock()
+		sp.mu.Unlock()
+		return // connection is tearing down
+	}
+	if _, dup := cc.plans[m.PlanID]; dup {
+		cc.pmu.Unlock()
+		sp.mu.Unlock()
+		cc.sendErr(reqID, CodeMalformed, fmt.Sprintf("plan %d already armed on this connection", m.PlanID))
+		return
+	}
+	cc.plans[m.PlanID] = sp
+	cc.pmu.Unlock()
+	s.active.Add(1)
+
+	var st core.QueryStats
+	s.idx.BeginShardPlan(&sp.plan, q, &st)
+	resp := ArmResp{Est: sp.plan.Estimate(), K0: sp.plan.Segments(), Stats: deltaFromStats(&st)}
+	sp.mu.Unlock()
+	cc.send(OpArm, reqID, AppendArmResp(nil, resp))
+}
+
+func (s *Server[P]) handleSegment(cc *connCtx[P], reqID uint32, payload []byte) {
+	m, err := DecodeSegReq(payload)
+	if err != nil {
+		cc.sendErr(reqID, CodeMalformed, err.Error())
+		return
+	}
+	if m.K < 1 || m.H < 0 || m.H >= m.K {
+		cc.sendErr(reqID, CodeMalformed, fmt.Sprintf("segment %d of %d out of range", m.H, m.K))
+		return
+	}
+	sp := cc.lookup(m.PlanID)
+	if sp == nil {
+		cc.sendErr(reqID, CodeUnknownPlan, fmt.Sprintf("plan %d not armed", m.PlanID))
+		return
+	}
+	sp.mu.Lock()
+	var st core.QueryStats
+	count := sp.plan.SegmentNearAt(m.H, m.K, &st)
+	sp.mu.Unlock()
+	cc.send(OpSegment, reqID, AppendSegResp(nil, SegResp{Count: count, Stats: deltaFromStats(&st)}))
+}
+
+func (s *Server[P]) handlePick(cc *connCtx[P], reqID uint32, payload []byte) {
+	m, err := DecodePickReq(payload)
+	if err != nil {
+		cc.sendErr(reqID, CodeMalformed, err.Error())
+		return
+	}
+	sp := cc.lookup(m.PlanID)
+	if sp == nil {
+		cc.sendErr(reqID, CodeUnknownPlan, fmt.Sprintf("plan %d not armed", m.PlanID))
+		return
+	}
+	sp.mu.Lock()
+	if m.Idx < 0 || m.Idx >= sp.plan.LastLen() {
+		n := sp.plan.LastLen()
+		sp.mu.Unlock()
+		cc.sendErr(reqID, CodeMalformed, fmt.Sprintf("pick index %d out of range (last report has %d ids)", m.Idx, n))
+		return
+	}
+	id := sp.plan.PickAt(m.Idx)
+	sp.mu.Unlock()
+	cc.send(OpPick, reqID, AppendPickResp(nil, PickResp{ID: id}))
+}
+
+func (s *Server[P]) handleRelease(cc *connCtx[P], payload []byte) {
+	m, err := DecodeReleaseReq(payload)
+	if err != nil {
+		return // one-way: nothing to tell
+	}
+	cc.pmu.Lock()
+	sp := cc.plans[m.PlanID]
+	if sp != nil {
+		delete(cc.plans, m.PlanID)
+	}
+	cc.pmu.Unlock()
+	if sp != nil {
+		sp.mu.Lock()
+		sp.plan.Close()
+		sp.mu.Unlock()
+		s.active.Add(-1)
+	}
+}
+
+func (s *Server[P]) handleHealth(cc *connCtx[P], reqID uint32) {
+	var recs []HealthRecord
+	if s.healthFn != nil {
+		recs = s.healthFn()
+	}
+	cc.send(OpHealth, reqID, AppendHealthResp(nil, recs))
+}
+
+// lookup returns the plan for id, or nil.
+func (cc *connCtx[P]) lookup(id uint64) *serverPlan[P] {
+	cc.pmu.Lock()
+	sp := cc.plans[id]
+	cc.pmu.Unlock()
+	return sp
+}
+
+// send writes one response frame under the connection's write lock.
+// Write errors are ignored: the read loop will observe the dead socket
+// and tear the connection down.
+func (cc *connCtx[P]) send(op Op, reqID uint32, payload []byte) {
+	buf := AppendHeader(make([]byte, 0, HeaderSize+len(payload)), Header{Op: op, ReqID: reqID, PayloadLen: len(payload)})
+	buf = append(buf, payload...)
+	cc.wmu.Lock()
+	_, _ = cc.conn.Write(buf)
+	cc.wmu.Unlock()
+}
+
+func (cc *connCtx[P]) sendErr(reqID uint32, code Code, msg string) {
+	cc.send(OpErr, reqID, AppendErrResp(nil, code, msg))
+}
+
+// ActivePlans reports the number of armed, unreleased plans across all
+// connections — the drain metric.
+func (s *Server[P]) ActivePlans() int { return int(s.active.Load()) }
+
+// Shutdown drains the server gracefully: new arms are refused with
+// CodeDraining (which clients map onto shard-down), the listener stops
+// accepting, in-flight plans keep being served, and once every plan is
+// released (or ctx expires) all connections close. Returns ctx.Err()
+// when the drain deadline cut the wait short.
+func (s *Server[P]) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	for s.active.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+		if err != nil {
+			break
+		}
+	}
+	s.Close()
+	return err
+}
+
+// Close tears the server down abruptly: listener and every live
+// connection close now. Plans held by those connections are released by
+// their connection goroutines. Used by the chaos harness as the
+// "process kill" for in-process fleets; real process kills exercise the
+// same client-visible behavior.
+func (s *Server[P]) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// deltaFromStats converts the server-side per-op stats record into its
+// wire image.
+func deltaFromStats(st *core.QueryStats) StatDelta {
+	return StatDelta{
+		Buckets:      uint32(st.BucketsScanned),
+		Points:       uint32(st.PointsInspected),
+		ScoreEvals:   uint32(st.ScoreEvals),
+		BatchScored:  uint32(st.BatchScored),
+		CacheHits:    uint32(st.ScoreCacheHits),
+		MemoProbes:   uint32(st.MemoProbes),
+		FilterEvals:  uint32(st.FilterEvals),
+		CursorMerged: st.CursorMerged,
+	}
+}
+
+// HealthServer is a tiny health-only wire endpoint: it answers OpHealth
+// with the snapshot function's records and rejects everything else with
+// CodeUnsupportedOp. The serve harness runs one next to the *client*
+// cluster so operators can read the sampler's own health registry
+// (down / failures / probes / readmissions) — the server fleet cannot
+// know which shards a client has written off.
+type HealthServer struct {
+	fn func() []HealthRecord
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewHealthServer builds a health endpoint around fn.
+func NewHealthServer(fn func() []HealthRecord) *HealthServer {
+	return &HealthServer{fn: fn, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts health connections on ln until closed. Blocks.
+//
+//fairnn:fanout-safe
+func (s *HealthServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn) // serveConn recovers in its own body
+	}
+}
+
+// serveConn answers health requests on one connection.
+func (s *HealthServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			// containment: a panicking snapshot fn must not kill the process
+		}
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	cc := &connCtx[struct{}]{conn: conn}
+	for {
+		h, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		_ = payload
+		switch h.Op {
+		case OpHealth:
+			cc.send(OpHealth, h.ReqID, AppendHealthResp(nil, s.fn()))
+		default:
+			if h.ReqID != 0 {
+				cc.sendErr(h.ReqID, CodeUnsupportedOp, "health-only endpoint")
+			}
+		}
+	}
+}
+
+// Close tears the endpoint down.
+func (s *HealthServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// FetchHealth dials a health endpoint, requests one snapshot, and
+// closes the connection. ctx bounds the whole exchange.
+func FetchHealth(ctx context.Context, addr string) ([]HealthRecord, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
+	frame := AppendHeader(nil, Header{Op: OpHealth, ReqID: 1})
+	if _, err := conn.Write(frame); err != nil {
+		return nil, err
+	}
+	h, payload, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if h.Op == OpErr {
+		re, derr := DecodeErrResp(payload)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, re
+	}
+	if h.Op != OpHealth {
+		return nil, &ProtocolError{Reason: fmt.Sprintf("health response is %s, want health", h.Op)}
+	}
+	return DecodeHealthResp(payload)
+}

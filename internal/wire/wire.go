@@ -1,0 +1,253 @@
+// Package wire is the network half of the distributed sampler: a
+// stdlib-only, length-prefixed binary protocol carrying the three
+// per-shard query operations of the sharded union draw — Arm (resolve +
+// estimate), SegmentNear (the per-round exact segment report), and Pick
+// (the post-accept point draw) — plus plan release, a health snapshot
+// op, and a build-identity handshake.
+//
+// The protocol exists because the paper's union-of-buckets draw needs
+// exactly one segment report per rejection round from one shard: a
+// natural network round trip. All acceptance randomness stays on the
+// client (the Pick request carries the client-drawn index into the
+// segment's near-id report), so a remote shard answers from pure
+// read-only index state and a same-seed query stream is bit-identical
+// over the wire to the in-process path.
+//
+// # Framing
+//
+// Every message is one frame: a fixed 16-byte header followed by a
+// length-prefixed payload.
+//
+//	offset  size  field
+//	0       2     magic 0xFA 0x17
+//	2       1     protocol version (Version)
+//	3       1     op code
+//	4       4     request id (little-endian uint32; 0 = one-way, no reply)
+//	8       4     relative deadline in microseconds (0 = none)
+//	12      4     payload length (little-endian uint32, ≤ MaxPayload)
+//
+// Request ids correlate pipelined requests with responses: a client may
+// keep many requests in flight on one connection and responses may
+// arrive in any order. A response frame echoes the request's id and op;
+// an error response carries OpErr with a typed code (see Code). The
+// deadline field propagates the client's per-attempt budget so a
+// draining or overloaded server can shed requests that can no longer be
+// answered in time.
+//
+// All integers are little-endian and fixed-width. Payload encoders
+// append into caller-owned buffers and decoders read slices in place,
+// so steady-state encode/decode performs no copying beyond the socket
+// itself.
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Version is the protocol version carried in every frame header.
+// Breaking changes to the header or any payload layout bump it; a
+// server rejects frames whose version it does not speak with
+// CodeBadVersion.
+const Version = 1
+
+// Frame header constants.
+const (
+	magic0 = 0xFA
+	magic1 = 0x17
+	// HeaderSize is the fixed frame-header length in bytes.
+	HeaderSize = 16
+	// MaxPayload caps a frame's payload length. Frames announcing more
+	// are rejected before any allocation — the defense against a
+	// garbage or hostile peer making the receiver allocate gigabytes.
+	MaxPayload = 1 << 24
+)
+
+// Op identifies the operation a frame carries.
+type Op uint8
+
+// The protocol operations. Responses echo the request's op; OpErr
+// replaces it on failure.
+const (
+	// OpHello is the connection handshake: the client announces its
+	// protocol version and point codec, the server answers with its
+	// build identity (Meta) so mismatched fleets fail loudly at dial
+	// time instead of diverging silently at query time.
+	OpHello Op = 1
+	// OpArm arms a server-side shard plan for a new logical query:
+	// resolve the query point, merge the count-distinct sketches, and
+	// return the estimate ŝ and initial segment count k0.
+	OpArm Op = 2
+	// OpSegment reports the exact number of distinct near points in one
+	// segment of the armed plan, retaining the ids for OpPick.
+	OpSegment Op = 3
+	// OpPick returns the near id at a client-chosen index of the last
+	// OpSegment report — the client draws the randomness, the server
+	// just dereferences, so streams stay bit-identical to in-process.
+	OpPick Op = 4
+	// OpRelease releases a server-side plan (returning its pooled
+	// querier). One-way: request id 0, no response.
+	OpRelease Op = 5
+	// OpHealth returns the serving side's health snapshot (per-shard
+	// down/failures/probes/readmissions records).
+	OpHealth Op = 6
+	// OpErr is the error-response op: payload is a Code plus a message.
+	OpErr Op = 7
+)
+
+// String names the op for errors and logs.
+func (o Op) String() string {
+	switch o {
+	case OpHello:
+		return "hello"
+	case OpArm:
+		return "arm"
+	case OpSegment:
+		return "segment"
+	case OpPick:
+		return "pick"
+	case OpRelease:
+		return "release"
+	case OpHealth:
+		return "health"
+	case OpErr:
+		return "err"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Code is a typed error code carried by OpErr responses. Codes exist so
+// the client-side backend can map remote failures onto the shard
+// layer's error vocabulary (ShardError causes, ErrShardDown) without
+// parsing strings.
+type Code uint16
+
+const (
+	// CodeMalformed: the request payload failed to decode or violated a
+	// protocol invariant (unknown plan op before arm, pick index out of
+	// range, duplicate plan id).
+	CodeMalformed Code = 1
+	// CodeUnknownPlan: the plan id is not armed on this connection
+	// (already released, or the server restarted).
+	CodeUnknownPlan Code = 2
+	// CodeDraining: the server is draining for shutdown and admits no
+	// new plans. The client backend maps this onto shard.ErrShardDown.
+	CodeDraining Code = 3
+	// CodeDeadline: the request's propagated deadline expired before
+	// the server executed it.
+	CodeDeadline Code = 4
+	// CodeInternal: the handler panicked; the panic was contained and
+	// the connection survives.
+	CodeInternal Code = 5
+	// CodeBadVersion: the peer speaks a different protocol version.
+	CodeBadVersion Code = 6
+	// CodeBadCodec: the client's point codec does not match the
+	// server's dataset.
+	CodeBadCodec Code = 7
+	// CodeUnsupportedOp: the op code is not implemented by this
+	// endpoint (e.g. OpArm against a health-only operator endpoint).
+	CodeUnsupportedOp Code = 8
+)
+
+// String names the code.
+func (c Code) String() string {
+	switch c {
+	case CodeMalformed:
+		return "malformed"
+	case CodeUnknownPlan:
+		return "unknown-plan"
+	case CodeDraining:
+		return "draining"
+	case CodeDeadline:
+		return "deadline"
+	case CodeInternal:
+		return "internal"
+	case CodeBadVersion:
+		return "bad-version"
+	case CodeBadCodec:
+		return "bad-codec"
+	case CodeUnsupportedOp:
+		return "unsupported-op"
+	}
+	return fmt.Sprintf("code(%d)", uint16(c))
+}
+
+// ProtocolError reports a framing or payload violation detected
+// locally: bad magic, unknown version, oversized or truncated frames,
+// short payloads. It is terminal for the connection that produced it.
+type ProtocolError struct {
+	// Reason says what was violated.
+	Reason string
+}
+
+// Error implements error.
+func (e *ProtocolError) Error() string { return "wire: protocol error: " + e.Reason }
+
+// RemoteError is a typed error response received from the peer (an
+// OpErr frame): the code and the server's message.
+type RemoteError struct {
+	// Code is the typed failure class.
+	Code Code
+	// Msg is the server's human-readable detail.
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("wire: remote error: %s", e.Code)
+	}
+	return fmt.Sprintf("wire: remote error: %s: %s", e.Code, e.Msg)
+}
+
+// ErrClosed is returned by client calls after Close, and by calls whose
+// connection died mid-flight (the response can never arrive).
+var ErrClosed = errors.New("wire: connection closed")
+
+// Header is a decoded frame header.
+type Header struct {
+	// Op is the frame's operation.
+	Op Op
+	// ReqID correlates the frame with its response; 0 marks a one-way
+	// frame that expects none.
+	ReqID uint32
+	// DeadlineMicros is the client's remaining per-attempt budget in
+	// microseconds at send time; 0 means unbounded.
+	DeadlineMicros uint32
+	// PayloadLen is the length of the payload that follows.
+	PayloadLen int
+}
+
+// AppendHeader encodes h into dst. payloadLen must already be set.
+func AppendHeader(dst []byte, h Header) []byte {
+	return append(dst,
+		magic0, magic1, Version, byte(h.Op),
+		byte(h.ReqID), byte(h.ReqID>>8), byte(h.ReqID>>16), byte(h.ReqID>>24),
+		byte(h.DeadlineMicros), byte(h.DeadlineMicros>>8), byte(h.DeadlineMicros>>16), byte(h.DeadlineMicros>>24),
+		byte(h.PayloadLen), byte(h.PayloadLen>>8), byte(h.PayloadLen>>16), byte(h.PayloadLen>>24),
+	)
+}
+
+// DecodeHeader decodes a frame header from b, which must be exactly
+// HeaderSize bytes. Violations return a *ProtocolError.
+func DecodeHeader(b []byte) (Header, error) {
+	if len(b) != HeaderSize {
+		return Header{}, &ProtocolError{Reason: fmt.Sprintf("header is %d bytes, want %d", len(b), HeaderSize)}
+	}
+	if b[0] != magic0 || b[1] != magic1 {
+		return Header{}, &ProtocolError{Reason: fmt.Sprintf("bad magic %#02x%02x", b[0], b[1])}
+	}
+	if b[2] != Version {
+		return Header{}, &ProtocolError{Reason: fmt.Sprintf("unsupported protocol version %d (speak %d)", b[2], Version)}
+	}
+	h := Header{
+		Op:             Op(b[3]),
+		ReqID:          uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24,
+		DeadlineMicros: uint32(b[8]) | uint32(b[9])<<8 | uint32(b[10])<<16 | uint32(b[11])<<24,
+		PayloadLen:     int(uint32(b[12]) | uint32(b[13])<<8 | uint32(b[14])<<16 | uint32(b[15])<<24),
+	}
+	if h.PayloadLen > MaxPayload {
+		return Header{}, &ProtocolError{Reason: fmt.Sprintf("payload length %d exceeds cap %d", h.PayloadLen, MaxPayload)}
+	}
+	return h, nil
+}

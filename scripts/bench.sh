@@ -1,19 +1,21 @@
 #!/usr/bin/env bash
 # bench.sh — run the query/build benchmark suite plus the kernel
 # microbenchmarks, the pooled-scratch footprint gauge, the shard-sweep
-# gauge, the resilience gauge and the multi-core parallel-throughput
-# gauge, and emit a JSON snapshot for the performance trajectory
+# gauge, the resilience gauge, the multi-core parallel-throughput gauge
+# and the network-serving load test, and emit a JSON snapshot for the
+# performance trajectory
 # (BENCH_PR<N>.json at the repo root). The snapshot includes a
 # seed / PR5 / PR6 / PR7 comparison table (historical columns are read
-# from the checked-in BENCH_PR6.json; PR7 numbers are this run), a
+# from the checked-in BENCH_PR7.json; PR9 numbers are this run), a
 # "kernels" section (the scalar-vs-accelerated distance-kernel dimension
 # sweep with speedup and accelerated GB/s), a "parallel" section
-# (aggregate NNIS sampling throughput at GOMAXPROCS ∈ {1, 2, 4}), plus
-# the footprint / shard_sweep / resilience sections carried from earlier
-# PRs.
+# (aggregate NNIS sampling throughput at GOMAXPROCS ∈ {1, 2, 4}), a
+# "serve" section (the `-exp serve` loopback fleet load test: p50/p99
+# latency, qps, queries/hour, kill/readmission outcome), plus the
+# footprint / shard_sweep / resilience sections carried from earlier PRs.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
-#   output.json  defaults to BENCH_PR7.json
+#   output.json  defaults to BENCH_PR9.json
 #   benchtime    defaults to 1s (passed to -benchtime)
 # Env:
 #   FAIRNN_FOOTPRINT_N         points for the footprint gauge (default 1000000)
@@ -25,12 +27,16 @@
 #   FAIRNN_PAR_N               points for the parallel gauge (default 8000)
 #   FAIRNN_PAR_DRAWS           SampleK(100) calls per worker (default 25)
 #   FAIRNN_PAR_SWEEP           GOMAXPROCS sweep (default "1 2 4")
+#   FAIRNN_SERVE_SHARDS        server fleet size for the serve load test (default 4)
+#   FAIRNN_SERVE_SEED          seed for the serve load test (default 0 = harness default)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR9.json}"
 BENCHTIME="${2:-1s}"
+SERVE_SHARDS="${FAIRNN_SERVE_SHARDS:-4}"
+SERVE_SEED="${FAIRNN_SERVE_SEED:-0}"
 FOOTPRINT_N="${FAIRNN_FOOTPRINT_N:-1000000}"
 FOOTPRINT_QUERIERS="${FAIRNN_FOOTPRINT_QUERIERS:-64}"
 SHARD_N="${FAIRNN_SHARD_N:-1000000}"
@@ -54,7 +60,8 @@ FOOT="$(mktemp)"
 SWEEP="$(mktemp)"
 RES="$(mktemp)"
 PAR="$(mktemp)"
-trap 'rm -f "$RAW" "$FOOT" "$SWEEP" "$RES" "$PAR"' EXIT
+SERVE="$(mktemp)"
+trap 'rm -f "$RAW" "$FOOT" "$SWEEP" "$RES" "$PAR" "$SERVE"' EXIT
 
 go test -run '^$' -bench "$ROOT_PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 go test -run '^$' -bench "$MICRO_PATTERN" -benchmem -benchtime "$BENCHTIME" \
@@ -80,35 +87,47 @@ FAIRNN_RES_N="$RES_N" FAIRNN_RES_REPS="$RES_REPS" \
 FAIRNN_PAR_N="$PAR_N" FAIRNN_PAR_DRAWS="$PAR_DRAWS" FAIRNN_PAR_SWEEP="$PAR_SWEEP" \
 	go test -run 'TestParallelThroughputGauge' -count=1 -v -timeout 1200s . | tee "$PAR"
 
-awk -v out="$OUT" -v benchtime="$BENCHTIME" -v pr6json="BENCH_PR6.json" -v footfile="$FOOT" -v sweepfile="$SWEEP" -v resfile="$RES" -v parfile="$PAR" '
+# Network-serving load test: loopback fairnn-server fleet + concurrent
+# Connect clients with a mid-run kill/restart; emits one SERVE key=value
+# line with p50/p99 latency, qps and queries/hour.
+go run ./cmd/fairnn -exp serve -shards "$SERVE_SHARDS" -seed "$SERVE_SEED" | tee "$SERVE"
+
+awk -v out="$OUT" -v benchtime="$BENCHTIME" -v pr7json="BENCH_PR7.json" -v footfile="$FOOT" -v sweepfile="$SWEEP" -v resfile="$RES" -v parfile="$PAR" -v servefile="$SERVE" '
 BEGIN {
-    # Historical columns from BENCH_PR6.json: its "comparison" table
-    # carries seed_ns_op, pr5_ns_op and pr6_ns_op; its "benchmarks" ns_op
-    # entries fill pr6 for benches outside the comparison set. The file
-    # is pretty-printed (one key per line), so track the most recent
-    # "name" and attach subsequent metric lines to it.
+    # Historical columns from BENCH_PR7.json: its "comparison" table
+    # carries seed_ns_op, pr5_ns_op, pr6_ns_op and pr7_ns_op; its
+    # "benchmarks" ns_op entries fill pr7 for benches outside the
+    # comparison set. The file is pretty-printed (one key per line), so
+    # track the most recent "name" and attach subsequent metric lines to
+    # it. The comparison rows of BENCH_PR7.json are emitted on a single
+    # line each, so also match metric keys on the name line itself.
     cur = ""
-    while ((getline line < pr6json) > 0) {
+    while ((getline line < pr7json) > 0) {
         if (line ~ /"name":/) {
             cur = line; sub(/.*"name": "/, "", cur); sub(/".*/, "", cur)
-            continue
         }
         if (cur == "") continue
         if (line ~ /"seed_ns_op":/) {
             v = line; sub(/.*"seed_ns_op": /, "", v); sub(/[,}].*/, "", v)
             seed_ns[cur] = v
-        } else if (line ~ /"pr5_ns_op":/) {
+        }
+        if (line ~ /"pr5_ns_op":/) {
             v = line; sub(/.*"pr5_ns_op": /, "", v); sub(/[,}].*/, "", v)
             pr5_ns[cur] = v
-        } else if (line ~ /"pr6_ns_op":/) {
+        }
+        if (line ~ /"pr6_ns_op":/) {
             v = line; sub(/.*"pr6_ns_op": /, "", v); sub(/[,}].*/, "", v)
             pr6_ns[cur] = v
+        }
+        if (line ~ /"pr7_ns_op":/) {
+            v = line; sub(/.*"pr7_ns_op": /, "", v); sub(/[,}].*/, "", v)
+            pr7_ns[cur] = v
         } else if (line ~ /"ns_op":/) {
             v = line; sub(/.*"ns_op": /, "", v); sub(/[,}].*/, "", v)
-            if (!(cur in pr6_ns)) pr6_ns[cur] = v
+            if (!(cur in pr7_ns)) pr7_ns[cur] = v
         }
     }
-    close(pr6json)
+    close(pr7json)
     # Footprint gauge lines: FOOTPRINT backend=dense n=... queriers=...
     # retained_bytes=... per_querier_bytes=...
     nf = 0
@@ -183,6 +202,24 @@ BEGIN {
         par[npar++] = row "}"
     }
     close(parfile)
+    # Serve load-test line: SERVE queries=... ok=... degraded_ok=...
+    # no_sample=... failed=... p50_us=... p99_us=... qps=...
+    # queries_per_hour=... killed=true readmitted=true. killed and
+    # readmitted are bare JSON booleans; everything else is numeric.
+    serve_row = ""
+    while ((getline line < servefile) > 0) {
+        if (line !~ /^SERVE /) continue
+        np = split(line, parts, " ")
+        serve_row = "{"
+        first_kv = 1
+        for (i = 2; i <= np; i++) {
+            split(parts[i], kv, "=")
+            serve_row = serve_row (first_kv ? "" : ", ") sprintf("\"%s\": %s", kv[1], kv[2])
+            first_kv = 0
+        }
+        serve_row = serve_row "}"
+    }
+    close(servefile)
 }
 /^Benchmark/ {
     name = $1
@@ -213,8 +250,8 @@ BEGIN {
     }
 }
 END {
-    printf "{\n  \"pr\": 7,\n  \"benchtime\": \"%s\",\n", benchtime > out
-    printf "  \"note\": \"seed/pr5/pr6 columns are historical (from BENCH_PR6.json); pr7 columns are this run. kernels = the distance-kernel dimension sweep: scalar is the portable 4-way-unrolled Go loop, accel the AVX2+FMA assembly path (16 float64/iter, 4 FMA chains); accel_gbps counts both operand vectors (16 bytes per dimension). parallel = aggregate Section 5 SampleK(100) throughput with W workers at GOMAXPROCS=W; on a single-core host the curve is honestly flat, on multi-core hosts it is the no-hidden-serialization proof. Cross-column deltas in the comparison table carry the usual caveat for this 1-core box: single-run snapshots have ~20 percent noise, trust interleaved medians (the PR5/PR6 notes record two such A/Bs measuring parity where snapshots suggested regressions). Regenerate with scripts/bench.sh.\",\n" >> out
+    printf "{\n  \"pr\": 9,\n  \"benchtime\": \"%s\",\n", benchtime > out
+    printf "  \"note\": \"seed/pr5/pr6/pr7 columns are historical (from BENCH_PR7.json); pr9 columns are this run. kernels = the distance-kernel dimension sweep: scalar is the portable 4-way-unrolled Go loop, accel the AVX2+FMA assembly path (16 float64/iter, 4 FMA chains); accel_gbps counts both operand vectors (16 bytes per dimension). parallel = aggregate Section 5 SampleK(100) throughput with W workers at GOMAXPROCS=W. serve = the -exp serve network load test: a loopback fairnn-server fleet behind Connect, concurrent clients, one shard killed mid-run and restarted after; latencies are per-query wall times over real sockets, so they measure the wire round-trips, not the sampler. Cross-column deltas in the comparison table carry the usual caveat for this 1-core box: single-run snapshots have ~20 percent noise, trust interleaved medians (the PR5/PR6 notes record two such A/Bs measuring parity where snapshots suggested regressions). Regenerate with scripts/bench.sh.\",\n" >> out
     printf "  \"comparison\": [\n" >> out
     m = split("BenchmarkBuildSampler BenchmarkBuildIndependent BenchmarkQuerySamplerNNS BenchmarkQueryIndependentNNIS BenchmarkQueryIndependentSampleK100 BenchmarkQueryFilterIndependent", keys, " ")
     first = 1
@@ -225,9 +262,10 @@ END {
         if (k in seed_ns) row = row sprintf(", \"seed_ns_op\": %s", seed_ns[k])
         if (k in pr5_ns)  row = row sprintf(", \"pr5_ns_op\": %s", pr5_ns[k])
         if (k in pr6_ns)  row = row sprintf(", \"pr6_ns_op\": %s", pr6_ns[k])
-        row = row sprintf(", \"pr7_ns_op\": %s", cur_ns[k])
-        if (k in pr6_ns && cur_ns[k]+0 > 0)
-            row = row sprintf(", \"speedup_vs_pr6\": %.2f", pr6_ns[k] / cur_ns[k])
+        if (k in pr7_ns)  row = row sprintf(", \"pr7_ns_op\": %s", pr7_ns[k])
+        row = row sprintf(", \"pr9_ns_op\": %s", cur_ns[k])
+        if (k in pr7_ns && cur_ns[k]+0 > 0)
+            row = row sprintf(", \"speedup_vs_pr7\": %.2f", pr7_ns[k] / cur_ns[k])
         row = row "}"
         if (!first) printf ",\n" >> out
         printf "%s", row >> out
@@ -266,6 +304,8 @@ END {
     printf ",\n  \"resilience\": [\n" >> out
     for (i = 0; i < nres; i++) printf "%s%s\n", res[i], (i < nres-1 ? "," : "") >> out
     printf "  ]" >> out
+    if (serve_row != "")
+        printf ",\n  \"serve\": %s", serve_row >> out
     printf ",\n  \"benchmarks\": [\n" >> out
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "") >> out
     printf "  ]\n}\n" >> out

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — CI gate for the network serving subsystem (PR 9).
+#
+# Four stages, each a hard failure:
+#   1. the fairnn-server binary builds standalone;
+#   2. the wire protocol suite passes under the race detector (framing
+#      fuzz corpora, typed rejection, loopback server semantics,
+#      pipelined stress);
+#   3. the remote-backend and cross-process suites pass — the latter
+#      re-execs the test binary as real server processes, so SIGKILL
+#      degradation, SIGTERM drain and readmission run against true
+#      process boundaries;
+#   4. a scaled-down `-exp serve` load test runs end to end (loopback
+#      fleet, concurrent clients, mid-run kill + restart), and its SERVE
+#      summary line is folded into a JSON artifact.
+#
+# Usage: scripts/serve_smoke.sh [output.json]
+#   output.json  defaults to SERVE_SMOKE.json
+# Env:
+#   FAIRNN_SERVE_SHARDS  fleet size for the load test (default 4)
+#   FAIRNN_SERVE_SEED    load-test seed (default 0 = harness default)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-SERVE_SMOKE.json}"
+SHARDS="${FAIRNN_SERVE_SHARDS:-4}"
+SEED="${FAIRNN_SERVE_SEED:-0}"
+
+BINDIR="$(mktemp -d)"
+SERVELOG="$(mktemp)"
+trap 'rm -rf "$BINDIR" "$SERVELOG"' EXIT
+
+echo "== build fairnn-server =="
+go build -o "$BINDIR/fairnn-server" ./cmd/fairnn-server
+"$BINDIR/fairnn-server" -h 2>&1 | head -1 || true
+
+echo "== wire protocol suite (race) =="
+go test -race -count=1 ./internal/wire
+
+echo "== remote backend + cross-process suites (race, short) =="
+go test -race -short -count=1 -run 'TestRemote' -v ./internal/shard
+go test -race -short -count=1 -v ./cmd/fairnn-server
+
+echo "== serve load test =="
+go run ./cmd/fairnn -exp serve -shards "$SHARDS" -seed "$SEED" | tee "$SERVELOG"
+
+awk -v out="$OUT" -v shards="$SHARDS" '
+/^SERVE / {
+    row = "{"
+    first_kv = 1
+    for (i = 2; i <= NF; i++) {
+        split($i, kv, "=")
+        row = row (first_kv ? "" : ", ") sprintf("\"%s\": %s", kv[1], kv[2])
+        first_kv = 0
+    }
+    serve_row = row "}"
+}
+END {
+    if (serve_row == "") {
+        print "serve_smoke: no SERVE summary line in load-test output" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n  \"shards\": %s,\n  \"serve\": %s\n}\n", shards, serve_row > out
+}
+' "$SERVELOG"
+
+echo "wrote $OUT"
