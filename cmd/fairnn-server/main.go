@@ -15,6 +15,12 @@
 // with a typed draining error (clients treat the shard as down),
 // in-flight plans finish, and the process exits when the last plan is
 // released or the -drain budget expires.
+//
+// With -obs, a second HTTP listener serves the operator endpoint:
+// /metrics exposes the server's telemetry registry (request latency by
+// op, deadline sheds, drain refusals, active plans/conns) in Prometheus
+// text format, and /debug/pprof/ the standard Go profiles. Its resolved
+// address is printed as "OBS <addr>".
 package main
 
 import (
@@ -22,11 +28,14 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"fairnn/internal/obs"
 	"fairnn/internal/servefix"
 	"fairnn/internal/wire"
 )
@@ -47,6 +56,7 @@ func run(args []string) int {
 	shards := fs.Int("shards", 1, "fleet size S")
 	shardIdx := fs.Int("shard", 0, "this server's shard index in [0, S)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-drain budget after SIGTERM/SIGINT")
+	obsAddr := fs.String("obs", "", "operator HTTP listen address for /metrics and /debug/pprof (empty disables; port 0 picks an ephemeral port, reported on stdout)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,14 +76,14 @@ func run(args []string) int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		return serve(wire.NewServer(d, wire.VecCodec{Dim: sp.Dim}, meta, selfHealth(meta)), *addr, *drain)
+		return serve(wire.NewServer(d, wire.VecCodec{Dim: sp.Dim}, meta, selfHealth(meta)), *addr, *obsAddr, *drain)
 	default:
 		d, meta, err := servefix.BuildLineShard(sp, *shardIdx)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		return serve(wire.NewServer(d, wire.IntCodec{}, meta, selfHealth(meta)), *addr, *drain)
+		return serve(wire.NewServer(d, wire.IntCodec{}, meta, selfHealth(meta)), *addr, *obsAddr, *drain)
 	}
 }
 
@@ -89,8 +99,34 @@ func selfHealth(meta wire.Meta) func() []wire.HealthRecord {
 }
 
 // serve listens, announces the resolved address, and blocks in the
-// accept loop while a signal watcher triggers the graceful drain.
-func serve[P any](srv *wire.Server[P], addr string, drain time.Duration) int {
+// accept loop while a signal watcher triggers the graceful drain. With
+// a non-empty obsAddr the operator HTTP endpoint (/metrics,
+// /debug/pprof) is started first, so the registry observes every
+// request the wire listener ever accepts.
+func serve[P any](srv *wire.Server[P], addr, obsAddr string, drain time.Duration) int {
+	if obsAddr != "" {
+		oln, err := net.Listen("tcp", obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		reg := obs.NewRegistry()
+		srv.Observe(reg)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.MetricsHandler(reg))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// Dies with the process; no drain needed for operator reads. A
+		// panic on the operator listener must not take the shard down.
+		go func() {
+			defer func() { _ = recover() }()
+			_ = http.Serve(oln, mux)
+		}()
+		fmt.Printf("OBS %s\n", oln.Addr())
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,56 @@
+package fairnn
+
+import (
+	"net/http"
+
+	"fairnn/internal/obs"
+)
+
+// This file is the observability surface of the façade: a telemetry
+// Registry attached to samplers with the Observe option (and, for
+// sharded builds, the WithTraceSampling span tree). The contract
+// mirrors the fault injector's: telemetry that is absent or idle is
+// contractually invisible — a sampler built without Observe, or with a
+// registry nobody reads, emits bit-identical same-seed sample streams
+// and allocates nothing extra on the Sample hot path. See the
+// "Observability" section of the package documentation for the mapping
+// from instruments to the invariants they watch.
+
+// Registry is a collection of telemetry instruments — counters, gauges,
+// and log-spaced latency histograms — shared by every layer observing
+// into it. Registration is get-or-create keyed on (name, labels) and
+// may allocate; the instruments themselves are lock-free and zero-alloc
+// to record into, so a registry may be attached to a sampler on the
+// hottest query path. Expose it in Prometheus text format with
+// Registry.WritePrometheus or MetricsHandler, or read instruments
+// programmatically (Counter/Gauge/Histogram are get-or-create, so
+// fetching an instrument by the same name and labels returns the live
+// one).
+type Registry = obs.Registry
+
+// NewRegistry returns an empty telemetry registry, ready to pass to
+// Observe.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// TraceRing is the sampled per-query tracer enabled by
+// WithTraceSampling; Registry.Tracer returns it (nil when tracing is
+// off). TraceRing.Recent returns the retained span trees.
+type TraceRing = obs.Tracer
+
+// QueryTrace is one sampled query's span tree: the per-shard arm fan-out,
+// segment reports, and point picks, annotated with retries, notes, and
+// failures.
+type QueryTrace = obs.Trace
+
+// TraceSpan is one operation inside a QueryTrace.
+type TraceSpan = obs.Span
+
+// MetricLabels renders a label set ("shard", "3", "op", "arm") into the
+// canonical sorted form instruments are keyed on — use it to fetch a
+// specific labeled instrument back out of a Registry.
+func MetricLabels(kv ...string) string { return obs.Labels(kv...) }
+
+// MetricsHandler serves r in Prometheus text exposition format — mount
+// it on an operator mux as /metrics. (fairnn-server does this behind
+// its -obs flag.)
+func MetricsHandler(r *Registry) http.Handler { return obs.MetricsHandler(r) }

@@ -197,8 +197,60 @@
 // handshake, so a mis-assembled or mixed-build fleet fails loudly at
 // Connect instead of sampling from a subtly wrong distribution. The
 // fairnn command's "-exp serve" load-tests a loopback fleet end to end
-// and reports p50/p99 latency, throughput, and the sampler's health
-// registry over a wire endpoint of its own.
+// and reports full latency histograms (p50/p90/p99/p999), throughput,
+// and the sampler's health registry over a wire endpoint of its own.
+//
+// # Observability
+//
+// Observe(r) attaches a telemetry Registry (NewRegistry) to a sampler;
+// every instrument watches a specific invariant of the construction:
+//
+//   - fairnn_rejection_rounds_total against fairnn_draws_total is the
+//     rejection-loop round count per draw — the paper's λ/Σ resolution
+//     made visible. Theorem 2's accounting keeps expected rounds O(1)
+//     when the per-query near-count estimate resolves correctly; a
+//     drifting rounds-per-draw ratio is the earliest sign a build's
+//     estimate quality has degraded.
+//   - fairnn_memo_hits_total and fairnn_batch_scored_total split the
+//     scoring work between the per-query memo and the batched distance
+//     kernels; together with fairnn_score_evals_total they watch the
+//     "each candidate scored at most once per Sample" memoization
+//     contract.
+//   - fairnn_degraded_draws_total counts draws answered from a
+//     survivors-only union ball. Each such draw is still exactly
+//     uniform — over a smaller population — so this counter is the
+//     operator's measure of how often answers carried that asterisk.
+//   - fairnn_shard_op_latency_seconds / _errors_total / _retries_total
+//     (labeled by shard and arm/segment/pick), the backoff counters,
+//     and fairnn_shard_health_down_total / _readmit_total watch the
+//     resilience policy itself: which failure domains are paying the
+//     deadline/retry budget and how often the health registry cycles a
+//     shard out and back in.
+//   - The wire client and server register per-op request latency,
+//     redials, deadline sheds, refused-while-draining counts, and
+//     active plan/connection gauges — the serving section's drain and
+//     shed behavior as numbers instead of anecdotes.
+//
+// WithTraceSampling(everyN) additionally captures, for one query in
+// everyN, the full span tree across the sharded backend seam — the arm
+// fan-out, each shard's segment reports and point picks, annotated with
+// retries, degraded transitions, and failure notes — retained in the
+// registry's trace ring (Registry.Tracer, TraceRing.Recent). The
+// trace-or-not decision is a pure hash of the query's stream seed in a
+// derived substream, a discipline the rngstream analyzer enforces
+// statically: sampling decisions drawn from the query's own RNG stream
+// would shift every subsequent draw.
+//
+// The whole subsystem honors the idle-invisibility contract the fault
+// injector set: no Observe (a nil registry) means bit-identical
+// same-seed sample streams and zero extra allocations on the Sample hot
+// path — and an attached registry changes cost only, never output.
+// Both halves are pinned by CI oracles (stream-equality tests and
+// testing.AllocsPerRun with a fully enabled registry). For operators,
+// fairnn-server's -obs flag serves the registry as /metrics (Prometheus
+// text format) plus the standard /debug/pprof profiles on a separate
+// listener, and MetricsHandler mounts the same exposition in any
+// process embedding the library.
 //
 // # Concurrency
 //

@@ -25,13 +25,23 @@ import (
 //     stream must stay untouched on fault-free rounds so same-seed
 //     sample streams remain bit-identical (the PR 6 idle-injector
 //     contract).
+//   - Trace/metrics sampling gates (obs.Tracer.ShouldSample / Start and
+//     any helper named like ShouldSample) must not draw their decision
+//     from the query's RNG stream: an argument that references a
+//     struct's `rng` field or advances an rng.Source would shift every
+//     subsequent draw, so a traced run would no longer emit the same
+//     samples as an untraced one. The gate must be a pure hash of the
+//     stream seed (a salted rng.Mix64 substream).
 var RNGStream = &Analyzer{
 	Name: "rngstream",
 	Doc:  "forbid math/rand and mid-query RNG construction; per-query streams must derive from the seed counter",
 	Run:  runRNGStream,
 }
 
-const rngPkgPath = ModulePath + "/internal/rng"
+const (
+	rngPkgPath = ModulePath + "/internal/rng"
+	obsPkgPath = ModulePath + "/internal/obs"
+)
 
 // constructionFunc reports whether name marks a build/construction-time
 // function, where creating generators from an explicit seed is the
@@ -51,9 +61,10 @@ func isRNGNew(fn *types.Func) bool {
 		fn.Name() == "New" && fn.Type().(*types.Signature).Recv() == nil
 }
 
-// isSourceMethod reports whether fn is the named method of rng.Source.
-func isSourceMethod(fn *types.Func, name string) bool {
-	if fn == nil || fn.Name() != name {
+// recvNamed reports whether fn's receiver (possibly through a pointer)
+// is the named type pkgPath.typeName.
+func recvNamed(fn *types.Func, pkgPath, typeName string) bool {
+	if fn == nil {
 		return false
 	}
 	recv := fn.Type().(*types.Signature).Recv()
@@ -65,8 +76,13 @@ func isSourceMethod(fn *types.Func, name string) bool {
 		t = ptr.Elem()
 	}
 	named, ok := t.(*types.Named)
-	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == rngPkgPath &&
-		named.Obj().Name() == "Source"
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == pkgPath &&
+		named.Obj().Name() == typeName
+}
+
+// isSourceMethod reports whether fn is the named method of rng.Source.
+func isSourceMethod(fn *types.Func, name string) bool {
+	return fn != nil && fn.Name() == name && recvNamed(fn, rngPkgPath, "Source")
 }
 
 // containsTimeNow reports whether the expression tree contains a call to
@@ -109,6 +125,41 @@ func jitterHelper(fn *types.Func) bool {
 		}
 	}
 	return false
+}
+
+// traceGateHelper reports whether fn is a telemetry sampling gate: a
+// method of obs.Tracer that decides or opens a sampled trace
+// (ShouldSample, Start), or any module function whose name mirrors the
+// ShouldSample idiom.
+func traceGateHelper(fn *types.Func) bool {
+	if fn == nil || !InModule(fn.Pkg()) {
+		return false
+	}
+	if strings.Contains(strings.ToLower(fn.Name()), "shouldsample") {
+		return true
+	}
+	return recvNamed(fn, obsPkgPath, "Tracer") && fn.Name() == "Start"
+}
+
+// drawsFromStream reports whether the expression tree references a
+// struct's `rng` field or calls any rng.Source method — either way,
+// evaluating it would read or advance the query's sample stream.
+func (p *Pass) drawsFromStream(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "rng" {
+				found = true
+			}
+		case *ast.CallExpr:
+			if fn := p.Callee(n); fn != nil && recvNamed(fn, rngPkgPath, "Source") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }
 
 // sampleStreamField reports whether arg denotes (the address of) a
@@ -188,6 +239,12 @@ func (p *Pass) checkRNGInFunc(fd *ast.FuncDecl) {
 			for _, arg := range call.Args {
 				if sampleStreamField(arg) {
 					p.Reportf(arg.Pos(), "%s receives the query's sample stream (.rng field): retry jitter must come from a derived substream so fault-free rounds leave same-seed sample streams bit-identical", fn.Name())
+				}
+			}
+		case traceGateHelper(fn):
+			for _, arg := range call.Args {
+				if p.drawsFromStream(arg) {
+					p.Reportf(arg.Pos(), "%s draws its sampling decision from the query's RNG stream: trace/metrics gates must be a pure hash of the stream seed (salted rng.Mix64 substream) so instrumented runs emit bit-identical sample streams", fn.Name())
 				}
 			}
 		}

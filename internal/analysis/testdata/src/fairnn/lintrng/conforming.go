@@ -31,3 +31,10 @@ func retryGood(q *querier, attempt int) int64 {
 func chaosStream(seed uint64) *rng.Source {
 	return rng.New(seed)
 }
+
+// traceGateGood derives the trace decision from a salted hash of the
+// stream seed — a pure function, no stream draws — so traced and
+// untraced runs emit identical samples.
+func traceGateGood(t *tracer, q *querier, qctr uint64) bool {
+	return t.ShouldSample(rng.Mix64(q.seed ^ qctr))
+}

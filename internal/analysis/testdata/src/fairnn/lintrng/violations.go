@@ -39,3 +39,19 @@ func backoffDelay(attempt int, br *rng.Source) int64 {
 func retryBad(q *querier) int64 {
 	return backoffDelay(3, q.rng) // want "receives the query's sample stream"
 }
+
+// tracer mirrors the obs sampled-trace gate by name: the ShouldSample
+// idiom is recognized wherever it appears.
+type tracer struct{ everyN uint64 }
+
+func (t *tracer) ShouldSample(seed uint64) bool { return seed%t.everyN == 0 }
+
+func traceGateDrawn(t *tracer, q *querier) bool {
+	return t.ShouldSample(q.rng.Uint64()) // want "draws its sampling decision from the query's RNG stream"
+}
+
+func traceGateField(t *tracer, q *querier) bool {
+	return t.ShouldSample(q.seed ^ streamPeek(q.rng)) // want "draws its sampling decision from the query's RNG stream"
+}
+
+func streamPeek(s *rng.Source) uint64 { return s.Uint64() }

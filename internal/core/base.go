@@ -109,6 +109,13 @@ type querier struct {
 	isMerged    bool
 	rangeWork   int
 	mergeCost   int
+
+	// mstats is the telemetry scratch stats record: when a metrics
+	// registry is attached and the caller passed a nil *QueryStats, the
+	// draw loop counts into this record instead so the per-draw deltas
+	// can still be observed. Reset (by value assignment — its slice
+	// fields are unused on unsharded paths) at the top of each draw.
+	mstats QueryStats
 }
 
 // scratchBytes reports the querier's retained backing-array footprint:

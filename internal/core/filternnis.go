@@ -6,8 +6,10 @@ import (
 	"iter"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"fairnn/internal/filter"
+	"fairnn/internal/obs"
 	"fairnn/internal/rng"
 	"fairnn/internal/vector"
 )
@@ -30,6 +32,11 @@ type FilterIndependentOptions struct {
 	// Memo.DenseThreshold points, a compact o(n) table above) and how
 	// much scratch the querier pool may retain across checkouts.
 	Memo MemoOptions
+	// Obs, when non-nil, registers the draw-loop telemetry bundle
+	// (layer="filter") and records into it on every draw. A nil
+	// registry is contractually invisible (bit-identical streams, zero
+	// allocations), and the enabled record path is zero-alloc too.
+	Obs *obs.Registry
 }
 
 func (o FilterIndependentOptions) withDefaults(n int) FilterIndependentOptions {
@@ -71,6 +78,7 @@ type FilterIndependent struct {
 	qseed  uint64
 	qctr   atomic.Uint64
 	pool   BoundedPool[fiQuerier]
+	met    *obs.QueryMetrics
 }
 
 // NewFilterIndependent indexes unit vectors for inner-product threshold
@@ -101,6 +109,7 @@ func NewFilterIndependent(points []vector.Vec, alpha, beta float64, opts FilterI
 		memo:   opts.Memo.withDefaults().withDenseFloor(len(points), 16*len(points)),
 		banks:  banks,
 		qseed:  src.Uint64(),
+		met:    obs.NewQueryMetrics(opts.Obs, "filter"),
 	}
 	f.pool.SetCap(f.memo.MaxRetainedQueriers)
 	return f, nil
@@ -161,6 +170,10 @@ type fiQuerier struct {
 	pend     []int32
 	batchOut []float64
 	vals     []float64
+
+	// mstats collects per-draw counter deltas for the telemetry bundle
+	// when the caller passed a nil *QueryStats (see querier.mstats).
+	mstats QueryStats
 }
 
 // scratchBytes reports the querier's retained backing-array footprint:
@@ -465,7 +478,33 @@ func (f *FilterIndependent) Samples(ctx context.Context, q vector.Vec) iter.Seq2
 	}
 }
 
-// sampleFromPlan runs one existence check plus rejection loop against the
+// sampleFromPlan is the telemetry choke point around drawFromPlan:
+// without a registry it is a tail call (the disabled path pays nothing);
+// with one it times the draw and records the rejection-loop deltas,
+// counting into the querier's scratch stats when the caller passed nil.
+// Metrics writes are observational and draw no randomness, so same-seed
+// streams stay bit-identical either way.
+//
+//fairnn:noalloc
+func (f *FilterIndependent) sampleFromPlan(ctx context.Context, q vector.Vec, qr *fiQuerier, st *QueryStats) (int32, bool) {
+	m := f.met
+	if m == nil {
+		return f.drawFromPlan(ctx, q, qr, st)
+	}
+	if st == nil {
+		qr.mstats = QueryStats{}
+		st = &qr.mstats
+	}
+	preRounds, preHits := st.Rounds, st.ScoreCacheHits
+	preBatch, preEvals := st.BatchScored, st.ScoreEvals
+	t0 := time.Now()
+	id, ok := f.drawFromPlan(ctx, q, qr, st)
+	m.ObserveDraw(time.Since(t0), ok, st.Rounds-preRounds, st.ScoreCacheHits-preHits,
+		st.BatchScored-preBatch, st.ScoreEvals-preEvals, false)
+	return id, ok
+}
+
+// drawFromPlan runs one existence check plus rejection loop against the
 // querier's prepared plan. Each call seeds a fresh per-query randomness
 // stream, so repeated calls on the same plan produce independent samples —
 // the plan itself carries no randomness. The rejection loop polls
@@ -474,7 +513,7 @@ func (f *FilterIndependent) Samples(ctx context.Context, q vector.Vec) iter.Seq2
 // under an uncanceled context is unchanged.
 //
 //fairnn:noalloc
-func (f *FilterIndependent) sampleFromPlan(ctx context.Context, q vector.Vec, qr *fiQuerier, st *QueryStats) (int32, bool) {
+func (f *FilterIndependent) drawFromPlan(ctx context.Context, q vector.Vec, qr *fiQuerier, st *QueryStats) (int32, bool) {
 	if qr.total == 0 {
 		st.found(false)
 		return 0, false

@@ -6,8 +6,10 @@ import (
 	"math"
 	"math/bits"
 	"slices"
+	"time"
 
 	"fairnn/internal/lsh"
+	"fairnn/internal/obs"
 	"fairnn/internal/rank"
 	"fairnn/internal/rng"
 	"fairnn/internal/sketch"
@@ -41,6 +43,14 @@ type IndependentOptions struct {
 	// querier pool may retain across checkouts. The zero value keeps the
 	// dense fast path at small n and bounds pooled memory at large n.
 	Memo MemoOptions
+	// Obs, when non-nil, registers the draw-loop telemetry bundle
+	// (layer="core" counters plus a latency histogram) against the
+	// registry and records into it on every draw. A nil registry is
+	// contractually invisible: same-seed sample streams, QueryStats
+	// counters, and the zero-allocation steady state are bit-identical
+	// to a telemetry-free build, and the enabled path stays zero-alloc
+	// too (the instruments are preallocated at registration).
+	Obs *obs.Registry
 }
 
 func (o IndependentOptions) withDefaults(n int) IndependentOptions {
@@ -102,6 +112,7 @@ type Independent[P any] struct {
 	// buckets have no entry and are sketched on demand.
 	sketches []map[uint64]sketch.Counter
 	maxK     int
+	met      *obs.QueryMetrics
 }
 
 // NewIndependent builds the Section 4 structure.
@@ -123,6 +134,7 @@ func NewIndependent[P any](space Space[P], family lsh.Family[P], params lsh.Para
 		skFamily: skFamily,
 		sketches: make([]map[uint64]sketch.Counter, params.L),
 		maxK:     nextPow2(n),
+		met:      obs.NewQueryMetrics(opts.Obs, "core"),
 	}
 	for i := range d.sketches {
 		m := make(map[uint64]sketch.Counter)
@@ -342,7 +354,35 @@ func (d *Independent[P]) Samples(ctx context.Context, q P) iter.Seq2[int32, erro
 	}
 }
 
-// sampleResolved runs steps 2–4 of the query (segment search + rejection)
+// sampleResolved is the telemetry choke point around drawResolved: with
+// no registry configured it is a tail call (the disabled-telemetry
+// contract — not one extra instruction of timing or counting on the
+// plain path); with one, it times the draw and records the rejection-
+// loop counter deltas. When the caller passed no QueryStats the querier's
+// scratch record collects the deltas, so metrics never change whether
+// the draw loop sees a stats sink — counter writes are observational
+// and draw no randomness, keeping same-seed streams bit-identical.
+//
+//fairnn:noalloc
+func (d *Independent[P]) sampleResolved(ctx context.Context, q P, qr *querier, est float64, st *QueryStats) (id int32, ok bool) {
+	m := d.met
+	if m == nil {
+		return d.drawResolved(ctx, q, qr, est, st)
+	}
+	if st == nil {
+		qr.mstats = QueryStats{}
+		st = &qr.mstats
+	}
+	preRounds, preHits := st.Rounds, st.ScoreCacheHits
+	preBatch, preEvals := st.BatchScored, st.ScoreEvals
+	t0 := time.Now()
+	id, ok = d.drawResolved(ctx, q, qr, est, st)
+	m.ObserveDraw(time.Since(t0), ok, st.Rounds-preRounds, st.ScoreCacheHits-preHits,
+		st.BatchScored-preBatch, st.ScoreEvals-preEvals, false)
+	return id, ok
+}
+
+// drawResolved runs steps 2–4 of the query (segment search + rejection)
 // against an already-resolved querier. Each call draws fresh randomness
 // from the querier's stream, so repeated calls yield independent samples.
 // The loop polls ctx.Err() every ctxCheckRounds rounds and exits with
@@ -351,7 +391,7 @@ func (d *Independent[P]) Samples(ctx context.Context, q P) iter.Seq2[int32, erro
 // stream under an uncanceled context is unchanged.
 //
 //fairnn:noalloc
-func (d *Independent[P]) sampleResolved(ctx context.Context, q P, qr *querier, est float64, st *QueryStats) (id int32, ok bool) {
+func (d *Independent[P]) drawResolved(ctx context.Context, q P, qr *querier, est float64, st *QueryStats) (id int32, ok bool) {
 	if est <= 0 {
 		st.found(false)
 		return 0, false

@@ -6,12 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fairnn/internal/core"
+	"fairnn/internal/obs"
 	"fairnn/internal/rng"
 	"fairnn/internal/servefix"
 	"fairnn/internal/shard"
@@ -65,8 +65,13 @@ type ServeResult struct {
 	// OK / DegradedOK / NoSample partition the successful outcomes;
 	// Failed counts typed failures (all of them legitimate under a kill).
 	OK, DegradedOK, NoSample, Failed int
-	// P50Micros / P99Micros are latency percentiles over all queries.
-	P50Micros, P99Micros float64
+	// P50Micros..P999Micros are latency quantiles over all queries, read
+	// from the shared log-spaced obs histogram (bucket-interpolated, the
+	// same summaries a /metrics scrape would yield).
+	P50Micros, P90Micros, P99Micros, P999Micros float64
+	// Hist is the non-empty latency buckets backing the quantiles,
+	// emitted as SERVE_HIST lines for the bench history.
+	Hist []obs.Bucket
 	// QPS is the measured throughput (queries / wall-clock second) and
 	// QueriesPerHour its hourly extrapolation — the serving-scale figure.
 	QPS, QueriesPerHour float64
@@ -173,10 +178,14 @@ func RunServe(cfg ServeConfig) (*ServeResult, error) {
 
 	type outcome struct {
 		ok, degradedOK, noSample, failed int
-		lats                             []time.Duration
 		err                              error
 	}
 	outs := make([]outcome, cfg.Clients)
+	// One shared latency histogram across clients: Observe is lock-free
+	// and concurrent-safe, and its quantiles are exactly what the serve
+	// registry would expose — the gauge and the operator endpoint agree
+	// by construction.
+	hist := obs.NewHistogram()
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
@@ -200,7 +209,7 @@ func RunServe(cfg ServeConfig) (*ServeResult, error) {
 				q := r.Intn(cfg.N)
 				t0 := time.Now()
 				id, err := s.SampleContext(context.Background(), q, &st)
-				outs[c].lats = append(outs[c].lats, time.Since(t0))
+				hist.Observe(time.Since(t0))
 				done.Add(1)
 				switch {
 				case err == nil:
@@ -232,7 +241,6 @@ func RunServe(cfg ServeConfig) (*ServeResult, error) {
 	wg.Wait()
 	wall := time.Since(start)
 
-	var lats []time.Duration
 	for c := range outs {
 		if outs[c].err != nil {
 			return nil, outs[c].err
@@ -241,12 +249,13 @@ func RunServe(cfg ServeConfig) (*ServeResult, error) {
 		res.DegradedOK += outs[c].degradedOK
 		res.NoSample += outs[c].noSample
 		res.Failed += outs[c].failed
-		lats = append(lats, outs[c].lats...)
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	res.P50Micros = micros(percentile(lats, 0.50))
-	res.P99Micros = micros(percentile(lats, 0.99))
-	res.QPS = float64(len(lats)) / wall.Seconds()
+	res.P50Micros = quantileMicros(hist, 0.50)
+	res.P90Micros = quantileMicros(hist, 0.90)
+	res.P99Micros = quantileMicros(hist, 0.99)
+	res.P999Micros = quantileMicros(hist, 0.999)
+	res.Hist = hist.Snapshot()
+	res.QPS = float64(hist.Count()) / wall.Seconds()
 	res.QueriesPerHour = res.QPS * 3600
 	if cfg.Kill && res.DegradedOK == 0 {
 		return nil, fmt.Errorf("serve: server %d was killed mid-run but no query reported degradation", killShard)
@@ -283,20 +292,14 @@ func RunServe(cfg ServeConfig) (*ServeResult, error) {
 	return res, nil
 }
 
-// percentile returns the p-th percentile of sorted latencies.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
+// quantileMicros reads the q-quantile of the histogram in microseconds.
+func quantileMicros(h *obs.Histogram, q float64) float64 {
+	return float64(h.Quantile(q)) / 1000
 }
 
-func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
-
 // Render writes the aggregate table, the health snapshot, and the
-// machine-parseable SERVE lines scripts/bench.sh folds into
-// BENCH_PR9.json.
+// machine-parseable SERVE / SERVE_HIST lines scripts/bench.sh folds
+// into the bench history (BENCH_PR10.json).
 func (r *ServeResult) Render(w io.Writer) error {
 	title := fmt.Sprintf("serve: %d clients x %d queries over %d loopback servers, n=%d (kill=%v)",
 		r.Config.Clients, r.Config.QueriesPerClient, r.Config.Shards, r.Config.N, r.Config.Kill)
@@ -307,10 +310,12 @@ func (r *ServeResult) Render(w io.Writer) error {
 		fmt.Sprintf("%d", r.NoSample),
 		fmt.Sprintf("%d", r.Failed),
 		f2(r.P50Micros),
+		f2(r.P90Micros),
 		f2(r.P99Micros),
+		f2(r.P999Micros),
 		f2(r.QPS),
 	}}
-	if err := WriteTable(w, title, []string{"queries", "ok", "degraded", "no-sample", "failed", "p50 µs", "p99 µs", "qps"}, rows); err != nil {
+	if err := WriteTable(w, title, []string{"queries", "ok", "degraded", "no-sample", "failed", "p50 µs", "p90 µs", "p99 µs", "p999 µs", "qps"}, rows); err != nil {
 		return err
 	}
 	for _, h := range r.Health {
@@ -323,9 +328,18 @@ func (r *ServeResult) Render(w io.Writer) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "SERVE queries=%d ok=%d degraded_ok=%d no_sample=%d failed=%d p50_us=%.2f p99_us=%.2f qps=%.2f queries_per_hour=%.0f killed=%v readmitted=%v\n",
-		r.Queries, r.OK, r.DegradedOK, r.NoSample, r.Failed, r.P50Micros, r.P99Micros, r.QPS, r.QueriesPerHour, r.Killed, r.Readmitted)
-	return err
+	if _, err := fmt.Fprintf(w, "SERVE queries=%d ok=%d degraded_ok=%d no_sample=%d failed=%d p50_us=%.2f p90_us=%.2f p99_us=%.2f p999_us=%.2f qps=%.2f queries_per_hour=%.0f killed=%v readmitted=%v\n",
+		r.Queries, r.OK, r.DegradedOK, r.NoSample, r.Failed, r.P50Micros, r.P90Micros, r.P99Micros, r.P999Micros, r.QPS, r.QueriesPerHour, r.Killed, r.Readmitted); err != nil {
+		return err
+	}
+	// Bucket dump: one line per non-empty bucket (upper bound in µs, 0
+	// marks the overflow bucket), non-cumulative counts.
+	for _, b := range r.Hist {
+		if _, err := fmt.Fprintf(w, "SERVE_HIST le_us=%.3f count=%d\n", float64(b.UpperNanos)/1000, b.Count); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ServeChaosConfig parameterizes the network chaos schedule: seeded

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// Prometheus text exposition (version 0.0.4): one # HELP / # TYPE pair
+// per family, counters and gauges as single samples, histograms as
+// cumulative le-bucketed series plus _sum and _count. Durations are
+// exposed in seconds per Prometheus convention (internal storage is
+// nanoseconds).
+
+// WritePrometheus writes the registry's instruments in Prometheus text
+// exposition format. Safe to call concurrently with recording; values
+// are point-in-time atomic loads. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, labels := range f.order {
+			switch it := f.items[labels].(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, renderLabels(labels), it.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, renderLabels(labels), it.Value())
+			case *Histogram:
+				writeHistogram(bw, f.name, labels, it)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// renderLabels wraps a pre-rendered label body in braces, or returns
+// the empty string for an unlabeled instrument.
+func renderLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// withLE appends the le label to a (possibly empty) label body.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + labels + `,le="` + le + `"}`
+}
+
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		var le string
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(float64(h.bounds[i])/1e9, 'g', -1, 64)
+		} else {
+			le = "+Inf"
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(labels, le), cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(labels), strconv.FormatFloat(float64(h.Sum())/1e9, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(labels), h.Count())
+}
+
+// MetricsHandler returns an http.Handler serving the registry in
+// Prometheus text exposition format — the /metrics endpoint of the
+// fairnn-server operator listener.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Labels renders a Prometheus label body from alternating key, value
+// pairs: Labels("shard", "3", "op", "arm") → `op="arm",shard="3"`.
+// Keys are sorted so the same logical label set always produces the
+// same registry slot. Construction-time helper; allocates.
+func Labels(kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("obs.Labels: odd key/value count")
+	}
+	type pair struct{ k, v string }
+	ps := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ps = append(ps, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].k < ps[j].k })
+	out := ""
+	for i, p := range ps {
+		if i > 0 {
+			out += ","
+		}
+		out += p.k + `="` + p.v + `"`
+	}
+	return out
+}

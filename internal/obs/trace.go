@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fairnn/internal/rng"
+)
+
+// saltTrace keys the trace-sampling substream. The 1-in-N decision for
+// a query is rng.Mix64(querySeed ^ saltTrace) % N — a pure function of
+// the query's seed through a derived substream, exactly the
+// backoff-jitter discipline: the query's own sample stream is never
+// consulted, so tracing on/off cannot move a single draw. (The
+// rngstream analyzer enforces this shape statically: trace-sampling
+// gates must never be fed from a .rng stream field.)
+const saltTrace = 0x712a_ce5e
+
+// Tracer samples roughly one query in everyN for structured tracing and
+// retains the most recent traces in a fixed ring. A nil *Tracer never
+// samples. Sampling decisions are deterministic per query seed, so a
+// rerun of the same seeded workload traces the same queries.
+type Tracer struct {
+	everyN  uint64
+	sampled atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+	n    int
+}
+
+// NewTracer builds a tracer sampling 1-in-everyN queries with a ring of
+// capacity retained traces (capacity < 1 defaults to 16).
+func NewTracer(everyN, capacity int) *Tracer {
+	if everyN < 1 {
+		everyN = 1
+	}
+	if capacity < 1 {
+		capacity = 16
+	}
+	return &Tracer{everyN: uint64(everyN), ring: make([]*Trace, capacity)}
+}
+
+// ShouldSample reports whether the query with the given per-query seed
+// is traced. Pure, zero-alloc, draws no randomness from any stream.
+//
+//fairnn:noalloc
+func (t *Tracer) ShouldSample(querySeed uint64) bool {
+	if t == nil {
+		return false
+	}
+	return rng.Mix64(querySeed^saltTrace)%t.everyN == 0
+}
+
+// Start begins a trace for a sampled query. Allocates — call only after
+// ShouldSample said yes (the 1-in-N path).
+func (t *Tracer) Start(querySeed uint64) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.sampled.Add(1)
+	return &Trace{Seed: querySeed, start: time.Now()}
+}
+
+// Publish retires a finished trace into the ring.
+func (t *Tracer) Publish(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	tr.Wall = time.Since(tr.start)
+	t.mu.Lock()
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Sampled returns how many queries have been traced.
+func (t *Tracer) Sampled() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.sampled.Load()
+}
+
+// Recent returns the retained traces, oldest first.
+func (t *Tracer) Recent() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Trace, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(t.next-t.n+i+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// Trace is one sampled query's span tree. Span mutation goes through a
+// trace-wide mutex, so spans may be opened and closed from the parallel
+// arm fan-out workers.
+type Trace struct {
+	// Seed is the query's per-query stream seed (the trace identity).
+	Seed uint64
+	// Wall is the whole query's wall time, stamped by Publish.
+	Wall time.Duration
+	// Spans are the root-level spans in creation order.
+	Spans []*Span
+
+	start time.Time
+	mu    sync.Mutex
+}
+
+// Span is one timed operation in a trace: a backend op (arm / segment /
+// pick), a rejection round, or any annotated stage, with child spans
+// nested under it.
+type Span struct {
+	// Op names the operation ("arm", "round", "segment", "pick", ...).
+	Op string
+	// Shard is the shard index the op ran against, -1 when not
+	// shard-scoped.
+	Shard int
+	// Start and End are offsets from the trace start.
+	Start, End time.Duration
+	// Attempts counts resilient-call attempts beyond the first (retry
+	// annotation).
+	Attempts int
+	// Err is the final error of a failed op, "" on success.
+	Err string
+	// Notes carries event annotations (degraded, fault, backoff, ...).
+	Notes []string
+	// Children are nested spans in creation order.
+	Children []*Span
+
+	tr *Trace
+}
+
+// Begin opens a root-level span. Nil-safe: returns nil on a nil trace.
+func (tr *Trace) Begin(op string, shard int) *Span {
+	if tr == nil {
+		return nil
+	}
+	sp := &Span{Op: op, Shard: shard, Start: time.Since(tr.start), tr: tr}
+	tr.mu.Lock()
+	tr.Spans = append(tr.Spans, sp)
+	tr.mu.Unlock()
+	return sp
+}
+
+// Child opens a span nested under sp. Nil-safe.
+func (sp *Span) Child(op string, shard int) *Span {
+	if sp == nil {
+		return nil
+	}
+	c := &Span{Op: op, Shard: shard, Start: time.Since(sp.tr.start), tr: sp.tr}
+	sp.tr.mu.Lock()
+	sp.Children = append(sp.Children, c)
+	sp.tr.mu.Unlock()
+	return c
+}
+
+// Done closes the span, recording err (nil for success). Nil-safe.
+func (sp *Span) Done(err error) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.End = time.Since(sp.tr.start)
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	sp.tr.mu.Unlock()
+}
+
+// Retry records one additional call attempt. Nil-safe.
+func (sp *Span) Retry() {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.Attempts++
+	sp.tr.mu.Unlock()
+}
+
+// Note appends an event annotation. Nil-safe.
+func (sp *Span) Note(s string) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.Notes = append(sp.Notes, s)
+	sp.tr.mu.Unlock()
+}

@@ -66,16 +66,20 @@ func (h *healthRegistry) allow(j int) bool {
 }
 
 // ok records a successful arm: remember the estimate and re-admit the
-// shard if it was unhealthy.
+// shard if it was unhealthy. It reports whether this call flipped the
+// shard healthy (a probe success), so the caller can count the
+// transition.
 //
 //fairnn:noalloc
-func (h *healthRegistry) ok(j int, est float64) {
+func (h *healthRegistry) ok(j int, est float64) bool {
 	sh := &h.shards[j]
 	sh.estBits.Store(math.Float64bits(est))
 	sh.estKnown.Store(true)
 	if sh.down.CompareAndSwap(true, false) {
 		sh.readmits.Add(1)
+		return true
 	}
+	return false
 }
 
 // fail records an exhausted budget and marks the shard unhealthy.

@@ -10,6 +10,7 @@ import (
 
 	"fairnn/internal/core"
 	"fairnn/internal/fault"
+	"fairnn/internal/obs"
 	"fairnn/internal/rng"
 	"fairnn/internal/wire"
 )
@@ -172,6 +173,14 @@ type RemoteConfig struct {
 	// (including lazy redials after a connection death); 0 means no
 	// bound.
 	DialTimeout time.Duration
+	// Obs, when non-nil, registers the shard-layer telemetry bundle plus
+	// each connection's wire-client instruments (per-op round-trip
+	// latency, redials) and records into them. A nil registry is
+	// contractually invisible.
+	Obs *obs.Registry
+	// TraceEveryN, with Obs set, samples roughly one query in N into the
+	// registry's tracer; 0 disables tracing.
+	TraceEveryN int
 }
 
 // Connect dials one fairnn-server per address and assembles a Sharded
@@ -260,8 +269,13 @@ func Connect[P any](codec wire.PointCodec[P], addrs []string, cfg RemoteConfig) 
 		qseed: m0.QueryStreamSeed,
 	}
 	s.health = newHealthRegistry(shards, s.res.ProbeEvery)
+	s.met = newShardMetrics(cfg.Obs, shards)
+	if cfg.TraceEveryN > 0 {
+		s.trc = cfg.Obs.EnableTracing(cfg.TraceEveryN, traceRingCapacity)
+	}
 	s.backends = make([]Backend[P], shards)
 	for j := range s.backends {
+		clients[j].Observe(cfg.Obs)
 		var b Backend[P] = &remoteBackend[P]{c: clients[j], codec: codec, shard: j, n: clients[j].Meta().ShardN}
 		if cfg.Injector != nil {
 			b = &faultBackend[P]{next: b, inj: cfg.Injector, shard: j}

@@ -9,6 +9,7 @@ import (
 	"fairnn/internal/core"
 	"fairnn/internal/fault"
 	"fairnn/internal/lsh"
+	"fairnn/internal/obs"
 	"fairnn/internal/stats"
 	"fairnn/internal/wire"
 )
@@ -125,6 +126,55 @@ func TestRemoteBackendIdenticalStreams(t *testing.T) {
 				t.Fatalf("batch %d id %d: remote %d != in-process %d", i, x, rids[x], iids[x])
 			}
 		}
+	}
+}
+
+// TestRemoteObserveBitEquivalence extends the idle-telemetry contract
+// across the wire: a Connect with a live registry and trace sampling
+// must emit the same sample stream as a bare Connect over the same
+// fleet. The client-side instruments (request latency, shard ops,
+// draws) and the trace ring must nonetheless have recorded work, so the
+// test cannot pass with telemetry silently disconnected.
+func TestRemoteObserveBitEquivalence(t *testing.T) {
+	const n, ball, S = 256, 16, 4
+	const seed = 408
+	addrs, _ := startLineFleet(t, n, ball-1, S, RoundRobin{}, seed)
+	bare, err := Connect[int](wire.IntCodec{}, addrs, RemoteConfig{DialTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	reg := obs.NewRegistry()
+	obsd, err := Connect[int](wire.IntCodec{}, addrs, RemoteConfig{
+		Obs: reg, TraceEveryN: 3, DialTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obsd.Close()
+
+	for i := 0; i < 250; i++ {
+		q := (i * 7) % n
+		var bst, ost core.QueryStats
+		bid, bok := bare.Sample(q, &bst)
+		oid, ook := obsd.Sample(q, &ost)
+		if bid != oid || bok != ook {
+			t.Fatalf("draw %d (q=%d): observed (%d,%v) != bare (%d,%v)", i, q, oid, ook, bid, bok)
+		}
+		if bst.Rounds != ost.Rounds || bst.ScoreEvals != ost.ScoreEvals || bst.ShardChosen != ost.ShardChosen {
+			t.Fatalf("draw %d: stats diverged: observed (rounds=%d evals=%d shard=%d), bare (rounds=%d evals=%d shard=%d)",
+				i, ost.Rounds, ost.ScoreEvals, ost.ShardChosen, bst.Rounds, bst.ScoreEvals, bst.ShardChosen)
+		}
+	}
+	if c := reg.Counter("fairnn_draws_total", obs.Labels("layer", "shard"), ""); c.Value() == 0 {
+		t.Fatal("registry recorded no shard-layer draws over the wire")
+	}
+	if h := reg.Histogram("fairnn_client_request_seconds", obs.Labels("shard", "0", "op", "arm"), ""); h.Count() == 0 {
+		t.Fatal("client request histogram recorded no arm round-trips for shard 0")
+	}
+	trc := reg.Tracer()
+	if trc == nil || trc.Sampled() == 0 || len(trc.Recent()) == 0 {
+		t.Fatalf("trace ring idle after 250 remote draws at everyN=3 (tracer=%v)", trc)
 	}
 }
 

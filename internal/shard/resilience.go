@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fairnn/internal/core"
+	"fairnn/internal/obs"
 	"fairnn/internal/rng"
 )
 
@@ -140,9 +141,25 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // cancellation is surfaced immediately and does NOT mark the shard
 // unhealthy — an impatient caller is not evidence against the shard.
 //
+// Telemetry: the whole call (retries and backoff included) lands in the
+// per-(shard, op) latency histogram, retries and backoff sleeps in
+// their counters, and sp — the traced query's span for this op, nil for
+// the untraced 1-in-N complement — collects retry and fail-fast
+// annotations. All of it is observational: no randomness, no
+// allocations, no-op without a registry.
+//
 //fairnn:noalloc
-func (s *Sharded[P]) callShard(ctx context.Context, ses *session[P], j int, op string, opSalt uint64, fn func(context.Context) error) error {
+func (s *Sharded[P]) callShard(ctx context.Context, ses *session[P], j int, op string, opIdx int, opSalt uint64, sp *obs.Span, fn func(context.Context) error) error {
+	m := s.met
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	if !s.health.allow(j) {
+		m.opFailed(j, opIdx, time.Since(t0))
+		if sp != nil {
+			sp.Note("health gate: shard down, failing fast")
+		}
 		return &ShardError{Shard: j, Op: op, Err: ErrShardDown} //fairnn:allocok cold failure path: shard already marked down
 	}
 	var br rng.Source
@@ -158,25 +175,35 @@ func (s *Sharded[P]) callShard(ctx context.Context, ses *session[P], j int, op s
 			cancel()
 		}
 		if err == nil {
+			m.opOK(j, opIdx, time.Since(t0))
 			return nil
 		}
 		lastErr = err
 		if ctx.Err() != nil {
+			m.opFailed(j, opIdx, time.Since(t0))
 			return &ShardError{Shard: j, Op: op, Err: ctx.Err()}
 		}
 		if attempt >= s.res.Retries {
 			break
+		}
+		m.retried(j, opIdx)
+		if sp != nil {
+			sp.Retry()
 		}
 		if !brSeeded {
 			br.Seed(rng.Mix64(ses.boSeed ^ uint64(j)<<20 ^ opSalt))
 			brSeeded = true
 		}
 		if d := backoffDelay(&br, s.res.BackoffBase, s.res.BackoffMax, attempt); d > 0 {
+			m.backoff(d)
 			if sleepCtx(ctx, d) != nil {
+				m.opFailed(j, opIdx, time.Since(t0))
 				return &ShardError{Shard: j, Op: op, Err: ctx.Err()}
 			}
 		}
 	}
 	s.health.fail(j)
+	s.met.wentDown()
+	m.opFailed(j, opIdx, time.Since(t0))
 	return &ShardError{Shard: j, Op: op, Err: lastErr} //fairnn:allocok cold failure path: retries exhausted
 }

@@ -1,10 +1,11 @@
 package shard
 
 // The resilience gauge behind scripts/bench.sh: it measures query
-// latency (p50/p99 over many single draws) on an 8-shard sampler in two
-// states — all shards healthy, and 1 of 8 shards force-failed with
-// degraded mode absorbing the loss — and reports machine-parseable
-// RESILIENCE lines the bench script folds into BENCH_PR6.json. The
+// latency (p50/p90/p99/p999 over many single draws, read from the
+// shared obs latency histogram) on an 8-shard sampler in two states —
+// all shards healthy, and 1 of 8 shards force-failed with degraded mode
+// absorbing the loss — and reports machine-parseable RESILIENCE lines
+// the bench script folds into the bench history (BENCH_PR10.json). The
 // faulted numbers quantify the price of losing a failure domain: the
 // first query pays the retry budget, steady state pays only the health
 // registry's fail-fast gate plus periodic re-admission probes.
@@ -16,37 +17,30 @@ package shard
 import (
 	"context"
 	"fmt"
-	"sort"
 	"testing"
 	"time"
 
 	"fairnn/internal/core"
 	"fairnn/internal/fault"
 	"fairnn/internal/lsh"
+	"fairnn/internal/obs"
 )
 
-// timeDraws runs reps single draws and returns per-draw latencies.
-func timeDraws(t *testing.T, s *Sharded[int], n, reps int) []time.Duration {
+// timeDraws runs reps single draws and returns their latency histogram.
+func timeDraws(t *testing.T, s *Sharded[int], n, reps int) *obs.Histogram {
 	t.Helper()
-	lat := make([]time.Duration, reps)
+	h := obs.NewHistogram()
 	ctx := context.Background()
 	for i := 0; i < reps; i++ {
 		q := (i * 997) % n
 		start := time.Now()
 		_, err := s.SampleContext(ctx, q, nil)
-		lat[i] = time.Since(start)
+		h.Observe(time.Since(start))
 		if err != nil {
 			t.Fatalf("draw %d failed: %v", i, err)
 		}
 	}
-	return lat
-}
-
-func percentile(lat []time.Duration, p float64) float64 {
-	sorted := append([]time.Duration(nil), lat...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(p * float64(len(sorted)-1))
-	return float64(sorted[idx].Nanoseconds())
+	return h
 }
 
 // TestResilienceGauge compares healthy vs 1-of-8-shards-faulted query
@@ -89,8 +83,11 @@ func TestResilienceGauge(t *testing.T) {
 		t.Fatal("faulted gauge sampler not reporting degraded queries")
 	}
 
-	fmt.Printf("RESILIENCE state=healthy shards=%d n=%d reps=%d p50_ns=%.0f p99_ns=%.0f\n",
-		S, n, reps, percentile(healthyLat, 0.50), percentile(healthyLat, 0.99))
-	fmt.Printf("RESILIENCE state=faulted1of8 shards=%d n=%d reps=%d p50_ns=%.0f p99_ns=%.0f\n",
-		S, n, reps, percentile(faultedLat, 0.50), percentile(faultedLat, 0.99))
+	for _, g := range []struct {
+		state string
+		h     *obs.Histogram
+	}{{"healthy", healthyLat}, {"faulted1of8", faultedLat}} {
+		fmt.Printf("RESILIENCE state=%s shards=%d n=%d reps=%d p50_ns=%d p90_ns=%d p99_ns=%d p999_ns=%d\n",
+			g.state, S, n, reps, g.h.Quantile(0.50), g.h.Quantile(0.90), g.h.Quantile(0.99), g.h.Quantile(0.999))
+	}
 }

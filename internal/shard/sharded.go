@@ -8,10 +8,12 @@ import (
 	"math/bits"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"fairnn/internal/core"
 	"fairnn/internal/fault"
 	"fairnn/internal/lsh"
+	"fairnn/internal/obs"
 	"fairnn/internal/rng"
 )
 
@@ -92,6 +94,12 @@ type Sharded[P any] struct {
 	health *healthRegistry
 	inj    *fault.Injector
 
+	// met is the shard-layer instrument bundle (nil without a registry —
+	// contractually invisible); trc is the sampled per-query tracer (nil
+	// when tracing is off).
+	met *shardMetrics
+	trc *obs.Tracer
+
 	qseed uint64
 	qctr  atomic.Uint64
 
@@ -120,6 +128,12 @@ type session[P any] struct {
 	est    []float64
 	errs   []error
 	boSeed uint64
+	// trace is non-nil for the 1-in-N sampled queries (see obs.Tracer);
+	// the decision is a pure hash of the query seed, never a stream draw.
+	trace *obs.Trace
+	// mstats collects per-draw counter deltas for the telemetry bundle
+	// when the caller passed a nil *core.QueryStats.
+	mstats core.QueryStats
 }
 
 // Config collects the build-time knobs of a sharded sampler beyond the
@@ -138,6 +152,16 @@ type Config struct {
 	// every backend call (tests only; must be built for the same shard
 	// count).
 	Injector *fault.Injector
+	// Obs, when non-nil, registers the shard-layer telemetry bundle
+	// (draw loop, per-(shard, op) backend-call latency, retries, backoff,
+	// health transitions) and records into it. A nil registry is
+	// contractually invisible: bit-identical streams, zero allocations.
+	Obs *obs.Registry
+	// TraceEveryN, with Obs set, samples roughly one query in N into the
+	// registry's tracer (structured span trees over the backend seam);
+	// 0 disables tracing. The sampling decision is a pure hash of the
+	// query seed through a derived substream — never a stream draw.
+	TraceEveryN int
 }
 
 // Build partitions points across shards with part (nil defaults to
@@ -212,6 +236,10 @@ func BuildConfig[P any](space core.Space[P], family lsh.Family[P], paramsFor fun
 		inj:        cfg.Injector,
 	}
 	s.health = newHealthRegistry(shards, s.res.ProbeEvery)
+	s.met = newShardMetrics(cfg.Obs, shards)
+	if cfg.TraceEveryN > 0 {
+		s.trc = cfg.Obs.EnableTracing(cfg.TraceEveryN, traceRingCapacity)
+	}
 	errs := make([]error, shards)
 	fanOut(shards, func(j int) {
 		defer func() {
@@ -368,6 +396,12 @@ func (s *Sharded[P]) begin(ctx context.Context, q P, st *core.QueryStats, parall
 	seed := s.qseed ^ rng.Mix64(s.qctr.Add(1))
 	ses.rng.Seed(seed)
 	ses.boSeed = rng.Mix64(seed ^ 0xb0ff5eed)
+	ses.trace = nil
+	if t := s.trc; t != nil && t.ShouldSample(seed) {
+		// The 1-in-N traced path may allocate; the decision above is a
+		// pure hash of the seed, so untraced queries are untouched.
+		ses.trace = t.Start(seed)
+	}
 	if st != nil {
 		st.Degraded.LostShards = st.Degraded.LostShards[:0]
 		st.Degraded.LostPoints = 0
@@ -448,17 +482,34 @@ func (s *Sharded[P]) begin(ctx context.Context, q P, st *core.QueryStats, parall
 //
 //fairnn:noalloc
 func (s *Sharded[P]) armShard(ctx context.Context, ses *session[P], j int, q P, st *core.QueryStats) {
+	var sp *obs.Span
+	if ses.trace != nil {
+		sp = ses.trace.Begin("arm", j)
+	}
 	if !s.resOn {
-		_ = s.backends[j].Arm(ctx, &ses.plans[j], q, st)
+		m := s.met
+		if m == nil && sp == nil {
+			_ = s.backends[j].Arm(ctx, &ses.plans[j], q, st)
+			return
+		}
+		t0 := time.Now()
+		err := s.backends[j].Arm(ctx, &ses.plans[j], q, st)
+		m.opOK(j, opArm, time.Since(t0))
+		if sp != nil {
+			sp.Done(err)
+		}
 		return
 	}
 	//fairnn:allocok resilience envelope: the resOn path trades one closure per call for panic/deadline containment
-	err := s.callShard(ctx, ses, j, "arm", saltArm, func(actx context.Context) error {
+	err := s.callShard(ctx, ses, j, "arm", opArm, saltArm, sp, func(actx context.Context) error {
 		// Each attempt re-arms from a clean plan: a prior attempt may
 		// have panicked or timed out partway through arming.
 		ses.plans[j].Abort()
 		return s.backends[j].Arm(actx, &ses.plans[j], q, st)
 	})
+	if sp != nil {
+		sp.Done(err)
+	}
 	if err != nil {
 		ses.plans[j].Abort()
 		ses.dead[j] = true
@@ -466,7 +517,9 @@ func (s *Sharded[P]) armShard(ctx context.Context, ses *session[P], j int, q P, 
 		return
 	}
 	ses.est[j] = ses.plans[j].Estimate()
-	s.health.ok(j, ses.est[j])
+	if s.health.ok(j, ses.est[j]) {
+		s.met.readmitted()
+	}
 }
 
 // armVerdict decides what an arm round with failures means: with
@@ -563,6 +616,7 @@ func (s *Sharded[P]) loseShard(ses *session[P], j int, st *core.QueryStats, caus
 		ses.dead[j] = true
 		ses.est[j] = ses.plans[j].Estimate()
 		ses.plans[j].Abort()
+		s.met.lost()
 	}
 	s.noteDegraded(ses, st)
 	total := 0
@@ -582,10 +636,10 @@ func (s *Sharded[P]) loseShard(ses *session[P], j int, st *core.QueryStats, caus
 // segmentNearResilient is SegmentNear through callShard's envelope.
 //
 //fairnn:noalloc
-func (s *Sharded[P]) segmentNearResilient(ctx context.Context, ses *session[P], j, h int, st *core.QueryStats) (int, error) {
+func (s *Sharded[P]) segmentNearResilient(ctx context.Context, ses *session[P], j, h int, st *core.QueryStats, sp *obs.Span) (int, error) {
 	n := 0
 	//fairnn:allocok resilience envelope: the resOn path trades one closure per call for panic/deadline containment
-	err := s.callShard(ctx, ses, j, "segment", saltSegment, func(actx context.Context) error {
+	err := s.callShard(ctx, ses, j, "segment", opSegment, saltSegment, sp, func(actx context.Context) error {
 		v, err := s.backends[j].SegmentNear(actx, &ses.plans[j], h, st)
 		n = v
 		return err
@@ -596,10 +650,10 @@ func (s *Sharded[P]) segmentNearResilient(ctx context.Context, ses *session[P], 
 // pickResilient is Pick through callShard's envelope.
 //
 //fairnn:noalloc
-func (s *Sharded[P]) pickResilient(ctx context.Context, ses *session[P], j int) (int32, error) {
+func (s *Sharded[P]) pickResilient(ctx context.Context, ses *session[P], j int, sp *obs.Span) (int32, error) {
 	var id int32
 	//fairnn:allocok resilience envelope: the resOn path trades one closure per call for panic/deadline containment
-	err := s.callShard(ctx, ses, j, "pick", saltPick, func(actx context.Context) error {
+	err := s.callShard(ctx, ses, j, "pick", opPick, saltPick, sp, func(actx context.Context) error {
 		v, err := s.backends[j].Pick(actx, &ses.plans[j], &ses.rng)
 		id = v
 		return err
@@ -612,13 +666,62 @@ func (s *Sharded[P]) pickResilient(ctx context.Context, ses *session[P], j int) 
 //
 //fairnn:noalloc
 func (s *Sharded[P]) release(ses *session[P]) {
+	if ses.trace != nil {
+		s.trc.Publish(ses.trace)
+		ses.trace = nil
+	}
 	for j := range ses.plans {
 		ses.plans[j].Close()
 	}
 	s.pool.Put(ses)
 }
 
-// drawResolved runs one two-stage rejection draw against an armed
+// drawResolved is the telemetry choke point around drawOnce: without a
+// registry it is a tail call (the disabled path pays nothing); with one
+// it times the draw and records outcome, rejection-round and scoring
+// deltas, and degradation into the layer="shard" bundle, counting into
+// the session's scratch stats when the caller passed nil. Metrics
+// writes are observational and draw no randomness, so same-seed streams
+// stay bit-identical either way.
+//
+//fairnn:noalloc
+func (s *Sharded[P]) drawResolved(ctx context.Context, ses *session[P], st *core.QueryStats) (int32, bool, error) {
+	m := s.met
+	if m == nil {
+		return s.drawOnce(ctx, ses, st)
+	}
+	if st == nil {
+		ses.mstats = core.QueryStats{}
+		st = &ses.mstats
+	}
+	preRounds, preHits := st.Rounds, st.ScoreCacheHits
+	preBatch, preEvals := st.BatchScored, st.ScoreEvals
+	degraded := false
+	if s.resOn {
+		for j := range ses.dead {
+			if ses.dead[j] {
+				degraded = true
+				break
+			}
+		}
+	}
+	t0 := time.Now()
+	id, ok, err := s.drawOnce(ctx, ses, st)
+	if !degraded && s.resOn {
+		// A shard lost during this draw degrades it too.
+		for j := range ses.dead {
+			if ses.dead[j] {
+				degraded = true
+				break
+			}
+		}
+	}
+	m.draw.ObserveDraw(time.Since(t0), ok, st.Rounds-preRounds, st.ScoreCacheHits-preHits,
+		st.BatchScored-preBatch, st.ScoreEvals-preEvals, degraded)
+	return id, ok, err
+}
+
+// drawOnce runs one two-stage rejection draw against an armed
 // session. The round structure — counter, ctx poll cadence, segment
 // pick, Σ-budget halving order, acceptance clamp — mirrors the unsharded
 // sampleResolved exactly, so with S=1 the randomness is spent call for
@@ -627,7 +730,7 @@ func (s *Sharded[P]) release(ses *session[P]) {
 // lost); ok=false with a nil error is the ordinary no-sample outcome.
 //
 //fairnn:noalloc
-func (s *Sharded[P]) drawResolved(ctx context.Context, ses *session[P], st *core.QueryStats) (int32, bool, error) {
+func (s *Sharded[P]) drawOnce(ctx context.Context, ses *session[P], st *core.QueryStats) (int32, bool, error) {
 	for j := range ses.plans {
 		ses.plans[j].ResetDraw()
 	}
@@ -668,10 +771,18 @@ func (s *Sharded[P]) drawResolved(ctx context.Context, ses *session[P], st *core
 		if st != nil && j < len(st.ShardRounds) {
 			st.ShardRounds[j]++
 		}
+		var sp *obs.Span
+		if ses.trace != nil {
+			sp = ses.trace.Begin("segment", j)
+		}
 		var lqh int
 		if s.resOn {
-			n, err := s.segmentNearResilient(ctx, ses, j, u, st)
+			n, err := s.segmentNearResilient(ctx, ses, j, u, st, sp)
 			if err != nil {
+				if sp != nil {
+					sp.Note("shard lost: leaving union pool")
+					sp.Done(err)
+				}
 				total, err = s.loseShard(ses, j, st, err)
 				if err != nil {
 					if st != nil {
@@ -689,6 +800,9 @@ func (s *Sharded[P]) drawResolved(ctx context.Context, ses *session[P], st *core
 			lqh = n
 		} else {
 			lqh, _ = s.backends[j].SegmentNear(ctx, &ses.plans[j], u, st)
+		}
+		if sp != nil {
+			sp.Done(nil)
 		}
 		sigmaFail++
 		if sigmaFail >= s.sigma {
@@ -745,10 +859,18 @@ func (s *Sharded[P]) drawResolved(ctx context.Context, ses *session[P], st *core
 			p = 1
 		}
 		if ses.rng.Bernoulli(p) {
+			var psp *obs.Span
+			if ses.trace != nil {
+				psp = ses.trace.Begin("pick", j)
+			}
 			var local int32
 			if s.resOn {
-				v, err := s.pickResilient(ctx, ses, j)
+				v, err := s.pickResilient(ctx, ses, j, psp)
 				if err != nil {
+					if psp != nil {
+						psp.Note("shard lost: leaving union pool")
+						psp.Done(err)
+					}
 					total, err = s.loseShard(ses, j, st, err)
 					if err != nil {
 						if st != nil {
@@ -764,6 +886,9 @@ func (s *Sharded[P]) drawResolved(ctx context.Context, ses *session[P], st *core
 				local = v
 			} else {
 				local, _ = s.backends[j].Pick(ctx, &ses.plans[j], &ses.rng)
+			}
+			if psp != nil {
+				psp.Done(nil)
 			}
 			if st != nil {
 				st.FinalK = total

@@ -39,6 +39,10 @@ type Client struct {
 	reqMu  sync.Mutex // guards reqID wrap-around skip of 0
 	reqID  uint32
 	planID uint64 // guarded by mu
+
+	// met is the client's instrument set (see Observe); nil means
+	// telemetry is off, which is contractually invisible.
+	met *clientMetrics
 }
 
 // connState is the lifetime of one underlying socket: its pending-call
@@ -214,6 +218,9 @@ func (c *Client) conn() (*connState, error) {
 			return c.cs, nil
 		}
 	}
+	// Every dial from here is a reconnect: the first dial happens in
+	// Dial, before the client exists to callers.
+	c.met.redialed()
 	cs, meta, err := c.dial()
 	if err != nil {
 		return nil, err
@@ -263,6 +270,18 @@ func (c *Client) Addr() string { return c.addr }
 // typed server failure, a *ProtocolError for framing violations, or a
 // transport error wrapping ErrClosed.
 func (c *Client) Call(ctx context.Context, op Op, payload []byte) ([]byte, error) {
+	m := c.met
+	if m == nil {
+		return c.call(ctx, op, payload)
+	}
+	t0 := time.Now()
+	b, err := c.call(ctx, op, payload)
+	m.observe(op, time.Since(t0), err)
+	return b, err
+}
+
+// call is Call without the telemetry envelope.
+func (c *Client) call(ctx context.Context, op Op, payload []byte) ([]byte, error) {
 	if len(payload) > MaxPayload {
 		return nil, &ProtocolError{Reason: fmt.Sprintf("request payload %d exceeds cap %d", len(payload), MaxPayload)}
 	}

@@ -1,0 +1,157 @@
+package wire
+
+import (
+	"strconv"
+	"time"
+
+	"fairnn/internal/obs"
+)
+
+// Telemetry for the wire seam. Both ends follow the module's
+// disabled-telemetry contract: without an Observe call (or with a nil
+// registry) the metrics pointers stay nil and every record helper is a
+// no-op — no branching in callers, no allocations, no behavior change.
+// Instruments are keyed by the server's shard index, so a fleet of
+// clients or servers can share one registry without colliding.
+
+// opInstrument returns one instrument per protocol op, indexed by the
+// op byte (ops are 1..7; slot 0 is unused). fn builds the instrument
+// for one op name.
+func perOp[T any](fn func(opName string) T) [8]T {
+	var out [8]T
+	for op := OpHello; op <= OpErr; op++ {
+		out[op] = fn(op.String())
+	}
+	return out
+}
+
+// clientMetrics is the client-side instrument set: per-op request
+// round-trip latency and failures, plus redial attempts.
+type clientMetrics struct {
+	lat     [8]*obs.Histogram
+	errs    [8]*obs.Counter
+	redials *obs.Counter
+}
+
+// Observe registers the client's instruments (labeled by the server's
+// shard index) and starts recording. Call once, after Dial and before
+// the client is shared; a nil registry leaves telemetry off.
+func (c *Client) Observe(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	shard := strconv.Itoa(c.meta.ShardIndex)
+	c.met = &clientMetrics{
+		lat: perOp(func(op string) *obs.Histogram {
+			return r.Histogram("fairnn_client_request_seconds", obs.Labels("shard", shard, "op", op), "wire request round-trip latency")
+		}),
+		errs: perOp(func(op string) *obs.Counter {
+			return r.Counter("fairnn_client_request_errors_total", obs.Labels("shard", shard, "op", op), "wire requests that returned an error")
+		}),
+		redials: r.Counter("fairnn_client_redials_total", obs.Labels("shard", shard), "lazy reconnect attempts after a dead socket"),
+	}
+}
+
+// observe records one finished call.
+//
+//fairnn:noalloc
+func (m *clientMetrics) observe(op Op, d time.Duration, err error) {
+	if m == nil || op >= 8 {
+		return
+	}
+	m.lat[op].Observe(d)
+	if err != nil {
+		m.errs[op].Inc()
+	}
+}
+
+// redialed records one reconnect attempt.
+//
+//fairnn:noalloc
+func (m *clientMetrics) redialed() {
+	if m == nil {
+		return
+	}
+	m.redials.Inc()
+}
+
+// serverMetrics is the server-side instrument set: per-op handling
+// latency, deadline sheds, drain refusals, and the active plan /
+// connection gauges.
+type serverMetrics struct {
+	lat         [8]*obs.Histogram
+	sheds       *obs.Counter
+	drains      *obs.Counter
+	activePlans *obs.Gauge
+	activeConns *obs.Gauge
+}
+
+// Observe registers the server's instruments (labeled by its shard
+// index) and starts recording. Call before Serve; a nil registry leaves
+// telemetry off.
+func (s *Server[P]) Observe(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	shard := strconv.Itoa(s.meta.ShardIndex)
+	l := obs.Labels("shard", shard)
+	s.met = &serverMetrics{
+		lat: perOp(func(op string) *obs.Histogram {
+			return r.Histogram("fairnn_server_request_seconds", obs.Labels("shard", shard, "op", op), "wire request handling latency")
+		}),
+		sheds:       r.Counter("fairnn_server_deadline_sheds_total", l, "requests shed because their deadline expired before execution"),
+		drains:      r.Counter("fairnn_server_drains_refused_total", l, "arm requests refused while draining"),
+		activePlans: r.Gauge("fairnn_server_active_plans", l, "armed, unreleased plans across all connections"),
+		activeConns: r.Gauge("fairnn_server_active_conns", l, "live client connections"),
+	}
+}
+
+// handled records one dispatched request.
+//
+//fairnn:noalloc
+func (m *serverMetrics) handled(op Op, d time.Duration) {
+	if m == nil || op >= 8 {
+		return
+	}
+	m.lat[op].Observe(d)
+}
+
+// shed records one deadline shed.
+//
+//fairnn:noalloc
+func (m *serverMetrics) shed() {
+	if m == nil {
+		return
+	}
+	m.sheds.Inc()
+}
+
+// drainRefused records one arm refused while draining.
+//
+//fairnn:noalloc
+func (m *serverMetrics) drainRefused() {
+	if m == nil {
+		return
+	}
+	m.drains.Inc()
+}
+
+// plans mirrors the active-plan count onto the gauge.
+//
+//fairnn:noalloc
+func (m *serverMetrics) plans(n int64) {
+	if m == nil {
+		return
+	}
+	m.activePlans.Set(n)
+}
+
+// conns mirrors the live-connection count onto the gauge.
+//
+//fairnn:noalloc
+func (m *serverMetrics) conns(n int) {
+	if m == nil {
+		return
+	}
+	m.activeConns.Set(int64(n))
+}

@@ -426,6 +426,19 @@ type HealthRecord struct {
 	Probes uint64
 	// Readmissions counts down→healthy transitions.
 	Readmissions uint64
+	// Sheds counts requests the serving side shed because their
+	// deadline expired before execution. Stamped by the server for its
+	// own shard; zero in client-side snapshots.
+	Sheds uint64
+	// DrainsRefused counts arm requests refused while the server was
+	// draining. Stamped by the server for its own shard.
+	DrainsRefused uint64
+	// ActivePlans is the server's armed, unreleased plan count at
+	// snapshot time (the drain gauge). Stamped by the server.
+	ActivePlans uint32
+	// ActiveConns is the server's live connection count at snapshot
+	// time. Stamped by the server.
+	ActiveConns uint32
 }
 
 // AppendHealthResp encodes a health snapshot into dst.
@@ -438,6 +451,10 @@ func AppendHealthResp(dst []byte, recs []HealthRecord) []byte {
 		dst = appendU64(dst, r.Skipped)
 		dst = appendU64(dst, r.Probes)
 		dst = appendU64(dst, r.Readmissions)
+		dst = appendU64(dst, r.Sheds)
+		dst = appendU64(dst, r.DrainsRefused)
+		dst = appendU32(dst, r.ActivePlans)
+		dst = appendU32(dst, r.ActiveConns)
 	}
 	return dst
 }
@@ -447,19 +464,23 @@ func DecodeHealthResp(b []byte) ([]HealthRecord, error) {
 	c := cursor{b: b}
 	n := int(c.u32("health.count"))
 	if c.err == nil && n > len(b)/4 {
-		// A record is ≥ 37 bytes; a count this large cannot fit the
+		// A record is ≥ 61 bytes; a count this large cannot fit the
 		// payload, so reject before allocating attacker-chosen capacity.
 		return nil, &ProtocolError{Reason: fmt.Sprintf("health record count %d impossible for %d-byte payload", n, len(b))}
 	}
 	recs := make([]HealthRecord, 0, n)
 	for i := 0; i < n; i++ {
 		recs = append(recs, HealthRecord{
-			Shard:        int(c.u32("health.shard")),
-			Healthy:      c.u8("health.healthy") != 0,
-			Failures:     c.u64("health.failures"),
-			Skipped:      c.u64("health.skipped"),
-			Probes:       c.u64("health.probes"),
-			Readmissions: c.u64("health.readmits"),
+			Shard:         int(c.u32("health.shard")),
+			Healthy:       c.u8("health.healthy") != 0,
+			Failures:      c.u64("health.failures"),
+			Skipped:       c.u64("health.skipped"),
+			Probes:        c.u64("health.probes"),
+			Readmissions:  c.u64("health.readmits"),
+			Sheds:         c.u64("health.sheds"),
+			DrainsRefused: c.u64("health.drainsRefused"),
+			ActivePlans:   c.u32("health.activePlans"),
+			ActiveConns:   c.u32("health.activeConns"),
 		})
 	}
 	return recs, c.done()

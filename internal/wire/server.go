@@ -36,6 +36,16 @@ type Server[P any] struct {
 	draining atomic.Bool
 	active   atomic.Int64 // armed, unreleased plans across all conns
 
+	// Serving counters, always on (plain atomics): stamped onto this
+	// shard's record in health responses, and mirrored into the obs
+	// registry when Observe was called.
+	sheds         atomic.Uint64 // requests shed on expired deadline
+	drainsRefused atomic.Uint64 // arms refused while draining
+
+	// met is the server's instrument set (see Observe in obs.go); nil
+	// means telemetry is off, which is contractually invisible.
+	met *serverMetrics
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -89,6 +99,7 @@ func (s *Server[P]) Serve(ln net.Listener) error {
 			return nil
 		}
 		s.conns[conn] = struct{}{}
+		s.met.conns(len(s.conns))
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go s.serveConn(conn) // serveConn recovers in its own body
@@ -130,6 +141,7 @@ func (s *Server[P]) serveConn(conn net.Conn) {
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
+		s.met.conns(len(s.conns))
 		s.mu.Unlock()
 		conn.Close()
 		cc.pmu.Lock()
@@ -140,7 +152,7 @@ func (s *Server[P]) serveConn(conn net.Conn) {
 			sp.mu.Lock()
 			sp.plan.Close()
 			sp.mu.Unlock()
-			s.active.Add(-1)
+			s.met.plans(s.active.Add(-1))
 		}
 	}()
 	for {
@@ -179,6 +191,8 @@ func (s *Server[P]) handle(cc *connCtx[P], h Header, payload []byte, recv time.T
 	}()
 	if h.DeadlineMicros != 0 {
 		if time.Since(recv) > time.Duration(h.DeadlineMicros)*time.Microsecond {
+			s.sheds.Add(1)
+			s.met.shed()
 			if h.ReqID != 0 {
 				cc.sendErr(h.ReqID, CodeDeadline, "request deadline expired before execution")
 			}
@@ -203,6 +217,7 @@ func (s *Server[P]) handle(cc *connCtx[P], h Header, payload []byte, recv time.T
 			cc.sendErr(h.ReqID, CodeUnsupportedOp, fmt.Sprintf("op %s not supported", h.Op))
 		}
 	}
+	s.met.handled(h.Op, time.Since(recv))
 }
 
 func (s *Server[P]) handleHello(cc *connCtx[P], reqID uint32, payload []byte) {
@@ -220,6 +235,8 @@ func (s *Server[P]) handleHello(cc *connCtx[P], reqID uint32, payload []byte) {
 
 func (s *Server[P]) handleArm(cc *connCtx[P], reqID uint32, payload []byte) {
 	if s.draining.Load() {
+		s.drainsRefused.Add(1)
+		s.met.drainRefused()
 		cc.sendErr(reqID, CodeDraining, "server is draining")
 		return
 	}
@@ -249,7 +266,7 @@ func (s *Server[P]) handleArm(cc *connCtx[P], reqID uint32, payload []byte) {
 	}
 	cc.plans[m.PlanID] = sp
 	cc.pmu.Unlock()
-	s.active.Add(1)
+	s.met.plans(s.active.Add(1))
 
 	var st core.QueryStats
 	s.idx.BeginShardPlan(&sp.plan, q, &st)
@@ -318,14 +335,29 @@ func (s *Server[P]) handleRelease(cc *connCtx[P], payload []byte) {
 		sp.mu.Lock()
 		sp.plan.Close()
 		sp.mu.Unlock()
-		s.active.Add(-1)
+		s.met.plans(s.active.Add(-1))
 	}
 }
 
+// handleHealth answers with the snapshot function's records, stamping
+// this server's own serving counters (deadline sheds, drain refusals,
+// active plans and connections) onto the record matching its shard
+// index — the snapshot fn reports shard health, the server itself is
+// the only authority on its serving pressure.
 func (s *Server[P]) handleHealth(cc *connCtx[P], reqID uint32) {
 	var recs []HealthRecord
 	if s.healthFn != nil {
 		recs = s.healthFn()
+	}
+	for i := range recs {
+		if recs[i].Shard == s.meta.ShardIndex {
+			recs[i].Sheds = s.sheds.Load()
+			recs[i].DrainsRefused = s.drainsRefused.Load()
+			recs[i].ActivePlans = uint32(s.active.Load())
+			s.mu.Lock()
+			recs[i].ActiveConns = uint32(len(s.conns))
+			s.mu.Unlock()
+		}
 	}
 	cc.send(OpHealth, reqID, AppendHealthResp(nil, recs))
 }

@@ -121,6 +121,8 @@ type builder struct {
 	resil     shard.Resilience
 	resilSet  bool
 	inj       *FaultInjector
+	reg       *Registry
+	trcN      int
 	err       error
 }
 
@@ -356,6 +358,48 @@ func WithFaultInjection(inj *FaultInjector) Option {
 	}
 }
 
+// Observe attaches a telemetry registry to the sampler: the draw loop
+// records rejection rounds, memo hits, batch-scored candidates, and
+// draw latency into r (sharded builds additionally record per-shard
+// arm/segment/pick latency, retries, backoff waits, and health
+// transitions). A sampler built without Observe — or with the
+// registry's instruments never read — emits bit-identical same-seed
+// sample streams and allocates nothing extra on the Sample hot path:
+// telemetry is contractually invisible, exactly like an idle fault
+// injector. Expose r over HTTP with MetricsHandler or
+// Registry.WritePrometheus, or read instruments programmatically.
+// Requires an algorithm with an
+// instrumented draw loop: NNIS (the default), Weighted, MultiRadius, or
+// Filter.
+func Observe(r *Registry) Option {
+	return func(b *builder) {
+		if r == nil {
+			b.fail(fmt.Errorf("%w: Observe(nil) — omit the option to disable telemetry", ErrBadOption))
+			return
+		}
+		b.reg = r
+	}
+}
+
+// WithTraceSampling additionally captures a structured span tree (arm →
+// per-shard segment reports → point picks, annotated with retries,
+// degraded transitions, and failure notes) for one in every everyN
+// queries, published to the registry's trace ring (Registry.Tracer).
+// The trace-or-not decision is a pure hash of the query's stream seed —
+// drawn from a derived substream, never from the query's own RNG
+// stream — so traced and untraced runs emit bit-identical sample
+// streams. Requires WithShards (spans follow the per-shard backend
+// seam) and Observe.
+func WithTraceSampling(everyN int) Option {
+	return func(b *builder) {
+		if everyN < 1 {
+			b.fail(fmt.Errorf("%w: WithTraceSampling(%d) needs everyN ≥ 1", ErrBadOption, everyN))
+			return
+		}
+		b.trcN = everyN
+	}
+}
+
 // WithIndependentOptions tunes the Section 4 constructions (NNIS,
 // Weighted, MultiRadius); the zero value follows the paper. An explicitly
 // set Memo field wins over WithMemo. Any other algorithm rejects it with
@@ -414,6 +458,19 @@ func (b *builder) vecConfig() VecConfig {
 	}
 }
 
+// checkTelemetry rejects WithTraceSampling without its prerequisites:
+// the span tree follows the per-shard backend seam, so there is nothing
+// to trace without WithShards, and nowhere to publish without Observe.
+func (b *builder) checkTelemetry() error {
+	if b.trcN > 0 && b.reg == nil {
+		return fmt.Errorf("%w: WithTraceSampling requires Observe (traces publish to the registry's trace ring)", ErrBadOption)
+	}
+	if b.trcN > 0 && !b.shardsSet {
+		return fmt.Errorf("%w: WithTraceSampling requires WithShards (spans follow the per-shard backend seam)", ErrBadOption)
+	}
+	return nil
+}
+
 // needShardsForResilience rejects resilience/fault options on unsharded
 // builds — the policy governs per-shard failure domains, so without
 // WithShards it would silently do nothing.
@@ -433,6 +490,8 @@ func (b *builder) shardConfig() shard.Config {
 		Partitioner: b.part,
 		Resilience:  b.resil,
 		Injector:    b.inj,
+		Obs:         b.reg,
+		TraceEveryN: b.trcN,
 	}
 }
 
@@ -487,11 +546,17 @@ func NewSet(points []Set, opts ...Option) (Sampler[Set], error) {
 	if b.ioptsSet && b.algo != NNIS && b.algo != Weighted && b.algo != MultiRadius {
 		return nil, fmt.Errorf("%w: WithIndependentOptions has no effect on Algorithm(%v)", ErrBadOption, b.algo)
 	}
+	if b.reg != nil && b.algo != NNIS && b.algo != Weighted && b.algo != MultiRadius {
+		return nil, fmt.Errorf("%w: Observe instruments the Section 4 draw loop — Algorithm(%v) has none", ErrBadOption, b.algo)
+	}
 	cfg := b.setConfig()
 	if b.part != nil && !b.shardsSet {
 		return nil, fmt.Errorf("%w: WithPartitioner requires WithShards", ErrBadOption)
 	}
 	if err := b.needShardsForResilience(); err != nil {
+		return nil, err
+	}
+	if err := b.checkTelemetry(); err != nil {
 		return nil, err
 	}
 	if b.shardsSet {
@@ -510,6 +575,11 @@ func NewSet(points []Set, opts ...Option) (Sampler[Set], error) {
 		}
 		return newSetShardedConfig(points, r, b.iopts, cfg, b.shardConfig())
 	}
+	// Unsharded builds thread the registry through the Section 4 options
+	// (sharded builds carry it on shard.Config instead: the shard layer
+	// owns the draw loop there, and registering an idle core-layer
+	// instrument family would be noise in the exposition).
+	b.iopts.Obs = b.reg
 	switch b.algo {
 	case MultiRadius:
 		if b.radiusSet {
@@ -617,6 +687,9 @@ func NewVec(points []Vec, opts ...Option) (Sampler[Vec], error) {
 	if b.ioptsSet && b.algo != NNIS {
 		return nil, fmt.Errorf("%w: WithIndependentOptions has no effect on Algorithm(%v)", ErrBadOption, b.algo)
 	}
+	if b.reg != nil && b.algo != NNIS && b.algo != Filter {
+		return nil, fmt.Errorf("%w: Observe instruments the Section 4/5 draw loops — Algorithm(%v) has none", ErrBadOption, b.algo)
+	}
 	dim := b.dim
 	if dim == 0 {
 		dim = len(points[0])
@@ -641,6 +714,9 @@ func NewVec(points []Vec, opts ...Option) (Sampler[Vec], error) {
 	if err := b.needShardsForResilience(); err != nil {
 		return nil, err
 	}
+	if err := b.checkTelemetry(); err != nil {
+		return nil, err
+	}
 	if b.shardsSet {
 		if b.algo == Dynamic {
 			// Dynamic is set-only anyway, but the documented contract for
@@ -655,6 +731,9 @@ func NewVec(points []Vec, opts ...Option) (Sampler[Vec], error) {
 		}
 		return newVecShardedConfig(points, alpha, b.iopts, cfg, b.shardConfig())
 	}
+	// See NewSet: unsharded builds carry the registry on the options
+	// structs; sharded builds carry it on shard.Config.
+	b.iopts.Obs = b.reg
 	switch b.algo {
 	case NNIS:
 		return NewVecSamplerIndependent(points, alpha, b.iopts, cfg)
@@ -672,6 +751,7 @@ func NewVec(points []Vec, opts ...Option) (Sampler[Vec], error) {
 		}
 		vopts := b.vopts
 		vopts.Memo = memoOr(vopts.Memo, b.memo)
+		vopts.Obs = b.reg
 		return NewVecIndependent(points, alpha, b.beta, vopts, cfg.withDefaults().Seed)
 	case Exact:
 		if b.lshTuned() || b.crossPoly || b.memo != (MemoOptions{}) {

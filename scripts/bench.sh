@@ -5,17 +5,19 @@
 # and the network-serving load test, and emit a JSON snapshot for the
 # performance trajectory
 # (BENCH_PR<N>.json at the repo root). The snapshot includes a
-# seed / PR5 / PR6 / PR7 comparison table (historical columns are read
-# from the checked-in BENCH_PR7.json; PR9 numbers are this run), a
+# seed / PR6 / PR7 / PR9 comparison table (historical columns are read
+# from the checked-in BENCH_PR9.json; PR10 numbers are this run), a
 # "kernels" section (the scalar-vs-accelerated distance-kernel dimension
 # sweep with speedup and accelerated GB/s), a "parallel" section
 # (aggregate NNIS sampling throughput at GOMAXPROCS ∈ {1, 2, 4}), a
-# "serve" section (the `-exp serve` loopback fleet load test: p50/p99
-# latency, qps, queries/hour, kill/readmission outcome), plus the
-# footprint / shard_sweep / resilience sections carried from earlier PRs.
+# "serve" section (the `-exp serve` loopback fleet load test:
+# p50/p90/p99/p999 latency from the obs histogram, qps, queries/hour,
+# kill/readmission outcome) with its full "serve_hist" bucket dump, plus
+# the footprint / shard_sweep / resilience sections carried from earlier
+# PRs (resilience now reports p50/p90/p99/p999 from the same histogram).
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
-#   output.json  defaults to BENCH_PR9.json
+#   output.json  defaults to BENCH_PR10.json
 #   benchtime    defaults to 1s (passed to -benchtime)
 # Env:
 #   FAIRNN_FOOTPRINT_N         points for the footprint gauge (default 1000000)
@@ -33,7 +35,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR9.json}"
+OUT="${1:-BENCH_PR10.json}"
 BENCHTIME="${2:-1s}"
 SERVE_SHARDS="${FAIRNN_SERVE_SHARDS:-4}"
 SERVE_SEED="${FAIRNN_SERVE_SEED:-0}"
@@ -77,8 +79,8 @@ FAIRNN_FOOTPRINT_N="$FOOTPRINT_N" FAIRNN_FOOTPRINT_QUERIERS="$FOOTPRINT_QUERIERS
 FAIRNN_SHARD_N="$SHARD_N" FAIRNN_SHARD_SWEEP="$SHARD_SWEEP" \
 	go test -run 'TestShardSweepGauge' -count=1 -v ./internal/shard | tee "$SWEEP"
 
-# Resilience gauge: p50/p99 single-draw latency, healthy vs 1-of-8
-# shards force-failed under degraded mode.
+# Resilience gauge: p50/p90/p99/p999 single-draw latency (obs
+# histogram), healthy vs 1-of-8 shards force-failed under degraded mode.
 FAIRNN_RES_N="$RES_N" FAIRNN_RES_REPS="$RES_REPS" \
 	go test -run 'TestResilienceGauge' -count=1 -v ./internal/shard | tee "$RES"
 
@@ -89,20 +91,21 @@ FAIRNN_PAR_N="$PAR_N" FAIRNN_PAR_DRAWS="$PAR_DRAWS" FAIRNN_PAR_SWEEP="$PAR_SWEEP
 
 # Network-serving load test: loopback fairnn-server fleet + concurrent
 # Connect clients with a mid-run kill/restart; emits one SERVE key=value
-# line with p50/p99 latency, qps and queries/hour.
+# line with p50/p90/p99/p999 latency, qps and queries/hour, plus
+# SERVE_HIST lines dumping the latency histogram buckets.
 go run ./cmd/fairnn -exp serve -shards "$SERVE_SHARDS" -seed "$SERVE_SEED" | tee "$SERVE"
 
-awk -v out="$OUT" -v benchtime="$BENCHTIME" -v pr7json="BENCH_PR7.json" -v footfile="$FOOT" -v sweepfile="$SWEEP" -v resfile="$RES" -v parfile="$PAR" -v servefile="$SERVE" '
+awk -v out="$OUT" -v benchtime="$BENCHTIME" -v pr9json="BENCH_PR9.json" -v footfile="$FOOT" -v sweepfile="$SWEEP" -v resfile="$RES" -v parfile="$PAR" -v servefile="$SERVE" '
 BEGIN {
-    # Historical columns from BENCH_PR7.json: its "comparison" table
-    # carries seed_ns_op, pr5_ns_op, pr6_ns_op and pr7_ns_op; its
-    # "benchmarks" ns_op entries fill pr7 for benches outside the
+    # Historical columns from BENCH_PR9.json: its "comparison" table
+    # carries seed_ns_op, pr6_ns_op, pr7_ns_op and pr9_ns_op; its
+    # "benchmarks" ns_op entries fill pr9 for benches outside the
     # comparison set. The file is pretty-printed (one key per line), so
     # track the most recent "name" and attach subsequent metric lines to
-    # it. The comparison rows of BENCH_PR7.json are emitted on a single
+    # it. The comparison rows of BENCH_PR9.json are emitted on a single
     # line each, so also match metric keys on the name line itself.
     cur = ""
-    while ((getline line < pr7json) > 0) {
+    while ((getline line < pr9json) > 0) {
         if (line ~ /"name":/) {
             cur = line; sub(/.*"name": "/, "", cur); sub(/".*/, "", cur)
         }
@@ -111,10 +114,6 @@ BEGIN {
             v = line; sub(/.*"seed_ns_op": /, "", v); sub(/[,}].*/, "", v)
             seed_ns[cur] = v
         }
-        if (line ~ /"pr5_ns_op":/) {
-            v = line; sub(/.*"pr5_ns_op": /, "", v); sub(/[,}].*/, "", v)
-            pr5_ns[cur] = v
-        }
         if (line ~ /"pr6_ns_op":/) {
             v = line; sub(/.*"pr6_ns_op": /, "", v); sub(/[,}].*/, "", v)
             pr6_ns[cur] = v
@@ -122,12 +121,16 @@ BEGIN {
         if (line ~ /"pr7_ns_op":/) {
             v = line; sub(/.*"pr7_ns_op": /, "", v); sub(/[,}].*/, "", v)
             pr7_ns[cur] = v
+        }
+        if (line ~ /"pr9_ns_op":/) {
+            v = line; sub(/.*"pr9_ns_op": /, "", v); sub(/[,}].*/, "", v)
+            pr9_ns[cur] = v
         } else if (line ~ /"ns_op":/) {
             v = line; sub(/.*"ns_op": /, "", v); sub(/[,}].*/, "", v)
-            if (!(cur in pr7_ns)) pr7_ns[cur] = v
+            if (!(cur in pr9_ns)) pr9_ns[cur] = v
         }
     }
-    close(pr7json)
+    close(pr9json)
     # Footprint gauge lines: FOOTPRINT backend=dense n=... queriers=...
     # retained_bytes=... per_querier_bytes=...
     nf = 0
@@ -202,12 +205,27 @@ BEGIN {
         par[npar++] = row "}"
     }
     close(parfile)
-    # Serve load-test line: SERVE queries=... ok=... degraded_ok=...
-    # no_sample=... failed=... p50_us=... p99_us=... qps=...
-    # queries_per_hour=... killed=true readmitted=true. killed and
-    # readmitted are bare JSON booleans; everything else is numeric.
+    # Serve load-test lines: one SERVE line (queries=... ok=...
+    # p50_us=... p90_us=... p99_us=... p999_us=... qps=...
+    # queries_per_hour=... killed=true readmitted=true; killed and
+    # readmitted are bare JSON booleans, everything else numeric), plus
+    # SERVE_HIST bucket-dump lines (le_us=... count=..., le_us 0 = the
+    # overflow bucket).
     serve_row = ""
+    nhist = 0
     while ((getline line < servefile) > 0) {
+        if (line ~ /^SERVE_HIST /) {
+            np = split(line, parts, " ")
+            row = "    {"
+            first_kv = 1
+            for (i = 2; i <= np; i++) {
+                split(parts[i], kv, "=")
+                row = row (first_kv ? "" : ", ") sprintf("\"%s\": %s", kv[1], kv[2])
+                first_kv = 0
+            }
+            serve_hist[nhist++] = row "}"
+            continue
+        }
         if (line !~ /^SERVE /) continue
         np = split(line, parts, " ")
         serve_row = "{"
@@ -250,8 +268,8 @@ BEGIN {
     }
 }
 END {
-    printf "{\n  \"pr\": 9,\n  \"benchtime\": \"%s\",\n", benchtime > out
-    printf "  \"note\": \"seed/pr5/pr6/pr7 columns are historical (from BENCH_PR7.json); pr9 columns are this run. kernels = the distance-kernel dimension sweep: scalar is the portable 4-way-unrolled Go loop, accel the AVX2+FMA assembly path (16 float64/iter, 4 FMA chains); accel_gbps counts both operand vectors (16 bytes per dimension). parallel = aggregate Section 5 SampleK(100) throughput with W workers at GOMAXPROCS=W. serve = the -exp serve network load test: a loopback fairnn-server fleet behind Connect, concurrent clients, one shard killed mid-run and restarted after; latencies are per-query wall times over real sockets, so they measure the wire round-trips, not the sampler. Cross-column deltas in the comparison table carry the usual caveat for this 1-core box: single-run snapshots have ~20 percent noise, trust interleaved medians (the PR5/PR6 notes record two such A/Bs measuring parity where snapshots suggested regressions). Regenerate with scripts/bench.sh.\",\n" >> out
+    printf "{\n  \"pr\": 10,\n  \"benchtime\": \"%s\",\n", benchtime > out
+    printf "  \"note\": \"seed/pr6/pr7/pr9 columns are historical (from BENCH_PR9.json); pr10 columns are this run. kernels = the distance-kernel dimension sweep: scalar is the portable 4-way-unrolled Go loop, accel the AVX2+FMA assembly path (16 float64/iter, 4 FMA chains); accel_gbps counts both operand vectors (16 bytes per dimension). parallel = aggregate Section 5 SampleK(100) throughput with W workers at GOMAXPROCS=W. serve = the -exp serve network load test: a loopback fairnn-server fleet behind Connect, concurrent clients, one shard killed mid-run and restarted after; latencies are per-query wall times over real sockets, so they measure the wire round-trips, not the sampler. serve quantiles (p50/p90/p99/p999) and the resilience gauge are read from the shared obs log-spaced histogram, so they are bucket-interpolated — identical in kind to what a /metrics scrape of the serving fleet would yield; serve_hist is the full non-empty bucket dump (le_us 0 = overflow bucket). Cross-column deltas in the comparison table carry the usual caveat for this 1-core box: single-run snapshots have ~20 percent noise, trust interleaved medians (the PR5/PR6 notes record two such A/Bs measuring parity where snapshots suggested regressions). Regenerate with scripts/bench.sh.\",\n" >> out
     printf "  \"comparison\": [\n" >> out
     m = split("BenchmarkBuildSampler BenchmarkBuildIndependent BenchmarkQuerySamplerNNS BenchmarkQueryIndependentNNIS BenchmarkQueryIndependentSampleK100 BenchmarkQueryFilterIndependent", keys, " ")
     first = 1
@@ -260,12 +278,12 @@ END {
         if (!(k in cur_ns)) continue
         row = sprintf("    {\"name\": \"%s\"", k)
         if (k in seed_ns) row = row sprintf(", \"seed_ns_op\": %s", seed_ns[k])
-        if (k in pr5_ns)  row = row sprintf(", \"pr5_ns_op\": %s", pr5_ns[k])
         if (k in pr6_ns)  row = row sprintf(", \"pr6_ns_op\": %s", pr6_ns[k])
         if (k in pr7_ns)  row = row sprintf(", \"pr7_ns_op\": %s", pr7_ns[k])
-        row = row sprintf(", \"pr9_ns_op\": %s", cur_ns[k])
-        if (k in pr7_ns && cur_ns[k]+0 > 0)
-            row = row sprintf(", \"speedup_vs_pr7\": %.2f", pr7_ns[k] / cur_ns[k])
+        if (k in pr9_ns)  row = row sprintf(", \"pr9_ns_op\": %s", pr9_ns[k])
+        row = row sprintf(", \"pr10_ns_op\": %s", cur_ns[k])
+        if (k in pr9_ns && cur_ns[k]+0 > 0)
+            row = row sprintf(", \"speedup_vs_pr9\": %.2f", pr9_ns[k] / cur_ns[k])
         row = row "}"
         if (!first) printf ",\n" >> out
         printf "%s", row >> out
@@ -306,6 +324,11 @@ END {
     printf "  ]" >> out
     if (serve_row != "")
         printf ",\n  \"serve\": %s", serve_row >> out
+    if (nhist > 0) {
+        printf ",\n  \"serve_hist\": [\n" >> out
+        for (i = 0; i < nhist; i++) printf "%s%s\n", serve_hist[i], (i < nhist-1 ? "," : "") >> out
+        printf "  ]" >> out
+    }
     printf ",\n  \"benchmarks\": [\n" >> out
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "") >> out
     printf "  ]\n}\n" >> out
